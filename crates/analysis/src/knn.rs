@@ -1,0 +1,62 @@
+//! k-nearest-neighbour ranking — the Table III(a) technique.
+
+use dpar2_linalg::Mat;
+
+/// Returns the `k` most similar items to `target` (excluding itself) from a
+/// similarity matrix, as `(index, similarity)` pairs in descending order.
+/// Deterministic tie-break by lower index.
+///
+/// # Panics
+/// Panics if `target` is out of range.
+pub fn top_k_neighbors(sim: &Mat, target: usize, k: usize) -> Vec<(usize, f64)> {
+    assert!(target < sim.rows(), "top_k_neighbors: target out of range");
+    let mut pairs: Vec<(usize, f64)> = (0..sim.rows())
+        .filter(|&i| i != target)
+        .map(|i| (i, sim.at(target, i)))
+        .collect();
+    pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN similarity").then(a.0.cmp(&b.0)));
+    pairs.truncate(k);
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim4() -> Mat {
+        Mat::from_rows(&[
+            &[1.0, 0.9, 0.2, 0.5],
+            &[0.9, 1.0, 0.3, 0.1],
+            &[0.2, 0.3, 1.0, 0.8],
+            &[0.5, 0.1, 0.8, 1.0],
+        ])
+    }
+
+    #[test]
+    fn ranks_by_similarity() {
+        let top = top_k_neighbors(&sim4(), 0, 2);
+        assert_eq!(top[0].0, 1);
+        assert_eq!(top[1].0, 3);
+    }
+
+    #[test]
+    fn excludes_self() {
+        let top = top_k_neighbors(&sim4(), 2, 3);
+        assert!(top.iter().all(|&(i, _)| i != 2));
+        assert_eq!(top.len(), 3);
+    }
+
+    #[test]
+    fn k_larger_than_population() {
+        let top = top_k_neighbors(&sim4(), 1, 99);
+        assert_eq!(top.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let m = Mat::from_rows(&[&[1.0, 0.5, 0.5], &[0.5, 1.0, 0.5], &[0.5, 0.5, 1.0]]);
+        let top = top_k_neighbors(&m, 0, 2);
+        assert_eq!(top[0].0, 1); // lower index wins the tie
+        assert_eq!(top[1].0, 2);
+    }
+}

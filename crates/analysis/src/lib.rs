@@ -1,0 +1,26 @@
+//! # dpar2-analysis
+//!
+//! The post-decomposition analyses of the DPar2 paper's "Discoveries"
+//! section (§IV-E):
+//!
+//! * [`pcc`] — Pearson correlation between feature latent vectors `V(i,:)`,
+//!   producing the Fig. 12 correlation heatmaps (US vs. Korea feature
+//!   similarity patterns).
+//! * [`similarity`] — the stock-pair similarity
+//!   `sim(s_i, s_j) = exp(−γ ‖U_i − U_j‖²_F)` (Eq. 10) and the similarity
+//!   graph with zeroed self-loops (Eq. 11).
+//! * [`knn`] — top-`k` nearest neighbours of a target stock
+//!   (Table III(a)).
+//! * [`rwr`] — Random Walk with Restart scores by power iteration
+//!   (Eq. 12, `r ← (1−c) Ãᵀ r + c q`) for the multi-hop ranking of
+//!   Table III(b).
+
+pub mod knn;
+pub mod pcc;
+pub mod rwr;
+pub mod similarity;
+
+pub use knn::top_k_neighbors;
+pub use pcc::{pcc_matrix, pearson};
+pub use rwr::{rwr_scores, RwrConfig};
+pub use similarity::{similarity_graph, stock_similarity};

@@ -1,0 +1,125 @@
+//! Pearson correlation between feature latent vectors — Fig. 12.
+//!
+//! After decomposing a stock tensor, row `i` of `V ∈ R^{J×R}` is the latent
+//! vector of feature `i`. The paper computes the Pearson Correlation
+//! Coefficient between selected feature rows (4 price features + OBV, ATR,
+//! MACD, STOCH) and contrasts the US and Korean heatmaps.
+
+use dpar2_linalg::Mat;
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns 0 when either sample has zero variance (degenerate but
+/// well-defined for heat-map rendering).
+///
+/// # Panics
+/// Panics if lengths differ or are zero.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "pearson: length mismatch");
+    assert!(!x.is_empty(), "pearson: empty input");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let da = a - mx;
+        let db = b - my;
+        cov += da * db;
+        vx += da * da;
+        vy += db * db;
+    }
+    if vx < 1e-300 || vy < 1e-300 {
+        return 0.0;
+    }
+    cov / (vx * vy).sqrt()
+}
+
+/// Correlation matrix between selected rows of `V`.
+///
+/// `rows[i]` indexes the feature whose latent vector `V(rows[i], :)` forms
+/// the `i`-th row/column of the result. The output is symmetric with unit
+/// diagonal (for non-degenerate rows).
+pub fn pcc_matrix(v: &Mat, rows: &[usize]) -> Mat {
+    let n = rows.len();
+    let vecs: Vec<&[f64]> = rows.iter().map(|&r| v.row(r)).collect();
+    let mut out = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            let c = pearson(vecs[i], vecs[j]);
+            out.set(i, j, c);
+            out.set(j, i, c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_anticorrelation() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [3.0, 2.0, 1.0];
+        assert!((pearson(&x, &y) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shift_and_scale_invariance() {
+        let x = [0.3, -1.2, 2.5, 0.8, -0.4];
+        let y: Vec<f64> = x.iter().map(|v| 5.0 * v - 7.0).collect();
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_variance_degenerate() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn uncorrelated_orthogonal_samples() {
+        // Designed zero-covariance pair.
+        let x = [1.0, -1.0, 1.0, -1.0];
+        let y = [1.0, 1.0, -1.0, -1.0];
+        assert!(pearson(&x, &y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pcc_matrix_symmetric_unit_diagonal() {
+        let v = Mat::from_rows(&[
+            &[1.0, 2.0, 3.0],
+            &[2.0, 4.0, 6.0],
+            &[3.0, 1.0, -2.0],
+            &[0.5, 0.5, 0.5], // degenerate row
+        ]);
+        let m = pcc_matrix(&v, &[0, 1, 2, 3]);
+        assert_eq!(m.shape(), (4, 4));
+        assert!((m.at(0, 0) - 1.0).abs() < 1e-12);
+        assert!((m.at(0, 1) - 1.0).abs() < 1e-12); // rows 0,1 proportional
+        assert!((&m - &m.transpose()).fro_norm() < 1e-12);
+        assert_eq!(m.at(3, 3), 0.0); // degenerate diagonal stays 0
+    }
+
+    #[test]
+    fn pcc_matrix_row_selection() {
+        let v = Mat::from_rows(&[&[1.0, 0.0], &[9.0, 9.0], &[0.0, 1.0]]);
+        let m = pcc_matrix(&v, &[0, 2]);
+        assert_eq!(m.shape(), (2, 2));
+        assert!((m.at(0, 1) + 1.0).abs() < 1e-12); // [1,0] vs [0,1] are anti-correlated
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        pearson(&[1.0], &[1.0, 2.0]);
+    }
+}

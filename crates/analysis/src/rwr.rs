@@ -1,0 +1,160 @@
+//! Random Walk with Restart — Eq. 12 of the paper (Table III(b)).
+//!
+//! Scores are computed by power iteration on the row-normalized similarity
+//! graph: `r ← (1−c) Ãᵀ r + c q`, with restart probability `c = 0.15`,
+//! maximum 100 iterations, and a one-hot query vector at the target stock —
+//! exactly the §IV-E2 settings.
+
+use dpar2_linalg::Mat;
+
+/// RWR hyper-parameters (paper defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct RwrConfig {
+    /// Restart probability `c` (paper: 0.15).
+    pub restart: f64,
+    /// Maximum power iterations (paper: 100).
+    pub max_iterations: usize,
+    /// Early-exit threshold on `‖r_new − r‖₁`.
+    pub tolerance: f64,
+}
+
+impl Default for RwrConfig {
+    fn default() -> Self {
+        RwrConfig { restart: 0.15, max_iterations: 100, tolerance: 1e-12 }
+    }
+}
+
+/// Computes RWR scores from a (non-negative) adjacency matrix and a query
+/// distribution `q` (typically one-hot at the target).
+///
+/// The adjacency is row-normalized internally (`Ã`); rows that sum to zero
+/// become uniform restarts. Returns the stationary score vector `r`.
+///
+/// # Panics
+/// Panics if shapes are inconsistent or `q` is all-zero.
+pub fn rwr_scores(adjacency: &Mat, q: &[f64], config: &RwrConfig) -> Vec<f64> {
+    let n = adjacency.rows();
+    assert_eq!(adjacency.cols(), n, "rwr: adjacency must be square");
+    assert_eq!(q.len(), n, "rwr: query length mismatch");
+    let qsum: f64 = q.iter().sum();
+    assert!(qsum > 0.0, "rwr: query vector must be non-zero");
+    let qn: Vec<f64> = q.iter().map(|v| v / qsum).collect();
+
+    // Row-normalize: Ã(i,:) = A(i,:) / Σ_j A(i,j).
+    let mut tilde = adjacency.clone();
+    for i in 0..n {
+        let row = tilde.row_mut(i);
+        let s: f64 = row.iter().sum();
+        if s > 1e-300 {
+            for v in row.iter_mut() {
+                *v /= s;
+            }
+        } else {
+            // Dangling node: teleport uniformly.
+            for v in row.iter_mut() {
+                *v = 1.0 / n as f64;
+            }
+        }
+    }
+
+    let c = config.restart;
+    let mut r = qn.clone();
+    for _ in 0..config.max_iterations {
+        // r_new = (1−c) Ãᵀ r + c q
+        let at_r = tilde.matvec_t(&r);
+        let mut delta = 0.0;
+        let mut r_new = Vec::with_capacity(n);
+        for i in 0..n {
+            let v = (1.0 - c) * at_r[i] + c * qn[i];
+            delta += (v - r[i]).abs();
+            r_new.push(v);
+        }
+        r = r_new;
+        if delta < config.tolerance {
+            break;
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two triangles bridged by one edge; RWR from node 0 should score the
+    /// home triangle {1, 2} above the far triangle {4, 5}.
+    fn two_communities() -> Mat {
+        let mut a = Mat::zeros(6, 6);
+        let edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)];
+        for (i, j) in edges {
+            a.set(i, j, 1.0);
+            a.set(j, i, 1.0);
+        }
+        a
+    }
+
+    #[test]
+    fn scores_sum_to_one() {
+        let a = two_communities();
+        let q = [1.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let r = rwr_scores(&a, &q, &RwrConfig::default());
+        let s: f64 = r.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9, "scores sum {s}");
+        assert!(r.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn home_community_ranks_higher() {
+        let a = two_communities();
+        let q = [1.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let r = rwr_scores(&a, &q, &RwrConfig::default());
+        assert!(r[1] > r[4], "{:?}", r);
+        assert!(r[2] > r[5], "{:?}", r);
+    }
+
+    #[test]
+    fn restart_concentrates_on_query() {
+        let a = two_communities();
+        let q = [0.0, 0.0, 0.0, 1.0, 0.0, 0.0];
+        let high_c = rwr_scores(&a, &q, &RwrConfig { restart: 0.9, ..Default::default() });
+        let low_c = rwr_scores(&a, &q, &RwrConfig { restart: 0.05, ..Default::default() });
+        assert!(high_c[3] > low_c[3], "higher restart should concentrate mass on the query");
+    }
+
+    #[test]
+    fn symmetric_complete_graph_is_uniform() {
+        let n = 5;
+        let mut a = Mat::ones(n, n);
+        for i in 0..n {
+            a.set(i, i, 0.0);
+        }
+        let mut q = vec![0.0; n];
+        q[2] = 1.0;
+        let r = rwr_scores(&a, &q, &RwrConfig::default());
+        // All non-query nodes are interchangeable by symmetry.
+        let others: Vec<f64> = (0..n).filter(|&i| i != 2).map(|i| r[i]).collect();
+        for pair in others.windows(2) {
+            assert!((pair[0] - pair[1]).abs() < 1e-9, "{:?}", r);
+        }
+        assert!(r[2] > others[0], "query node keeps extra mass");
+    }
+
+    #[test]
+    fn dangling_nodes_handled() {
+        // Node 2 has no outgoing edges.
+        let mut a = Mat::zeros(3, 3);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        let q = [1.0, 0.0, 0.0];
+        let r = rwr_scores(&a, &q, &RwrConfig::default());
+        assert!(r.iter().all(|v| v.is_finite()));
+        let s: f64 = r.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_query_panics() {
+        rwr_scores(&Mat::ones(2, 2), &[0.0, 0.0], &RwrConfig::default());
+    }
+}

@@ -1,0 +1,108 @@
+//! Stock-pair similarity from temporal factors — Eq. 10 & 11 of the paper.
+
+use dpar2_linalg::Mat;
+
+/// Eq. 10: `sim(s_i, s_j) = exp(−γ ‖U_i − U_j‖²_F)`.
+///
+/// `U_i` are the temporal latent factors of the two stocks, which must have
+/// identical shape ("we use only the stocks that have the same target
+/// range since `U_i − U_j` is defined only when the two matrices are of the
+/// same size", §IV-E2). The paper uses `γ = 0.01`.
+///
+/// # Panics
+/// Panics if the shapes differ.
+pub fn stock_similarity(u_i: &Mat, u_j: &Mat, gamma: f64) -> f64 {
+    assert_eq!(
+        u_i.shape(),
+        u_j.shape(),
+        "stock_similarity: factors must share the time range"
+    );
+    (-gamma * (u_i - u_j).fro_norm_sq()).exp()
+}
+
+/// Builds the symmetric similarity matrix over a set of stocks, and — per
+/// Eq. 11 — the graph adjacency with zeroed self-loops.
+///
+/// Returns `(S, A)` where `S(i,j) = sim(s_i, s_j)` (unit diagonal) and
+/// `A = S` with `A(i,i) = 0`.
+///
+/// # Panics
+/// Panics if factor shapes differ (see [`stock_similarity`]).
+pub fn similarity_graph(factors: &[&Mat], gamma: f64) -> (Mat, Mat) {
+    let n = factors.len();
+    let mut s = Mat::zeros(n, n);
+    for i in 0..n {
+        s.set(i, i, 1.0);
+        for j in i + 1..n {
+            let v = stock_similarity(factors[i], factors[j], gamma);
+            s.set(i, j, v);
+            s.set(j, i, v);
+        }
+    }
+    let mut a = s.clone();
+    for i in 0..n {
+        a.set(i, i, 0.0);
+    }
+    (s, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpar2_linalg::random::gaussian_mat;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn self_similarity_is_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let u = gaussian_mat(10, 3, &mut rng);
+        assert_eq!(stock_similarity(&u, &u, 0.01), 1.0);
+    }
+
+    #[test]
+    fn similarity_decays_with_distance() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let u = gaussian_mat(10, 3, &mut rng);
+        let mut near = u.clone();
+        near.axpy(0.1, &gaussian_mat(10, 3, &mut rng));
+        let mut far = u.clone();
+        far.axpy(2.0, &gaussian_mat(10, 3, &mut rng));
+        let s_near = stock_similarity(&u, &near, 0.01);
+        let s_far = stock_similarity(&u, &far, 0.01);
+        assert!(s_near > s_far, "near {s_near} vs far {s_far}");
+        assert!((0.0..=1.0).contains(&s_near) && (0.0..=1.0).contains(&s_far));
+    }
+
+    #[test]
+    fn gamma_sharpens() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let u = gaussian_mat(8, 2, &mut rng);
+        let v = gaussian_mat(8, 2, &mut rng);
+        assert!(stock_similarity(&u, &v, 0.1) < stock_similarity(&u, &v, 0.001));
+    }
+
+    #[test]
+    fn graph_symmetric_no_self_loops() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let us: Vec<Mat> = (0..5).map(|_| gaussian_mat(6, 2, &mut rng)).collect();
+        let refs: Vec<&Mat> = us.iter().collect();
+        let (s, a) = similarity_graph(&refs, 0.01);
+        assert!((&s - &s.transpose()).fro_norm() < 1e-15);
+        for i in 0..5 {
+            assert_eq!(s.at(i, i), 1.0);
+            assert_eq!(a.at(i, i), 0.0);
+        }
+        // Off-diagonal entries agree between S and A.
+        assert!((s.at(1, 3) - a.at(1, 3)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "share the time range")]
+    fn shape_mismatch_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let u = gaussian_mat(6, 2, &mut rng);
+        let v = gaussian_mat(7, 2, &mut rng);
+        stock_similarity(&u, &v, 0.01);
+    }
+}

@@ -1,0 +1,222 @@
+//! Shared machinery for the ALS-family baselines.
+
+use dpar2_core::error::{Dpar2Error, Result};
+use dpar2_linalg::{svd::svd_truncated, Mat};
+use dpar2_tensor::IrregularTensor;
+
+/// Configuration shared by every baseline solver (the subset of
+/// [`dpar2_core::Dpar2Config`] that applies without compression).
+#[derive(Debug, Clone)]
+pub struct AlsConfig {
+    /// Target rank `R`.
+    pub rank: usize,
+    /// Maximum ALS iterations (paper: 32).
+    pub max_iterations: usize,
+    /// Relative-change threshold on each solver's convergence criterion.
+    pub tolerance: f64,
+    /// Worker threads (used by SPARTan-dense and DPar2).
+    pub threads: usize,
+    /// RNG seed (only DPar2 and RD-ALS's randomized pieces consume it; kept
+    /// here so sweeps can treat all methods identically).
+    pub seed: u64,
+}
+
+impl AlsConfig {
+    /// Paper-default configuration: 32 iterations, 1e-4 tolerance, 1 thread.
+    pub fn new(rank: usize) -> Self {
+        AlsConfig { rank, max_iterations: 32, tolerance: 1e-4, threads: 1, seed: 0 }
+    }
+
+    /// Sets the thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the iteration budget.
+    pub fn with_max_iterations(mut self, iters: usize) -> Self {
+        self.max_iterations = iters;
+        self
+    }
+
+    /// Sets the convergence tolerance.
+    pub fn with_tolerance(mut self, tol: f64) -> Self {
+        self.tolerance = tol;
+        self
+    }
+}
+
+/// Validates that `R ≤ min(I_k, J)` for every slice (same contract as the
+/// DPar2 compression stage).
+pub fn validate_rank(tensor: &IrregularTensor, rank: usize) -> Result<()> {
+    if rank == 0 {
+        return Err(Dpar2Error::ZeroRank);
+    }
+    for k in 0..tensor.k() {
+        let limit = tensor.i(k).min(tensor.j());
+        if rank > limit {
+            return Err(Dpar2Error::RankTooLarge { rank, slice: k, limit });
+        }
+    }
+    Ok(())
+}
+
+/// Kiers-style initialization of `V`: the leading `R` eigenvectors of
+/// `Σ_k X_kᵀ X_k` (computed via the SVD of the PSD Gram sum).
+///
+/// All baselines start from this `V` with `H = I`, `S_k = I`, matching the
+/// classic direct-fitting algorithm and making cross-method fitness
+/// comparisons meaningful.
+pub fn init_v(tensor: &IrregularTensor, rank: usize) -> Mat {
+    let j = tensor.j();
+    let mut gram_sum = Mat::zeros(j, j);
+    for k in 0..tensor.k() {
+        gram_sum += &tensor.slice(k).gram();
+    }
+    svd_truncated(&gram_sum, rank).u
+}
+
+/// Scales the columns of `m` by the entries of `weights` (i.e. `m · diag(w)`),
+/// in place. The `X_k V S_k Hᵀ` and `H S_k Vᵀ` products all reduce to this.
+pub fn scale_columns(m: &mut Mat, weights: &[f64]) {
+    for i in 0..m.rows() {
+        let row = m.row_mut(i);
+        for (c, &w) in weights.iter().enumerate() {
+            row[c] *= w;
+        }
+    }
+}
+
+/// Updates `Q_k` from the target `T = X_k V S_k Hᵀ ∈ R^{I_k×R}`:
+/// truncated SVD `Z' Σ' P'ᵀ ← T` at rank `R`, then `Q_k = Z' P'ᵀ`
+/// (Algorithm 2, lines 4–5). This is the polar-factor solution of the
+/// orthogonal Procrustes problem `min_Q ‖X_k − Q H S_k Vᵀ‖_F`.
+pub fn update_q(target: &Mat, rank: usize) -> Mat {
+    let f = svd_truncated(target, rank);
+    f.u.matmul_nt(&f.v).expect("update_q: Z'·P'ᵀ")
+}
+
+/// True squared reconstruction error `Σ_k ‖X_k − Q_k H S_k Vᵀ‖²_F` given
+/// explicit `Q_k` — what PARAFAC2-ALS, SPARTan, and RD-ALS use for their
+/// convergence checks (and what DPar2 avoids; §III-E).
+pub fn true_error_sq(
+    tensor: &IrregularTensor,
+    qs: &[Mat],
+    h: &Mat,
+    w: &Mat,
+    v: &Mat,
+) -> f64 {
+    let mut total = 0.0;
+    for (k, q_k) in qs.iter().enumerate() {
+        let mut hs = h.clone();
+        let wrow: Vec<f64> = w.row(k).to_vec();
+        scale_columns(&mut hs, &wrow);
+        let model = q_k.matmul(&hs).expect("Q_k·HS").matmul_nt(v).expect("·Vᵀ");
+        total += (tensor.slice(k) - &model).fro_norm_sq();
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpar2_linalg::random::gaussian_mat;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_tensor(seed: u64) -> IrregularTensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        IrregularTensor::new(vec![
+            gaussian_mat(12, 8, &mut rng),
+            gaussian_mat(20, 8, &mut rng),
+            gaussian_mat(7, 8, &mut rng),
+        ])
+    }
+
+    #[test]
+    fn init_v_is_orthonormal() {
+        let t = small_tensor(501);
+        let v = init_v(&t, 3);
+        assert_eq!(v.shape(), (8, 3));
+        assert!((&v.gram() - &Mat::eye(3)).fro_norm() < 1e-9);
+    }
+
+    #[test]
+    fn init_v_spans_dominant_subspace() {
+        // For a tensor with planted shared column space, init_v must
+        // recover that space.
+        let mut rng = StdRng::seed_from_u64(502);
+        let v_true = dpar2_linalg::qr::qr(&gaussian_mat(10, 2, &mut rng)).q;
+        let slices: Vec<Mat> = (0..3)
+            .map(|_| gaussian_mat(15, 2, &mut rng).matmul_nt(&v_true).unwrap())
+            .collect();
+        let t = IrregularTensor::new(slices);
+        let v = init_v(&t, 2);
+        // Projection of v_true onto span(v) should be identity-like.
+        let proj = v.matmul_tn(&v_true).unwrap();
+        let f = svd_truncated(&proj, 2);
+        for s in &f.s {
+            assert!((s - 1.0).abs() < 1e-8, "principal angle not zero: σ = {s}");
+        }
+    }
+
+    #[test]
+    fn update_q_is_orthonormal_and_procrustes_optimal() {
+        let mut rng = StdRng::seed_from_u64(503);
+        let target = gaussian_mat(20, 4, &mut rng);
+        let q = update_q(&target, 4);
+        assert!((&q.gram() - &Mat::eye(4)).fro_norm() < 1e-9);
+        // Procrustes optimality: trace(QᵀT) ≥ trace(OᵀT) for any orthonormal O.
+        let t_q: f64 = q.matmul_tn(&target).unwrap().diagonal().iter().sum();
+        for trial in 0..5 {
+            let o = dpar2_linalg::qr::qr(&gaussian_mat(20, 4, &mut StdRng::seed_from_u64(504 + trial))).q;
+            let t_o: f64 = o.matmul_tn(&target).unwrap().diagonal().iter().sum();
+            assert!(t_q >= t_o - 1e-9, "Procrustes solution beaten by random Q");
+        }
+    }
+
+    #[test]
+    fn validate_rank_catches_bad_inputs() {
+        let t = small_tensor(505);
+        assert!(validate_rank(&t, 3).is_ok());
+        assert!(validate_rank(&t, 0).is_err());
+        assert!(validate_rank(&t, 8).is_err()); // slice 2 has I=7
+    }
+
+    #[test]
+    fn scale_columns_matches_diag_product() {
+        let mut rng = StdRng::seed_from_u64(506);
+        let m = gaussian_mat(5, 3, &mut rng);
+        let w = [2.0, 0.5, -1.0];
+        let mut scaled = m.clone();
+        scale_columns(&mut scaled, &w);
+        let explicit = m.matmul(&Mat::diag(&w)).unwrap();
+        assert!((&scaled - &explicit).fro_norm() < 1e-12);
+    }
+
+    #[test]
+    fn true_error_zero_for_exact_model() {
+        let mut rng = StdRng::seed_from_u64(507);
+        let r = 2;
+        let h = gaussian_mat(r, r, &mut rng);
+        let v = gaussian_mat(9, r, &mut rng);
+        let w = Mat::from_rows(&[&[1.0, 2.0], &[0.5, 1.5]]);
+        let mut qs = Vec::new();
+        let mut slices = Vec::new();
+        for k in 0..2 {
+            let q = dpar2_linalg::qr::qr(&gaussian_mat(14, r, &mut rng)).q;
+            let mut hs = h.clone();
+            scale_columns(&mut hs, w.row(k));
+            slices.push(q.matmul(&hs).unwrap().matmul_nt(&v).unwrap());
+            qs.push(q);
+        }
+        let t = IrregularTensor::new(slices);
+        assert!(true_error_sq(&t, &qs, &h, &w, &v) < 1e-18);
+    }
+}

@@ -1,0 +1,211 @@
+//! Criterion microbenchmarks for the computational kernels behind the
+//! paper's per-iteration and preprocessing claims, plus the ablations
+//! DESIGN.md calls out:
+//!
+//! * `rsvd_vs_exact` — Algorithm 1 vs full Jacobi SVD (compression cost).
+//! * `rsvd_power_iters` — q ∈ {0, 1, 2} accuracy/cost ablation.
+//! * `lemma_kernels` — Lemmas 1–3 vs naive MTTKRP on materialized Y (the
+//!   O(JR²+KR³) vs O(JKR²) claim).
+//! * `convergence` — compressed criterion vs true reconstruction error
+//!   (§III-E).
+//! * `partitioning` — greedy (Algorithm 4) vs round-robin.
+//! * `gemm` — the base matmul kernels everything sits on.
+//! * `two_stage_ablation` — two-stage compression vs stage-1-only.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpar2_baselines::common::true_error_sq;
+use dpar2_core::compress::compress;
+use dpar2_core::config::Dpar2Config;
+use dpar2_core::convergence::compressed_criterion;
+use dpar2_core::lemmas::{g1, g2, g3, materialize_y, naive_g1, naive_g2, naive_g3};
+use dpar2_linalg::random::gaussian_mat;
+use dpar2_linalg::{svd_truncated, Mat};
+use dpar2_parallel::{greedy_partition, round_robin_partition, ThreadPool};
+use dpar2_rsvd::{rsvd, RsvdConfig};
+use dpar2_data::planted_parafac2;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_rsvd_vs_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rsvd_vs_exact");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(1);
+    for &(m, n) in &[(400usize, 120usize), (800, 200)] {
+        let a = {
+            let u = gaussian_mat(m, 10, &mut rng);
+            let v = gaussian_mat(n, 10, &mut rng);
+            let mut x = u.matmul_nt(&v).unwrap();
+            x.axpy(0.05, &gaussian_mat(m, n, &mut rng));
+            x
+        };
+        group.bench_with_input(BenchmarkId::new("rsvd_q1", format!("{m}x{n}")), &a, |b, a| {
+            b.iter(|| {
+                let mut r = StdRng::seed_from_u64(2);
+                black_box(rsvd(a, &RsvdConfig::new(10), &mut r))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exact_svd", format!("{m}x{n}")), &a, |b, a| {
+            b.iter(|| black_box(svd_truncated(a, 10)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rsvd_power_iters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rsvd_power_iters");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(3);
+    let a = {
+        let u = gaussian_mat(600, 12, &mut rng);
+        let v = gaussian_mat(150, 12, &mut rng);
+        let mut x = u.matmul_nt(&v).unwrap();
+        x.axpy(0.1, &gaussian_mat(600, 150, &mut rng));
+        x
+    };
+    for q in [0usize, 1, 2] {
+        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            b.iter(|| {
+                let mut r = StdRng::seed_from_u64(4);
+                let cfg = RsvdConfig { rank: 10, oversample: 8, power_iterations: q };
+                black_box(rsvd(&a, &cfg, &mut r))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Shared fixture for the iteration kernels: K factorized slices.
+struct LemmaFixture {
+    pzf: Vec<Mat>,
+    edt: Mat,
+    de: Mat,
+    v: Mat,
+    h: Mat,
+    w: Mat,
+    edtv: Mat,
+}
+
+fn lemma_fixture(k: usize, j: usize, r: usize) -> LemmaFixture {
+    let mut rng = StdRng::seed_from_u64(5);
+    let pzf: Vec<Mat> = (0..k).map(|_| gaussian_mat(r, r, &mut rng)).collect();
+    let d = gaussian_mat(j, r, &mut rng);
+    let e: Vec<f64> = (0..r).map(|i| 1.0 + i as f64).collect();
+    let mut edt = d.transpose();
+    for (row, &ev) in e.iter().enumerate() {
+        for x in edt.row_mut(row) {
+            *x *= ev;
+        }
+    }
+    let mut de = d.clone();
+    for i in 0..j {
+        let rr = de.row_mut(i);
+        for (c, &ev) in e.iter().enumerate() {
+            rr[c] *= ev;
+        }
+    }
+    let v = gaussian_mat(j, r, &mut rng);
+    let h = gaussian_mat(r, r, &mut rng);
+    let w = gaussian_mat(k, r, &mut rng);
+    let edtv = edt.matmul(&v).unwrap();
+    LemmaFixture { pzf, edt, de, v, h, w, edtv }
+}
+
+fn bench_lemma_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma_kernels");
+    group.sample_size(20);
+    let fx = lemma_fixture(300, 256, 10);
+    let pool = ThreadPool::new(1);
+    let y = materialize_y(&fx.pzf, &fx.edt);
+
+    group.bench_function("g1_lemma", |b| {
+        b.iter(|| black_box(g1(&fx.pzf, &fx.w, &fx.edtv, &pool)))
+    });
+    group.bench_function("g1_naive", |b| b.iter(|| black_box(naive_g1(&y, &fx.v, &fx.w))));
+    group.bench_function("g2_lemma", |b| {
+        b.iter(|| black_box(g2(&fx.pzf, &fx.w, &fx.h, &fx.de, &pool)))
+    });
+    group.bench_function("g2_naive", |b| b.iter(|| black_box(naive_g2(&y, &fx.h, &fx.w))));
+    group.bench_function("g3_lemma", |b| {
+        b.iter(|| black_box(g3(&fx.pzf, &fx.edtv, &fx.h, &pool)))
+    });
+    group.bench_function("g3_naive", |b| b.iter(|| black_box(naive_g3(&y, &fx.h, &fx.v))));
+    group.finish();
+}
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convergence");
+    group.sample_size(10);
+    // A real tensor + its compression so both criteria are meaningful.
+    let t = planted_parafac2(&[200, 300, 150, 250], 128, 10, 0.1, 6);
+    let cfg = Dpar2Config::new(10).with_seed(7);
+    let ct = compress(&t, &cfg).unwrap();
+    let fx = lemma_fixture(t.k(), t.j(), 10);
+    let pool = ThreadPool::new(1);
+    let edt = ct.edt();
+    // Q_k for the true-error oracle: orthonormal bases from the compression.
+    let qs: Vec<Mat> = ct.a.clone();
+
+    group.bench_function("compressed_criterion", |b| {
+        b.iter(|| black_box(compressed_criterion(&fx.pzf, &edt, &fx.h, &fx.w, &fx.v, &pool)))
+    });
+    group.bench_function("true_reconstruction_error", |b| {
+        b.iter(|| black_box(true_error_sq(&t, &qs, &fx.h, &fx.w, &fx.v)))
+    });
+    group.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioning");
+    let weights: Vec<usize> = (1..=4000).map(|i| 5000 / i + 50).collect();
+    group.bench_function("greedy", |b| b.iter(|| black_box(greedy_partition(&weights, 10))));
+    group.bench_function("round_robin", |b| {
+        b.iter(|| black_box(round_robin_partition(weights.len(), 10)))
+    });
+    group.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(8);
+    let a = gaussian_mat(256, 256, &mut rng);
+    let b_m = gaussian_mat(256, 256, &mut rng);
+    group.bench_function("matmul_256", |b| b.iter(|| black_box(a.matmul(&b_m).unwrap())));
+    group.bench_function("matmul_tn_256", |b| b.iter(|| black_box(a.matmul_tn(&b_m).unwrap())));
+    group.bench_function("matmul_nt_256", |b| b.iter(|| black_box(a.matmul_nt(&b_m).unwrap())));
+    group.finish();
+}
+
+fn bench_two_stage_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_stage_ablation");
+    group.sample_size(10);
+    let t = planted_parafac2(&[150, 220, 180, 120, 200], 96, 10, 0.1, 9);
+    let cfg = Dpar2Config::new(10).with_seed(10);
+    group.bench_function("two_stage_compress", |b| {
+        b.iter(|| black_box(compress(&t, &cfg).unwrap()))
+    });
+    // Stage-1 only: the per-slice rSVDs without the second concatenated SVD
+    // (what a one-stage design would pay, leaving KR-wide intermediates).
+    group.bench_function("stage1_only", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(11);
+            let out: Vec<_> =
+                t.slices().iter().map(|x| rsvd(x, &RsvdConfig::new(10), &mut rng)).collect();
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rsvd_vs_exact,
+    bench_rsvd_power_iters,
+    bench_lemma_kernels,
+    bench_convergence,
+    bench_partitioning,
+    bench_gemm,
+    bench_two_stage_ablation
+);
+criterion_main!(benches);

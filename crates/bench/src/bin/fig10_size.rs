@@ -1,0 +1,43 @@
+//! Fig. 10 — size of preprocessed data: DPar2's compressed factors vs
+//! RD-ALS's reduced slices vs the raw input tensor (what PARAFAC2-ALS and
+//! SPARTan iterate over).
+//!
+//! ```text
+//! cargo run -p dpar2-bench --release --bin fig10_size -- --scale 0.5
+//! ```
+
+use dpar2_baselines::RdAls;
+use dpar2_bench::{fmt_bytes, print_table, Args, HarnessConfig};
+use dpar2_core::{compress, Dpar2Config};
+use dpar2_data::registry;
+
+fn main() {
+    let args = Args::parse();
+    let cfg = HarnessConfig::from_args(&args);
+    println!("== Fig. 10: size of preprocessed data (scale {}, R={}) ==\n", cfg.scale, cfg.rank);
+
+    let mut rows = Vec::new();
+    for spec in registry() {
+        let tensor = spec.generate_scaled(cfg.scale, cfg.seed);
+        let input_floats = tensor.num_entries();
+        let dcfg = Dpar2Config::new(cfg.rank).with_seed(cfg.seed).with_threads(cfg.threads);
+        let ct = compress(&tensor, &dcfg).expect("compression failed");
+        let dpar2_floats = ct.size_floats();
+        let rd_floats = RdAls::preprocessed_size_floats(&tensor, cfg.rank);
+        rows.push(vec![
+            spec.name.to_string(),
+            fmt_bytes(input_floats),
+            fmt_bytes(dpar2_floats),
+            fmt_bytes(rd_floats),
+            format!("{:.1}x", input_floats as f64 / dpar2_floats as f64),
+            format!("{:.1}x", input_floats as f64 / rd_floats as f64),
+        ]);
+    }
+    print_table(
+        &["Dataset", "input tensor", "DPar2", "RD-ALS", "input/DPar2", "input/RD-ALS"],
+        &rows,
+    );
+    println!("\nPaper shape: compression ratio ≈ 1/(R/J + R^2/IJ + R/IK) — largest on the");
+    println!("tall-J spectrogram and feature datasets (paper: up to 201x on FMA), smaller");
+    println!("on the J=88 stock tensors (paper: 8.8x).");
+}

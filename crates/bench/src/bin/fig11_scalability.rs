@@ -1,0 +1,159 @@
+//! Fig. 11 — scalability: (a) tensor size, (b) target rank, (c) threads.
+//!
+//! The synthetic tensors follow §IV-C: `tenrand`-style uniform dense
+//! tensors with equal `I_k`. Paper sizes (up to 2000×2000×4000) are scaled
+//! by `--scale` (default 0.1 → up to 200×200×400 on this 1-core host).
+//!
+//! ```text
+//! cargo run -p dpar2-bench --release --bin fig11_scalability -- --axis size
+//! cargo run -p dpar2-bench --release --bin fig11_scalability -- --axis rank
+//! cargo run -p dpar2-bench --release --bin fig11_scalability -- --axis threads
+//! ```
+
+use dpar2_baselines::{AlsConfig, Method};
+use dpar2_bench::{fmt_secs, measure, print_table, Args, HarnessConfig};
+use dpar2_data::tenrand_irregular;
+use dpar2_parallel::{greedy_partition, imbalance};
+
+fn main() {
+    let args = Args::parse();
+    let mut cfg = HarnessConfig::from_args(&args);
+    if !args.get_str("scale", "").is_empty() {
+        cfg.scale = args.get("scale", 0.1);
+    } else {
+        cfg.scale = 0.1;
+    }
+    let axis = args.get_str("axis", "size");
+    match axis.as_str() {
+        "size" => size_axis(&cfg),
+        "rank" => rank_axis(&cfg),
+        "threads" => thread_axis(&cfg),
+        other => panic!("unknown --axis {other} (size|rank|threads)"),
+    }
+}
+
+/// Fig. 11(a): the paper's five I×J×K grids, scaled.
+fn size_axis(cfg: &HarnessConfig) {
+    let s = cfg.scale;
+    let dims: Vec<(usize, usize, usize)> = [
+        (1000, 1000, 1000),
+        (1000, 1000, 2000),
+        (2000, 1000, 2000),
+        (2000, 2000, 2000),
+        (2000, 2000, 4000),
+    ]
+    .iter()
+    .map(|&(i, j, k)| {
+        (
+            ((i as f64 * s) as usize).max(cfg.rank + 2),
+            ((j as f64 * s) as usize).max(cfg.rank + 2),
+            ((k as f64 * s) as usize).max(4),
+        )
+    })
+    .collect();
+
+    println!("== Fig. 11(a): running time vs tensor size (scale {s}, R={}) ==\n", cfg.rank);
+    let mut rows = Vec::new();
+    for (i, j, k) in dims {
+        let tensor = tenrand_irregular(i, j, k, cfg.seed);
+        let total = (i * j * k) as f64;
+        let mut cells = vec![format!("{i}x{j}x{k}"), format!("{:.1e}", total)];
+        let mut times = Vec::new();
+        for method in Method::ALL {
+            let rec = measure(method, "tenrand", &tensor, &cfg.als_config()).expect("run failed");
+            times.push(rec.total_secs);
+            cells.push(fmt_secs(rec.total_secs));
+        }
+        let best_other = times[1..].iter().cloned().fold(f64::INFINITY, f64::min);
+        cells.push(format!("{:.1}x", best_other / times[0].max(1e-12)));
+        rows.push(cells);
+    }
+    print_table(
+        &["I x J x K", "entries", "DPar2", "RD-ALS", "PARAFAC2-ALS", "SPARTan", "best-other/DPar2"],
+        &rows,
+    );
+    println!("\nPaper shape: DPar2 fastest at every size (paper: 15.3x at 1.6e10 entries)");
+    println!("with a flatter slope than the competitors.");
+}
+
+/// Fig. 11(b): rank sweep 10..50 on the largest synthetic tensor.
+fn rank_axis(cfg: &HarnessConfig) {
+    let s = cfg.scale;
+    let (i, j, k) = (
+        ((2000.0 * s) as usize).max(60),
+        ((2000.0 * s) as usize).max(60),
+        ((4000.0 * s) as usize).max(8),
+    );
+    let tensor = tenrand_irregular(i, j, k, cfg.seed);
+    println!("== Fig. 11(b): running time vs rank on {i}x{j}x{k} (scale {s}) ==\n");
+    let mut rows = Vec::new();
+    for rank in [10usize, 20, 30, 40, 50] {
+        if rank > i.min(j) {
+            println!("  (skipping R={rank}: exceeds min(I,J)={})", i.min(j));
+            continue;
+        }
+        let c = AlsConfig { rank, ..cfg.als_config() };
+        let mut cells = vec![format!("{rank}")];
+        let mut times = Vec::new();
+        for method in Method::ALL {
+            let rec = measure(method, "tenrand", &tensor, &c).expect("run failed");
+            times.push(rec.total_secs);
+            cells.push(fmt_secs(rec.total_secs));
+        }
+        let best_other = times[1..].iter().cloned().fold(f64::INFINITY, f64::min);
+        cells.push(format!("{:.1}x", best_other / times[0].max(1e-12)));
+        rows.push(cells);
+    }
+    print_table(
+        &["R", "DPar2", "RD-ALS", "PARAFAC2-ALS", "SPARTan", "best-other/DPar2"],
+        &rows,
+    );
+    println!("\nPaper shape: DPar2 fastest at every rank; the gap narrows as R grows");
+    println!("(paper: 15.9x at R=10 down to 7.0x at R=50) because randomized SVD is");
+    println!("designed for low target ranks.");
+}
+
+/// Fig. 11(c): thread sweep. On a 1-core host wall-clock speedup cannot
+/// materialize, so the Algorithm-4 load balance (the quantity the threads
+/// actually divide) is reported alongside.
+fn thread_axis(cfg: &HarnessConfig) {
+    let s = cfg.scale;
+    let (i, j, k) = (
+        ((2000.0 * s) as usize).max(60),
+        ((2000.0 * s) as usize).max(60),
+        ((4000.0 * s) as usize).max(8),
+    );
+    let tensor = tenrand_irregular(i, j, k, cfg.seed);
+    println!("== Fig. 11(c): thread scalability of DPar2 on {i}x{j}x{k} ==\n");
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("  (host has {host} core(s); speedup columns are meaningful only when");
+    println!("   threads <= cores — see EXPERIMENTS.md for the 1-core discussion)\n");
+
+    let mut t1 = None;
+    let mut rows = Vec::new();
+    for threads in [1usize, 2, 4, 6, 8, 10] {
+        let c = AlsConfig { threads, ..cfg.als_config() };
+        let rec = measure(Method::Dpar2, "tenrand", &tensor, &c).expect("run failed");
+        if threads == 1 {
+            t1 = Some(rec.total_secs);
+        }
+        let speedup = t1.map(|t| t / rec.total_secs).unwrap_or(1.0);
+        let part = greedy_partition(&tensor.row_dims(), threads);
+        let imb = imbalance(&tensor.row_dims(), &part);
+        rows.push(vec![
+            format!("{threads}"),
+            fmt_secs(rec.total_secs),
+            format!("{speedup:.2}x"),
+            format!("{:.3}", imb),
+            format!("{:.2}x", threads as f64 / imb),
+        ]);
+    }
+    print_table(
+        &["threads", "total", "T1/TM", "greedy imbalance", "ideal speedup (T/imb)"],
+        &rows,
+    );
+    println!("\nPaper shape: near-linear scaling, 5.5x at 10 threads (slope 0.56). The");
+    println!("'ideal speedup' column shows what Algorithm 4's partition supports on a");
+    println!("machine with enough cores: imbalance stays ~1.0, so scaling is work-limited,");
+    println!("not partition-limited.");
+}

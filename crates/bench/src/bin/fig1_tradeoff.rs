@@ -1,0 +1,88 @@
+//! Fig. 1 — the headline trade-off: total running time vs. fitness for all
+//! four methods on all eight datasets, at target ranks 10, 15, 20.
+//!
+//! The paper's claims this experiment checks:
+//! * DPar2 gives the best time-fitness trade-off on every dataset;
+//! * speedups are largest on FMA/Urban (up to 6.0×), at least ~1.5×
+//!   elsewhere, with comparable fitness everywhere.
+//!
+//! ```text
+//! cargo run -p dpar2-bench --release --bin fig1_tradeoff -- --scale 0.5
+//! # quick pass: --scale 0.25 --ranks 10
+//! ```
+
+use dpar2_baselines::Method;
+use dpar2_bench::{measure, print_table, Args, HarnessConfig};
+use dpar2_data::registry;
+
+fn main() {
+    let args = Args::parse();
+    let cfg = HarnessConfig::from_args(&args);
+    let ranks: Vec<usize> = args
+        .get_str("ranks", "10,15,20")
+        .split(',')
+        .map(|s| s.trim().parse().expect("bad --ranks list"))
+        .collect();
+
+    println!(
+        "== Fig. 1: running time vs fitness (scale {}, ranks {ranks:?}, {} iters max) ==\n",
+        cfg.scale, cfg.iters
+    );
+
+    for spec in registry() {
+        let tensor = spec.generate_scaled(cfg.scale, cfg.seed);
+        println!(
+            "-- {} (max I_k = {}, J = {}, K = {}) --",
+            spec.name,
+            tensor.max_i(),
+            tensor.j(),
+            tensor.k()
+        );
+        let mut rows = Vec::new();
+        let mut speedup_vs_best_baseline = Vec::new();
+        for &rank in &ranks {
+            let mut dpar2_time = None;
+            let mut best_baseline: Option<f64> = None;
+            for method in Method::ALL {
+                let c = cfg.als_config();
+                let c = dpar2_baselines::AlsConfig { rank, ..c };
+                match measure(method, spec.name, &tensor, &c) {
+                    Ok(rec) => {
+                        if method == Method::Dpar2 {
+                            dpar2_time = Some(rec.total_secs);
+                        } else {
+                            best_baseline = Some(match best_baseline {
+                                Some(b) => b.min(rec.total_secs),
+                                None => rec.total_secs,
+                            });
+                        }
+                        rows.push(vec![
+                            format!("{rank}"),
+                            rec.method.to_string(),
+                            dpar2_bench::fmt_secs(rec.total_secs),
+                            format!("{:.4}", rec.fitness),
+                            format!("{}", rec.iterations),
+                        ]);
+                    }
+                    Err(e) => rows.push(vec![
+                        format!("{rank}"),
+                        method.name().to_string(),
+                        "-".into(),
+                        format!("({e})"),
+                        "-".into(),
+                    ]),
+                }
+            }
+            if let (Some(d), Some(b)) = (dpar2_time, best_baseline) {
+                speedup_vs_best_baseline.push((rank, b / d));
+            }
+        }
+        print_table(&["R", "method", "total", "fitness", "iters"], &rows);
+        for (rank, s) in speedup_vs_best_baseline {
+            println!("  R={rank}: DPar2 speedup vs best competitor = {s:.1}x");
+        }
+        println!();
+    }
+    println!("Paper shape to verify: DPar2 fastest on every dataset with comparable");
+    println!("fitness; biggest gaps on the tall-J spectrogram datasets (FMA/Urban).");
+}

@@ -1,0 +1,255 @@
+//! # dpar2-bench
+//!
+//! Harness utilities shared by the figure/table binaries in `src/bin/`.
+//! Each binary regenerates one figure or table of the DPar2 paper's
+//! evaluation section; see `DESIGN.md` §5 for the full experiment index and
+//! `EXPERIMENTS.md` for recorded paper-vs-measured results.
+//!
+//! Common CLI flags (hand-rolled parser, no external deps):
+//!
+//! * `--scale <f64>`   — dataset scale factor (default 1.0; 0.25 ≈ smoke run)
+//! * `--rank <usize>`  — target rank `R` (default 10, as in the paper)
+//! * `--iters <usize>` — max ALS iterations (default 32, as in the paper)
+//! * `--threads <usize>` — worker threads (default 1 on this 1-core host)
+//! * `--seed <u64>`    — RNG seed (default 0)
+
+use dpar2_baselines::{fit_with, AlsConfig, Method};
+use dpar2_core::{Parafac2Fit, Result};
+use dpar2_tensor::IrregularTensor;
+use std::collections::HashMap;
+
+/// Parsed command-line options: `--key value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    map: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()` into `--key value` pairs.
+    ///
+    /// # Panics
+    /// Panics on a dangling `--key` without a value.
+    pub fn parse() -> Self {
+        Self::from_tokens(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit token stream (testable entry point).
+    ///
+    /// # Panics
+    /// Panics on a dangling `--key` without a value.
+    pub fn from_tokens(tokens: impl IntoIterator<Item = String>) -> Self {
+        let mut map = HashMap::new();
+        let mut iter = tokens.into_iter();
+        while let Some(tok) = iter.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let val = iter
+                    .next()
+                    .unwrap_or_else(|| panic!("missing value for --{key}"));
+                map.insert(key.to_string(), val);
+            }
+        }
+        Args { map }
+    }
+
+    /// Typed lookup with default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        match self.map.get(key) {
+            Some(v) => v.parse().unwrap_or_else(|e| panic!("bad value for --{key}: {e:?}")),
+            None => default,
+        }
+    }
+
+    /// String lookup with default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.map.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+}
+
+/// The standard experiment parameters shared by the figure binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Dataset scale factor.
+    pub scale: f64,
+    /// Target rank.
+    pub rank: usize,
+    /// Max ALS iterations.
+    pub iters: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl HarnessConfig {
+    /// Reads the standard flags from parsed [`Args`].
+    pub fn from_args(args: &Args) -> Self {
+        HarnessConfig {
+            scale: args.get("scale", 1.0),
+            rank: args.get("rank", 10),
+            iters: args.get("iters", 32),
+            threads: args.get("threads", 1),
+            seed: args.get("seed", 0),
+        }
+    }
+
+    /// The matching solver configuration.
+    pub fn als_config(&self) -> AlsConfig {
+        AlsConfig::new(self.rank)
+            .with_max_iterations(self.iters)
+            .with_threads(self.threads)
+            .with_seed(self.seed)
+    }
+}
+
+/// One measured run: method × dataset × rank with timing and fitness.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Method display name.
+    pub method: &'static str,
+    /// Dataset display name.
+    pub dataset: String,
+    /// Target rank.
+    pub rank: usize,
+    /// Total wall-clock seconds.
+    pub total_secs: f64,
+    /// Preprocessing seconds (0 when the method has no such phase).
+    pub preprocess_secs: f64,
+    /// Mean seconds per ALS iteration.
+    pub iter_secs: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Fitness (§IV-A) on the input tensor.
+    pub fitness: f64,
+}
+
+/// Runs one method on one tensor and packages the measurement.
+///
+/// # Errors
+/// Propagates solver errors (invalid rank).
+pub fn measure(
+    method: Method,
+    dataset: &str,
+    tensor: &IrregularTensor,
+    config: &AlsConfig,
+) -> Result<RunRecord> {
+    let fit: Parafac2Fit = fit_with(method, tensor, config)?;
+    Ok(RunRecord {
+        method: method.name(),
+        dataset: dataset.to_string(),
+        rank: config.rank,
+        total_secs: fit.timing.total_secs,
+        preprocess_secs: fit.timing.preprocess_secs,
+        iter_secs: fit.timing.mean_iteration_secs(),
+        iterations: fit.iterations,
+        fitness: fit.fitness(tensor),
+    })
+}
+
+/// Renders records as an aligned text table.
+pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let joined: Vec<String> =
+            cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
+        println!("  {}", joined.join("  "));
+    };
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    println!("  {}", "-".repeat(total));
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats seconds with sensible precision for tables.
+pub fn fmt_secs(s: f64) -> String {
+    if s < 0.01 {
+        format!("{:.2}ms", s * 1e3)
+    } else if s < 1.0 {
+        format!("{:.0}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+/// Formats byte counts (8 bytes per f64) for the Fig. 10 table.
+pub fn fmt_bytes(floats: usize) -> String {
+    let bytes = floats as f64 * 8.0;
+    if bytes >= 1e9 {
+        format!("{:.2}GB", bytes / 1e9)
+    } else if bytes >= 1e6 {
+        format!("{:.2}MB", bytes / 1e6)
+    } else {
+        format!("{:.1}KB", bytes / 1e3)
+    }
+}
+
+/// Sparkline-style ASCII bar for quick visual comparison in terminals.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_pairs() {
+        let a = Args::from_tokens(
+            ["--scale", "0.5", "--rank", "15"].iter().map(|s| s.to_string()),
+        );
+        assert_eq!(a.get("scale", 1.0), 0.5);
+        assert_eq!(a.get("rank", 10usize), 15);
+        assert_eq!(a.get("iters", 32usize), 32); // default
+        assert_eq!(a.get_str("axis", "size"), "size");
+    }
+
+    #[test]
+    #[should_panic(expected = "missing value")]
+    fn dangling_flag_panics() {
+        Args::from_tokens(["--rank"].iter().map(|s| s.to_string()));
+    }
+
+    #[test]
+    fn harness_config_defaults() {
+        let c = HarnessConfig::from_args(&Args::default());
+        assert_eq!(c.rank, 10);
+        assert_eq!(c.iters, 32);
+        assert_eq!(c.scale, 1.0);
+    }
+
+    #[test]
+    fn measure_runs_every_method() {
+        let t = dpar2_data::planted_parafac2(&[20, 30, 16], 12, 3, 0.1, 5);
+        let cfg = AlsConfig::new(3).with_max_iterations(3);
+        for m in Method::ALL {
+            let rec = measure(m, "test", &t, &cfg).unwrap();
+            assert!(rec.fitness > 0.5, "{} fitness {}", rec.method, rec.fitness);
+            assert!(rec.total_secs > 0.0);
+        }
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_secs(0.005), "5.00ms");
+        assert_eq!(fmt_secs(0.5), "500ms");
+        assert_eq!(fmt_secs(2.0), "2.00s");
+        assert_eq!(fmt_bytes(1000), "8.0KB");
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+}

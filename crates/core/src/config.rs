@@ -1,0 +1,93 @@
+//! Configuration for the DPar2 solver.
+
+use dpar2_rsvd::RsvdConfig;
+
+/// Tuning knobs for [`crate::Dpar2`], defaulted to the paper's experimental
+/// settings (§IV-A): maximum 32 iterations, randomized-SVD rank equal to the
+/// PARAFAC2 target rank.
+#[derive(Debug, Clone, Copy)]
+pub struct Dpar2Config {
+    /// Target rank `R` of the PARAFAC2 decomposition.
+    pub rank: usize,
+    /// Upper bound on ALS iterations (paper: 32).
+    pub max_iterations: usize,
+    /// Relative-change convergence threshold on the compressed criterion
+    /// `Σ_k ‖P_k Z_kᵀ F(k) E Dᵀ − H S_k Vᵀ‖²_F`; iteration stops when the
+    /// criterion "ceases to decrease" by more than this fraction.
+    pub tolerance: f64,
+    /// Worker threads for the compression stage and per-slice updates
+    /// (paper: 6).
+    pub threads: usize,
+    /// RNG seed — drives the Gaussian test matrices of both compression
+    /// stages; fixing it makes the whole decomposition deterministic.
+    pub seed: u64,
+    /// Randomized-SVD parameters (oversampling, power iterations).
+    pub rsvd: RsvdConfig,
+}
+
+impl Dpar2Config {
+    /// Default configuration for a given target rank: 32 max iterations,
+    /// 1e-4 relative tolerance, single-threaded, seed 0.
+    pub fn new(rank: usize) -> Self {
+        Dpar2Config {
+            rank,
+            max_iterations: 32,
+            tolerance: 1e-4,
+            threads: 1,
+            seed: 0,
+            rsvd: RsvdConfig::new(rank),
+        }
+    }
+
+    /// Sets the number of worker threads.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.rsvd = RsvdConfig { rank: self.rank, ..self.rsvd };
+        self
+    }
+
+    /// Sets the iteration budget.
+    pub fn with_max_iterations(mut self, iters: usize) -> Self {
+        self.max_iterations = iters;
+        self
+    }
+
+    /// Sets the convergence tolerance.
+    pub fn with_tolerance(mut self, tol: f64) -> Self {
+        self.tolerance = tol;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = Dpar2Config::new(10);
+        assert_eq!(c.rank, 10);
+        assert_eq!(c.max_iterations, 32);
+        assert_eq!(c.rsvd.rank, 10);
+        assert_eq!(c.threads, 1);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = Dpar2Config::new(5)
+            .with_threads(6)
+            .with_seed(42)
+            .with_max_iterations(10)
+            .with_tolerance(1e-6);
+        assert_eq!(c.threads, 6);
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.max_iterations, 10);
+        assert_eq!(c.tolerance, 1e-6);
+    }
+}

@@ -1,0 +1,148 @@
+//! The compressed convergence criterion (§III-E, "Convergence Criterion").
+//!
+//! Measuring the true reconstruction error `Σ_k ‖X_k − X̂_k‖²_F` costs
+//! `O(Σ_k I_k J R)` time per iteration — as much as the whole preprocessing.
+//! The paper's trick: because the update process minimizes the distance to
+//! the *compressed* slices, and `Q_k` has orthonormal columns, the residual
+//!
+//! ```text
+//! Σ_k ‖P_k Z_kᵀ F(k) E Dᵀ − H S_k Vᵀ‖²_F
+//!   = Σ_k ‖A_k F(k) E Dᵀ − Q_k H S_k Vᵀ‖²_F
+//! ```
+//!
+//! involves only `R×J` matrices — `O(J K R²)` time, `O(J R)` transient
+//! space. (Unitary invariance of the Frobenius norm plus `P_kᵀP_k = I`,
+//! `Z_k Z_kᵀ = I` gives the equality; see the derivation in §III-E.)
+
+use dpar2_linalg::Mat;
+use dpar2_parallel::ThreadPool;
+
+/// Evaluates the compressed residual
+/// `Σ_k ‖PZF_k · E Dᵀ − H · diag(W(k,:)) · Vᵀ‖²_F`.
+///
+/// * `pzf[k] = P_k Z_kᵀ F(k) ∈ R^{R×R}`
+/// * `edt = E Dᵀ ∈ R^{R×J}`
+/// * `h ∈ R^{R×R}`, `w ∈ R^{K×R}` (row `k` is `diag(S_k)`), `v ∈ R^{J×R}`
+pub fn compressed_criterion(
+    pzf: &[Mat],
+    edt: &Mat,
+    h: &Mat,
+    w: &Mat,
+    v: &Mat,
+    pool: &ThreadPool,
+) -> f64 {
+    let r = h.rows();
+    let partial: Vec<f64> = pool.map(pzf, |k, pzf_k| {
+        // ŷ_k = PZF_k · E Dᵀ  (R×J)
+        let yk = pzf_k.matmul(edt).expect("criterion: PZF·EDᵀ");
+        // H S_k: scale column c of H by W(k, c).
+        let mut hs = h.clone();
+        let wrow = w.row(k);
+        for i in 0..r {
+            let row = hs.row_mut(i);
+            for (c, &wv) in wrow.iter().enumerate() {
+                row[c] *= wv;
+            }
+        }
+        // model_k = H S_k Vᵀ (R×J)
+        let model = hs.matmul_nt(v).expect("criterion: HS·Vᵀ");
+        (&yk - &model).fro_norm_sq()
+    });
+    partial.iter().sum()
+}
+
+/// The naive equivalent on explicit matrices — `Σ_k ‖Y_k − H S_k Vᵀ‖²_F`
+/// with caller-materialized `Y_k`. Used as a test oracle and by the
+/// RD-ALS-style baselines that keep explicit reduced slices.
+pub fn explicit_criterion(y: &[Mat], h: &Mat, w: &Mat, v: &Mat) -> f64 {
+    let r = h.rows();
+    let mut total = 0.0;
+    for (k, yk) in y.iter().enumerate() {
+        let mut hs = h.clone();
+        let wrow = w.row(k);
+        for i in 0..r {
+            let row = hs.row_mut(i);
+            for (c, &wv) in wrow.iter().enumerate() {
+                row[c] *= wv;
+            }
+        }
+        let model = hs.matmul_nt(v).expect("explicit_criterion: HS·Vᵀ");
+        total += (yk - &model).fro_norm_sq();
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpar2_linalg::random::gaussian_mat;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_explicit_materialization() {
+        let mut rng = StdRng::seed_from_u64(201);
+        let (k, j, r) = (5, 9, 3);
+        let pzf: Vec<Mat> = (0..k).map(|_| gaussian_mat(r, r, &mut rng)).collect();
+        let edt = gaussian_mat(r, j, &mut rng);
+        let h = gaussian_mat(r, r, &mut rng);
+        let w = gaussian_mat(k, r, &mut rng);
+        let v = gaussian_mat(j, r, &mut rng);
+        let pool = ThreadPool::new(1);
+        let fast = compressed_criterion(&pzf, &edt, &h, &w, &v, &pool);
+        let y: Vec<Mat> = pzf.iter().map(|p| p.matmul(&edt).unwrap()).collect();
+        let slow = explicit_criterion(&y, &h, &w, &v);
+        assert!((fast - slow).abs() < 1e-9 * (1.0 + slow));
+    }
+
+    #[test]
+    fn zero_when_model_exact() {
+        // Construct PZF_k·EDᵀ = H S_k Vᵀ exactly, criterion must be 0.
+        let mut rng = StdRng::seed_from_u64(202);
+        let (j, r) = (8, 3);
+        let h = gaussian_mat(r, r, &mut rng);
+        let v = gaussian_mat(j, r, &mut rng);
+        // Choose edt = Vᵀ and PZF_k = H·S_k, then PZF_k·EDᵀ = H S_k Vᵀ.
+        let edt = v.transpose();
+        let w = Mat::from_rows(&[&[1.0, 2.0, 0.5], &[0.3, 1.5, 2.2]]);
+        let pzf: Vec<Mat> = (0..2)
+            .map(|k| {
+                let mut hs = h.clone();
+                for i in 0..r {
+                    let row = hs.row_mut(i);
+                    for (c, &wv) in w.row(k).iter().enumerate() {
+                        row[c] *= wv;
+                    }
+                }
+                hs
+            })
+            .collect();
+        let crit = compressed_criterion(&pzf, &edt, &h, &w, &v, &ThreadPool::new(2));
+        assert!(crit < 1e-18, "criterion should vanish, got {crit}");
+    }
+
+    #[test]
+    fn deterministic_across_threads() {
+        let mut rng = StdRng::seed_from_u64(203);
+        let (k, j, r) = (17, 6, 4);
+        let pzf: Vec<Mat> = (0..k).map(|_| gaussian_mat(r, r, &mut rng)).collect();
+        let edt = gaussian_mat(r, j, &mut rng);
+        let h = gaussian_mat(r, r, &mut rng);
+        let w = gaussian_mat(k, r, &mut rng);
+        let v = gaussian_mat(j, r, &mut rng);
+        let c1 = compressed_criterion(&pzf, &edt, &h, &w, &v, &ThreadPool::new(1));
+        let c3 = compressed_criterion(&pzf, &edt, &h, &w, &v, &ThreadPool::new(3));
+        assert!((c1 - c3).abs() < 1e-9 * (1.0 + c1));
+    }
+
+    #[test]
+    fn nonnegative() {
+        let mut rng = StdRng::seed_from_u64(204);
+        let pzf = vec![gaussian_mat(2, 2, &mut rng)];
+        let edt = gaussian_mat(2, 5, &mut rng);
+        let h = gaussian_mat(2, 2, &mut rng);
+        let w = gaussian_mat(1, 2, &mut rng);
+        let v = gaussian_mat(5, 2, &mut rng);
+        assert!(compressed_criterion(&pzf, &edt, &h, &w, &v, &ThreadPool::new(1)) >= 0.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for the DPar2 solver.
+
+use std::fmt;
+
+/// Errors produced by the DPar2 pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Dpar2Error {
+    /// The target rank exceeds what a slice can support
+    /// (`R > min(I_k, J)` for some `k`). The two-stage compression needs
+    /// every `A_k` to have exactly `R` orthonormal columns.
+    RankTooLarge {
+        /// Requested target rank.
+        rank: usize,
+        /// Index of the offending slice.
+        slice: usize,
+        /// `min(I_k, J)` of that slice.
+        limit: usize,
+    },
+    /// A zero target rank was requested.
+    ZeroRank,
+    /// An underlying linear-algebra routine failed.
+    Linalg(dpar2_linalg::LinalgError),
+}
+
+impl fmt::Display for Dpar2Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dpar2Error::RankTooLarge { rank, slice, limit } => write!(
+                f,
+                "target rank {rank} exceeds min(I_k, J) = {limit} of slice {slice}"
+            ),
+            Dpar2Error::ZeroRank => write!(f, "target rank must be positive"),
+            Dpar2Error::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Dpar2Error {}
+
+impl From<dpar2_linalg::LinalgError> for Dpar2Error {
+    fn from(e: dpar2_linalg::LinalgError) -> Self {
+        Dpar2Error::Linalg(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Dpar2Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = Dpar2Error::RankTooLarge { rank: 10, slice: 3, limit: 8 };
+        assert_eq!(e.to_string(), "target rank 10 exceeds min(I_k, J) = 8 of slice 3");
+        assert_eq!(Dpar2Error::ZeroRank.to_string(), "target rank must be positive");
+    }
+
+    #[test]
+    fn from_linalg_error() {
+        let le = dpar2_linalg::LinalgError::Singular { op: "lu" };
+        let e: Dpar2Error = le.clone().into();
+        assert_eq!(e, Dpar2Error::Linalg(le));
+    }
+}

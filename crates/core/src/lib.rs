@@ -1,0 +1,55 @@
+//! # dpar2-core
+//!
+//! The DPar2 algorithm — *"DPar2: Fast and Scalable PARAFAC2 Decomposition
+//! for Irregular Dense Tensors"* (Jang & Kang, ICDE 2022), Algorithm 3.
+//!
+//! Given an irregular tensor `{X_k}` and target rank `R`, DPar2 computes the
+//! PARAFAC2 model `X_k ≈ U_k S_k Vᵀ` (`U_k = Q_k H`, `Q_k` column-orthonormal)
+//! in three phases:
+//!
+//! 1. **Two-stage compression** ([`mod@compress`]): randomized SVD of each slice
+//!    (`X_k ≈ A_k B_k C_kᵀ`), then randomized SVD of the concatenation
+//!    `M = ∥_k C_k B_k ≈ D E Fᵀ`, after which `X_k ≈ A_k F(k) E Dᵀ` and the
+//!    original tensor is never touched again.
+//! 2. **Compressed ALS iterations** ([`solver`]): tiny `R×R` SVDs produce
+//!    `Q_k = A_k Z_k P_kᵀ` implicitly; the CP-ALS step runs through the
+//!    Lemma 1–3 kernels ([`lemmas`]) in `O(JR² + KR³)` per iteration; the
+//!    convergence check ([`convergence`]) uses the compressed residual.
+//! 3. **Factor recovery**: `U_k = A_k Z_k P_kᵀ H` after convergence.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dpar2_core::{Dpar2, Dpar2Config};
+//! use dpar2_linalg::Mat;
+//! use dpar2_tensor::IrregularTensor;
+//! use rand::{rngs::StdRng, Rng, SeedableRng};
+//!
+//! // A small irregular tensor with K = 3 slices, J = 12 columns.
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let slices = [20, 35, 15]
+//!     .iter()
+//!     .map(|&ik| Mat::from_fn(ik, 12, |_, _| rng.gen::<f64>()))
+//!     .collect();
+//! let tensor = IrregularTensor::new(slices);
+//!
+//! let fit = Dpar2::new(Dpar2Config::new(4)).fit(&tensor).unwrap();
+//! assert_eq!(fit.v.shape(), (12, 4));
+//! assert!(fit.fitness(&tensor) > 0.0);
+//! ```
+
+pub mod compress;
+pub mod config;
+pub mod convergence;
+pub mod error;
+pub mod fitness;
+pub mod lemmas;
+pub mod solver;
+pub mod streaming;
+
+pub use compress::{compress, CompressedTensor};
+pub use config::Dpar2Config;
+pub use error::{Dpar2Error, Result};
+pub use fitness::{fitness, Parafac2Fit, TimingBreakdown};
+pub use solver::{Dpar2, WarmStart};
+pub use streaming::StreamingDpar2;

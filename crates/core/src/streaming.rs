@@ -1,0 +1,345 @@
+//! Streaming DPar2 — the extension the paper names as future work
+//! (§VI: *"Future work includes devising an efficient PARAFAC2
+//! decomposition method in a streaming setting"*), in the spirit of SPADE
+//! (Gujral et al., SDM 2020, reference 48 of the paper).
+//!
+//! New slices arrive over time (new stocks listing, new songs ingested).
+//! Rather than recompressing everything, [`StreamingDpar2`] maintains the
+//! two-stage compressed representation incrementally:
+//!
+//! 1. **Stage 1** runs only on the *new* slices: `X_k ≈ A_k B_k C_kᵀ`.
+//! 2. **Stage 2** is updated without touching old data. With the current
+//!    factorization `M ≈ D E Fᵀ`, the extended matrix is
+//!    `M' = [D E Fᵀ ∥ M_new]`. Its column space lies inside
+//!    `span([D ∥ M_new])`, so we factorize the small matrix
+//!
+//!    ```text
+//!    G = [D·E ∥ M_new] ∈ R^{J×(R + K_new·R)} ≈ D' E' G'ᵀ
+//!    ```
+//!
+//!    and rewrite both block families against the new basis:
+//!    * old slices:  `D E F(k)ᵀ = (D E) F(k)ᵀ ≈ D' E' (F(k) G'_top)ᵀ`,
+//!      so `F'(k) = F(k) · G'_top` where `G'_top` is the first `R` rows
+//!      of `G'`;
+//!    * new slice `j`: `F'(K+j)` is the `j`-th `R×R` block of `G'` below
+//!      the top.
+//!
+//!    Cost: `O(J·K_new·R²)` — independent of the number of *old* slices
+//!    and of `Σ I_k`.
+//! 3. Decompositions warm-start from the previous window's factors
+//!    (`H`, `V`, and `W` extended with unit rows for the newcomers), which
+//!    empirically cuts the iterations to re-converge.
+
+use crate::compress::{compress, CompressedTensor};
+use crate::config::Dpar2Config;
+use crate::error::{Dpar2Error, Result};
+use crate::fitness::Parafac2Fit;
+use crate::solver::{Dpar2, WarmStart};
+use dpar2_linalg::Mat;
+use dpar2_rsvd::rsvd;
+use dpar2_tensor::IrregularTensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Incremental PARAFAC2 over a growing collection of slices.
+#[derive(Debug, Clone)]
+pub struct StreamingDpar2 {
+    config: Dpar2Config,
+    ct: Option<CompressedTensor>,
+    warm: Option<WarmStart>,
+    appended_batches: usize,
+}
+
+impl StreamingDpar2 {
+    /// Creates an empty streaming decomposer.
+    pub fn new(config: Dpar2Config) -> Self {
+        StreamingDpar2 { config, ct: None, warm: None, appended_batches: 0 }
+    }
+
+    /// Number of slices ingested so far.
+    pub fn k(&self) -> usize {
+        self.ct.as_ref().map_or(0, CompressedTensor::k)
+    }
+
+    /// The current compressed representation (None before the first batch).
+    pub fn compressed(&self) -> Option<&CompressedTensor> {
+        self.ct.as_ref()
+    }
+
+    /// Ingests a batch of new slices, updating the compressed
+    /// representation incrementally (see the module docs for the algebra).
+    ///
+    /// # Errors
+    /// [`Dpar2Error::RankTooLarge`] if a new slice cannot support the rank;
+    /// [`Dpar2Error::Linalg`] on dimension mismatches (inconsistent `J`).
+    pub fn append(&mut self, slices: Vec<Mat>) -> Result<()> {
+        if slices.is_empty() {
+            return Ok(());
+        }
+        let batch = IrregularTensor::new(slices);
+        self.appended_batches += 1;
+        match self.ct.take() {
+            None => {
+                // First batch: plain two-stage compression.
+                self.ct = Some(compress(&batch, &self.config)?);
+                Ok(())
+            }
+            Some(old) => {
+                let updated = self.extend(old, &batch)?;
+                self.ct = Some(updated);
+                Ok(())
+            }
+        }
+    }
+
+    /// Incremental stage-2 update with a batch of freshly compressed
+    /// slices.
+    fn extend(&self, old: CompressedTensor, batch: &IrregularTensor) -> Result<CompressedTensor> {
+        let r = self.config.rank;
+        if batch.j() != old.j {
+            return Err(Dpar2Error::Linalg(dpar2_linalg::LinalgError::DimensionMismatch {
+                op: "streaming append",
+                left: (old.j, r),
+                right: (batch.j(), r),
+            }));
+        }
+        for k in 0..batch.k() {
+            let limit = batch.i(k).min(batch.j());
+            if r > limit {
+                return Err(Dpar2Error::RankTooLarge { rank: r, slice: old.k() + k, limit });
+            }
+        }
+
+        // Stage 1 on the new slices only.
+        let base_seed = self
+            .config
+            .seed
+            .wrapping_add(0x5EED_0000 + self.appended_batches as u64);
+        let mut stage1: Vec<(Mat, Vec<f64>, Mat)> = Vec::with_capacity(batch.k());
+        for k in 0..batch.k() {
+            let mut rng = StdRng::seed_from_u64(base_seed.wrapping_mul(k as u64 + 1));
+            let f = rsvd(batch.slice(k), &self.config.rsvd, &mut rng);
+            stage1.push((f.u, f.s, f.v));
+        }
+
+        // G = [D·E ∥ C_1B_1 ∥ … ∥ C_newB_new] ∈ R^{J×(R + K_new R)}.
+        let mut de = old.d.clone();
+        for i in 0..de.rows() {
+            let row = de.row_mut(i);
+            for (c, &ev) in old.e.iter().enumerate() {
+                row[c] *= ev;
+            }
+        }
+        let mut blocks: Vec<Mat> = vec![de];
+        for (_, b, c) in &stage1 {
+            let mut cb = c.clone();
+            for i in 0..cb.rows() {
+                let row = cb.row_mut(i);
+                for (col, &s) in b.iter().enumerate() {
+                    row[col] *= s;
+                }
+            }
+            blocks.push(cb);
+        }
+        let g = Mat::hstack_all(&blocks.iter().collect::<Vec<_>>());
+        let mut rng2 = StdRng::seed_from_u64(base_seed ^ 0x0B5E55ED);
+        let f2 = rsvd(&g, &self.config.rsvd, &mut rng2);
+
+        // Rewrite old F-blocks against the new basis: F'(k) = F(k)·G'_top.
+        let g_top = f2.v.block(0, r, 0, r);
+        let mut f_blocks: Vec<Mat> = old
+            .f_blocks
+            .iter()
+            .map(|fk| fk.matmul(&g_top).expect("F(k)·G'_top"))
+            .collect();
+        // New blocks come straight from G' below the top rows.
+        for j in 0..batch.k() {
+            f_blocks.push(f2.v.block(r + j * r, r + (j + 1) * r, 0, r));
+        }
+
+        let mut a = old.a;
+        a.extend(stage1.into_iter().map(|(u, _, _)| u));
+        Ok(CompressedTensor { a, d: f2.u, e: f2.s, f_blocks, rank: r, j: old.j })
+    }
+
+    /// Decomposes the current collection, warm-starting from the previous
+    /// call's factors, and caches the new factors for the next call.
+    ///
+    /// # Panics
+    /// Panics if called before any slices were appended.
+    pub fn decompose(&mut self) -> Parafac2Fit {
+        let ct = self.ct.as_ref().expect("StreamingDpar2::decompose: no slices appended yet");
+        // Extend the cached W with unit rows for slices added since the
+        // last decomposition; H and V carry over unchanged.
+        let warm = self.warm.take().map(|ws| {
+            let extra = ct.k() - ws.w.rows();
+            let mut w = Mat::ones(ct.k(), ct.rank);
+            for i in 0..ws.w.rows() {
+                w.set_row(i, ws.w.row(i));
+            }
+            let _ = extra;
+            WarmStart { h: ws.h, v: ws.v, w }
+        });
+        let fit = Dpar2::new(self.config).fit_compressed_with_init(ct, warm);
+        self.warm = Some(WarmStart {
+            h: fit.h.clone(),
+            v: fit.v.clone(),
+            w: {
+                let mut w = Mat::zeros(ct.k(), ct.rank);
+                for (k, s) in fit.s.iter().enumerate() {
+                    w.set_row(k, s);
+                }
+                w
+            },
+        });
+        fit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpar2_linalg::qr;
+    use dpar2_linalg::random::gaussian_mat;
+    use rand::Rng;
+
+    /// Planted PARAFAC2 slices sharing H and V so that streaming batches
+    /// stay mutually consistent.
+    struct Planted {
+        h: Mat,
+        v: Mat,
+        rng: StdRng,
+        rank: usize,
+    }
+
+    impl Planted {
+        fn new(j: usize, rank: usize, seed: u64) -> Self {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let h = gaussian_mat(rank, rank, &mut rng);
+            let v = gaussian_mat(j, rank, &mut rng);
+            Planted { h, v, rng, rank }
+        }
+
+        fn slice(&mut self, ik: usize, noise: f64) -> Mat {
+            let q = qr::qr(&gaussian_mat(ik, self.rank, &mut self.rng)).q;
+            let sk: Vec<f64> =
+                (0..self.rank).map(|_| 0.5 + self.rng.gen::<f64>()).collect();
+            let mut qh = q.matmul(&self.h).unwrap();
+            for row in 0..ik {
+                let r = qh.row_mut(row);
+                for (c, &sv) in sk.iter().enumerate() {
+                    r[c] *= sv;
+                }
+            }
+            let mut x = qh.matmul_nt(&self.v).unwrap();
+            if noise > 0.0 {
+                let scale = noise * x.fro_norm() / ((ik * self.v.rows()) as f64).sqrt();
+                x.axpy(scale, &gaussian_mat(ik, self.v.rows(), &mut self.rng));
+            }
+            x
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch_fitness() {
+        let mut gen = Planted::new(16, 3, 71);
+        let all: Vec<Mat> = [30usize, 45, 25, 38, 28, 33]
+            .iter()
+            .map(|&ik| gen.slice(ik, 0.05))
+            .collect();
+        let tensor = IrregularTensor::new(all.clone());
+
+        // Batch run.
+        let cfg = Dpar2Config::new(3).with_seed(72).with_max_iterations(24);
+        let batch_fit = Dpar2::new(cfg).fit(&tensor).unwrap();
+
+        // Streaming run: two batches of three.
+        let mut stream = StreamingDpar2::new(cfg);
+        stream.append(all[..3].to_vec()).unwrap();
+        let _ = stream.decompose();
+        stream.append(all[3..].to_vec()).unwrap();
+        let stream_fit = stream.decompose();
+
+        let fb = batch_fit.fitness(&tensor);
+        let fs = stream_fit.fitness(&tensor);
+        assert!(
+            (fb - fs).abs() < 0.02,
+            "streaming fitness {fs} deviates from batch {fb}"
+        );
+    }
+
+    #[test]
+    fn incremental_compression_reconstructs_new_and_old() {
+        let mut gen = Planted::new(14, 2, 73);
+        let first: Vec<Mat> = (0..3).map(|_| gen.slice(30, 0.0)).collect();
+        let second: Vec<Mat> = (0..2).map(|_| gen.slice(24, 0.0)).collect();
+        let all: Vec<Mat> = first.iter().chain(&second).cloned().collect();
+
+        let cfg = Dpar2Config::new(2).with_seed(74);
+        let mut stream = StreamingDpar2::new(cfg);
+        stream.append(first).unwrap();
+        stream.append(second).unwrap();
+        let ct = stream.compressed().unwrap();
+        assert_eq!(ct.k(), 5);
+        for (k, x) in all.iter().enumerate() {
+            let rel = (x - &ct.reconstruct_slice(k)).fro_norm() / x.fro_norm();
+            assert!(rel < 1e-6, "slice {k} rel err {rel} after incremental update");
+        }
+    }
+
+    #[test]
+    fn warm_start_accelerates_convergence() {
+        let mut gen = Planted::new(18, 3, 75);
+        let first: Vec<Mat> = (0..4).map(|_| gen.slice(35, 0.1)).collect();
+        let second: Vec<Mat> = (0..2).map(|_| gen.slice(30, 0.1)).collect();
+
+        let cfg = Dpar2Config::new(3).with_seed(76).with_tolerance(1e-5);
+        let mut stream = StreamingDpar2::new(cfg);
+        stream.append(first.clone()).unwrap();
+        let _ = stream.decompose();
+        stream.append(second.clone()).unwrap();
+        let warm_fit = stream.decompose();
+
+        // Cold baseline on the same 6 slices.
+        let mut cold_slices = first;
+        cold_slices.extend(second);
+        let ct = compress(&IrregularTensor::new(cold_slices), &cfg).unwrap();
+        let cold_fit = Dpar2::new(cfg).fit_compressed(&ct);
+
+        assert!(
+            warm_fit.iterations <= cold_fit.iterations,
+            "warm start took {} iterations vs cold {}",
+            warm_fit.iterations,
+            cold_fit.iterations
+        );
+    }
+
+    #[test]
+    fn rejects_inconsistent_columns() {
+        let cfg = Dpar2Config::new(2).with_seed(77);
+        let mut stream = StreamingDpar2::new(cfg);
+        let mut rng = StdRng::seed_from_u64(78);
+        stream.append(vec![gaussian_mat(10, 8, &mut rng)]).unwrap();
+        let err = stream.append(vec![gaussian_mat(10, 9, &mut rng)]).unwrap_err();
+        assert!(matches!(err, Dpar2Error::Linalg(_)));
+    }
+
+    #[test]
+    fn rejects_undersized_new_slice() {
+        let cfg = Dpar2Config::new(5).with_seed(79);
+        let mut stream = StreamingDpar2::new(cfg);
+        let mut rng = StdRng::seed_from_u64(80);
+        stream.append(vec![gaussian_mat(12, 10, &mut rng)]).unwrap();
+        let err = stream.append(vec![gaussian_mat(3, 10, &mut rng)]).unwrap_err();
+        assert!(matches!(err, Dpar2Error::RankTooLarge { .. }));
+    }
+
+    #[test]
+    fn empty_append_is_noop() {
+        let cfg = Dpar2Config::new(2).with_seed(81);
+        let mut stream = StreamingDpar2::new(cfg);
+        stream.append(vec![]).unwrap();
+        assert_eq!(stream.k(), 0);
+        assert!(stream.compressed().is_none());
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the DPar2 core: compression fidelity, lemma
+//! kernel equivalence, and criterion consistency over randomized shapes.
+
+use dpar2_core::compress::compress;
+use dpar2_core::config::Dpar2Config;
+use dpar2_core::convergence::{compressed_criterion, explicit_criterion};
+use dpar2_core::lemmas::{g1, g2, g3, materialize_y, naive_g1, naive_g2, naive_g3};
+use dpar2_core::{Dpar2, StreamingDpar2};
+use dpar2_linalg::{gaussian_mat, qr, Mat};
+use dpar2_parallel::ThreadPool;
+use dpar2_tensor::IrregularTensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Planted PARAFAC2 tensor with randomized shape.
+fn planted(seed: u64, k: usize, j: usize, r: usize) -> IrregularTensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let h = gaussian_mat(r, r, &mut rng);
+    let v = gaussian_mat(j, r, &mut rng);
+    let slices = (0..k)
+        .map(|i| {
+            let ik = j + 3 + 7 * i; // varied, ≥ j ≥ r
+            let q = qr::qr(&gaussian_mat(ik, r, &mut rng)).q;
+            q.matmul(&h).unwrap().matmul_nt(&v).unwrap()
+        })
+        .collect();
+    IrregularTensor::new(slices)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Two-stage compression is lossless on exactly rank-R data, for any
+    /// shape: ‖X_k − A_k F(k) E Dᵀ‖ ≈ 0.
+    #[test]
+    fn compression_lossless_on_planted(seed in 0u64..500, k in 2usize..6, j in 6usize..14, r in 1usize..4) {
+        let t = planted(seed, k, j, r);
+        let ct = compress(&t, &Dpar2Config::new(r).with_seed(seed ^ 1)).unwrap();
+        for kk in 0..t.k() {
+            let rel = (t.slice(kk) - &ct.reconstruct_slice(kk)).fro_norm()
+                / t.slice(kk).fro_norm().max(1e-12);
+            prop_assert!(rel < 1e-6, "slice {kk} rel err {rel}");
+        }
+    }
+
+    /// Lemma kernels equal the naive MTTKRP on the materialized Y for
+    /// arbitrary factor contents.
+    #[test]
+    fn lemmas_match_naive(seed in 0u64..500, k in 1usize..8, j in 2usize..12, r in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pzf: Vec<Mat> = (0..k).map(|_| gaussian_mat(r, r, &mut rng)).collect();
+        let edt = gaussian_mat(r, j, &mut rng);
+        let de = edt.transpose();
+        let v = gaussian_mat(j, r, &mut rng);
+        let h = gaussian_mat(r, r, &mut rng);
+        let w = gaussian_mat(k, r, &mut rng);
+        let edtv = edt.matmul(&v).unwrap();
+        let pool = ThreadPool::new(1);
+        let y = materialize_y(&pzf, &edt);
+
+        let f1 = g1(&pzf, &w, &edtv, &pool);
+        let n1 = naive_g1(&y, &v, &w);
+        prop_assert!((&f1 - &n1).fro_norm() < 1e-8 * (1.0 + n1.fro_norm()));
+
+        let f2 = g2(&pzf, &w, &h, &de, &pool);
+        let n2 = naive_g2(&y, &h, &w);
+        prop_assert!((&f2 - &n2).fro_norm() < 1e-8 * (1.0 + n2.fro_norm()));
+
+        let f3 = g3(&pzf, &edtv, &h, &pool);
+        let n3 = naive_g3(&y, &h, &v);
+        prop_assert!((&f3 - &n3).fro_norm() < 1e-8 * (1.0 + n3.fro_norm()));
+    }
+
+    /// The compressed criterion equals the explicit residual on
+    /// materialized Y slices.
+    #[test]
+    fn criterion_matches_explicit(seed in 0u64..500, k in 1usize..7, j in 2usize..10, r in 1usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pzf: Vec<Mat> = (0..k).map(|_| gaussian_mat(r, r, &mut rng)).collect();
+        let edt = gaussian_mat(r, j, &mut rng);
+        let h = gaussian_mat(r, r, &mut rng);
+        let w = gaussian_mat(k, r, &mut rng);
+        let v = gaussian_mat(j, r, &mut rng);
+        let pool = ThreadPool::new(1);
+        let fast = compressed_criterion(&pzf, &edt, &h, &w, &v, &pool);
+        let y: Vec<Mat> = pzf.iter().map(|p| p.matmul(&edt).unwrap()).collect();
+        let slow = explicit_criterion(&y, &h, &w, &v);
+        prop_assert!((fast - slow).abs() < 1e-8 * (1.0 + slow));
+    }
+
+    /// Fitness is always in (−∞, 1] and the solver never panics across
+    /// shapes; on planted data it is near 1.
+    #[test]
+    fn solver_fitness_bounds(seed in 0u64..200, k in 2usize..5, j in 6usize..12, r in 1usize..4) {
+        let t = planted(seed, k, j, r);
+        let fit = Dpar2::new(Dpar2Config::new(r).with_seed(seed).with_max_iterations(8))
+            .fit(&t)
+            .unwrap();
+        let f = fit.fitness(&t);
+        prop_assert!(f <= 1.0 + 1e-9);
+        prop_assert!(f > 0.5, "planted-data fitness {f} too low");
+    }
+
+    /// Streaming ingestion in two batches reproduces batch compression
+    /// fidelity on planted data.
+    #[test]
+    fn streaming_equals_batch_compression(seed in 0u64..200, j in 6usize..12, r in 1usize..4) {
+        let t = planted(seed, 4, j, r);
+        let slices = t.slices().to_vec();
+        let cfg = Dpar2Config::new(r).with_seed(seed ^ 7);
+        let mut stream = StreamingDpar2::new(cfg);
+        stream.append(slices[..2].to_vec()).unwrap();
+        stream.append(slices[2..].to_vec()).unwrap();
+        let ct = stream.compressed().unwrap();
+        for kk in 0..t.k() {
+            let rel = (t.slice(kk) - &ct.reconstruct_slice(kk)).fro_norm()
+                / t.slice(kk).fro_norm().max(1e-12);
+            prop_assert!(rel < 1e-5, "slice {kk} rel err {rel}");
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # dpar2-data
+//!
+//! Synthetic dataset generators standing in for the eight real-world
+//! datasets of the DPar2 paper's evaluation (Table II). The real datasets
+//! are multi-gigabyte downloads or proprietary feeds; each generator here
+//! reproduces the *shape characteristics that drive the algorithms*:
+//! slice-size irregularity (Fig. 8), column dimension vs. row dimension
+//! ratios (which set compression ratios, Fig. 10), and the spectral decay
+//! that makes rank-10 PARAFAC2 meaningful on dense data.
+//!
+//! | paper dataset | module | what is modelled |
+//! |---|---|---|
+//! | FMA, Urban Sound | [`spectrogram`] | harmonic audio → log-power STFT, tall `J` |
+//! | US / Korea Stock | [`stock`] | GBM OHLCV + 83 real technical indicators ([`indicators`]), power-law listing lengths, sector structure |
+//! | Activity, Action | [`features`] | smooth low-rank motion-feature tracks |
+//! | Traffic, PEMS-SF | [`traffic`] | daily-periodic sensor matrices (regular tensors) |
+//!
+//! [`planted`] additionally provides exact-PARAFAC2 tensors (ground truth
+//! for correctness tests) and the `tenrand` uniform tensors used by the
+//! paper's scalability experiments (§IV-C).
+//!
+//! [`mod@registry`] ties everything together: one [`registry::DatasetSpec`] per
+//! Table II row, with paper dimensions, scaled-down defaults, and a
+//! seeded `generate()`.
+
+pub mod features;
+pub mod indicators;
+pub mod planted;
+pub mod registry;
+pub mod spectrogram;
+pub mod stock;
+pub mod traffic;
+
+pub use planted::{planted_parafac2, tenrand_irregular};
+pub use registry::{registry, DatasetKind, DatasetSpec};
+pub use stock::{StockDataset, StockMarketConfig};

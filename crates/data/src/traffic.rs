@@ -1,0 +1,118 @@
+//! Traffic-sensor simulator — the stand-in for the Traffic (Melbourne) and
+//! PEMS-SF (San Francisco freeway occupancy) datasets.
+//!
+//! Both are *regular* 3-order tensors that the paper nonetheless analyzes
+//! with PARAFAC2 ("Traffic data and PEMS-SF data are 3-order regular
+//! tensors, but we can analyze them using PARAFAC2 decomposition
+//! approaches"). Each frontal slice is one day: a `(station × timestamp)`
+//! matrix of occupancy/volume with morning and evening rush-hour peaks,
+//! per-station scale, and weekday/weekend modulation.
+
+use dpar2_linalg::random::standard_normal;
+use dpar2_linalg::Mat;
+use dpar2_tensor::IrregularTensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the traffic corpus.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Stations (rows of each slice, `I`).
+    pub n_stations: usize,
+    /// Timestamps per day (columns, `J`).
+    pub n_timestamps: usize,
+    /// Days (`K`).
+    pub n_days: usize,
+    /// Relative noise amplitude.
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TrafficConfig {
+    /// PEMS-SF-like defaults.
+    pub fn new(n_stations: usize, n_timestamps: usize, n_days: usize, seed: u64) -> Self {
+        TrafficConfig { n_stations, n_timestamps, n_days, noise: 0.1, seed }
+    }
+}
+
+/// Generates the corpus: one `(stations × timestamps)` slice per day,
+/// wrapped in the irregular interface with equal `I_k`.
+pub fn generate(config: &TrafficConfig) -> IrregularTensor {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    // Per-station character: overall scale, rush-hour weighting, phase.
+    let scales: Vec<f64> = (0..config.n_stations).map(|_| 0.3 + rng.gen::<f64>()).collect();
+    let am_weight: Vec<f64> = (0..config.n_stations).map(|_| rng.gen::<f64>()).collect();
+    let phases: Vec<f64> =
+        (0..config.n_stations).map(|_| 0.04 * standard_normal(&mut rng)).collect();
+
+    let slices: Vec<Mat> = (0..config.n_days)
+        .map(|day| {
+            let weekend = day % 7 >= 5;
+            let day_level = if weekend { 0.45 } else { 1.0 } * (1.0 + 0.1 * standard_normal(&mut rng));
+            Mat::from_fn(config.n_stations, config.n_timestamps, |s, t| {
+                let tod = t as f64 / config.n_timestamps as f64 + phases[s];
+                // Two Gaussian rush-hour bumps (~8:00 and ~17:30) over a
+                // low night-time base.
+                let am = (-((tod - 0.33) / 0.06).powi(2)).exp();
+                let pm = (-((tod - 0.73) / 0.08).powi(2)).exp();
+                let profile = 0.08 + am_weight[s] * am + (1.0 - am_weight[s]) * pm;
+                let v = scales[s] * day_level * profile
+                    * (1.0 + config.noise * standard_normal(&mut rng));
+                v.max(0.0)
+            })
+        })
+        .collect();
+    IrregularTensor::new(slices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TrafficConfig {
+        TrafficConfig::new(10, 48, 14, 21)
+    }
+
+    #[test]
+    fn shapes_regular() {
+        let t = generate(&tiny());
+        assert_eq!(t.k(), 14);
+        assert_eq!(t.j(), 48);
+        assert!(t.is_regular());
+        assert_eq!(t.i(0), 10);
+    }
+
+    #[test]
+    fn nonnegative_occupancy() {
+        let t = generate(&tiny());
+        for k in 0..t.k() {
+            assert!(t.slice(k).data().iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn rush_hours_beat_night() {
+        let t = generate(&tiny());
+        let s = t.slice(0); // Monday
+        // Timestamp ~33% (morning rush) vs ~2% (night).
+        let rush_col = (0.33 * 48.0) as usize;
+        let night_col = 1;
+        let rush: f64 = s.col(rush_col).iter().sum();
+        let night: f64 = s.col(night_col).iter().sum();
+        assert!(rush > 2.0 * night, "rush {rush} vs night {night}");
+    }
+
+    #[test]
+    fn weekends_quieter() {
+        let t = generate(&tiny());
+        let weekday: f64 = t.slice(0).data().iter().sum();
+        let weekend: f64 = t.slice(5).data().iter().sum();
+        assert!(weekend < weekday, "weekend {weekend} not below weekday {weekday}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(&tiny()).slice(4), generate(&tiny()).slice(4));
+    }
+}

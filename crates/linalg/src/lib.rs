@@ -1,0 +1,59 @@
+//! # dpar2-linalg
+//!
+//! Dense linear-algebra substrate for the DPar2 reproduction.
+//!
+//! The DPar2 paper (Jang & Kang, ICDE 2022) was evaluated on MATLAB, which
+//! delegates to LAPACK/BLAS. This crate provides the subset of that
+//! functionality the paper's algorithms need, implemented from scratch in
+//! safe Rust on `f64`:
+//!
+//! * [`Mat`] — a row-major dense matrix with the usual arithmetic,
+//!   multiplication variants (`A·B`, `Aᵀ·B`, `A·Bᵀ`) and slicing helpers.
+//! * [`mod@qr`] — Householder thin-QR factorization.
+//! * [`svd`] — one-sided Jacobi singular value decomposition (with QR
+//!   preconditioning for tall matrices), plus rank-truncated variants.
+//! * [`eig`] — cyclic Jacobi eigendecomposition of symmetric matrices.
+//! * [`mod@pinv`] — Moore–Penrose pseudoinverse via the SVD, as required by the
+//!   CP-ALS update rules (the `†` operator in Algorithm 2/3 of the paper).
+//! * [`solve`] — LU and triangular solves (used by tests and baselines).
+//! * [`random`] — seeded Gaussian/uniform matrix generation (Box–Muller), the
+//!   `Ω` test matrices of randomized SVD.
+//!
+//! Everything is deterministic given a seed and needs no external BLAS.
+//!
+//! ## Example
+//!
+//! ```
+//! use dpar2_linalg::{Mat, svd::svd_thin};
+//!
+//! let a = Mat::from_rows(&[&[3.0, 1.0], &[1.0, 3.0], &[0.0, 2.0]]);
+//! let f = svd_thin(&a);
+//! let reconstructed = &(&f.u * &Mat::diag(&f.s)) * &f.v.transpose();
+//! assert!((&a - &reconstructed).fro_norm() < 1e-10);
+//! ```
+
+// Dense factorization kernels (Householder updates, Jacobi rotations,
+// triangular solves) index several arrays in lock-step along computed
+// ranges; explicit index loops are the clearest and fastest expression.
+#![allow(clippy::needless_range_loop)]
+
+pub mod eig;
+pub mod error;
+pub mod mat;
+pub mod norms;
+pub mod pinv;
+pub mod qr;
+pub mod random;
+pub mod solve;
+pub mod svd;
+
+pub use error::{LinalgError, Result};
+pub use mat::Mat;
+pub use pinv::pinv;
+pub use qr::{qr, QrFactors};
+pub use random::{gaussian_mat, uniform_mat};
+pub use svd::{svd_thin, svd_truncated, SvdFactors};
+
+/// Machine-epsilon-scale tolerance used across factorization routines when
+/// deciding whether a value is numerically zero.
+pub const EPS: f64 = 1e-12;

@@ -1,0 +1,107 @@
+//! Matrix norms beyond the Frobenius norm that lives on [`Mat`] itself.
+
+use crate::mat::Mat;
+
+/// Induced 1-norm: maximum absolute column sum.
+pub fn one_norm(a: &Mat) -> f64 {
+    let mut best = 0.0f64;
+    for j in 0..a.cols() {
+        let s: f64 = (0..a.rows()).map(|i| a.at(i, j).abs()).sum();
+        best = best.max(s);
+    }
+    best
+}
+
+/// Induced ∞-norm: maximum absolute row sum.
+pub fn inf_norm(a: &Mat) -> f64 {
+    let mut best = 0.0f64;
+    for i in 0..a.rows() {
+        let s: f64 = a.row(i).iter().map(|x| x.abs()).sum();
+        best = best.max(s);
+    }
+    best
+}
+
+/// Spectral norm estimate (largest singular value) by power iteration on
+/// `AᵀA`. Deterministic: starts from the all-ones vector.
+pub fn two_norm_est(a: &Mat, iterations: usize) -> f64 {
+    if a.rows() == 0 || a.cols() == 0 {
+        return 0.0;
+    }
+    let mut v = vec![1.0; a.cols()];
+    let mut norm = 0.0;
+    for _ in 0..iterations {
+        let av = a.matvec(&v);
+        let atav = a.matvec_t(&av);
+        norm = atav.iter().map(|x| x * x).sum::<f64>().sqrt().sqrt();
+        let vn: f64 = atav.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if vn < 1e-300 {
+            return 0.0;
+        }
+        for (vi, &ai) in v.iter_mut().zip(&atav) {
+            *vi = ai / vn;
+        }
+    }
+    norm
+}
+
+/// Relative Frobenius distance `‖A − B‖_F / ‖A‖_F` (or absolute when `A = 0`).
+///
+/// # Panics
+/// Panics if shapes differ.
+pub fn rel_fro_dist(a: &Mat, b: &Mat) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "rel_fro_dist: shape mismatch");
+    let denom = a.fro_norm();
+    let num = (a - b).fro_norm();
+    if denom > 0.0 {
+        num / denom
+    } else {
+        num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::gaussian_mat;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn one_and_inf_norms() {
+        let a = Mat::from_rows(&[&[1.0, -2.0], &[-3.0, 4.0]]);
+        assert_eq!(one_norm(&a), 6.0); // col 1: |−2| + |4| = 6
+        assert_eq!(inf_norm(&a), 7.0); // row 1: |−3| + |4| = 7
+    }
+
+    #[test]
+    fn two_norm_est_matches_svd() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let a = gaussian_mat(20, 8, &mut rng);
+        let sigma1 = crate::svd::svd_thin(&a).s[0];
+        let est = two_norm_est(&a, 100);
+        assert!((est - sigma1).abs() < 1e-6 * sigma1);
+    }
+
+    #[test]
+    fn two_norm_zero_matrix() {
+        assert_eq!(two_norm_est(&Mat::zeros(3, 3), 10), 0.0);
+    }
+
+    #[test]
+    fn rel_fro_dist_identity() {
+        let a = Mat::ones(3, 3);
+        assert_eq!(rel_fro_dist(&a, &a), 0.0);
+        let zero = Mat::zeros(2, 2);
+        assert_eq!(rel_fro_dist(&zero, &zero), 0.0);
+    }
+
+    #[test]
+    fn norm_inequalities() {
+        // ‖A‖₂ ≤ √(‖A‖₁ ‖A‖_∞)
+        let mut rng = StdRng::seed_from_u64(62);
+        let a = gaussian_mat(10, 10, &mut rng);
+        let two = two_norm_est(&a, 200);
+        assert!(two <= (one_norm(&a) * inf_norm(&a)).sqrt() + 1e-9);
+    }
+}

@@ -1,0 +1,109 @@
+//! Moore–Penrose pseudoinverse.
+//!
+//! The CP-ALS update rules in both PARAFAC2-ALS (Algorithm 2, lines 11–13)
+//! and DPar2 (Algorithm 3, lines 15/17/19) post-multiply by
+//! `(WᵀW ∗ VᵀV)†` — the pseudoinverse of a small `R×R` Hadamard product of
+//! Gram matrices. The paper notes this is cheap because the operand is tiny;
+//! we compute it through the SVD, zeroing singular values below a relative
+//! tolerance, exactly as MATLAB's `pinv` does.
+
+use crate::mat::Mat;
+use crate::svd::svd_thin;
+
+/// Computes the Moore–Penrose pseudoinverse `A†` via the SVD.
+///
+/// Singular values `≤ max(m,n) · eps · σ₁` are treated as zero
+/// (MATLAB-compatible default tolerance).
+pub fn pinv(a: &Mat) -> Mat {
+    pinv_with_tol(a, f64::EPSILON * a.rows().max(a.cols()) as f64)
+}
+
+/// Pseudoinverse with an explicit relative tolerance: singular values
+/// `≤ rel_tol · σ₁` are discarded.
+pub fn pinv_with_tol(a: &Mat, rel_tol: f64) -> Mat {
+    let f = svd_thin(a);
+    let sigma_max = f.s.first().copied().unwrap_or(0.0);
+    let cutoff = sigma_max * rel_tol;
+    // A† = V Σ† Uᵀ, built as (V · Σ†) · Uᵀ.
+    let mut v_scaled = f.v.clone();
+    for i in 0..v_scaled.rows() {
+        let row = v_scaled.row_mut(i);
+        for (j, &sigma) in f.s.iter().enumerate() {
+            row[j] = if sigma > cutoff && sigma > 0.0 { row[j] / sigma } else { 0.0 };
+        }
+    }
+    v_scaled.matmul_nt(&f.u).expect("pinv: shape mismatch")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::gaussian_mat;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pinv_of_invertible_is_inverse() {
+        let a = Mat::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]);
+        let p = pinv(&a);
+        let prod = a.matmul(&p).unwrap();
+        assert!((&prod - &Mat::eye(2)).fro_norm() < 1e-10);
+    }
+
+    #[test]
+    fn penrose_conditions_hold_for_rectangular() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let a = gaussian_mat(9, 4, &mut rng);
+        let p = pinv(&a);
+        let ap = a.matmul(&p).unwrap();
+        let pa = p.matmul(&a).unwrap();
+        // 1. A A† A = A
+        assert!((&ap.matmul(&a).unwrap() - &a).fro_norm() < 1e-9 * a.fro_norm());
+        // 2. A† A A† = A†
+        assert!((&pa.matmul(&p).unwrap() - &p).fro_norm() < 1e-9 * p.fro_norm());
+        // 3. (A A†)ᵀ = A A†
+        assert!((&ap.transpose() - &ap).fro_norm() < 1e-9);
+        // 4. (A† A)ᵀ = A† A
+        assert!((&pa.transpose() - &pa).fro_norm() < 1e-9);
+    }
+
+    #[test]
+    fn pinv_rank_deficient() {
+        // Rank-1 matrix: A = u vᵀ with ‖u‖, ‖v‖ known.
+        let u = Mat::col_vector(&[1.0, 2.0]);
+        let v = Mat::row_vector(&[3.0, 0.0, 4.0]);
+        let a = u.matmul(&v).unwrap();
+        let p = pinv(&a);
+        // Penrose condition 1 suffices to validate handling of zero σ.
+        let apa = a.matmul(&p).unwrap().matmul(&a).unwrap();
+        assert!((&apa - &a).fro_norm() < 1e-9 * a.fro_norm());
+    }
+
+    #[test]
+    fn pinv_zero_matrix_is_zero() {
+        let p = pinv(&Mat::zeros(3, 2));
+        assert_eq!(p.shape(), (2, 3));
+        assert!(p.fro_norm() < 1e-300);
+    }
+
+    #[test]
+    fn pinv_of_transpose_is_transpose_of_pinv() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = gaussian_mat(6, 3, &mut rng);
+        let p1 = pinv(&a.transpose());
+        let p2 = pinv(&a).transpose();
+        assert!((&p1 - &p2).fro_norm() < 1e-9 * p1.fro_norm());
+    }
+
+    #[test]
+    fn pinv_hadamard_gram_psd() {
+        // Exactly the shape used by the ALS update: (WᵀW ∗ VᵀV)†.
+        let mut rng = StdRng::seed_from_u64(43);
+        let w = gaussian_mat(30, 5, &mut rng);
+        let v = gaussian_mat(20, 5, &mut rng);
+        let g = w.gram().hadamard(&v.gram()).unwrap();
+        let p = pinv(&g);
+        let gpg = g.matmul(&p).unwrap().matmul(&g).unwrap();
+        assert!((&gpg - &g).fro_norm() < 1e-8 * g.fro_norm());
+    }
+}

@@ -1,0 +1,237 @@
+//! Householder QR factorization.
+//!
+//! The randomized SVD (Algorithm 1 of the paper, line 3) orthonormalizes the
+//! sketch `Y = (AAᵀ)^q A Ω` with a QR factorization; this module provides the
+//! thin (`economy-size`) variant `A = Q R` with `Q ∈ R^{m×k}`, `R ∈ R^{k×n}`,
+//! `k = min(m, n)` via Householder reflections, which is unconditionally
+//! numerically stable (unlike Gram–Schmidt).
+
+use crate::mat::Mat;
+
+/// Result of a thin QR factorization `A = Q R`.
+#[derive(Debug, Clone)]
+pub struct QrFactors {
+    /// Column-orthonormal `m × k` factor, `k = min(m, n)`.
+    pub q: Mat,
+    /// Upper-triangular (trapezoidal when `m < n`) `k × n` factor.
+    pub r: Mat,
+}
+
+/// Computes the thin QR factorization of `a` using Householder reflections.
+///
+/// For each column `k`, a reflector `H_k = I − τ v vᵀ` annihilates the
+/// entries below the diagonal; `Q` is accumulated by applying the reflectors
+/// to the thin identity in reverse order.
+pub fn qr(a: &Mat) -> QrFactors {
+    let m = a.rows();
+    let n = a.cols();
+    let k = m.min(n);
+    let mut r = a.clone();
+    // Householder vectors, one per reflected column. v[j] has length m - j.
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let mut taus: Vec<f64> = Vec::with_capacity(k);
+
+    for j in 0..k {
+        // Build the reflector from column j, rows j..m.
+        let mut v: Vec<f64> = (j..m).map(|i| r.at(i, j)).collect();
+        let alpha = v[0];
+        let sigma: f64 = v[1..].iter().map(|&x| x * x).sum();
+        if sigma == 0.0 && alpha >= 0.0 {
+            // Column already in upper-triangular form; identity reflector.
+            vs.push(v);
+            taus.push(0.0);
+            continue;
+        }
+        let norm = (alpha * alpha + sigma).sqrt();
+        // Choose the sign that avoids cancellation.
+        let v0 = if alpha <= 0.0 { alpha - norm } else { -sigma / (alpha + norm) };
+        let tau = 2.0 * v0 * v0 / (sigma + v0 * v0);
+        let inv_v0 = 1.0 / v0;
+        v[0] = 1.0;
+        for x in &mut v[1..] {
+            *x *= inv_v0;
+        }
+
+        // Apply H = I − τ v vᵀ to the trailing submatrix R[j.., j..].
+        for col in j..n {
+            let mut s = 0.0;
+            for (idx, &vi) in v.iter().enumerate() {
+                s += vi * r.at(j + idx, col);
+            }
+            s *= tau;
+            if s != 0.0 {
+                for (idx, &vi) in v.iter().enumerate() {
+                    let cur = r.at(j + idx, col);
+                    r.set(j + idx, col, cur - s * vi);
+                }
+            }
+        }
+        vs.push(v);
+        taus.push(tau);
+    }
+
+    // Zero the subdiagonal of R explicitly and truncate to k rows.
+    let mut r_thin = Mat::zeros(k, n);
+    for i in 0..k {
+        for j in i..n {
+            r_thin.set(i, j, r.at(i, j));
+        }
+    }
+
+    // Accumulate the thin Q: apply H_0 H_1 … H_{k-1} to the m×k identity,
+    // multiplying from the last reflector backwards.
+    let mut q = Mat::zeros(m, k);
+    for i in 0..k {
+        q.set(i, i, 1.0);
+    }
+    for j in (0..k).rev() {
+        let v = &vs[j];
+        let tau = taus[j];
+        if tau == 0.0 {
+            continue;
+        }
+        for col in 0..k {
+            let mut s = 0.0;
+            for (idx, &vi) in v.iter().enumerate() {
+                s += vi * q.at(j + idx, col);
+            }
+            s *= tau;
+            if s != 0.0 {
+                for (idx, &vi) in v.iter().enumerate() {
+                    let cur = q.at(j + idx, col);
+                    q.set(j + idx, col, cur - s * vi);
+                }
+            }
+        }
+    }
+
+    QrFactors { q, r: r_thin }
+}
+
+/// Solves the least-squares problem `min_x ‖A x − b‖₂` for tall full-rank `A`
+/// via the thin QR factorization (`R x = Qᵀ b` back-substitution).
+///
+/// # Panics
+/// Panics if `a.rows() < a.cols()` or `b.len() != a.rows()`.
+pub fn lstsq(a: &Mat, b: &[f64]) -> Vec<f64> {
+    assert!(a.rows() >= a.cols(), "lstsq: system must be square or overdetermined");
+    assert_eq!(b.len(), a.rows(), "lstsq: rhs length mismatch");
+    let f = qr(a);
+    let qtb = f.q.matvec_t(b);
+    // Back substitution on R (k × n with k == n here).
+    let n = a.cols();
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = qtb[i];
+        for j in i + 1..n {
+            s -= f.r.at(i, j) * x[j];
+        }
+        let d = f.r.at(i, i);
+        x[i] = if d.abs() > crate::EPS { s / d } else { 0.0 };
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::gaussian_mat;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_orthonormal_cols(q: &Mat, tol: f64) {
+        let g = q.gram();
+        let eye = Mat::eye(q.cols());
+        assert!(
+            (&g - &eye).fro_norm() < tol,
+            "columns not orthonormal: deviation {}",
+            (&g - &eye).fro_norm()
+        );
+    }
+
+    #[test]
+    fn qr_reconstructs_tall() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = gaussian_mat(20, 5, &mut rng);
+        let f = qr(&a);
+        assert_eq!(f.q.shape(), (20, 5));
+        assert_eq!(f.r.shape(), (5, 5));
+        assert_orthonormal_cols(&f.q, 1e-12);
+        let recon = f.q.matmul(&f.r).unwrap();
+        assert!((&a - &recon).fro_norm() < 1e-12 * a.fro_norm().max(1.0));
+    }
+
+    #[test]
+    fn qr_reconstructs_square() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = gaussian_mat(9, 9, &mut rng);
+        let f = qr(&a);
+        assert_orthonormal_cols(&f.q, 1e-12);
+        assert!((&a - &f.q.matmul(&f.r).unwrap()).fro_norm() < 1e-11);
+    }
+
+    #[test]
+    fn qr_reconstructs_wide() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = gaussian_mat(4, 11, &mut rng);
+        let f = qr(&a);
+        assert_eq!(f.q.shape(), (4, 4));
+        assert_eq!(f.r.shape(), (4, 11));
+        assert_orthonormal_cols(&f.q, 1e-12);
+        assert!((&a - &f.q.matmul(&f.r).unwrap()).fro_norm() < 1e-11);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = gaussian_mat(8, 6, &mut rng);
+        let f = qr(&a);
+        for i in 0..f.r.rows() {
+            for j in 0..i.min(f.r.cols()) {
+                assert_eq!(f.r.at(i, j), 0.0, "R({i},{j}) not zeroed");
+            }
+        }
+    }
+
+    #[test]
+    fn qr_of_identity() {
+        let f = qr(&Mat::eye(5));
+        assert!((&f.q.matmul(&f.r).unwrap() - &Mat::eye(5)).fro_norm() < 1e-14);
+    }
+
+    #[test]
+    fn qr_rank_deficient_still_factorizes() {
+        // Two identical columns.
+        let a = Mat::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let f = qr(&a);
+        assert!((&a - &f.q.matmul(&f.r).unwrap()).fro_norm() < 1e-12);
+    }
+
+    #[test]
+    fn qr_zero_matrix() {
+        let a = Mat::zeros(4, 3);
+        let f = qr(&a);
+        assert!((&a - &f.q.matmul(&f.r).unwrap()).fro_norm() < 1e-15);
+    }
+
+    #[test]
+    fn lstsq_exact_system() {
+        let a = Mat::from_rows(&[&[2.0, 0.0], &[0.0, 4.0], &[0.0, 0.0]]);
+        let x = lstsq(&a, &[2.0, 8.0, 0.0]);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lstsq_overdetermined_matches_normal_equations() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = gaussian_mat(30, 4, &mut rng);
+        let b: Vec<f64> = (0..30).map(|i| (i as f64).sin()).collect();
+        let x = lstsq(&a, &b);
+        // Residual must be orthogonal to the column space: Aᵀ(Ax − b) = 0.
+        let ax = a.matvec(&x);
+        let resid: Vec<f64> = ax.iter().zip(&b).map(|(p, q)| p - q).collect();
+        let at_r = a.matvec_t(&resid);
+        assert!(at_r.iter().all(|v| v.abs() < 1e-10));
+    }
+}

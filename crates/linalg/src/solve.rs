@@ -1,0 +1,213 @@
+//! Direct linear solvers: LU with partial pivoting and triangular solves.
+//!
+//! These are not on the PARAFAC2 hot path (the ALS updates use the
+//! pseudoinverse as the paper's pseudocode prescribes) but are required by
+//! baselines, data generators, and a large amount of test oracle code.
+
+use crate::error::{LinalgError, Result};
+use crate::mat::Mat;
+
+/// LU factorization with partial pivoting: `P A = L U`.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    /// Packed LU factors (unit-diagonal `L` below, `U` on/above).
+    lu: Mat,
+    /// Row permutation: row `i` of `P·A` is row `perm[i]` of `A`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (for determinants).
+    sign: f64,
+}
+
+/// Factorizes a square matrix with partial pivoting.
+///
+/// # Errors
+/// * [`LinalgError::NotSquare`] for rectangular input.
+/// * [`LinalgError::Singular`] if a pivot underflows.
+pub fn lu(a: &Mat) -> Result<LuFactors> {
+    let (m, n) = a.shape();
+    if m != n {
+        return Err(LinalgError::NotSquare { op: "lu", shape: (m, n) });
+    }
+    let mut lu_m = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut sign = 1.0;
+
+    for k in 0..n {
+        // Pivot search in column k.
+        let mut p = k;
+        let mut best = lu_m.at(k, k).abs();
+        for i in k + 1..n {
+            let v = lu_m.at(i, k).abs();
+            if v > best {
+                best = v;
+                p = i;
+            }
+        }
+        if best < 1e-300 {
+            return Err(LinalgError::Singular { op: "lu" });
+        }
+        if p != k {
+            // Swap rows k and p.
+            for j in 0..n {
+                let tmp = lu_m.at(k, j);
+                lu_m.set(k, j, lu_m.at(p, j));
+                lu_m.set(p, j, tmp);
+            }
+            perm.swap(k, p);
+            sign = -sign;
+        }
+        let pivot = lu_m.at(k, k);
+        for i in k + 1..n {
+            let factor = lu_m.at(i, k) / pivot;
+            lu_m.set(i, k, factor);
+            if factor != 0.0 {
+                for j in k + 1..n {
+                    let v = lu_m.at(i, j) - factor * lu_m.at(k, j);
+                    lu_m.set(i, j, v);
+                }
+            }
+        }
+    }
+    Ok(LuFactors { lu: lu_m, perm, sign })
+}
+
+impl LuFactors {
+    /// Solves `A x = b` for a single right-hand side.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` differs from the factorized dimension.
+    pub fn solve_vec(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.rows();
+        assert_eq!(b.len(), n, "solve_vec: rhs length mismatch");
+        // Forward substitution with permuted rhs (L has unit diagonal).
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[self.perm[i]];
+            for j in 0..i {
+                s -= self.lu.at(i, j) * y[j];
+            }
+            y[i] = s;
+        }
+        // Back substitution on U.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in i + 1..n {
+                s -= self.lu.at(i, j) * x[j];
+            }
+            x[i] = s / self.lu.at(i, i);
+        }
+        x
+    }
+
+    /// Solves `A X = B` column-by-column.
+    ///
+    /// # Panics
+    /// Panics if `b.rows()` differs from the factorized dimension.
+    pub fn solve_mat(&self, b: &Mat) -> Mat {
+        let n = self.lu.rows();
+        assert_eq!(b.rows(), n, "solve_mat: rhs row mismatch");
+        let mut x = Mat::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = self.solve_vec(&b.col(j));
+            x.set_col(j, &col);
+        }
+        x
+    }
+
+    /// Determinant of the factorized matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.lu.rows();
+        let mut d = self.sign;
+        for i in 0..n {
+            d *= self.lu.at(i, i);
+        }
+        d
+    }
+}
+
+/// Convenience wrapper: solves `A x = b` in one call.
+///
+/// # Errors
+/// Propagates factorization errors from [`lu`].
+pub fn solve(a: &Mat, b: &[f64]) -> Result<Vec<f64>> {
+    Ok(lu(a)?.solve_vec(b))
+}
+
+/// Inverts a square non-singular matrix.
+///
+/// # Errors
+/// Propagates factorization errors from [`lu`].
+pub fn inverse(a: &Mat) -> Result<Mat> {
+    Ok(lu(a)?.solve_mat(&Mat::eye(a.rows())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::gaussian_mat;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn solve_known_system() {
+        // x + y = 3, x - y = 1  =>  x = 2, y = 1
+        let a = Mat::from_rows(&[&[1.0, 1.0], &[1.0, -1.0]]);
+        let x = solve(&a, &[3.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_random_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let a = gaussian_mat(15, 15, &mut rng);
+        let x_true: Vec<f64> = (0..15).map(|i| (i as f64 * 0.7).cos()).collect();
+        let b = a.matvec(&x_true);
+        let x = solve(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let a = gaussian_mat(8, 8, &mut rng);
+        let inv = inverse(&a).unwrap();
+        assert!((&a.matmul(&inv).unwrap() - &Mat::eye(8)).fro_norm() < 1e-9);
+    }
+
+    #[test]
+    fn det_of_diag() {
+        let f = lu(&Mat::diag(&[2.0, 3.0, 4.0])).unwrap();
+        assert!((f.det() - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_sign_under_row_swap() {
+        // Permutation matrix has determinant -1.
+        let a = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!((lu(&a).unwrap().det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(lu(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        assert!(matches!(lu(&Mat::zeros(2, 3)), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn solve_mat_multiple_rhs() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let a = gaussian_mat(6, 6, &mut rng);
+        let b = gaussian_mat(6, 3, &mut rng);
+        let x = lu(&a).unwrap().solve_mat(&b);
+        assert!((&a.matmul(&x).unwrap() - &b).fro_norm() < 1e-9);
+    }
+}

@@ -1,0 +1,187 @@
+//! Greedy number partitioning — Algorithm 4 of the DPar2 paper.
+
+/// Distributes items with the given `weights` over `buckets` sets using the
+/// paper's greedy heuristic (Algorithm 4):
+///
+/// 1. sort item indices by weight in descending order (`L_val`, `L_ind`);
+/// 2. for each item, add it to the bucket with the smallest current weight
+///    sum (`t_min ← argmin S`), updating the sums.
+///
+/// Returns one `Vec<usize>` of item indices per bucket. Deterministic: ties
+/// go to the lowest-numbered bucket, and equal weights keep their original
+/// relative order (stable sort).
+///
+/// # Panics
+/// Panics if `buckets == 0`.
+pub fn greedy_partition(weights: &[usize], buckets: usize) -> Vec<Vec<usize>> {
+    assert!(buckets > 0, "greedy_partition: need at least one bucket");
+    let mut sets: Vec<Vec<usize>> = vec![Vec::new(); buckets];
+    if weights.is_empty() {
+        return sets;
+    }
+    // L_ind: indices sorted by weight descending (stable).
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| weights[b].cmp(&weights[a]));
+    // S: running weight sum per bucket.
+    let mut sums = vec![0usize; buckets];
+    for &item in &order {
+        let t_min = argmin(&sums);
+        sets[t_min].push(item);
+        sums[t_min] += weights[item];
+    }
+    sets
+}
+
+/// Baseline assignment for the ablation bench: items dealt to buckets in
+/// index order, ignoring weights (what "a naive approach" in §III-F does).
+pub fn round_robin_partition(n_items: usize, buckets: usize) -> Vec<Vec<usize>> {
+    assert!(buckets > 0, "round_robin_partition: need at least one bucket");
+    let mut sets: Vec<Vec<usize>> = vec![Vec::new(); buckets];
+    for item in 0..n_items {
+        sets[item % buckets].push(item);
+    }
+    sets
+}
+
+/// Load imbalance of a partition: `max_bucket_sum / mean_bucket_sum`.
+///
+/// 1.0 is a perfect split; the makespan of the parallel phase is
+/// proportional to this number. Returns 1.0 for empty input.
+pub fn imbalance(weights: &[usize], partition: &[Vec<usize>]) -> f64 {
+    let sums: Vec<usize> =
+        partition.iter().map(|set| set.iter().map(|&i| weights[i]).sum()).collect();
+    let total: usize = sums.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let mean = total as f64 / partition.len() as f64;
+    let max = *sums.iter().max().expect("non-empty partition") as f64;
+    max / mean
+}
+
+fn argmin(xs: &[usize]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x < xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_valid_partition(n: usize, partition: &[Vec<usize>]) -> bool {
+        let mut seen = vec![false; n];
+        for set in partition {
+            for &i in set {
+                if i >= n || seen[i] {
+                    return false;
+                }
+                seen[i] = true;
+            }
+        }
+        seen.iter().all(|&s| s)
+    }
+
+    #[test]
+    fn covers_all_items_exactly_once() {
+        let weights = vec![5, 3, 8, 1, 9, 2, 7];
+        let p = greedy_partition(&weights, 3);
+        assert!(is_valid_partition(weights.len(), &p));
+    }
+
+    #[test]
+    fn greedy_puts_largest_items_first() {
+        // With 2 buckets and weights {10, 9, 2, 1}: greedy gives {10,1},{9,2}
+        // (sums 11 vs 11) — perfectly balanced.
+        let weights = vec![10, 9, 2, 1];
+        let p = greedy_partition(&weights, 2);
+        let sums: Vec<usize> =
+            p.iter().map(|s| s.iter().map(|&i| weights[i]).sum()).collect();
+        assert_eq!(sums[0], 11);
+        assert_eq!(sums[1], 11);
+    }
+
+    #[test]
+    fn greedy_beats_round_robin_on_skewed_weights() {
+        // Power-law-ish weights like Fig. 8's stock listing lengths.
+        let weights: Vec<usize> = (1..=64).map(|i| 5000 / i).collect();
+        let greedy = greedy_partition(&weights, 6);
+        let naive = round_robin_partition(weights.len(), 6);
+        let gi = imbalance(&weights, &greedy);
+        let ni = imbalance(&weights, &naive);
+        assert!(gi < ni, "greedy {gi} not better than round-robin {ni}");
+        // A single item heavier than the mean bucket load forces imbalance
+        // ≥ max_weight/mean for *any* partition; greedy must be within 5%
+        // of that unavoidable floor.
+        let total: usize = weights.iter().sum();
+        let mean = total as f64 / 6.0;
+        let floor = (*weights.iter().max().unwrap() as f64 / mean).max(1.0);
+        assert!(gi < floor * 1.05, "greedy imbalance too high: {gi} (floor {floor})");
+    }
+
+    #[test]
+    fn single_bucket_gets_everything() {
+        let weights = vec![1, 2, 3];
+        let p = greedy_partition(&weights, 1);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].len(), 3);
+        assert!((imbalance(&weights, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_buckets_than_items() {
+        let weights = vec![4, 2];
+        let p = greedy_partition(&weights, 5);
+        assert!(is_valid_partition(2, &p));
+        let non_empty = p.iter().filter(|s| !s.is_empty()).count();
+        assert_eq!(non_empty, 2);
+    }
+
+    #[test]
+    fn empty_weights() {
+        let p = greedy_partition(&[], 3);
+        assert!(p.iter().all(|s| s.is_empty()));
+        assert_eq!(imbalance(&[], &p), 1.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let weights = vec![3, 3, 3, 5, 5, 1];
+        assert_eq!(greedy_partition(&weights, 2), greedy_partition(&weights, 2));
+    }
+
+    #[test]
+    fn imbalance_of_worst_case() {
+        // All weight in one bucket.
+        let weights = vec![10, 10];
+        let p = vec![vec![0, 1], vec![]];
+        assert!((imbalance(&weights, &p) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_panics() {
+        greedy_partition(&[1], 0);
+    }
+
+    #[test]
+    fn greedy_bound_holds() {
+        // Classic bound for greedy (LPT) scheduling: makespan ≤ (4/3 − 1/3m) · OPT.
+        // We check the weaker but universally valid bound max ≤ mean + max_weight.
+        let weights: Vec<usize> = (0..100).map(|i| (i * 37 + 11) % 500 + 1).collect();
+        for buckets in [2, 3, 6, 10] {
+            let p = greedy_partition(&weights, buckets);
+            let sums: Vec<usize> =
+                p.iter().map(|s| s.iter().map(|&i| weights[i]).sum()).collect();
+            let total: usize = weights.iter().sum();
+            let mean = total as f64 / buckets as f64;
+            let max_w = *weights.iter().max().unwrap() as f64;
+            let max_s = *sums.iter().max().unwrap() as f64;
+            assert!(max_s <= mean + max_w + 1e-9, "greedy bound violated for {buckets} buckets");
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Minimal scoped thread pool built on crossbeam's scoped threads.
+//!
+//! DPar2 parallelizes two kinds of work (§III-F):
+//!
+//! 1. the stage-1 compression, where slices are assigned to threads by
+//!    [`crate::greedy_partition`] because costs are proportional to `I_k`;
+//! 2. the per-iteration `R×R` SVDs and Lemma 1–3 accumulations, where work
+//!    per slice is uniform and an even chunking suffices.
+//!
+//! [`ThreadPool::run_partitioned`] covers the first case,
+//! [`ThreadPool::map`] the second. Results always come back in item order,
+//! so callers are oblivious to the scheduling.
+
+use crossbeam::channel;
+
+/// A lightweight parallel executor with a fixed thread count.
+///
+/// Threads are spawned per call via `crossbeam::thread::scope` — for the
+/// granularity of PARAFAC2 work items (matrix factorizations), spawn
+/// overhead is negligible, and scoping lets closures borrow from the
+/// caller's stack without `'static` bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool configuration with `threads` workers.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "ThreadPool: need at least one thread");
+        ThreadPool { threads }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(item)` for every item index in `partition` (one bucket per
+    /// thread) and returns the results ordered by item index.
+    ///
+    /// The partition must cover `0..n` exactly once, where `n` is the total
+    /// number of items across buckets (as produced by
+    /// [`crate::greedy_partition`]).
+    ///
+    /// # Panics
+    /// Panics if the partition contains duplicate or out-of-range indices,
+    /// or if a worker panics.
+    pub fn run_partitioned<R, F>(&self, partition: &[Vec<usize>], f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let n: usize = partition.iter().map(Vec::len).sum();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Single-threaded fast path: no spawning, no channel.
+        if self.threads == 1 || partition.iter().filter(|b| !b.is_empty()).count() <= 1 {
+            let mut indexed: Vec<(usize, R)> = Vec::with_capacity(n);
+            for bucket in partition {
+                for &item in bucket {
+                    indexed.push((item, f(item)));
+                }
+            }
+            return into_ordered(indexed, n);
+        }
+
+        let (tx, rx) = channel::unbounded::<(usize, R)>();
+        crossbeam::thread::scope(|scope| {
+            for bucket in partition.iter().filter(|b| !b.is_empty()) {
+                let tx = tx.clone();
+                let f = &f;
+                scope.spawn(move |_| {
+                    for &item in bucket {
+                        tx.send((item, f(item))).expect("result channel closed");
+                    }
+                });
+            }
+            drop(tx);
+        })
+        .expect("worker thread panicked");
+        into_ordered(rx.into_iter().collect(), n)
+    }
+
+    /// Applies `f(index, item)` to every element of `items` with an even
+    /// static chunking over the pool's threads; results in input order.
+    ///
+    /// # Panics
+    /// Panics if a worker panics.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.threads == 1 || n == 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let chunk = n.div_ceil(self.threads);
+        let (tx, rx) = channel::unbounded::<(usize, R)>();
+        crossbeam::thread::scope(|scope| {
+            for (c, chunk_items) in items.chunks(chunk).enumerate() {
+                let tx = tx.clone();
+                let f = &f;
+                let base = c * chunk;
+                scope.spawn(move |_| {
+                    for (off, item) in chunk_items.iter().enumerate() {
+                        tx.send((base + off, f(base + off, item))).expect("result channel closed");
+                    }
+                });
+            }
+            drop(tx);
+        })
+        .expect("worker thread panicked");
+        into_ordered(rx.into_iter().collect(), n)
+    }
+}
+
+/// Sorts `(index, value)` pairs into a dense `Vec<R>` of length `n`.
+fn into_ordered<R>(mut indexed: Vec<(usize, R)>, n: usize) -> Vec<R> {
+    assert_eq!(indexed.len(), n, "partition did not cover all items exactly once");
+    indexed.sort_by_key(|(i, _)| *i);
+    for (pos, (i, _)) in indexed.iter().enumerate() {
+        assert_eq!(*i, pos, "partition contains duplicate or out-of-range index {i}");
+    }
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::greedy_partition;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_partitioned_orders_results() {
+        let weights = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        let pool = ThreadPool::new(3);
+        let partition = greedy_partition(&weights, 3);
+        let results = pool.run_partitioned(&partition, |k| k * 10);
+        assert_eq!(results, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn run_partitioned_single_thread_path() {
+        let partition = vec![vec![1, 0, 2]];
+        let pool = ThreadPool::new(1);
+        let results = pool.run_partitioned(&partition, |k| k as f64 + 0.5);
+        assert_eq!(results, vec![0.5, 1.5, 2.5]);
+    }
+
+    #[test]
+    fn run_partitioned_executes_each_item_once() {
+        let counter = AtomicUsize::new(0);
+        let weights = vec![1usize; 100];
+        let partition = greedy_partition(&weights, 4);
+        ThreadPool::new(4).run_partitioned(&partition, |_k| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<i64> = (0..57).collect();
+        let out = ThreadPool::new(4).map(&items, |i, &x| x * 2 + i as i64);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as i64 * 3);
+        }
+    }
+
+    #[test]
+    fn map_empty_and_singleton() {
+        let pool = ThreadPool::new(4);
+        let empty: Vec<u8> = vec![];
+        assert!(pool.map(&empty, |_, &x| x).is_empty());
+        assert_eq!(pool.map(&[7u8], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        // Determinism requirement: the parallel schedule must not affect
+        // the results (only the wall clock).
+        let items: Vec<f64> = (0..40).map(|i| i as f64 * 0.25).collect();
+        let reference = ThreadPool::new(1).map(&items, |_, &x| (x.sin() * 1e6).round());
+        for threads in [2, 3, 8] {
+            let got = ThreadPool::new(threads).map(&items, |_, &x| (x.sin() * 1e6).round());
+            assert_eq!(got, reference, "thread count {threads} changed results");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        ThreadPool::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate or out-of-range")]
+    fn bad_partition_detected() {
+        // Index 1 appears twice, index 0 missing.
+        let partition = vec![vec![1], vec![1]];
+        ThreadPool::new(2).run_partitioned(&partition, |k| k);
+    }
+}

@@ -1,0 +1,235 @@
+//! # dpar2-rsvd
+//!
+//! Randomized Singular Value Decomposition — Algorithm 1 of the DPar2 paper,
+//! following Halko, Martinsson & Tropp, *"Finding Structure with
+//! Randomness"*, SIAM Review 2011 (reference 20 of the paper).
+//!
+//! Given `A ∈ R^{I×J}` and a target rank `R`:
+//!
+//! 1. draw a Gaussian test matrix `Ω ∈ R^{J×(R+s)}`,
+//! 2. form the sketch `Y = (A Aᵀ)^q A Ω`,
+//! 3. orthonormalize `Q R ← Y` by QR,
+//! 4. project `B = Qᵀ A ∈ R^{(R+s)×J}`,
+//! 5. take the truncated exact SVD `Ũ Σ Vᵀ ← B` at rank `R`,
+//! 6. return `U = Q Ũ`, `Σ`, `V`.
+//!
+//! The oversampling parameter `s` and the power-iteration exponent `q` trade
+//! accuracy for time; the paper uses the rank of the randomized SVD equal to
+//! the PARAFAC2 target rank (§IV-A "we set the rank of randomized SVD to
+//! 10"), and our defaults (`s = 8`, `q = 1`) follow standard practice from
+//! the Halko et al. recommendations.
+//!
+//! DPar2 calls this twice: once per slice (`X_k ≈ A_k B_k C_kᵀ`, stage 1)
+//! and once on the concatenated `M = ∥_k C_k B_k` (stage 2).
+
+use dpar2_linalg::{gaussian_mat, qr, svd::truncate, svd_thin, Mat, SvdFactors};
+use rand::Rng;
+
+/// Configuration for randomized SVD.
+#[derive(Debug, Clone, Copy)]
+pub struct RsvdConfig {
+    /// Target rank `R` of the truncated factorization.
+    pub rank: usize,
+    /// Oversampling `s`: the sketch uses `R + s` random directions.
+    pub oversample: usize,
+    /// Power-iteration exponent `q` in `(A Aᵀ)^q A Ω`. Each unit sharpens
+    /// the spectral decay of the sketch at the cost of two extra passes
+    /// over `A`.
+    pub power_iterations: usize,
+}
+
+impl RsvdConfig {
+    /// Standard configuration used throughout the reproduction:
+    /// oversampling 8, one power iteration.
+    pub fn new(rank: usize) -> Self {
+        RsvdConfig { rank, oversample: 8, power_iterations: 1 }
+    }
+
+    /// Configuration without power iterations (fastest, least accurate —
+    /// the `q = 0` point of the ablation bench).
+    pub fn without_power_iterations(rank: usize) -> Self {
+        RsvdConfig { rank, oversample: 8, power_iterations: 0 }
+    }
+}
+
+/// Randomized truncated SVD `A ≈ U Σ Vᵀ` at `config.rank`.
+///
+/// Returns factors with `U ∈ R^{I×r}`, `V ∈ R^{J×r}`, `r = min(rank, I, J)`.
+/// The sketch width is additionally capped at `min(I, J)` so tiny matrices
+/// degrade gracefully to an exact (thin) SVD.
+pub fn rsvd(a: &Mat, config: &RsvdConfig, rng: &mut impl Rng) -> SvdFactors {
+    let (i, j) = a.shape();
+    let min_dim = i.min(j);
+    if min_dim == 0 {
+        return SvdFactors { u: Mat::zeros(i, 0), s: vec![], v: Mat::zeros(j, 0) };
+    }
+    let rank = config.rank.min(min_dim);
+    let sketch = (config.rank + config.oversample).min(min_dim);
+    if sketch >= min_dim {
+        // The sketch would span the whole space — the exact thin SVD is
+        // both cheaper and more accurate here.
+        return truncate(svd_thin(a), rank);
+    }
+
+    // 1. Gaussian test matrix Ω ∈ R^{J×sketch}.
+    let omega = gaussian_mat(j, sketch, rng);
+    // 2. Y = (A Aᵀ)^q A Ω, re-orthonormalized between powers for stability.
+    let mut y = a.matmul(&omega).expect("rsvd: A·Ω");
+    for _ in 0..config.power_iterations {
+        let q_y = qr(&y).q;
+        let z = a.matmul_tn(&q_y).expect("rsvd: Aᵀ·Q"); // J × sketch
+        let q_z = qr(&z).q;
+        y = a.matmul(&q_z).expect("rsvd: A·Qz");
+    }
+    // 3. Orthonormal range basis.
+    let q = qr(&y).q; // I × sketch
+    // 4. Project: B = Qᵀ A (sketch × J).
+    let b = q.matmul_tn(a).expect("rsvd: Qᵀ·A");
+    // 5. Exact SVD of the small B, truncated to the target rank.
+    let small = truncate(svd_thin(&b), rank);
+    // 6. Lift the left factor back: U = Q Ũ.
+    let u = q.matmul(&small.u).expect("rsvd: Q·Ũ");
+    SvdFactors { u, s: small.s, v: small.v }
+}
+
+/// Convenience wrapper with the standard configuration.
+pub fn rsvd_default(a: &Mat, rank: usize, rng: &mut impl Rng) -> SvdFactors {
+    rsvd(a, &RsvdConfig::new(rank), rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpar2_linalg::random::gaussian_mat as gmat;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Low-rank-plus-noise matrix: rank `r` signal with noise at `eps`.
+    fn low_rank_noisy(i: usize, j: usize, r: usize, eps: f64, seed: u64) -> Mat {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = gmat(i, r, &mut rng);
+        let v = gmat(j, r, &mut rng);
+        let mut m = u.matmul_nt(&v).unwrap();
+        let noise = gmat(i, j, &mut rng);
+        m.axpy(eps, &noise);
+        m
+    }
+
+    #[test]
+    fn recovers_exact_low_rank() {
+        let a = low_rank_noisy(60, 40, 5, 0.0, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let f = rsvd_default(&a, 5, &mut rng);
+        let err = (&a - &f.reconstruct()).fro_norm() / a.fro_norm();
+        assert!(err < 1e-9, "exact low-rank not recovered: rel err {err}");
+    }
+
+    #[test]
+    fn near_optimal_on_noisy_low_rank() {
+        let a = low_rank_noisy(80, 50, 6, 0.01, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let f = rsvd_default(&a, 6, &mut rng);
+        let exact = dpar2_linalg::svd::svd_truncated(&a, 6);
+        let err_r = (&a - &f.reconstruct()).fro_norm();
+        let err_e = (&a - &exact.reconstruct()).fro_norm();
+        // Within 5% of the optimal rank-6 error.
+        assert!(err_r <= err_e * 1.05, "rsvd err {err_r} vs optimal {err_e}");
+    }
+
+    #[test]
+    fn factors_orthonormal() {
+        let a = low_rank_noisy(50, 30, 4, 0.1, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let f = rsvd_default(&a, 4, &mut rng);
+        assert!((&f.u.gram() - &Mat::eye(4)).fro_norm() < 1e-10);
+        assert!((&f.v.gram() - &Mat::eye(4)).fro_norm() < 1e-10);
+    }
+
+    #[test]
+    fn singular_values_sorted_and_close_to_exact() {
+        let a = low_rank_noisy(70, 45, 8, 0.001, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let f = rsvd_default(&a, 8, &mut rng);
+        for w in f.s.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        let exact = dpar2_linalg::svd::svd_truncated(&a, 8);
+        for (approx, truth) in f.s.iter().zip(&exact.s) {
+            assert!((approx - truth).abs() < 1e-3 * truth.max(1.0));
+        }
+    }
+
+    #[test]
+    fn power_iterations_improve_accuracy() {
+        // Slowly decaying spectrum: q=1 must beat q=0 (on average; the seed
+        // is fixed so this is deterministic).
+        let mut rng = StdRng::seed_from_u64(9);
+        let i = 100;
+        let j = 80;
+        let u = qr(&gmat(i, j, &mut rng)).q;
+        let v = qr(&gmat(j, j, &mut rng)).q;
+        let s: Vec<f64> = (0..j).map(|idx| 1.0 / (1.0 + idx as f64).sqrt()).collect();
+        let mut us = u.clone();
+        for row in 0..i {
+            let r = us.row_mut(row);
+            for (c, &sv) in s.iter().enumerate() {
+                r[c] *= sv;
+            }
+        }
+        let a = us.matmul_nt(&v).unwrap();
+
+        let mut rng0 = StdRng::seed_from_u64(10);
+        let f0 = rsvd(&a, &RsvdConfig::without_power_iterations(10), &mut rng0);
+        let mut rng1 = StdRng::seed_from_u64(10);
+        let f1 = rsvd(&a, &RsvdConfig { rank: 10, oversample: 8, power_iterations: 2 }, &mut rng1);
+        let e0 = (&a - &f0.reconstruct()).fro_norm();
+        let e1 = (&a - &f1.reconstruct()).fro_norm();
+        assert!(e1 <= e0 + 1e-12, "power iterations made things worse: {e1} > {e0}");
+    }
+
+    #[test]
+    fn small_matrix_falls_back_to_exact() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let mut rng = StdRng::seed_from_u64(11);
+        let f = rsvd_default(&a, 2, &mut rng);
+        let err = (&a - &f.reconstruct()).fro_norm();
+        assert!(err < 1e-10);
+    }
+
+    #[test]
+    fn rank_capped_by_dimensions() {
+        let a = gmat(5, 3, &mut StdRng::seed_from_u64(12));
+        let mut rng = StdRng::seed_from_u64(13);
+        let f = rsvd_default(&a, 10, &mut rng);
+        assert_eq!(f.s.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = low_rank_noisy(30, 20, 3, 0.05, 14);
+        let f1 = rsvd_default(&a, 3, &mut StdRng::seed_from_u64(15));
+        let f2 = rsvd_default(&a, 3, &mut StdRng::seed_from_u64(15));
+        assert_eq!(f1.s, f2.s);
+        assert!((&f1.u - &f2.u).fro_norm() < 1e-15);
+    }
+
+    #[test]
+    fn wide_matrix() {
+        let a = low_rank_noisy(20, 90, 4, 0.01, 16);
+        let mut rng = StdRng::seed_from_u64(17);
+        let f = rsvd_default(&a, 4, &mut rng);
+        assert_eq!(f.u.shape(), (20, 4));
+        assert_eq!(f.v.shape(), (90, 4));
+        let exact = dpar2_linalg::svd::svd_truncated(&a, 4);
+        let err_r = (&a - &f.reconstruct()).fro_norm();
+        let err_e = (&a - &exact.reconstruct()).fro_norm();
+        assert!(err_r <= err_e * 1.1);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let f = rsvd_default(&Mat::zeros(0, 5), 3, &mut rng);
+        assert!(f.s.is_empty());
+    }
+}

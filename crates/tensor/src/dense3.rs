@@ -1,0 +1,236 @@
+//! Regular third-order dense tensor with frontal-slice storage.
+
+use dpar2_linalg::Mat;
+
+/// A dense tensor `X ∈ R^{I×J×K}` stored as `K` frontal slices
+/// `X(:, :, k) ∈ R^{I×J}`.
+///
+/// Frontal-slice storage mirrors how the PARAFAC2 algorithms consume
+/// tensors: Algorithm 2 builds `Y ∈ R^{R×J×K}` from slices `Y_k = Q_kᵀ X_k`
+/// and immediately matricizes it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense3 {
+    slices: Vec<Mat>,
+    i: usize,
+    j: usize,
+}
+
+impl Dense3 {
+    /// Builds a tensor from `K` frontal slices of identical shape.
+    ///
+    /// # Panics
+    /// Panics if `slices` is empty or shapes differ.
+    pub fn from_frontal_slices(slices: Vec<Mat>) -> Self {
+        assert!(!slices.is_empty(), "Dense3: need at least one slice");
+        let (i, j) = slices[0].shape();
+        for (k, s) in slices.iter().enumerate() {
+            assert_eq!(s.shape(), (i, j), "Dense3: slice {k} has shape {:?}, expected {:?}", s.shape(), (i, j));
+        }
+        Dense3 { slices, i, j }
+    }
+
+    /// Zero tensor of shape `I × J × K`.
+    pub fn zeros(i: usize, j: usize, k: usize) -> Self {
+        assert!(k > 0, "Dense3: K must be positive");
+        Dense3 { slices: vec![Mat::zeros(i, j); k], i, j }
+    }
+
+    /// Mode-1 dimension `I`.
+    pub fn dim_i(&self) -> usize {
+        self.i
+    }
+
+    /// Mode-2 dimension `J`.
+    pub fn dim_j(&self) -> usize {
+        self.j
+    }
+
+    /// Mode-3 dimension `K`.
+    pub fn dim_k(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Entry accessor `x_{ijk}`.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize, k: usize) -> f64 {
+        self.slices[k].at(i, j)
+    }
+
+    /// Mutable entry accessor.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, k: usize, v: f64) {
+        self.slices[k].set(i, j, v);
+    }
+
+    /// Frontal slice `X(:, :, k)`.
+    pub fn slice(&self, k: usize) -> &Mat {
+        &self.slices[k]
+    }
+
+    /// All frontal slices.
+    pub fn slices(&self) -> &[Mat] {
+        &self.slices
+    }
+
+    /// Consumes the tensor, returning its frontal slices.
+    pub fn into_slices(self) -> Vec<Mat> {
+        self.slices
+    }
+
+    /// Squared Frobenius norm of the whole tensor.
+    pub fn fro_norm_sq(&self) -> f64 {
+        self.slices.iter().map(Mat::fro_norm_sq).sum()
+    }
+
+    /// Mode-1 matricization `X_(1) ∈ R^{I×JK}` (column `j + kJ`).
+    pub fn unfold1(&self) -> Mat {
+        let k_dim = self.dim_k();
+        let mut out = Mat::zeros(self.i, self.j * k_dim);
+        for (k, slice) in self.slices.iter().enumerate() {
+            for i in 0..self.i {
+                let dst = &mut out.row_mut(i)[k * self.j..(k + 1) * self.j];
+                dst.copy_from_slice(slice.row(i));
+            }
+        }
+        out
+    }
+
+    /// Mode-2 matricization `X_(2) ∈ R^{J×IK}` (column `i + kI`).
+    pub fn unfold2(&self) -> Mat {
+        let k_dim = self.dim_k();
+        let mut out = Mat::zeros(self.j, self.i * k_dim);
+        for (k, slice) in self.slices.iter().enumerate() {
+            for i in 0..self.i {
+                for j in 0..self.j {
+                    out.set(j, k * self.i + i, slice.at(i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Mode-3 matricization `X_(3) ∈ R^{K×IJ}` (column `i + jI`).
+    pub fn unfold3(&self) -> Mat {
+        let k_dim = self.dim_k();
+        let mut out = Mat::zeros(k_dim, self.i * self.j);
+        for (k, slice) in self.slices.iter().enumerate() {
+            let row = out.row_mut(k);
+            for j in 0..self.j {
+                for i in 0..self.i {
+                    row[j * self.i + i] = slice.at(i, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// Mode-`n` matricization for `n ∈ {1, 2, 3}`.
+    ///
+    /// # Panics
+    /// Panics for any other `n`.
+    pub fn unfold(&self, n: usize) -> Mat {
+        match n {
+            1 => self.unfold1(),
+            2 => self.unfold2(),
+            3 => self.unfold3(),
+            _ => panic!("unfold: mode must be 1, 2, or 3 (got {n})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2×3×2 tensor with distinct entries x_{ijk} = 100k + 10i + j.
+    fn sample() -> Dense3 {
+        let mut t = Dense3::zeros(2, 3, 2);
+        for k in 0..2 {
+            for i in 0..2 {
+                for j in 0..3 {
+                    t.set(i, j, k, (100 * k + 10 * i + j) as f64);
+                }
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn dims_and_access() {
+        let t = sample();
+        assert_eq!((t.dim_i(), t.dim_j(), t.dim_k()), (2, 3, 2));
+        assert_eq!(t.at(1, 2, 0), 12.0);
+        assert_eq!(t.at(0, 1, 1), 101.0);
+    }
+
+    #[test]
+    fn unfold1_layout() {
+        // Column j + kJ must hold fiber x_{: , j, k}.
+        let t = sample();
+        let u = t.unfold1();
+        assert_eq!(u.shape(), (2, 6));
+        for k in 0..2 {
+            for j in 0..3 {
+                for i in 0..2 {
+                    assert_eq!(u.at(i, j + k * 3), t.at(i, j, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unfold2_layout() {
+        let t = sample();
+        let u = t.unfold2();
+        assert_eq!(u.shape(), (3, 4));
+        for k in 0..2 {
+            for i in 0..2 {
+                for j in 0..3 {
+                    assert_eq!(u.at(j, i + k * 2), t.at(i, j, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unfold3_layout() {
+        let t = sample();
+        let u = t.unfold3();
+        assert_eq!(u.shape(), (2, 6));
+        for k in 0..2 {
+            for j in 0..3 {
+                for i in 0..2 {
+                    assert_eq!(u.at(k, i + j * 2), t.at(i, j, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fro_norm_matches_unfoldings() {
+        let t = sample();
+        let n = t.fro_norm_sq();
+        assert!((n - t.unfold1().fro_norm_sq()).abs() < 1e-9);
+        assert!((n - t.unfold2().fro_norm_sq()).abs() < 1e-9);
+        assert!((n - t.unfold3().fro_norm_sq()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_frontal_slices_roundtrip() {
+        let t = sample();
+        let rebuilt = Dense3::from_frontal_slices(t.slices().to_vec());
+        assert_eq!(rebuilt, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice 1 has shape")]
+    fn mismatched_slices_panic() {
+        Dense3::from_frontal_slices(vec![Mat::zeros(2, 2), Mat::zeros(3, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mode must be 1, 2, or 3")]
+    fn invalid_mode_panics() {
+        sample().unfold(4);
+    }
+}

@@ -1,0 +1,155 @@
+//! The irregular tensor `{X_k}_{k=1..K}` — the paper's central data type.
+
+use dpar2_linalg::Mat;
+
+/// An irregular dense tensor: `K` frontal slices `X_k ∈ R^{I_k×J}` whose
+/// row counts `I_k` differ while the column dimension `J` is shared.
+///
+/// Examples from the paper: per-stock (time × feature) matrices with
+/// different listing periods, per-song (time × frequency) spectrograms with
+/// different durations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrregularTensor {
+    slices: Vec<Mat>,
+    j: usize,
+}
+
+impl IrregularTensor {
+    /// Builds an irregular tensor from slices, validating the shared `J`.
+    ///
+    /// # Panics
+    /// Panics if `slices` is empty or column counts differ.
+    pub fn new(slices: Vec<Mat>) -> Self {
+        assert!(!slices.is_empty(), "IrregularTensor: need at least one slice");
+        let j = slices[0].cols();
+        for (k, s) in slices.iter().enumerate() {
+            assert_eq!(s.cols(), j, "IrregularTensor: slice {k} has {} columns, expected {j}", s.cols());
+        }
+        IrregularTensor { slices, j }
+    }
+
+    /// Wraps a regular tensor (equal `I_k`) in the irregular interface, as
+    /// the paper does for the Traffic and PEMS-SF datasets.
+    pub fn from_regular(t: crate::Dense3) -> Self {
+        IrregularTensor::new(t.into_slices())
+    }
+
+    /// Number of slices `K`.
+    pub fn k(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Shared column dimension `J`.
+    pub fn j(&self) -> usize {
+        self.j
+    }
+
+    /// Row count `I_k` of slice `k`.
+    pub fn i(&self, k: usize) -> usize {
+        self.slices[k].rows()
+    }
+
+    /// All slice row counts `[I_1, …, I_K]`.
+    pub fn row_dims(&self) -> Vec<usize> {
+        self.slices.iter().map(Mat::rows).collect()
+    }
+
+    /// Largest slice row count, `max_k I_k` (the "Max Dim. I_k" column of
+    /// Table II).
+    pub fn max_i(&self) -> usize {
+        self.slices.iter().map(Mat::rows).max().unwrap_or(0)
+    }
+
+    /// Total number of rows `Σ_k I_k`.
+    pub fn total_rows(&self) -> usize {
+        self.slices.iter().map(Mat::rows).sum()
+    }
+
+    /// Total number of stored `f64` entries, `Σ_k I_k · J`.
+    pub fn num_entries(&self) -> usize {
+        self.total_rows() * self.j
+    }
+
+    /// Slice `X_k`.
+    pub fn slice(&self, k: usize) -> &Mat {
+        &self.slices[k]
+    }
+
+    /// All slices.
+    pub fn slices(&self) -> &[Mat] {
+        &self.slices
+    }
+
+    /// Consumes the tensor, returning the slices.
+    pub fn into_slices(self) -> Vec<Mat> {
+        self.slices
+    }
+
+    /// Squared Frobenius norm `Σ_k ‖X_k‖²_F` — the denominator of the
+    /// paper's fitness metric (§IV-A).
+    pub fn fro_norm_sq(&self) -> f64 {
+        self.slices.iter().map(Mat::fro_norm_sq).sum()
+    }
+
+    /// True if all slices have identical row counts (a regular tensor in
+    /// the irregular representation).
+    pub fn is_regular(&self) -> bool {
+        self.slices.windows(2).all(|w| w[0].rows() == w[1].rows())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dense3;
+
+    fn sample() -> IrregularTensor {
+        IrregularTensor::new(vec![Mat::ones(2, 3), Mat::ones(5, 3), Mat::ones(1, 3)])
+    }
+
+    #[test]
+    fn shape_queries() {
+        let t = sample();
+        assert_eq!(t.k(), 3);
+        assert_eq!(t.j(), 3);
+        assert_eq!(t.i(1), 5);
+        assert_eq!(t.row_dims(), vec![2, 5, 1]);
+        assert_eq!(t.max_i(), 5);
+        assert_eq!(t.total_rows(), 8);
+        assert_eq!(t.num_entries(), 24);
+    }
+
+    #[test]
+    fn fro_norm_sums_slices() {
+        let t = sample();
+        assert!((t.fro_norm_sq() - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regularity_detection() {
+        assert!(!sample().is_regular());
+        let reg = IrregularTensor::new(vec![Mat::ones(2, 3); 4]);
+        assert!(reg.is_regular());
+    }
+
+    #[test]
+    fn from_regular_tensor() {
+        let d = Dense3::zeros(4, 5, 6);
+        let t = IrregularTensor::from_regular(d);
+        assert_eq!(t.k(), 6);
+        assert_eq!(t.j(), 5);
+        assert!(t.is_regular());
+    }
+
+    #[test]
+    #[should_panic(expected = "slice 1 has 4 columns")]
+    fn column_mismatch_panics() {
+        IrregularTensor::new(vec![Mat::zeros(2, 3), Mat::zeros(2, 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slice")]
+    fn empty_panics() {
+        IrregularTensor::new(vec![]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Head-to-head comparison of all four PARAFAC2 solvers on one dataset —
+//! a miniature of the paper's Fig. 1 experiment, showing the shared
+//! `Parafac2Fit` interface across methods.
+//!
+//! ```text
+//! cargo run --release --example method_comparison
+//! ```
+
+use dpar2_repro::baselines::{fit_with, AlsConfig, Method};
+use dpar2_repro::data::registry;
+
+fn main() {
+    // Activity-sim at 30% scale: small enough to run all four methods in
+    // seconds, large enough for meaningful timing differences.
+    let spec = registry().into_iter().find(|s| s.name == "Activity-sim").expect("spec");
+    let tensor = spec.generate_scaled(0.3, 11);
+    println!(
+        "dataset: {} at scale 0.3 (max I_k = {}, J = {}, K = {})\n",
+        spec.name,
+        tensor.max_i(),
+        tensor.j(),
+        tensor.k()
+    );
+
+    let config = AlsConfig::new(10).with_max_iterations(32).with_seed(5);
+    println!(
+        "{:>14}  {:>10} {:>12} {:>10} {:>8} {:>7}",
+        "method", "total", "preprocess", "per-iter", "fitness", "iters"
+    );
+    for method in Method::ALL {
+        let fit = fit_with(method, &tensor, &config).expect("solver failed");
+        println!(
+            "{:>14}  {:>9.0}ms {:>11.0}ms {:>9.2}ms {:>8.4} {:>7}",
+            method.name(),
+            fit.timing.total_secs * 1e3,
+            fit.timing.preprocess_secs * 1e3,
+            fit.timing.mean_iteration_secs() * 1e3,
+            fit.fitness(&tensor),
+            fit.iterations,
+        );
+    }
+    println!("\nExpected shape (paper Fig. 1/9): DPar2 cheapest per iteration with");
+    println!("fitness comparable to the ALS baselines; RD-ALS pays a large");
+    println!("preprocessing cost plus true-error convergence checks.");
+}

@@ -1,0 +1,29 @@
+//! # dpar2-repro
+//!
+//! Umbrella crate for the Rust reproduction of *"DPar2: Fast and Scalable
+//! PARAFAC2 Decomposition for Irregular Dense Tensors"* (Jang & Kang,
+//! ICDE 2022).
+//!
+//! This crate re-exports every sub-crate of the workspace so that examples,
+//! integration tests, and downstream users can depend on a single package:
+//!
+//! * [`linalg`] — dense linear algebra (gemm, QR, SVD, eig, pinv).
+//! * [`tensor`] — regular/irregular tensors, matricization, ⊗/⊙/∗ products.
+//! * [`rsvd`] — randomized SVD (Algorithm 1).
+//! * [`parallel`] — thread pool + greedy slice partitioning (Algorithm 4).
+//! * [`core`] — the DPar2 solver (Algorithm 3).
+//! * [`baselines`] — PARAFAC2-ALS, RD-ALS, SPARTan-dense (Algorithm 2 & §V).
+//! * [`data`] — synthetic stand-ins for the paper's eight datasets.
+//! * [`analysis`] — feature correlations, stock similarity, k-NN, RWR (§IV-E).
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full system
+//! inventory.
+
+pub use dpar2_analysis as analysis;
+pub use dpar2_baselines as baselines;
+pub use dpar2_core as core;
+pub use dpar2_data as data;
+pub use dpar2_linalg as linalg;
+pub use dpar2_parallel as parallel;
+pub use dpar2_rsvd as rsvd;
+pub use dpar2_tensor as tensor;

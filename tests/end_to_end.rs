@@ -1,0 +1,114 @@
+//! Cross-crate integration tests: the full pipeline from data generation
+//! through decomposition to analysis, plus cross-method validation.
+
+use dpar2_repro::baselines::{fit_with, AlsConfig, Method};
+use dpar2_repro::core::{Dpar2, Dpar2Config};
+use dpar2_repro::data::{planted_parafac2, registry, tenrand_irregular};
+
+/// All four solvers must reach comparable fitness on planted data — the
+/// paper's "comparable accuracy" claim (Fig. 1).
+#[test]
+fn all_methods_agree_on_planted_data() {
+    let tensor = planted_parafac2(&[40, 60, 35, 50], 24, 4, 0.1, 1001);
+    let config = AlsConfig::new(4).with_max_iterations(20).with_seed(7);
+    let mut fitnesses = Vec::new();
+    for method in Method::ALL {
+        let fit = fit_with(method, &tensor, &config).expect("solver failed");
+        let f = fit.fitness(&tensor);
+        assert!(f > 0.9, "{} fitness {f}", method.name());
+        fitnesses.push((method.name(), f));
+    }
+    let max = fitnesses.iter().map(|&(_, f)| f).fold(f64::MIN, f64::max);
+    let min = fitnesses.iter().map(|&(_, f)| f).fold(f64::MAX, f64::min);
+    assert!(
+        max - min < 0.05,
+        "methods disagree beyond tolerance: {fitnesses:?}"
+    );
+}
+
+/// DPar2 runs on every Table II dataset stand-in at smoke scale.
+#[test]
+fn dpar2_runs_on_every_registry_dataset() {
+    for spec in registry() {
+        let tensor = spec.generate_scaled(0.1, 5);
+        let fit = Dpar2::new(Dpar2Config::new(6).with_seed(6).with_max_iterations(8))
+            .fit(&tensor)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", spec.name));
+        let f = fit.fitness(&tensor);
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&f),
+            "{}: fitness {f} out of range",
+            spec.name
+        );
+        assert!(f > 0.3, "{}: implausibly low fitness {f}", spec.name);
+        assert_eq!(fit.v.shape(), (tensor.j(), 6), "{}: V shape", spec.name);
+    }
+}
+
+/// Rank sweep: higher rank must never reduce achievable fitness on the
+/// same data (more expressive model).
+#[test]
+fn fitness_monotone_in_rank() {
+    let tensor = planted_parafac2(&[50, 70, 40], 30, 6, 0.2, 1002);
+    let mut last = 0.0;
+    for rank in [2usize, 4, 6] {
+        let fit = Dpar2::new(Dpar2Config::new(rank).with_seed(8).with_max_iterations(20))
+            .fit(&tensor)
+            .expect("fit failed");
+        let f = fit.fitness(&tensor);
+        assert!(
+            f > last - 0.02,
+            "fitness dropped from {last} to {f} at rank {rank}"
+        );
+        last = f;
+    }
+}
+
+/// The compressed convergence criterion must track the true reconstruction
+/// error: when DPar2 says it converged, the true fitness must be stable too.
+#[test]
+fn compressed_criterion_tracks_true_error() {
+    let tensor = planted_parafac2(&[45, 55, 60], 20, 3, 0.15, 1003);
+    let short = Dpar2::new(Dpar2Config::new(3).with_seed(9).with_max_iterations(6).with_tolerance(0.0))
+        .fit(&tensor)
+        .unwrap();
+    let long = Dpar2::new(Dpar2Config::new(3).with_seed(9).with_max_iterations(30).with_tolerance(0.0))
+        .fit(&tensor)
+        .unwrap();
+    // More iterations → criterion and true error both improve (or hold).
+    assert!(long.criterion_trace.last().unwrap() <= short.criterion_trace.last().unwrap());
+    assert!(long.fitness(&tensor) >= short.fitness(&tensor) - 1e-6);
+}
+
+/// tenrand tensors (the paper's scalability workload) have no low-rank
+/// structure: fitness is low but everything must still be well-behaved.
+#[test]
+fn tenrand_low_fitness_but_valid() {
+    let tensor = tenrand_irregular(40, 30, 12, 1004);
+    let fit = Dpar2::new(Dpar2Config::new(5).with_seed(10).with_max_iterations(8))
+        .fit(&tensor)
+        .unwrap();
+    let f = fit.fitness(&tensor);
+    // Uniform[0,1) tensors have a large rank-1 "DC" component, so fitness
+    // is meaningful but far from 1.
+    assert!(f > 0.5 && f < 0.99, "unexpected tenrand fitness {f}");
+    for k in 0..tensor.k() {
+        assert_eq!(fit.u[k].shape(), (40, 5));
+    }
+}
+
+/// PARAFAC2 constraint: the cross-product U_kᵀU_k is slice-invariant for
+/// every solver.
+#[test]
+fn cross_product_invariance_all_methods() {
+    let tensor = planted_parafac2(&[30, 45, 25], 18, 3, 0.1, 1005);
+    let config = AlsConfig::new(3).with_max_iterations(10).with_seed(11);
+    for method in Method::ALL {
+        let fit = fit_with(method, &tensor, &config).expect("solver failed");
+        let reference = fit.u[0].gram();
+        for k in 1..tensor.k() {
+            let dev = (&fit.u[k].gram() - &reference).fro_norm() / (1.0 + reference.fro_norm());
+            assert!(dev < 1e-6, "{}: U_kᵀU_k varies across slices ({dev})", method.name());
+        }
+    }
+}
