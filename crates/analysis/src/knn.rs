@@ -10,10 +10,8 @@ use dpar2_linalg::Mat;
 /// Panics if `target` is out of range.
 pub fn top_k_neighbors(sim: &Mat, target: usize, k: usize) -> Vec<(usize, f64)> {
     assert!(target < sim.rows(), "top_k_neighbors: target out of range");
-    let mut pairs: Vec<(usize, f64)> = (0..sim.rows())
-        .filter(|&i| i != target)
-        .map(|i| (i, sim.at(target, i)))
-        .collect();
+    let mut pairs: Vec<(usize, f64)> =
+        (0..sim.rows()).filter(|&i| i != target).map(|i| (i, sim.at(target, i))).collect();
     pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN similarity").then(a.0.cmp(&b.0)));
     pairs.truncate(k);
     pairs

@@ -12,11 +12,7 @@ use dpar2_linalg::Mat;
 /// # Panics
 /// Panics if the shapes differ.
 pub fn stock_similarity(u_i: &Mat, u_j: &Mat, gamma: f64) -> f64 {
-    assert_eq!(
-        u_i.shape(),
-        u_j.shape(),
-        "stock_similarity: factors must share the time range"
-    );
+    assert_eq!(u_i.shape(), u_j.shape(), "stock_similarity: factors must share the time range");
     (-gamma * (u_i - u_j).fro_norm_sq()).exp()
 }
 

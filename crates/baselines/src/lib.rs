@@ -53,7 +53,8 @@ pub enum Method {
 
 impl Method {
     /// All methods in the order the paper's figures list them.
-    pub const ALL: [Method; 4] = [Method::Dpar2, Method::RdAls, Method::Parafac2Als, Method::Spartan];
+    pub const ALL: [Method; 4] =
+        [Method::Dpar2, Method::RdAls, Method::Parafac2Als, Method::Spartan];
 
     /// Display name matching the paper's figures.
     pub fn name(&self) -> &'static str {
@@ -70,7 +71,11 @@ impl Method {
 ///
 /// # Errors
 /// Propagates rank-validation errors (identical across methods).
-pub fn fit_with(method: Method, tensor: &IrregularTensor, config: &AlsConfig) -> Result<Parafac2Fit> {
+pub fn fit_with(
+    method: Method,
+    tensor: &IrregularTensor,
+    config: &AlsConfig,
+) -> Result<Parafac2Fit> {
     match method {
         Method::Dpar2 => {
             let cfg = Dpar2Config::new(config.rank)

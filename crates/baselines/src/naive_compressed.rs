@@ -82,9 +82,8 @@ mod tests {
     #[test]
     fn timing_includes_compression() {
         let t = planted(&[25, 30], 12, 2, 0.1, 905);
-        let fit = NaiveCompressedAls::new(AlsConfig::new(2).with_max_iterations(4))
-            .fit(&t)
-            .unwrap();
+        let fit =
+            NaiveCompressedAls::new(AlsConfig::new(2).with_max_iterations(4)).fit(&t).unwrap();
         assert!(fit.timing.preprocess_secs > 0.0);
     }
 }

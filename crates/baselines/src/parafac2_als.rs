@@ -13,7 +13,9 @@
 //! every iteration touches the raw slices (`O(Σ_k I_k J R)`) and pays the
 //! `O(J K R²)` MTTKRP with `O(J K R)` intermediates.
 
-use crate::common::{init_v, scale_columns, true_error_sq, update_q, validate_rank, AlsConfig};
+use crate::common::{
+    converged, init_v, scale_columns, true_error_sq, update_q, validate_rank, AlsConfig,
+};
 use dpar2_core::{Parafac2Fit, Result, TimingBreakdown};
 use dpar2_linalg::{pinv, Mat};
 use dpar2_tensor::{mttkrp, normalize_columns, Dense3, IrregularTensor};
@@ -51,6 +53,9 @@ impl Parafac2Als {
         let mut per_iteration_secs = Vec::new();
         let mut iterations = 0;
 
+        // Data norm for the absolute branch of the shared stopping rule.
+        let x_norm_sq = tensor.fro_norm_sq();
+
         for _iter in 0..self.config.max_iterations {
             let it0 = Instant::now();
 
@@ -72,28 +77,30 @@ impl Parafac2Als {
 
             // Lines 11–16: one naive CP-ALS iteration on Y.
             let g1 = mttkrp(&y, &h, &v, &w, 1);
-            h = g1.matmul(&pinv(&w.gram().hadamard(&v.gram()).expect("WᵀW∗VᵀV")))
+            h = g1
+                .matmul(&pinv(&w.gram().hadamard(&v.gram()).expect("WᵀW∗VᵀV")))
                 .expect("H update");
             let (hn, _) = normalize_columns(&h);
             h = hn;
 
             let g2 = mttkrp(&y, &h, &v, &w, 2);
-            v = g2.matmul(&pinv(&w.gram().hadamard(&h.gram()).expect("WᵀW∗HᵀH")))
+            v = g2
+                .matmul(&pinv(&w.gram().hadamard(&h.gram()).expect("WᵀW∗HᵀH")))
                 .expect("V update");
             let (vn, _) = normalize_columns(&v);
             v = vn;
 
             let g3 = mttkrp(&y, &h, &v, &w, 3);
-            w = g3.matmul(&pinv(&v.gram().hadamard(&h.gram()).expect("VᵀV∗HᵀH")))
+            w = g3
+                .matmul(&pinv(&v.gram().hadamard(&h.gram()).expect("VᵀV∗HᵀH")))
                 .expect("W update");
 
             iterations += 1;
             // Line 17: true reconstruction error.
             let err = true_error_sq(tensor, &qs, &h, &w, &v);
             per_iteration_secs.push(it0.elapsed().as_secs_f64());
-            let done = criterion_trace.last().is_some_and(|&prev: &f64| {
-                (prev - err) / prev.max(1e-300) < self.config.tolerance
-            });
+            let done =
+                converged(criterion_trace.last().copied(), err, x_norm_sq, self.config.tolerance);
             criterion_trace.push(err);
             if done {
                 break;
@@ -130,7 +137,13 @@ pub(crate) mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    pub(crate) fn planted(row_dims: &[usize], j: usize, r: usize, noise: f64, seed: u64) -> IrregularTensor {
+    pub(crate) fn planted(
+        row_dims: &[usize],
+        j: usize,
+        r: usize,
+        noise: f64,
+        seed: u64,
+    ) -> IrregularTensor {
         let mut rng = StdRng::seed_from_u64(seed);
         let h = gaussian_mat(r, r, &mut rng);
         let v = gaussian_mat(j, r, &mut rng);
@@ -139,7 +152,7 @@ pub(crate) mod tests {
             .map(|&ik| {
                 let q = qr::qr(&gaussian_mat(ik, r, &mut rng)).q;
                 let sk: Vec<f64> =
-                    (0..r).map(|i| 1.0 + 0.3 * i as f64 + rng.gen::<f64>()).collect();
+                    (0..r).map(|i| 1.0 + 0.3 * i as f64 + rng.random::<f64>()).collect();
                 let mut qh = q.matmul(&h).unwrap();
                 scale_columns(&mut qh, &sk);
                 let mut x = qh.matmul_nt(&v).unwrap();
@@ -168,7 +181,11 @@ pub(crate) mod tests {
             .fit(&t)
             .unwrap();
         for pair in fit.criterion_trace.windows(2) {
-            assert!(pair[1] <= pair[0] * (1.0 + 1e-9), "ALS error increased: {:?}", fit.criterion_trace);
+            assert!(
+                pair[1] <= pair[0] * (1.0 + 1e-9),
+                "ALS error increased: {:?}",
+                fit.criterion_trace
+            );
         }
     }
 

@@ -23,7 +23,9 @@
 //!    (Fig. 9(b): up to 10.3× slower iterations than DPar2's compressed
 //!    criterion).
 
-use crate::common::{init_v, scale_columns, true_error_sq, update_q, validate_rank, AlsConfig};
+use crate::common::{
+    converged, init_v, scale_columns, true_error_sq, update_q, validate_rank, AlsConfig,
+};
 use dpar2_core::{Parafac2Fit, Result, TimingBreakdown};
 use dpar2_linalg::{pinv, svd::svd_truncated, Mat};
 use dpar2_tensor::{mttkrp, normalize_columns, Dense3, IrregularTensor};
@@ -89,6 +91,9 @@ impl RdAls {
         let mut per_iteration_secs = Vec::new();
         let mut iterations = 0;
 
+        // Data norm for the absolute branch of the shared stopping rule.
+        let x_norm_sq = tensor.fro_norm_sq();
+
         for _iter in 0..self.config.max_iterations {
             let it0 = Instant::now();
 
@@ -107,19 +112,22 @@ impl RdAls {
             let y = Dense3::from_frontal_slices(yks);
 
             let g1 = mttkrp(&y, &h, &v_t, &w, 1);
-            h = g1.matmul(&pinv(&w.gram().hadamard(&v_t.gram()).expect("WᵀW∗ṼᵀṼ")))
+            h = g1
+                .matmul(&pinv(&w.gram().hadamard(&v_t.gram()).expect("WᵀW∗ṼᵀṼ")))
                 .expect("H update");
             let (hn, _) = normalize_columns(&h);
             h = hn;
 
             let g2 = mttkrp(&y, &h, &v_t, &w, 2);
-            v_t = g2.matmul(&pinv(&w.gram().hadamard(&h.gram()).expect("WᵀW∗HᵀH")))
+            v_t = g2
+                .matmul(&pinv(&w.gram().hadamard(&h.gram()).expect("WᵀW∗HᵀH")))
                 .expect("Ṽ update");
             let (vn, _) = normalize_columns(&v_t);
             v_t = vn;
 
             let g3 = mttkrp(&y, &h, &v_t, &w, 3);
-            w = g3.matmul(&pinv(&v_t.gram().hadamard(&h.gram()).expect("ṼᵀṼ∗HᵀH")))
+            w = g3
+                .matmul(&pinv(&v_t.gram().hadamard(&h.gram()).expect("ṼᵀṼ∗HᵀH")))
                 .expect("W update");
 
             iterations += 1;
@@ -128,9 +136,8 @@ impl RdAls {
             let v_full = v_c.matmul(&v_t).expect("V_c·Ṽ");
             let err = true_error_sq(tensor, &qs, &h, &w, &v_full);
             per_iteration_secs.push(it0.elapsed().as_secs_f64());
-            let done = criterion_trace.last().is_some_and(|&prev: &f64| {
-                (prev - err) / prev.max(1e-300) < self.config.tolerance
-            });
+            let done =
+                converged(criterion_trace.last().copied(), err, x_norm_sq, self.config.tolerance);
             criterion_trace.push(err);
             if done {
                 break;

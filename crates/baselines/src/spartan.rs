@@ -16,7 +16,9 @@
 //!   (`Σ_k Y_k-contributions`) with per-thread partial sums instead of
 //!   materialized unfoldings.
 
-use crate::common::{init_v, scale_columns, true_error_sq, update_q, validate_rank, AlsConfig};
+use crate::common::{
+    converged, init_v, scale_columns, true_error_sq, update_q, validate_rank, AlsConfig,
+};
 use dpar2_core::{Parafac2Fit, Result, TimingBreakdown};
 use dpar2_linalg::{pinv, Mat};
 use dpar2_parallel::{greedy_partition, ThreadPool};
@@ -27,12 +29,17 @@ use std::time::Instant;
 #[derive(Debug, Clone)]
 pub struct SpartanDense {
     config: AlsConfig,
+    /// Worker-pool handle (validated thread count), constructed once in
+    /// [`SpartanDense::new`] — mirrors `dpar2_core::Dpar2`. Workers are
+    /// scoped per call; see [`dpar2_parallel::ThreadPool`].
+    pool: ThreadPool,
 }
 
 impl SpartanDense {
     /// Creates a solver with the given configuration.
     pub fn new(config: AlsConfig) -> Self {
-        SpartanDense { config }
+        let pool = ThreadPool::new(config.threads.max(1));
+        SpartanDense { config, pool }
     }
 
     /// Fits the PARAFAC2 model with slice-parallel scheduling.
@@ -44,7 +51,7 @@ impl SpartanDense {
         let r = self.config.rank;
         validate_rank(tensor, r)?;
         let k_dim = tensor.k();
-        let pool = ThreadPool::new(self.config.threads.max(1));
+        let pool = self.pool;
         // Slice partition by row count — SPARTan parallelizes over slices;
         // we reuse the greedy policy so thread counts compare fairly.
         let partition = greedy_partition(&tensor.row_dims(), pool.threads());
@@ -57,6 +64,9 @@ impl SpartanDense {
         let mut criterion_trace = Vec::new();
         let mut per_iteration_secs = Vec::new();
         let mut iterations = 0;
+
+        // Data norm for the absolute branch of the shared stopping rule.
+        let x_norm_sq = tensor.fro_norm_sq();
 
         for _iter in 0..self.config.max_iterations {
             let it0 = Instant::now();
@@ -78,27 +88,29 @@ impl SpartanDense {
 
             // Slice-wise parallel MTTKRP + factor updates.
             let g1 = par_mttkrp_mode1(&yks, &v, &w, &pool);
-            h = g1.matmul(&pinv(&w.gram().hadamard(&v.gram()).expect("WᵀW∗VᵀV")))
+            h = g1
+                .matmul(&pinv(&w.gram().hadamard(&v.gram()).expect("WᵀW∗VᵀV")))
                 .expect("H update");
             let (hn, _) = normalize_columns(&h);
             h = hn;
 
             let g2 = par_mttkrp_mode2(&yks, &h, &w, &pool);
-            v = g2.matmul(&pinv(&w.gram().hadamard(&h.gram()).expect("WᵀW∗HᵀH")))
+            v = g2
+                .matmul(&pinv(&w.gram().hadamard(&h.gram()).expect("WᵀW∗HᵀH")))
                 .expect("V update");
             let (vn, _) = normalize_columns(&v);
             v = vn;
 
             let g3 = par_mttkrp_mode3(&yks, &h, &v, &pool);
-            w = g3.matmul(&pinv(&v.gram().hadamard(&h.gram()).expect("VᵀV∗HᵀH")))
+            w = g3
+                .matmul(&pinv(&v.gram().hadamard(&h.gram()).expect("VᵀV∗HᵀH")))
                 .expect("W update");
 
             iterations += 1;
             let err = true_error_sq(tensor, &qs, &h, &w, &v);
             per_iteration_secs.push(it0.elapsed().as_secs_f64());
-            let done = criterion_trace.last().is_some_and(|&prev: &f64| {
-                (prev - err) / prev.max(1e-300) < self.config.tolerance
-            });
+            let done =
+                converged(criterion_trace.last().copied(), err, x_norm_sq, self.config.tolerance);
             criterion_trace.push(err);
             if done {
                 break;
@@ -197,10 +209,7 @@ fn par_mttkrp_mode3(yks: &[Mat], h: &Mat, v: &Mat, pool: &ThreadPool) -> Mat {
 fn chunk_ranges(n: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
     let threads = threads.max(1).min(n.max(1));
     let chunk = n.div_ceil(threads).max(1);
-    (0..threads)
-        .map(|t| t * chunk..((t + 1) * chunk).min(n))
-        .filter(|r| !r.is_empty())
-        .collect()
+    (0..threads).map(|t| t * chunk..((t + 1) * chunk).min(n)).filter(|r| !r.is_empty()).collect()
 }
 
 fn sum_mats(mut mats: Vec<Mat>) -> Mat {

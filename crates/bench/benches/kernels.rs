@@ -18,11 +18,11 @@ use dpar2_core::compress::compress;
 use dpar2_core::config::Dpar2Config;
 use dpar2_core::convergence::compressed_criterion;
 use dpar2_core::lemmas::{g1, g2, g3, materialize_y, naive_g1, naive_g2, naive_g3};
+use dpar2_data::planted_parafac2;
 use dpar2_linalg::random::gaussian_mat;
 use dpar2_linalg::{svd_truncated, Mat};
 use dpar2_parallel::{greedy_partition, round_robin_partition, ThreadPool};
 use dpar2_rsvd::{rsvd, RsvdConfig};
-use dpar2_data::planted_parafac2;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -118,17 +118,13 @@ fn bench_lemma_kernels(c: &mut Criterion) {
     let pool = ThreadPool::new(1);
     let y = materialize_y(&fx.pzf, &fx.edt);
 
-    group.bench_function("g1_lemma", |b| {
-        b.iter(|| black_box(g1(&fx.pzf, &fx.w, &fx.edtv, &pool)))
-    });
+    group.bench_function("g1_lemma", |b| b.iter(|| black_box(g1(&fx.pzf, &fx.w, &fx.edtv, &pool))));
     group.bench_function("g1_naive", |b| b.iter(|| black_box(naive_g1(&y, &fx.v, &fx.w))));
     group.bench_function("g2_lemma", |b| {
         b.iter(|| black_box(g2(&fx.pzf, &fx.w, &fx.h, &fx.de, &pool)))
     });
     group.bench_function("g2_naive", |b| b.iter(|| black_box(naive_g2(&y, &fx.h, &fx.w))));
-    group.bench_function("g3_lemma", |b| {
-        b.iter(|| black_box(g3(&fx.pzf, &fx.edtv, &fx.h, &pool)))
-    });
+    group.bench_function("g3_lemma", |b| b.iter(|| black_box(g3(&fx.pzf, &fx.edtv, &fx.h, &pool))));
     group.bench_function("g3_naive", |b| b.iter(|| black_box(naive_g3(&y, &fx.h, &fx.v))));
     group.finish();
 }

@@ -104,10 +104,7 @@ fn rank_axis(cfg: &HarnessConfig) {
         cells.push(format!("{:.1}x", best_other / times[0].max(1e-12)));
         rows.push(cells);
     }
-    print_table(
-        &["R", "DPar2", "RD-ALS", "PARAFAC2-ALS", "SPARTan", "best-other/DPar2"],
-        &rows,
-    );
+    print_table(&["R", "DPar2", "RD-ALS", "PARAFAC2-ALS", "SPARTan", "best-other/DPar2"], &rows);
     println!("\nPaper shape: DPar2 fastest at every rank; the gap narrows as R grows");
     println!("(paper: 15.9x at R=10 down to 7.0x at R=50) because randomized SVD is");
     println!("designed for low target ranks.");
@@ -148,10 +145,7 @@ fn thread_axis(cfg: &HarnessConfig) {
             format!("{:.2}x", threads as f64 / imb),
         ]);
     }
-    print_table(
-        &["threads", "total", "T1/TM", "greedy imbalance", "ideal speedup (T/imb)"],
-        &rows,
-    );
+    print_table(&["threads", "total", "T1/TM", "greedy imbalance", "ideal speedup (T/imb)"], &rows);
     println!("\nPaper shape: near-linear scaling, 5.5x at 10 threads (slope 0.56). The");
     println!("'ideal speedup' column shows what Algorithm 4's partition supports on a");
     println!("machine with enough cores: imbalance stays ~1.0, so scaling is work-limited,");

@@ -69,9 +69,8 @@ fn main() {
 
         // Summarize the paper's focal quantities.
         let price_idx = [0usize, 1, 2, 3];
-        let mean_with_prices = |row: usize| -> f64 {
-            price_idx.iter().map(|&p| pcc.at(row, p)).sum::<f64>() / 4.0
-        };
+        let mean_with_prices =
+            |row: usize| -> f64 { price_idx.iter().map(|&p| pcc.at(row, p)).sum::<f64>() / 4.0 };
         println!("\n  mean PCC with the 4 price features:");
         for (row, label) in [(4usize, "ATR"), (5, "STOCH"), (6, "OBV"), (7, "MACD")] {
             println!("    {label:>6}: {:+.3}", mean_with_prices(row));

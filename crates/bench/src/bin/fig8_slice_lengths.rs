@@ -17,7 +17,10 @@ fn main() {
 
     for (name, config) in [
         ("US-Stock-sim", StockMarketConfig::us_like(n_stocks, max_days, cfg.seed)),
-        ("KR-Stock-sim", StockMarketConfig::kr_like((n_stocks * 3) / 4, (max_days * 7) / 10, cfg.seed + 1)),
+        (
+            "KR-Stock-sim",
+            StockMarketConfig::kr_like((n_stocks * 3) / 4, (max_days * 7) / 10, cfg.seed + 1),
+        ),
     ] {
         let ds = generate(&config);
         let mut lengths = ds.tensor.row_dims();

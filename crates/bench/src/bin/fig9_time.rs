@@ -18,7 +18,10 @@ fn main() {
     let phase = args.get_str("phase", "both");
 
     if phase == "preprocess" || phase == "both" {
-        println!("== Fig. 9(a): preprocessing time, DPar2 vs RD-ALS (scale {}, R={}) ==\n", cfg.scale, cfg.rank);
+        println!(
+            "== Fig. 9(a): preprocessing time, DPar2 vs RD-ALS (scale {}, R={}) ==\n",
+            cfg.scale, cfg.rank
+        );
         let mut rows = Vec::new();
         for spec in registry() {
             let tensor = spec.generate_scaled(cfg.scale, cfg.seed);
@@ -45,21 +48,23 @@ fn main() {
     }
 
     if phase == "iteration" || phase == "both" {
-        println!("== Fig. 9(b): time per iteration, all methods (scale {}, R={}) ==\n", cfg.scale, cfg.rank);
+        println!(
+            "== Fig. 9(b): time per iteration, all methods (scale {}, R={}) ==\n",
+            cfg.scale, cfg.rank
+        );
         let mut rows = Vec::new();
         for spec in registry() {
             let tensor = spec.generate_scaled(cfg.scale, cfg.seed);
             let mut cells = vec![spec.name.to_string()];
             let mut iter_times = Vec::new();
             for method in Method::ALL {
-                let rec = measure(method, spec.name, &tensor, &cfg.als_config())
-                    .expect("method failed");
+                let rec =
+                    measure(method, spec.name, &tensor, &cfg.als_config()).expect("method failed");
                 iter_times.push(rec.iter_secs);
                 cells.push(fmt_secs(rec.iter_secs));
             }
             // Speedup of DPar2 (index 0) vs the best competitor.
-            let best_other =
-                iter_times[1..].iter().cloned().fold(f64::INFINITY, f64::min);
+            let best_other = iter_times[1..].iter().cloned().fold(f64::INFINITY, f64::min);
             cells.push(format!("{:.1}x", best_other / iter_times[0].max(1e-12)));
             rows.push(cells);
         }

@@ -4,13 +4,16 @@
 //! cargo run -p dpar2-bench --release --bin table2_datasets -- --scale 1.0
 //! ```
 
-use dpar2_bench::{Args, HarnessConfig, print_table};
+use dpar2_bench::{print_table, Args, HarnessConfig};
 use dpar2_data::registry;
 
 fn main() {
     let args = Args::parse();
     let cfg = HarnessConfig::from_args(&args);
-    println!("== Table II: dataset description (paper dims vs simulated dims at scale {}) ==\n", cfg.scale);
+    println!(
+        "== Table II: dataset description (paper dims vs simulated dims at scale {}) ==\n",
+        cfg.scale
+    );
 
     let mut rows = Vec::new();
     for spec in registry() {
@@ -29,7 +32,17 @@ fn main() {
         ]);
     }
     print_table(
-        &["Dataset", "paper max I_k", "paper J", "paper K", "sim max I_k", "sim J", "sim K", "entries", "summary"],
+        &[
+            "Dataset",
+            "paper max I_k",
+            "paper J",
+            "paper K",
+            "sim max I_k",
+            "sim J",
+            "sim K",
+            "entries",
+            "summary",
+        ],
         &rows,
     );
     println!("\nAll eight datasets are synthetic stand-ins (see DESIGN.md §3) that keep");

@@ -46,11 +46,8 @@ fn main() {
 
     // 3) Post-process the factors (§IV-E2 step 3). Target: the first
     //    Technology stock (the Microsoft stand-in).
-    let target = windowed
-        .meta
-        .iter()
-        .position(|m| m.sector == 0)
-        .expect("no technology stock in window");
+    let target =
+        windowed.meta.iter().position(|m| m.sector == 0).expect("no technology stock in window");
     let target_name = format!(
         "{} ({})",
         windowed.meta[target].ticker, windowed.sector_names[windowed.meta[target].sector]
@@ -84,12 +81,8 @@ fn main() {
     let mut q = vec![0.0; windowed.tensor.k()];
     q[target] = 1.0;
     let scores = rwr_scores(&adj, &q, &RwrConfig::default());
-    let mut rwr_rank: Vec<(usize, f64)> = scores
-        .iter()
-        .enumerate()
-        .filter(|&(i, _)| i != target)
-        .map(|(i, &s)| (i, s))
-        .collect();
+    let mut rwr_rank: Vec<(usize, f64)> =
+        scores.iter().enumerate().filter(|&(i, _)| i != target).map(|(i, &s)| (i, s)).collect();
     rwr_rank.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
     rwr_rank.truncate(10);
 
@@ -103,18 +96,11 @@ fn main() {
                 .map(|&(i, s)| {
                     let m = &windowed.meta[i];
                     let uniq = if other.contains(&i) { " " } else { "*" };
-                    format!(
-                        "{uniq}{} [{}] {s:.3}",
-                        m.ticker, windowed.sector_names[m.sector]
-                    )
+                    format!("{uniq}{} [{}] {s:.3}", m.ticker, windowed.sector_names[m.sector])
                 })
                 .unwrap_or_default()
         };
-        rows.push(vec![
-            format!("{}", rank_pos + 1),
-            fmt(&knn, &rwr_set),
-            fmt(&rwr_rank, &knn_set),
-        ]);
+        rows.push(vec![format!("{}", rank_pos + 1), fmt(&knn, &rwr_set), fmt(&rwr_rank, &knn_set)]);
     }
     print_table(&["rank", "(a) k-NN result", "(b) RWR result"], &rows);
     println!("\n('*' marks stocks appearing in only one of the two top-10 lists — the");

@@ -42,9 +42,7 @@ impl Args {
         let mut iter = tokens.into_iter();
         while let Some(tok) = iter.next() {
             if let Some(key) = tok.strip_prefix("--") {
-                let val = iter
-                    .next()
-                    .unwrap_or_else(|| panic!("missing value for --{key}"));
+                let val = iter.next().unwrap_or_else(|| panic!("missing value for --{key}"));
                 map.insert(key.to_string(), val);
             }
         }
@@ -209,9 +207,7 @@ mod tests {
 
     #[test]
     fn args_parse_pairs() {
-        let a = Args::from_tokens(
-            ["--scale", "0.5", "--rank", "15"].iter().map(|s| s.to_string()),
-        );
+        let a = Args::from_tokens(["--scale", "0.5", "--rank", "15"].iter().map(|s| s.to_string()));
         assert_eq!(a.get("scale", 1.0), 0.5);
         assert_eq!(a.get("rank", 10usize), 15);
         assert_eq!(a.get("iters", 32usize), 32); // default

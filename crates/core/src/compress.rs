@@ -119,7 +119,9 @@ pub fn compress(tensor: &IrregularTensor, config: &Dpar2Config) -> Result<Compre
     let stage1: Vec<(Mat, Vec<f64>, Mat)> = pool.run_partitioned(&partition, |k| {
         // Independent, slice-indexed stream: parallel schedule cannot
         // change the factorization.
-        let mut rng = StdRng::seed_from_u64(base_seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(k as u64 + 1)));
+        let mut rng = StdRng::seed_from_u64(
+            base_seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(k as u64 + 1)),
+        );
         let f = rsvd(tensor.slice(k), &rsvd_cfg, &mut rng);
         (f.u, f.s, f.v)
     });
@@ -186,8 +188,7 @@ mod tests {
         let t = planted(&[30, 50, 20, 40], 25, 3, 0.0, 1);
         let c = compress(&t, &Dpar2Config::new(3).with_seed(2)).unwrap();
         for k in 0..t.k() {
-            let err = (t.slice(k) - &c.reconstruct_slice(k)).fro_norm()
-                / t.slice(k).fro_norm();
+            let err = (t.slice(k) - &c.reconstruct_slice(k)).fro_norm() / t.slice(k).fro_norm();
             assert!(err < 1e-8, "slice {k} rel err {err}");
         }
     }
@@ -284,7 +285,7 @@ mod tests {
     fn works_on_uniform_random_tensor() {
         // tenrand-style dense tensor — low fitness but valid shapes.
         let mut rng = StdRng::seed_from_u64(17);
-        let slices = (0..4).map(|_| Mat::from_fn(22, 14, |_, _| rng.gen())).collect();
+        let slices = (0..4).map(|_| Mat::from_fn(22, 14, |_, _| rng.random())).collect();
         let t = IrregularTensor::new(slices);
         let c = compress(&t, &Dpar2Config::new(5).with_seed(18)).unwrap();
         assert_eq!(c.k(), 4);

@@ -25,10 +25,9 @@ pub enum Dpar2Error {
 impl fmt::Display for Dpar2Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Dpar2Error::RankTooLarge { rank, slice, limit } => write!(
-                f,
-                "target rank {rank} exceeds min(I_k, J) = {limit} of slice {slice}"
-            ),
+            Dpar2Error::RankTooLarge { rank, slice, limit } => {
+                write!(f, "target rank {rank} exceeds min(I_k, J) = {limit} of slice {slice}")
+            }
             Dpar2Error::ZeroRank => write!(f, "target rank must be positive"),
             Dpar2Error::Linalg(e) => write!(f, "linear algebra failure: {e}"),
         }

@@ -91,9 +91,7 @@ impl Parafac2Fit {
     /// Sum of squared reconstruction errors `Σ_k ‖X_k − X̂_k‖²_F`.
     pub fn reconstruction_error_sq(&self, tensor: &IrregularTensor) -> f64 {
         assert_eq!(tensor.k(), self.k(), "fit and tensor have different K");
-        (0..tensor.k())
-            .map(|k| (tensor.slice(k) - &self.reconstruct_slice(k)).fro_norm_sq())
-            .sum()
+        (0..tensor.k()).map(|k| (tensor.slice(k) - &self.reconstruct_slice(k)).fro_norm_sq()).sum()
     }
 }
 
@@ -105,8 +103,8 @@ pub fn fitness(tensor: &IrregularTensor, fit: &Parafac2Fit) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dpar2_linalg::random::gaussian_mat;
     use dpar2_linalg::qr;
+    use dpar2_linalg::random::gaussian_mat;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -35,10 +35,7 @@ fn k_chunks(k: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
     }
     let threads = threads.max(1).min(k);
     let chunk = k.div_ceil(threads);
-    (0..threads)
-        .map(|t| t * chunk..((t + 1) * chunk).min(k))
-        .filter(|r| !r.is_empty())
-        .collect()
+    (0..threads).map(|t| t * chunk..((t + 1) * chunk).min(k)).filter(|r| !r.is_empty()).collect()
 }
 
 /// Lemma 1: `G⁽¹⁾ = Y_(1)(W ⊙ V) ∈ R^{R×R}` from the factorized slices.
@@ -138,8 +135,7 @@ pub fn g3(pzf: &[Mat], edtv: &Mat, h: &Mat, pool: &ThreadPool) -> Mat {
 /// Materializes the frontal slices `Y_k = PZF_k · E Dᵀ` — the explicit
 /// tensor the naive kernels and the convergence oracle operate on.
 pub fn materialize_y(pzf: &[Mat], edt: &Mat) -> Dense3 {
-    let slices: Vec<Mat> =
-        pzf.iter().map(|p| p.matmul(edt).expect("materialize_y")).collect();
+    let slices: Vec<Mat> = pzf.iter().map(|p| p.matmul(edt).expect("materialize_y")).collect();
     Dense3::from_frontal_slices(slices)
 }
 

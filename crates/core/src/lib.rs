@@ -29,7 +29,7 @@
 //! let mut rng = StdRng::seed_from_u64(0);
 //! let slices = [20, 35, 15]
 //!     .iter()
-//!     .map(|&ik| Mat::from_fn(ik, 12, |_, _| rng.gen::<f64>()))
+//!     .map(|&ik| Mat::from_fn(ik, 12, |_, _| rng.random::<f64>()))
 //!     .collect();
 //! let tensor = IrregularTensor::new(slices);
 //!

@@ -111,10 +111,7 @@ impl StreamingDpar2 {
         }
 
         // Stage 1 on the new slices only.
-        let base_seed = self
-            .config
-            .seed
-            .wrapping_add(0x5EED_0000 + self.appended_batches as u64);
+        let base_seed = self.config.seed.wrapping_add(0x5EED_0000 + self.appended_batches as u64);
         let mut stage1: Vec<(Mat, Vec<f64>, Mat)> = Vec::with_capacity(batch.k());
         for k in 0..batch.k() {
             let mut rng = StdRng::seed_from_u64(base_seed.wrapping_mul(k as u64 + 1));
@@ -147,11 +144,8 @@ impl StreamingDpar2 {
 
         // Rewrite old F-blocks against the new basis: F'(k) = F(k)·G'_top.
         let g_top = f2.v.block(0, r, 0, r);
-        let mut f_blocks: Vec<Mat> = old
-            .f_blocks
-            .iter()
-            .map(|fk| fk.matmul(&g_top).expect("F(k)·G'_top"))
-            .collect();
+        let mut f_blocks: Vec<Mat> =
+            old.f_blocks.iter().map(|fk| fk.matmul(&g_top).expect("F(k)·G'_top")).collect();
         // New blocks come straight from G' below the top rows.
         for j in 0..batch.k() {
             f_blocks.push(f2.v.block(r + j * r, r + (j + 1) * r, 0, r));
@@ -222,8 +216,7 @@ mod tests {
 
         fn slice(&mut self, ik: usize, noise: f64) -> Mat {
             let q = qr::qr(&gaussian_mat(ik, self.rank, &mut self.rng)).q;
-            let sk: Vec<f64> =
-                (0..self.rank).map(|_| 0.5 + self.rng.gen::<f64>()).collect();
+            let sk: Vec<f64> = (0..self.rank).map(|_| 0.5 + self.rng.random::<f64>()).collect();
             let mut qh = q.matmul(&self.h).unwrap();
             for row in 0..ik {
                 let r = qh.row_mut(row);
@@ -243,10 +236,8 @@ mod tests {
     #[test]
     fn streaming_matches_batch_fitness() {
         let mut gen = Planted::new(16, 3, 71);
-        let all: Vec<Mat> = [30usize, 45, 25, 38, 28, 33]
-            .iter()
-            .map(|&ik| gen.slice(ik, 0.05))
-            .collect();
+        let all: Vec<Mat> =
+            [30usize, 45, 25, 38, 28, 33].iter().map(|&ik| gen.slice(ik, 0.05)).collect();
         let tensor = IrregularTensor::new(all.clone());
 
         // Batch run.
@@ -262,10 +253,7 @@ mod tests {
 
         let fb = batch_fit.fitness(&tensor);
         let fs = stream_fit.fitness(&tensor);
-        assert!(
-            (fb - fs).abs() < 0.02,
-            "streaming fitness {fs} deviates from batch {fb}"
-        );
+        assert!((fb - fs).abs() < 0.02, "streaming fitness {fs} deviates from batch {fb}");
     }
 
     #[test]

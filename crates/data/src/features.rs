@@ -55,7 +55,7 @@ pub fn generate(config: &FeatureTracksConfig) -> IrregularTensor {
     let slices: Vec<Mat> = (0..config.n_clips)
         .map(|_| {
             let frames = config.min_frames
-                + (rng.gen::<f64>() * (config.max_frames - config.min_frames) as f64) as usize;
+                + (rng.random::<f64>() * (config.max_frames - config.min_frames) as f64) as usize;
             let latent = smooth_tracks(frames, config.latent_dims, &mut rng);
             let mut x = latent.matmul_nt(&loadings).expect("tracks × loadingsᵀ");
             let scale = config.noise * x.fro_norm() / (x.len() as f64).sqrt();

@@ -197,15 +197,13 @@ pub fn williams_r(high: &[f64], low: &[f64], close: &[f64], window: usize) -> Ve
 /// Commodity Channel Index: `(TP − SMA(TP)) / (0.015 · mean|TP − SMA|)`
 /// on the typical price `TP = (H+L+C)/3`.
 pub fn cci(high: &[f64], low: &[f64], close: &[f64], window: usize) -> Vec<f64> {
-    let tp: Vec<f64> =
-        (0..close.len()).map(|i| (high[i] + low[i] + close[i]) / 3.0).collect();
+    let tp: Vec<f64> = (0..close.len()).map(|i| (high[i] + low[i] + close[i]) / 3.0).collect();
     let mid = sma(&tp, window);
     (0..tp.len())
         .map(|i| {
             let start = (i + 1).saturating_sub(window);
             let seg = &tp[start..=i];
-            let mean_dev =
-                seg.iter().map(|&x| (x - mid[i]).abs()).sum::<f64>() / seg.len() as f64;
+            let mean_dev = seg.iter().map(|&x| (x - mid[i]).abs()).sum::<f64>() / seg.len() as f64;
             if mean_dev < 1e-12 {
                 0.0
             } else {
@@ -231,9 +229,14 @@ pub const WINDOWS: [usize; 6] = [5, 10, 14, 20, 30, 60];
 /// Names of the 88 feature columns in tensor order: the 5 basic features
 /// followed by the 83 technical indicators.
 pub fn feature_names() -> Vec<String> {
-    let mut names: Vec<String> =
-        ["OPENING", "HIGHEST", "LOWEST", "CLOSING", "VOLUME"].iter().map(|s| s.to_string()).collect();
-    for family in ["SMA", "EMA", "RSI", "ATR", "STOCH_K", "STOCH_D", "ROC", "MOM", "BBW", "WILLR", "CCI", "DISP"] {
+    let mut names: Vec<String> = ["OPENING", "HIGHEST", "LOWEST", "CLOSING", "VOLUME"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    for family in [
+        "SMA", "EMA", "RSI", "ATR", "STOCH_K", "STOCH_D", "ROC", "MOM", "BBW", "WILLR", "CCI",
+        "DISP",
+    ] {
         for w in WINDOWS {
             names.push(format!("{family}_{w}"));
         }
@@ -267,13 +270,8 @@ pub fn feature_matrix(
         [open.len(), high.len(), low.len(), volume.len()].iter().all(|&l| l == t),
         "feature_matrix: series length mismatch"
     );
-    let mut cols: Vec<Vec<f64>> = vec![
-        open.to_vec(),
-        high.to_vec(),
-        low.to_vec(),
-        close.to_vec(),
-        volume.to_vec(),
-    ];
+    let mut cols: Vec<Vec<f64>> =
+        vec![open.to_vec(), high.to_vec(), low.to_vec(), close.to_vec(), volume.to_vec()];
     for w in WINDOWS {
         cols.push(sma(close, w));
     }
@@ -465,7 +463,9 @@ mod tests {
         // Fig. 12 uses OPENING/HIGHEST/LOWEST/CLOSING + ATR/STOCH/OBV/MACD;
         // all must exist in the registry.
         let names = feature_names();
-        for needed in ["OPENING", "HIGHEST", "LOWEST", "CLOSING", "ATR_14", "STOCH_K_14", "OBV", "MACD"] {
+        for needed in
+            ["OPENING", "HIGHEST", "LOWEST", "CLOSING", "ATR_14", "STOCH_K_14", "OBV", "MACD"]
+        {
             assert!(names.iter().any(|n| n == needed), "missing feature {needed}");
         }
     }

@@ -25,7 +25,8 @@ pub fn planted_parafac2(
         .iter()
         .map(|&ik| {
             let q = qr::qr(&gaussian_mat(ik, rank, &mut rng)).q;
-            let sk: Vec<f64> = (0..rank).map(|i| 1.0 + 0.3 * i as f64 + rng.gen::<f64>()).collect();
+            let sk: Vec<f64> =
+                (0..rank).map(|i| 1.0 + 0.3 * i as f64 + rng.random::<f64>()).collect();
             let mut qh = q.matmul(&h).expect("planted: Q·H");
             for row in 0..ik {
                 let r = qh.row_mut(row);
@@ -49,7 +50,7 @@ pub fn planted_parafac2(
 /// irregular interface with `I_1 = … = I_K = i`.
 pub fn tenrand_irregular(i: usize, j: usize, k: usize, seed: u64) -> IrregularTensor {
     let mut rng = StdRng::seed_from_u64(seed);
-    let slices = (0..k).map(|_| Mat::from_fn(i, j, |_, _| rng.gen::<f64>())).collect();
+    let slices = (0..k).map(|_| Mat::from_fn(i, j, |_, _| rng.random::<f64>())).collect();
     IrregularTensor::new(slices)
 }
 
@@ -61,7 +62,7 @@ pub fn powerlaw_row_dims(k: usize, min_len: usize, max_len: usize, seed: u64) ->
     let mut rng = StdRng::seed_from_u64(seed);
     (0..k)
         .map(|_| {
-            let u: f64 = rng.gen();
+            let u: f64 = rng.random();
             // u^1.5 skews mass toward short slices, matching the convex
             // decay of the paper's sorted-length curves.
             min_len + ((max_len - min_len) as f64 * u.powf(1.5)).round() as usize
@@ -114,10 +115,7 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(
-            powerlaw_row_dims(10, 5, 50, 9),
-            powerlaw_row_dims(10, 5, 50, 9)
-        );
+        assert_eq!(powerlaw_row_dims(10, 5, 50, 9), powerlaw_row_dims(10, 5, 50, 9));
         let a = tenrand_irregular(3, 3, 2, 10);
         let b = tenrand_irregular(3, 3, 2, 10);
         assert_eq!(a.slice(0), b.slice(0));

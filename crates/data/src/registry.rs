@@ -96,9 +96,7 @@ impl DatasetSpec {
         match self.kind {
             // Stock slices need ≥65 days for indicator warm-up + headroom;
             // J is pinned to the 88 features.
-            DatasetKind::UsStockSim | DatasetKind::KrStockSim => {
-                (s(mi, 560), 88, s(k, 12))
-            }
+            DatasetKind::UsStockSim | DatasetKind::KrStockSim => (s(mi, 560), 88, s(k, 12)),
             _ => (s(mi, MIN_SLICE + 8), s(j, MIN_SLICE), s(k, 8)),
         }
     }

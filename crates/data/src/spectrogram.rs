@@ -75,7 +75,7 @@ pub fn generate(config: &SpectrogramConfig) -> IrregularTensor {
     let slices: Vec<Mat> = (0..config.n_clips)
         .map(|_| {
             let frames = config.min_frames
-                + (rng.gen::<f64>() * (config.max_frames - config.min_frames) as f64) as usize;
+                + (rng.random::<f64>() * (config.max_frames - config.min_frames) as f64) as usize;
             let n_samples = frame_len + hop * (frames - 1);
             let audio = synth_clip(n_samples, config, &mut rng);
             stft_log_power(&audio, frame_len, hop, config.n_bins, frames)
@@ -87,17 +87,16 @@ pub fn generate(config: &SpectrogramConfig) -> IrregularTensor {
 /// Synthesizes one clip: a few "notes", each a harmonic stack with an
 /// attack-decay envelope, over white noise.
 fn synth_clip(n_samples: usize, config: &SpectrogramConfig, rng: &mut StdRng) -> Vec<f64> {
-    let mut audio: Vec<f64> =
-        (0..n_samples).map(|_| config.noise * standard_normal(rng)).collect();
-    let n_notes = 2 + (rng.gen::<f64>() * 3.0) as usize;
+    let mut audio: Vec<f64> = (0..n_samples).map(|_| config.noise * standard_normal(rng)).collect();
+    let n_notes = 2 + (rng.random::<f64>() * 3.0) as usize;
     for _ in 0..n_notes {
         // Normalized fundamental in (0.005, 0.08) cycles/sample.
-        let f0 = 0.005 + 0.075 * rng.gen::<f64>();
-        let start = (rng.gen::<f64>() * 0.6 * n_samples as f64) as usize;
-        let dur = (n_samples / 4) + (rng.gen::<f64>() * 0.5 * n_samples as f64) as usize;
+        let f0 = 0.005 + 0.075 * rng.random::<f64>();
+        let start = (rng.random::<f64>() * 0.6 * n_samples as f64) as usize;
+        let dur = (n_samples / 4) + (rng.random::<f64>() * 0.5 * n_samples as f64) as usize;
         let end = (start + dur).min(n_samples);
-        let amp = 0.4 + 0.6 * rng.gen::<f64>();
-        let phase: f64 = rng.gen::<f64>() * std::f64::consts::TAU;
+        let amp = 0.4 + 0.6 * rng.random::<f64>();
+        let phase: f64 = rng.random::<f64>() * std::f64::consts::TAU;
         for p in 1..=config.n_partials {
             let pf = f0 * p as f64;
             if pf >= 0.5 {
@@ -126,9 +125,7 @@ fn stft_log_power(
 ) -> Mat {
     // Precompute the Hann window and the DFT twiddle tables.
     let window: Vec<f64> = (0..frame_len)
-        .map(|n| {
-            0.5 * (1.0 - (std::f64::consts::TAU * n as f64 / frame_len as f64).cos())
-        })
+        .map(|n| 0.5 * (1.0 - (std::f64::consts::TAU * n as f64 / frame_len as f64).cos()))
         .collect();
     let mut out = Mat::zeros(frames, n_bins);
     let mut buf = vec![0.0; frame_len];
@@ -185,9 +182,8 @@ mod tests {
         // noise floor — i.e. the per-bin column means vary strongly.
         let t = generate(&SpectrogramConfig::music(2, 64, 16, 7));
         let s = t.slice(0);
-        let means: Vec<f64> = (0..s.cols())
-            .map(|j| s.col(j).iter().sum::<f64>() / s.rows() as f64)
-            .collect();
+        let means: Vec<f64> =
+            (0..s.cols()).map(|j| s.col(j).iter().sum::<f64>() / s.rows() as f64).collect();
         let max = means.iter().cloned().fold(f64::MIN, f64::max);
         let min = means.iter().cloned().fold(f64::MAX, f64::min);
         assert!(max > 4.0 * min.max(0.01), "no spectral structure: max {max}, min {min}");
@@ -204,12 +200,8 @@ mod tests {
         let spec = stft_log_power(&audio, frame_len, 32, 32, 4);
         for f in 0..4 {
             let row = spec.row(f);
-            let argmax = row
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .unwrap()
-                .0;
+            let argmax =
+                row.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
             assert_eq!(argmax, bin, "frame {f} peaked at {argmax}");
         }
     }

@@ -196,12 +196,11 @@ pub fn generate(config: &StockMarketConfig) -> StockDataset {
             // is what makes same-sector price paths co-move beyond the
             // market factor, so sector membership is discoverable from the
             // temporal factors U_k (Table III).
-            let period = 40.0 + 80.0 * rng.gen::<f64>();
-            let phase = rng.gen::<f64>() * std::f64::consts::TAU;
+            let period = 40.0 + 80.0 * rng.random::<f64>();
+            let phase = rng.random::<f64>() * std::f64::consts::TAU;
             (0..t_max)
                 .map(|t| {
-                    let cycle =
-                        0.010 * (std::f64::consts::TAU * t as f64 / period + phase).sin();
+                    let cycle = 0.010 * (std::f64::consts::TAU * t as f64 / period + phase).sin();
                     let mut r = cycle + 0.004 * standard_normal(&mut rng);
                     if let Some((cs, ce)) = config.crash_window {
                         // Technology (sector 0) rebounds hardest — the
@@ -236,11 +235,11 @@ pub fn generate(config: &StockMarketConfig) -> StockDataset {
     let mut sector_counter = vec![0usize; config.n_sectors];
     for (k, &d) in days.iter().enumerate() {
         let sector = k % config.n_sectors;
-        let beta = 0.5 + rng.gen::<f64>();
-        let gamma = 0.7 + 0.8 * rng.gen::<f64>();
-        let idio = 0.005 + 0.006 * rng.gen::<f64>();
-        let p0 = 20.0 + 180.0 * rng.gen::<f64>();
-        let base_vol = 1e5 * (1.0 + 9.0 * rng.gen::<f64>());
+        let beta = 0.5 + rng.random::<f64>();
+        let gamma = 0.7 + 0.8 * rng.random::<f64>();
+        let idio = 0.005 + 0.006 * rng.random::<f64>();
+        let p0 = 20.0 + 180.0 * rng.random::<f64>();
+        let base_vol = 1e5 * (1.0 + 9.0 * rng.random::<f64>());
         let c = config.vol_price_coupling;
 
         let first_day = t_max - d;
@@ -251,7 +250,8 @@ pub fn generate(config: &StockMarketConfig) -> StockDataset {
         let mut volume = Vec::with_capacity(d);
         let mut price = p0;
         for t in first_day..t_max {
-            let r = beta * market[t] + gamma * sector_factors[sector][t]
+            let r = beta * market[t]
+                + gamma * sector_factors[sector][t]
                 + idio * standard_normal(&mut rng);
             // Blend multiplicative (price-proportional) and additive
             // (price-independent) dynamics.
@@ -265,13 +265,12 @@ pub fn generate(config: &StockMarketConfig) -> StockDataset {
             // decouples ATR from the price level.
             let range = (c * price + (1.0 - c) * p0) * range_base;
             let o = prev_close + 0.2 * range * standard_normal(&mut rng);
-            let hi = price.max(o) + range * rng.gen::<f64>();
-            let lo = (price.min(o) - range * rng.gen::<f64>()).max(0.1);
+            let hi = price.max(o) + range * rng.random::<f64>();
+            let lo = (price.min(o) - range * rng.random::<f64>()).max(0.1);
             // Volume: log-normal around base, skewed toward up-days (+v)
             // or down-days (−v).
             let v_dir = config.volume_trend_coupling * r.signum();
-            let vol =
-                base_vol * (0.25 * standard_normal(&mut rng) + v_dir * 12.0 * r.abs()).exp();
+            let vol = base_vol * (0.25 * standard_normal(&mut rng) + v_dir * 12.0 * r.abs()).exp();
 
             open.push(o);
             high.push(hi);

@@ -41,15 +41,16 @@ impl TrafficConfig {
 pub fn generate(config: &TrafficConfig) -> IrregularTensor {
     let mut rng = StdRng::seed_from_u64(config.seed);
     // Per-station character: overall scale, rush-hour weighting, phase.
-    let scales: Vec<f64> = (0..config.n_stations).map(|_| 0.3 + rng.gen::<f64>()).collect();
-    let am_weight: Vec<f64> = (0..config.n_stations).map(|_| rng.gen::<f64>()).collect();
+    let scales: Vec<f64> = (0..config.n_stations).map(|_| 0.3 + rng.random::<f64>()).collect();
+    let am_weight: Vec<f64> = (0..config.n_stations).map(|_| rng.random::<f64>()).collect();
     let phases: Vec<f64> =
         (0..config.n_stations).map(|_| 0.04 * standard_normal(&mut rng)).collect();
 
     let slices: Vec<Mat> = (0..config.n_days)
         .map(|day| {
             let weekend = day % 7 >= 5;
-            let day_level = if weekend { 0.45 } else { 1.0 } * (1.0 + 0.1 * standard_normal(&mut rng));
+            let day_level =
+                if weekend { 0.45 } else { 1.0 } * (1.0 + 0.1 * standard_normal(&mut rng));
             Mat::from_fn(config.n_stations, config.n_timestamps, |s, t| {
                 let tod = t as f64 / config.n_timestamps as f64 + phases[s];
                 // Two Gaussian rush-hour bumps (~8:00 and ~17:30) over a
@@ -57,7 +58,9 @@ pub fn generate(config: &TrafficConfig) -> IrregularTensor {
                 let am = (-((tod - 0.33) / 0.06).powi(2)).exp();
                 let pm = (-((tod - 0.73) / 0.08).powi(2)).exp();
                 let profile = 0.08 + am_weight[s] * am + (1.0 - am_weight[s]) * pm;
-                let v = scales[s] * day_level * profile
+                let v = scales[s]
+                    * day_level
+                    * profile
                     * (1.0 + config.noise * standard_normal(&mut rng));
                 v.max(0.0)
             })
@@ -94,8 +97,8 @@ mod tests {
     #[test]
     fn rush_hours_beat_night() {
         let t = generate(&tiny());
-        let s = t.slice(0); // Monday
-        // Timestamp ~33% (morning rush) vs ~2% (night).
+        // Slice 0 is Monday; timestamp ~33% (morning rush) vs ~2% (night).
+        let s = t.slice(0);
         let rush_col = (0.33 * 48.0) as usize;
         let night_col = 1;
         let rush: f64 = s.col(rush_col).iter().sum();

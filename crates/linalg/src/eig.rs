@@ -179,10 +179,7 @@ mod tests {
 
     #[test]
     fn eig_rejects_rectangular() {
-        assert!(matches!(
-            eig_sym(&Mat::zeros(2, 3)),
-            Err(LinalgError::NotSquare { .. })
-        ));
+        assert!(matches!(eig_sym(&Mat::zeros(2, 3)), Err(LinalgError::NotSquare { .. })));
     }
 
     #[test]

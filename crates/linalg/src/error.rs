@@ -71,11 +71,7 @@ mod tests {
 
     #[test]
     fn display_dimension_mismatch() {
-        let e = LinalgError::DimensionMismatch {
-            op: "matmul",
-            left: (2, 3),
-            right: (4, 5),
-        };
+        let e = LinalgError::DimensionMismatch { op: "matmul", left: (2, 3), right: (4, 5) };
         assert_eq!(e.to_string(), "matmul: dimension mismatch (2x3 vs 4x5)");
     }
 

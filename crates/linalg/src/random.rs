@@ -18,12 +18,12 @@ use rand::Rng;
 pub fn standard_normal(rng: &mut impl Rng) -> f64 {
     // Guard against log(0).
     let u1: f64 = loop {
-        let u: f64 = rng.gen();
+        let u: f64 = rng.random();
         if u > 1e-300 {
             break u;
         }
     };
-    let u2: f64 = rng.gen();
+    let u2: f64 = rng.random();
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
@@ -37,7 +37,7 @@ pub fn gaussian_mat(rows: usize, cols: usize, rng: &mut impl Rng) -> Mat {
 /// equivalent of MATLAB Tensor Toolbox's `tenrand` slices used in the
 /// paper's scalability experiments (§IV-C).
 pub fn uniform_mat(rows: usize, cols: usize, rng: &mut impl Rng) -> Mat {
-    let data = (0..rows * cols).map(|_| rng.gen::<f64>()).collect();
+    let data = (0..rows * cols).map(|_| rng.random::<f64>()).collect();
     Mat::from_vec(rows, cols, data)
 }
 

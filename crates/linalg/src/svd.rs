@@ -178,7 +178,8 @@ fn jacobi_svd_tall(a: &Mat) -> SvdFactors {
 
     // Column norms are the singular values.
     let mut order: Vec<usize> = (0..n).collect();
-    let sigmas: Vec<f64> = w.iter().map(|col| col.iter().map(|&x| x * x).sum::<f64>().sqrt()).collect();
+    let sigmas: Vec<f64> =
+        w.iter().map(|col| col.iter().map(|&x| x * x).sum::<f64>().sqrt()).collect();
     order.sort_by(|&i, &j| sigmas[j].partial_cmp(&sigmas[i]).expect("NaN singular value"));
 
     let mut u = Mat::zeros(m, n);

@@ -18,10 +18,10 @@ fn small_mat() -> impl Strategy<Value = Mat> {
 /// Strategy: a pair of multiplicable matrices (A: r×k, B: k×c).
 fn mul_pair() -> impl Strategy<Value = (Mat, Mat)> {
     (1usize..10, 1usize..10, 1usize..10).prop_flat_map(|(r, k, c)| {
-        let a = prop::collection::vec(-10.0f64..10.0, r * k)
-            .prop_map(move |d| Mat::from_vec(r, k, d));
-        let b = prop::collection::vec(-10.0f64..10.0, k * c)
-            .prop_map(move |d| Mat::from_vec(k, c, d));
+        let a =
+            prop::collection::vec(-10.0f64..10.0, r * k).prop_map(move |d| Mat::from_vec(r, k, d));
+        let b =
+            prop::collection::vec(-10.0f64..10.0, k * c).prop_map(move |d| Mat::from_vec(k, c, d));
         (a, b)
     })
 }

@@ -99,8 +99,7 @@ mod tests {
         // (sums 11 vs 11) — perfectly balanced.
         let weights = vec![10, 9, 2, 1];
         let p = greedy_partition(&weights, 2);
-        let sums: Vec<usize> =
-            p.iter().map(|s| s.iter().map(|&i| weights[i]).sum()).collect();
+        let sums: Vec<usize> = p.iter().map(|s| s.iter().map(|&i| weights[i]).sum()).collect();
         assert_eq!(sums[0], 11);
         assert_eq!(sums[1], 11);
     }
@@ -175,8 +174,7 @@ mod tests {
         let weights: Vec<usize> = (0..100).map(|i| (i * 37 + 11) % 500 + 1).collect();
         for buckets in [2, 3, 6, 10] {
             let p = greedy_partition(&weights, buckets);
-            let sums: Vec<usize> =
-                p.iter().map(|s| s.iter().map(|&i| weights[i]).sum()).collect();
+            let sums: Vec<usize> = p.iter().map(|s| s.iter().map(|&i| weights[i]).sum()).collect();
             let total: usize = weights.iter().sum();
             let mean = total as f64 / buckets as f64;
             let max_w = *weights.iter().max().unwrap() as f64;

@@ -81,8 +81,8 @@ pub fn rsvd(a: &Mat, config: &RsvdConfig, rng: &mut impl Rng) -> SvdFactors {
         let q_z = qr(&z).q;
         y = a.matmul(&q_z).expect("rsvd: A·Qz");
     }
-    // 3. Orthonormal range basis.
-    let q = qr(&y).q; // I × sketch
+    // 3. Orthonormal range basis (I × sketch).
+    let q = qr(&y).q;
     // 4. Project: B = Qᵀ A (sketch × J).
     let b = q.matmul_tn(a).expect("rsvd: Qᵀ·A");
     // 5. Exact SVD of the small B, truncated to the target rank.

@@ -24,7 +24,13 @@ impl Dense3 {
         assert!(!slices.is_empty(), "Dense3: need at least one slice");
         let (i, j) = slices[0].shape();
         for (k, s) in slices.iter().enumerate() {
-            assert_eq!(s.shape(), (i, j), "Dense3: slice {k} has shape {:?}, expected {:?}", s.shape(), (i, j));
+            assert_eq!(
+                s.shape(),
+                (i, j),
+                "Dense3: slice {k} has shape {:?}, expected {:?}",
+                s.shape(),
+                (i, j)
+            );
         }
         Dense3 { slices, i, j }
     }

@@ -23,7 +23,12 @@ impl IrregularTensor {
         assert!(!slices.is_empty(), "IrregularTensor: need at least one slice");
         let j = slices[0].cols();
         for (k, s) in slices.iter().enumerate() {
-            assert_eq!(s.cols(), j, "IrregularTensor: slice {k} has {} columns, expected {j}", s.cols());
+            assert_eq!(
+                s.cols(),
+                j,
+                "IrregularTensor: slice {k} has {} columns, expected {j}",
+                s.cols()
+            );
         }
         IrregularTensor { slices, j }
     }

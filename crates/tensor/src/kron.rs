@@ -49,7 +49,13 @@ pub fn kron_vec(a: &[f64], b: &[f64]) -> Vec<f64> {
 /// # Panics
 /// Panics if the column counts differ.
 pub fn khatri_rao(a: &Mat, b: &Mat) -> Mat {
-    assert_eq!(a.cols(), b.cols(), "khatri_rao: column count mismatch ({} vs {})", a.cols(), b.cols());
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "khatri_rao: column count mismatch ({} vs {})",
+        a.cols(),
+        b.cols()
+    );
     let r = a.cols();
     let (m, p) = (a.rows(), b.rows());
     let mut out = Mat::zeros(m * p, r);

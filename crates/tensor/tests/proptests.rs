@@ -59,8 +59,8 @@ proptest! {
     ) {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let a = Mat::from_fn(m, r, |_, _| rng.gen::<f64>() - 0.5);
-        let b = Mat::from_fn(p, r, |_, _| rng.gen::<f64>() - 0.5);
+        let a = Mat::from_fn(m, r, |_, _| rng.random::<f64>() - 0.5);
+        let b = Mat::from_fn(p, r, |_, _| rng.random::<f64>() - 0.5);
         let kr = khatri_rao(&a, &b);
         // Column norms multiply: ‖a_c ⊗ b_c‖ = ‖a_c‖ ‖b_c‖.
         for c in 0..r {
@@ -76,12 +76,12 @@ proptest! {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let t = Dense3::from_frontal_slices(
-            (0..k).map(|_| Mat::from_fn(i, j, |_, _| rng.gen::<f64>() - 0.5)).collect(),
+            (0..k).map(|_| Mat::from_fn(i, j, |_, _| rng.random::<f64>() - 0.5)).collect(),
         );
         let f = CpFactors {
-            a: Mat::from_fn(i, r, |_, _| rng.gen::<f64>() - 0.5),
-            b: Mat::from_fn(j, r, |_, _| rng.gen::<f64>() - 0.5),
-            c: Mat::from_fn(k, r, |_, _| rng.gen::<f64>() - 0.5),
+            a: Mat::from_fn(i, r, |_, _| rng.random::<f64>() - 0.5),
+            b: Mat::from_fn(j, r, |_, _| rng.random::<f64>() - 0.5),
+            c: Mat::from_fn(k, r, |_, _| rng.random::<f64>() - 0.5),
         };
         for mode in 1..=3 {
             let naive = mttkrp(&t, &f.a, &f.b, &f.c, mode);
@@ -97,9 +97,9 @@ proptest! {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let r = 2;
         let f = CpFactors {
-            a: Mat::from_fn(i, r, |_, _| rng.gen::<f64>() - 0.5),
-            b: Mat::from_fn(j, r, |_, _| rng.gen::<f64>() - 0.5),
-            c: Mat::from_fn(k, r, |_, _| rng.gen::<f64>() - 0.5),
+            a: Mat::from_fn(i, r, |_, _| rng.random::<f64>() - 0.5),
+            b: Mat::from_fn(j, r, |_, _| rng.random::<f64>() - 0.5),
+            c: Mat::from_fn(k, r, |_, _| rng.random::<f64>() - 0.5),
         };
         let whole = f.reconstruct();
         let part0 = CpFactors {

@@ -44,8 +44,7 @@ fn main() {
 
     // The PARAFAC2 invariant: U_kᵀ U_k is the same matrix for every slice.
     let ref_gram = fit.u[0].gram();
-    let max_dev = (1..tensor.k())
-        .map(|k| (&fit.u[k].gram() - &ref_gram).fro_norm())
-        .fold(0.0f64, f64::max);
+    let max_dev =
+        (1..tensor.k()).map(|k| (&fit.u[k].gram() - &ref_gram).fro_norm()).fold(0.0f64, f64::max);
     println!("  max deviation of U_kᵀU_k across slices: {max_dev:.2e} (PARAFAC2 constraint)");
 }

@@ -65,10 +65,7 @@ fn main() {
     let (sim, adj) = similarity_graph(&factors, gamma);
 
     let target = windowed.meta.iter().position(|m| m.sector == 0).expect("tech stock");
-    println!(
-        "\ntop-5 stocks similar to {} during the crash window:",
-        windowed.meta[target].ticker
-    );
+    println!("\ntop-5 stocks similar to {} during the crash window:", windowed.meta[target].ticker);
     println!("  via k-NN:");
     for (i, s) in top_k_neighbors(&sim, target, 5) {
         let m = &windowed.meta[i];

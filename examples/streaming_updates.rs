@@ -53,8 +53,11 @@ fn main() {
     let mut stream2 = StreamingDpar2::new(config);
     stream2.append(slices).expect("append failed");
     let stream_fit = stream2.decompose();
-    println!("\nfinal fitness: batch {:.4} vs streaming-compressed {:.4}",
-        batch_fit.fitness(&full), stream_fit.fitness(&full));
+    println!(
+        "\nfinal fitness: batch {:.4} vs streaming-compressed {:.4}",
+        batch_fit.fitness(&full),
+        stream_fit.fitness(&full)
+    );
     println!("(incremental stage-2 updates cost O(J*K_new*R^2) per batch — they never");
     println!("touch the old slices, unlike recompressing from scratch.)");
 }

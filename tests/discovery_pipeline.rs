@@ -33,15 +33,11 @@ fn fig12_pipeline_us_vs_kr_contrast() {
         (pcc.at(0, 1) + pcc.at(0, 2)) / 2.0
     };
     let seeds = [13u64, 17, 23, 99];
-    let mean = |f: &dyn Fn(u64) -> f64| {
-        seeds.iter().map(|&s| f(s)).sum::<f64>() / seeds.len() as f64
-    };
+    let mean =
+        |f: &dyn Fn(u64) -> f64| seeds.iter().map(|&s| f(s)).sum::<f64>() / seeds.len() as f64;
     let us = mean(&|s| run(&StockMarketConfig::us_like(64, 420, s)));
     let kr = mean(&|s| run(&StockMarketConfig::kr_like(64, 420, s)));
-    assert!(
-        us > kr + 0.05,
-        "mean US ATR/OBV-price coupling ({us:.3}) should exceed KR ({kr:.3})"
-    );
+    assert!(us > kr + 0.05, "mean US ATR/OBV-price coupling ({us:.3}) should exceed KR ({kr:.3})");
 }
 
 #[test]

@@ -20,10 +20,7 @@ fn all_methods_agree_on_planted_data() {
     }
     let max = fitnesses.iter().map(|&(_, f)| f).fold(f64::MIN, f64::max);
     let min = fitnesses.iter().map(|&(_, f)| f).fold(f64::MAX, f64::min);
-    assert!(
-        max - min < 0.05,
-        "methods disagree beyond tolerance: {fitnesses:?}"
-    );
+    assert!(max - min < 0.05, "methods disagree beyond tolerance: {fitnesses:?}");
 }
 
 /// DPar2 runs on every Table II dataset stand-in at smoke scale.
@@ -35,11 +32,7 @@ fn dpar2_runs_on_every_registry_dataset() {
             .fit(&tensor)
             .unwrap_or_else(|e| panic!("{} failed: {e}", spec.name));
         let f = fit.fitness(&tensor);
-        assert!(
-            (0.0..=1.0 + 1e-9).contains(&f),
-            "{}: fitness {f} out of range",
-            spec.name
-        );
+        assert!((0.0..=1.0 + 1e-9).contains(&f), "{}: fitness {f} out of range", spec.name);
         assert!(f > 0.3, "{}: implausibly low fitness {f}", spec.name);
         assert_eq!(fit.v.shape(), (tensor.j(), 6), "{}: V shape", spec.name);
     }
@@ -56,10 +49,7 @@ fn fitness_monotone_in_rank() {
             .fit(&tensor)
             .expect("fit failed");
         let f = fit.fitness(&tensor);
-        assert!(
-            f > last - 0.02,
-            "fitness dropped from {last} to {f} at rank {rank}"
-        );
+        assert!(f > last - 0.02, "fitness dropped from {last} to {f} at rank {rank}");
         last = f;
     }
 }
@@ -69,12 +59,14 @@ fn fitness_monotone_in_rank() {
 #[test]
 fn compressed_criterion_tracks_true_error() {
     let tensor = planted_parafac2(&[45, 55, 60], 20, 3, 0.15, 1003);
-    let short = Dpar2::new(Dpar2Config::new(3).with_seed(9).with_max_iterations(6).with_tolerance(0.0))
-        .fit(&tensor)
-        .unwrap();
-    let long = Dpar2::new(Dpar2Config::new(3).with_seed(9).with_max_iterations(30).with_tolerance(0.0))
-        .fit(&tensor)
-        .unwrap();
+    let short =
+        Dpar2::new(Dpar2Config::new(3).with_seed(9).with_max_iterations(6).with_tolerance(0.0))
+            .fit(&tensor)
+            .unwrap();
+    let long =
+        Dpar2::new(Dpar2Config::new(3).with_seed(9).with_max_iterations(30).with_tolerance(0.0))
+            .fit(&tensor)
+            .unwrap();
     // More iterations → criterion and true error both improve (or hold).
     assert!(long.criterion_trace.last().unwrap() <= short.criterion_trace.last().unwrap());
     assert!(long.fitness(&tensor) >= short.fitness(&tensor) - 1e-6);
@@ -85,9 +77,8 @@ fn compressed_criterion_tracks_true_error() {
 #[test]
 fn tenrand_low_fitness_but_valid() {
     let tensor = tenrand_irregular(40, 30, 12, 1004);
-    let fit = Dpar2::new(Dpar2Config::new(5).with_seed(10).with_max_iterations(8))
-        .fit(&tensor)
-        .unwrap();
+    let fit =
+        Dpar2::new(Dpar2Config::new(5).with_seed(10).with_max_iterations(8)).fit(&tensor).unwrap();
     let f = fit.fitness(&tensor);
     // Uniform[0,1) tensors have a large rank-1 "DC" component, so fitness
     // is meaningful but far from 1.

@@ -1,0 +1,62 @@
+//! Smoke tests running every example end to end, so example drift breaks
+//! the build instead of users (`cargo test --test examples_smoke`).
+//!
+//! Each example is invoked through the same `cargo` that runs the tests;
+//! the artifacts are shared with the surrounding `cargo test` build, so the
+//! per-example cost is the run itself (every example finishes in a few
+//! seconds even unoptimized).
+
+use std::process::Command;
+
+/// Runs one example to completion and sanity-checks its output.
+fn run_example(name: &str) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let mut args = vec!["run", "--quiet", "--example", name];
+    // Match the surrounding test profile so the artifacts built by
+    // `cargo test` are reused instead of triggering a second full build.
+    if !cfg!(debug_assertions) {
+        args.insert(1, "--release");
+    }
+    let output = Command::new(cargo)
+        .args(&args)
+        .env("RUST_BACKTRACE", "1")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        !stdout.trim().is_empty(),
+        "example {name} produced no output; examples are expected to report their results"
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn audio_similarity_runs() {
+    run_example("audio_similarity");
+}
+
+#[test]
+fn method_comparison_runs() {
+    run_example("method_comparison");
+}
+
+#[test]
+fn stock_analysis_runs() {
+    run_example("stock_analysis");
+}
+
+#[test]
+fn streaming_updates_runs() {
+    run_example("streaming_updates");
+}

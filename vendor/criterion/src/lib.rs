@@ -1,0 +1,268 @@
+//! Vendored, offline subset of the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, API-compatible with the surface the workspace's
+//! benches use: `Criterion`, `benchmark_group`/`sample_size`/`finish`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Instead of upstream's statistical analysis it runs a fixed warmup, then
+//! takes `sample_size` timed samples of an adaptively chosen batch size and
+//! reports median/min/max ns-per-iteration to stdout. That is enough for
+//! the paper-reproduction benches to give stable relative numbers while the
+//! build environment has no registry access; swapping back to the real
+//! crate is a one-line change in the workspace manifest.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Entry point holding global defaults for groups created from it.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    default_sample_size: usize,
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 20, measurement: Duration::from_millis(500) }
+    }
+}
+
+impl Criterion {
+    /// Mirrors upstream's CLI hook; arguments are accepted and ignored.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            group_name: name.to_string(),
+            sample_size: self.default_sample_size,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        let measurement = self.measurement;
+        run_benchmark(name, sample_size, measurement, f);
+    }
+}
+
+/// A set of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    group_name: String,
+    sample_size: usize,
+    criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.group_name, id.into_benchmark_id());
+        run_benchmark(&label, self.sample_size, self.criterion.measurement, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (upstream writes reports here; the shim only prints).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// A bare parameter value (for single-function parameter sweeps).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Conversion allowing both `BenchmarkId` and plain `&str` names.
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the benchmarked closure; records the routine to time.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `sample_size` batches of an adaptively
+    /// chosen batch size.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warmup + batch-size calibration: grow the batch until one batch
+        // costs ≳ 1/sample_size of the measurement budget.
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(5) || batch > (1 << 20) {
+                break;
+            }
+            batch *= 2;
+        }
+        self.iters_per_sample = batch;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            self.samples_ns.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+fn run_benchmark<F>(label: &str, sample_size: usize, _measurement: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher =
+        Bencher { iters_per_sample: 0, samples_ns: Vec::with_capacity(sample_size), sample_size };
+    f(&mut bencher);
+    if bencher.samples_ns.is_empty() {
+        println!("{label:<48} (no measurement: Bencher::iter never called)");
+        return;
+    }
+    let mut s = bencher.samples_ns.clone();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timings"));
+    let median = s[s.len() / 2];
+    println!(
+        "{label:<48} median {:>12} min {:>12} max {:>12} ({} samples x {} iters)",
+        fmt_ns(median),
+        fmt_ns(s[0]),
+        fmt_ns(*s.last().expect("non-empty")),
+        s.len(),
+        bencher.iters_per_sample,
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Collects benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Generates `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion { default_sample_size: 3, measurement: Duration::from_millis(10) };
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(2);
+        let mut ran = 0u64;
+        group.bench_function("count", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn benchmark_id_rendering() {
+        assert_eq!(BenchmarkId::new("rsvd", "400x120").into_benchmark_id(), "rsvd/400x120");
+        assert_eq!(BenchmarkId::from_parameter(2).into_benchmark_id(), "2");
+    }
+}

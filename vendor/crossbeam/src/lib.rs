@@ -1,0 +1,95 @@
+//! Vendored, offline subset of the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate, API-compatible with the surface this workspace uses:
+//!
+//! * [`channel::unbounded`] — backed by `std::sync::mpsc` (the `Sender` is
+//!   clonable and the `Receiver` iterable, which is all the thread pool
+//!   needs),
+//! * [`thread::scope`] — backed by `std::thread::scope`, with crossbeam's
+//!   `Result`-returning signature (a panicking worker surfaces as `Err`
+//!   instead of propagating directly).
+//!
+//! The build environment has no access to crates.io, so the workspace pins
+//! `crossbeam = { path = "vendor/crossbeam" }`. Swapping back to the real
+//! crate is a one-line change in the workspace manifest.
+
+pub mod channel {
+    //! Multi-producer channels re-exported from `std::sync::mpsc`.
+
+    pub use std::sync::mpsc::{Receiver, SendError, Sender};
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with crossbeam's panic-capturing `scope` signature.
+
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A handle for spawning scoped threads; mirrors `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a unit placeholder
+        /// where crossbeam passes a nested `&Scope` (this workspace never
+        /// uses the nested handle).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(()))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-lifetime threads can be
+    /// spawned; joins them all before returning. Returns `Err` with the
+    /// panic payload if any spawned thread (or `f` itself) panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let (tx, rx) = channel::unbounded::<u64>();
+        thread::scope(|scope| {
+            for &x in &data {
+                let tx = tx.clone();
+                scope.spawn(move |_| tx.send(x * 10).unwrap());
+            }
+            drop(tx);
+        })
+        .expect("no worker panicked");
+        let mut got: Vec<u64> = rx.into_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn worker_panic_returns_err() {
+        let result = thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let out = thread::scope(|_| 42).expect("no panic");
+        assert_eq!(out, 42);
+    }
+}

@@ -1,0 +1,73 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Number-of-elements specification for [`vec`]: an exact count or a
+/// `[min, max)` range, mirroring upstream's `Into<SizeRange>` inputs.
+#[derive(Debug, Clone)]
+pub enum SizeRange {
+    /// Exactly this many elements.
+    Exact(usize),
+    /// Uniformly chosen length in `[start, end)`.
+    Span(usize, usize),
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange::Exact(n)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange::Span(r.start, r.end)
+    }
+}
+
+/// Strategy producing a `Vec` whose elements come from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = match self.size {
+            SizeRange::Exact(n) => n,
+            SizeRange::Span(lo, hi) => (lo..hi).new_value(rng),
+        };
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::test_rng;
+
+    #[test]
+    fn exact_length() {
+        let mut rng = test_rng("vec_exact");
+        let v = vec(0.0f64..1.0, 12).new_value(&mut rng);
+        assert_eq!(v.len(), 12);
+    }
+
+    #[test]
+    fn ranged_length() {
+        let mut rng = test_rng("vec_ranged");
+        for _ in 0..100 {
+            let v = vec(0u32..5, 2usize..6).new_value(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+}

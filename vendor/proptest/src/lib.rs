@@ -1,0 +1,141 @@
+//! Vendored, offline subset of the [`proptest`](https://crates.io/crates/proptest)
+//! crate, API-compatible with the surface this workspace's property tests
+//! use:
+//!
+//! * the [`Strategy`] trait with [`Strategy::prop_map`] and
+//!   [`Strategy::prop_flat_map`],
+//! * range strategies (`1usize..12`, `-100.0f64..100.0`, `0u64..500`),
+//!   tuple strategies up to arity 6, and [`collection::vec`],
+//! * the [`proptest!`] macro with `#![proptest_config(..)]` support and
+//!   `pat in strategy` arguments,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`].
+//!
+//! What is deliberately missing relative to upstream: shrinking (a failing
+//! case reports the raw generated value), persistence of failure seeds, and
+//! the `any::<T>()` arbitrary machinery. Cases are generated from a fixed
+//! seed so CI failures reproduce locally.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! One-stop imports for property tests, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+pub mod prop {
+    //! The `prop::` path exposed by the upstream prelude.
+
+    pub use crate::collection;
+}
+
+/// Defines property tests. Mirrors upstream `proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(a in 0usize..10, (x, y) in my_pair_strategy()) {
+///         prop_assert!(a < 10);
+///     }
+/// }
+/// ```
+///
+/// Each test runs `config.cases` times with freshly generated inputs from a
+/// deterministic per-test RNG.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::test_rng(stringify!($name));
+                for case in 0..config.cases {
+                    let mut run = || -> ::std::result::Result<(), String> {
+                        $(
+                            let $pat = $crate::strategy::Strategy::new_value(&($strat), &mut rng);
+                        )*
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    match run() {
+                        Ok(()) => {}
+                        Err(msg) if msg == $crate::test_runner::REJECT_SENTINEL => {}
+                        Err(msg) => panic!("proptest case {case}/{} failed: {msg}", config.cases),
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body; failure aborts the case
+/// with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!("assertion failed: `left == right`\n  left: {l:?}\n right: {r:?}"));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!($($fmt)*));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!("assertion failed: `left != right`\n  both: {l:?}"));
+        }
+    }};
+}
+
+/// Discards the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::REJECT_SENTINEL.to_string());
+        }
+    };
+}

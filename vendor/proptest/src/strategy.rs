@@ -1,0 +1,228 @@
+//! The [`Strategy`] trait and the combinators/primitive strategies the
+//! workspace's property tests use.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike upstream proptest there is no value tree and no shrinking: a
+/// strategy is simply a deterministic function of the test RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Derives a second strategy from each generated value — the standard
+    /// way to generate shape-dependent data (e.g. dims first, then a
+    /// matching buffer).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.new_value(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.source.new_value(rng)).new_value(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value (upstream `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                /// Uniform over `[start, end)`.
+                ///
+                /// # Panics
+                /// Panics if the range is empty.
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.random::<u64>() % span) as $t
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategy!(usize, u64, u32, u16, u8);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                /// Uniform over `[start, end)`.
+                ///
+                /// # Panics
+                /// Panics if the range is empty.
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + (rng.random::<u64>() % span) as i128) as $t
+                }
+            }
+        )*
+    };
+}
+
+signed_range_strategy!(i64, i32, i16, i8, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                /// Uniform over `[start, end)`.
+                ///
+                /// # Panics
+                /// Panics if the range is empty or not finite.
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(
+                        self.start < self.end && self.start.is_finite() && self.end.is_finite(),
+                        "invalid float range strategy"
+                    );
+                    let u = rng.random::<f64>() as $t;
+                    self.start + u * (self.end - self.start)
+                }
+            }
+        )*
+    };
+}
+
+float_range_strategy!(f64, f32);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::test_rng;
+
+    #[test]
+    fn int_range_respects_bounds() {
+        let mut rng = test_rng("int_range");
+        let s = 3usize..9;
+        for _ in 0..1000 {
+            let v = s.new_value(&mut rng);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_range_respects_bounds() {
+        let mut rng = test_rng("float_range");
+        let s = -2.0f64..5.0;
+        for _ in 0..1000 {
+            let v = s.new_value(&mut rng);
+            assert!((-2.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_shape_through() {
+        let mut rng = test_rng("flat_map");
+        let s = (1usize..4, 1usize..4).prop_flat_map(|(r, c)| {
+            crate::collection::vec(0.0f64..1.0, r * c).prop_map(move |v| (r, c, v))
+        });
+        for _ in 0..100 {
+            let (r, c, v) = s.new_value(&mut rng);
+            assert_eq!(v.len(), r * c);
+        }
+    }
+
+    #[test]
+    fn just_yields_constant() {
+        let mut rng = test_rng("just");
+        assert_eq!(Just(7).new_value(&mut rng), 7);
+    }
+}

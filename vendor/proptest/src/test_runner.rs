@@ -1,0 +1,44 @@
+//! Test-runner configuration and the deterministic case RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Marker message used by `prop_assume!` to discard (rather than fail) a
+/// generated case.
+pub const REJECT_SENTINEL: &str = "__proptest_shim_reject__";
+
+/// The RNG handed to strategies. A type alias so strategy signatures stay
+/// close to upstream's `TestRunner`-mediated design without the machinery.
+pub type TestRng = StdRng;
+
+/// Subset of upstream `ProptestConfig`: only the case count is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// Upstream's default of 256 cases.
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Builds the deterministic per-test RNG: the test name is FNV-1a hashed
+/// into a seed so each test gets an independent, stable stream.
+pub fn test_rng(test_name: &str) -> TestRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(hash)
+}

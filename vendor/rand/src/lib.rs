@@ -1,0 +1,191 @@
+//! Vendored, offline subset of the [`rand`](https://crates.io/crates/rand)
+//! crate, API-compatible with the rand 0.9 surface this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace pins
+//! `rand = { path = "vendor/rand" }`. Only the pieces the DPar2 reproduction
+//! needs are provided:
+//!
+//! * [`Rng`] with the generic [`Rng::random`] method (uniform `f64` in
+//!   `[0, 1)`, full-range integers, `bool`),
+//! * [`SeedableRng::seed_from_u64`],
+//! * [`rngs::StdRng`] — here a xoshiro256++ generator (Blackman & Vigna),
+//!   seeded through SplitMix64 exactly as the xoshiro reference code
+//!   recommends. The streams differ from upstream rand's ChaCha-based
+//!   `StdRng`, which is fine: nothing in this workspace depends on the
+//!   exact stream, only on determinism-given-seed and statistical quality.
+//!
+//! Everything is deterministic, `no_std`-free plain Rust, and dependency
+//! free, so swapping back to the real crate is a one-line change in the
+//! workspace manifest.
+
+/// A source of randomness: the subset of `rand::Rng` used by this workspace.
+pub trait Rng {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` from its standard distribution:
+    /// `f64`/`f32` uniform in `[0, 1)`, integers over their full range,
+    /// `bool` fair.
+    fn random<T: StandardUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_from(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types samplable from their "standard" distribution via [`Rng::random`].
+pub trait StandardUniform: Sized {
+    /// Draws one sample from `rng`.
+    fn sample_from<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl StandardUniform for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (the standard
+    /// `bits >> 11` ⋅ 2⁻⁵³ construction).
+    fn sample_from<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample_from<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardUniform for u64 {
+    fn sample_from<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardUniform for u32 {
+    fn sample_from<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardUniform for usize {
+    fn sample_from<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardUniform for bool {
+    fn sample_from<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generator types.
+
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// 256 bits of state, period 2²⁵⁶ − 1, passes BigCrush; seeded via
+    /// SplitMix64 so that every 64-bit seed yields a well-mixed state
+    /// (including seed 0).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the full state.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.random::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 5e-3, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_seed_is_well_mixed() {
+        // SplitMix64 seeding must not leave the all-zero state.
+        let mut rng = StdRng::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert!(first.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn rng_impl_for_mut_ref() {
+        fn takes_rng(rng: &mut impl Rng) -> f64 {
+            rng.random()
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let via_ref = takes_rng(&mut &mut rng);
+        assert!((0.0..1.0).contains(&via_ref));
+    }
+}
