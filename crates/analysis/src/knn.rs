@@ -6,14 +6,39 @@ use dpar2_linalg::Mat;
 /// similarity matrix, as `(index, similarity)` pairs in descending order.
 /// Deterministic tie-break by lower index.
 ///
+/// Uses [`select_top_k`]: `O(n + k log k)` partial selection and a total
+/// order on `f64`, so a NaN similarity can never panic a serving path.
+///
 /// # Panics
 /// Panics if `target` is out of range.
 pub fn top_k_neighbors(sim: &Mat, target: usize, k: usize) -> Vec<(usize, f64)> {
     assert!(target < sim.rows(), "top_k_neighbors: target out of range");
-    let mut pairs: Vec<(usize, f64)> =
+    let pairs: Vec<(usize, f64)> =
         (0..sim.rows()).filter(|&i| i != target).map(|i| (i, sim.at(target, i))).collect();
-    pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN similarity").then(a.0.cmp(&b.0)));
-    pairs.truncate(k);
+    select_top_k(pairs, k)
+}
+
+/// Selects the `k` highest-scoring `(index, score)` pairs, descending, with
+/// deterministic tie-break by lower index.
+///
+/// When `k < n` this runs a partial selection (`select_nth_unstable_by`,
+/// expected `O(n)`) and only sorts the surviving `k` entries — the common
+/// serving case is `k ≪ n`, where a full `O(n log n)` sort is waste.
+/// Ordering is [`f64::total_cmp`], so NaN scores are handled without
+/// panicking (a NaN orders above every finite score in the total order;
+/// garbage scores surface at the top of the ranking instead of aborting
+/// the query thread).
+pub fn select_top_k(mut pairs: Vec<(usize, f64)>, k: usize) -> Vec<(usize, f64)> {
+    let desc = |a: &(usize, f64), b: &(usize, f64)| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0));
+    if k == 0 {
+        pairs.clear();
+        return pairs;
+    }
+    if k < pairs.len() {
+        pairs.select_nth_unstable_by(k, desc);
+        pairs.truncate(k);
+    }
+    pairs.sort_by(desc);
     pairs
 }
 
@@ -56,5 +81,38 @@ mod tests {
         let top = top_k_neighbors(&m, 0, 2);
         assert_eq!(top[0].0, 1); // lower index wins the tie
         assert_eq!(top[1].0, 2);
+    }
+
+    #[test]
+    fn nan_does_not_panic() {
+        let m = Mat::from_rows(&[
+            &[1.0, f64::NAN, 0.7, 0.2],
+            &[f64::NAN, 1.0, 0.3, 0.1],
+            &[0.7, 0.3, 1.0, 0.8],
+            &[0.2, 0.1, 0.8, 1.0],
+        ]);
+        // NaN orders above every finite score; the finite ranking below it
+        // is preserved.
+        let top = top_k_neighbors(&m, 0, 3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].0, 1);
+        assert!(top[0].1.is_nan());
+        assert_eq!(top[1].0, 2);
+        assert_eq!(top[2].0, 3);
+    }
+
+    #[test]
+    fn partial_selection_matches_full_sort() {
+        // Pseudo-random scores; partial selection must agree with the naive
+        // full sort for every k.
+        let n = 200usize;
+        let scores: Vec<(usize, f64)> =
+            (0..n).map(|i| (i, ((i * 2654435761) % 1000) as f64 / 1000.0)).collect();
+        let mut full = scores.clone();
+        full.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        for k in [0, 1, 5, 50, 199, 200, 300] {
+            let got = select_top_k(scores.clone(), k);
+            assert_eq!(got, full[..k.min(n)].to_vec(), "k = {k}");
+        }
     }
 }

@@ -20,7 +20,7 @@ pub mod pcc;
 pub mod rwr;
 pub mod similarity;
 
-pub use knn::top_k_neighbors;
+pub use knn::{select_top_k, top_k_neighbors};
 pub use pcc::{pcc_matrix, pearson};
 pub use rwr::{rwr_scores, RwrConfig};
-pub use similarity::{similarity_graph, stock_similarity};
+pub use similarity::{similarity_graph, similarity_graph_par, stock_similarity};

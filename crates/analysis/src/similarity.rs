@@ -1,6 +1,7 @@
 //! Stock-pair similarity from temporal factors — Eq. 10 & 11 of the paper.
 
 use dpar2_linalg::Mat;
+use dpar2_parallel::{greedy_partition, ThreadPool};
 
 /// Eq. 10: `sim(s_i, s_j) = exp(−γ ‖U_i − U_j‖²_F)`.
 ///
@@ -12,8 +13,26 @@ use dpar2_linalg::Mat;
 /// # Panics
 /// Panics if the shapes differ.
 pub fn stock_similarity(u_i: &Mat, u_j: &Mat, gamma: f64) -> f64 {
+    (-gamma * dist_sq(u_i, u_j)).exp()
+}
+
+/// `‖U_i − U_j‖²_F` accumulated directly over the two backing stores —
+/// no `U_i − U_j` temporary. Same element order as
+/// `(u_i - u_j).fro_norm_sq()`, so the result is bit-identical to the
+/// allocating formulation.
+///
+/// # Panics
+/// Panics if the shapes differ (see [`stock_similarity`]).
+fn dist_sq(u_i: &Mat, u_j: &Mat) -> f64 {
     assert_eq!(u_i.shape(), u_j.shape(), "stock_similarity: factors must share the time range");
-    (-gamma * (u_i - u_j).fro_norm_sq()).exp()
+    u_i.data()
+        .iter()
+        .zip(u_j.data())
+        .map(|(&a, &b)| {
+            let d = a - b;
+            d * d
+        })
+        .sum()
 }
 
 /// Builds the symmetric similarity matrix over a set of stocks, and — per
@@ -21,6 +40,9 @@ pub fn stock_similarity(u_i: &Mat, u_j: &Mat, gamma: f64) -> f64 {
 ///
 /// Returns `(S, A)` where `S(i,j) = sim(s_i, s_j)` (unit diagonal) and
 /// `A = S` with `A(i,i) = 0`.
+///
+/// Single-threaded reference path; [`similarity_graph_par`] produces the
+/// identical matrices in parallel.
 ///
 /// # Panics
 /// Panics if factor shapes differ (see [`stock_similarity`]).
@@ -35,8 +57,44 @@ pub fn similarity_graph(factors: &[&Mat], gamma: f64) -> (Mat, Mat) {
             s.set(j, i, v);
         }
     }
-    let mut a = s.clone();
+    with_adjacency(s)
+}
+
+/// Parallel [`similarity_graph`]: the upper triangle is distributed over the
+/// pool with greedy partitioning (row `i` owns the `n − 1 − i` pairs
+/// `(i, i+1..n)`, so later rows are cheaper — exactly the imbalance
+/// Algorithm 4 of the paper targets). Each pair accumulates
+/// `‖U_i − U_j‖²_F` straight off the factor buffers, so the hot loop
+/// performs no allocation beyond one score row per owned row index.
+///
+/// Bit-identical to the serial path for any thread count.
+///
+/// # Panics
+/// Panics if factor shapes differ (see [`stock_similarity`]).
+pub fn similarity_graph_par(factors: &[&Mat], gamma: f64, pool: &ThreadPool) -> (Mat, Mat) {
+    let n = factors.len();
+    // Row i computes n − 1 − i pairwise similarities.
+    let weights: Vec<usize> = (0..n).map(|i| n - 1 - i).collect();
+    let partition = greedy_partition(&weights, pool.threads());
+    let rows: Vec<Vec<f64>> = pool.run_partitioned(&partition, |i| {
+        (i + 1..n).map(|j| stock_similarity(factors[i], factors[j], gamma)).collect()
+    });
+    let mut s = Mat::zeros(n, n);
     for i in 0..n {
+        s.set(i, i, 1.0);
+        for (off, &v) in rows[i].iter().enumerate() {
+            let j = i + 1 + off;
+            s.set(i, j, v);
+            s.set(j, i, v);
+        }
+    }
+    with_adjacency(s)
+}
+
+/// Eq. 11: pairs `S` with its zero-diagonal adjacency `A`.
+fn with_adjacency(s: Mat) -> (Mat, Mat) {
+    let mut a = s.clone();
+    for i in 0..s.rows() {
         a.set(i, i, 0.0);
     }
     (s, a)
@@ -79,6 +137,14 @@ mod tests {
     }
 
     #[test]
+    fn dist_sq_matches_allocating_formulation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let u = gaussian_mat(12, 4, &mut rng);
+        let v = gaussian_mat(12, 4, &mut rng);
+        assert_eq!(dist_sq(&u, &v), (&u - &v).fro_norm_sq());
+    }
+
+    #[test]
     fn graph_symmetric_no_self_loops() {
         let mut rng = StdRng::seed_from_u64(4);
         let us: Vec<Mat> = (0..5).map(|_| gaussian_mat(6, 2, &mut rng)).collect();
@@ -91,6 +157,33 @@ mod tests {
         }
         // Off-diagonal entries agree between S and A.
         assert!((s.at(1, 3) - a.at(1, 3)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn parallel_graph_matches_serial_exactly() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let us: Vec<Mat> = (0..17).map(|_| gaussian_mat(9, 3, &mut rng)).collect();
+        let refs: Vec<&Mat> = us.iter().collect();
+        let (s_ref, a_ref) = similarity_graph(&refs, 0.02);
+        for threads in [1, 2, 4, 7] {
+            let pool = ThreadPool::new(threads);
+            let (s, a) = similarity_graph_par(&refs, 0.02, &pool);
+            assert_eq!(s, s_ref, "S differs at {threads} threads");
+            assert_eq!(a, a_ref, "A differs at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_graph_empty_and_singleton() {
+        let pool = ThreadPool::new(4);
+        let (s, a) = similarity_graph_par(&[], 0.01, &pool);
+        assert_eq!(s.shape(), (0, 0));
+        assert_eq!(a.shape(), (0, 0));
+        let mut rng = StdRng::seed_from_u64(8);
+        let u = gaussian_mat(5, 2, &mut rng);
+        let (s, a) = similarity_graph_par(&[&u], 0.01, &pool);
+        assert_eq!(s.at(0, 0), 1.0);
+        assert_eq!(a.at(0, 0), 0.0);
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Serving throughput: queries/second against thread count, cold cache vs
+//! warm cache, through the `dpar2-serve` query engine.
+//!
+//! One model is fitted and published once; each thread-count row then runs
+//! `--reps` passes over a batch that queries every entity once. The cold
+//! column clears the result cache before every pass (every query computes);
+//! the warm column primes the cache once and then measures pure cache-hit
+//! serving.
+//!
+//! ```text
+//! cargo run -p dpar2-bench --release --bin serve_throughput -- --entities 64
+//! ```
+//!
+//! Flags: `--entities` (64), `--days` (96), `--features` (24), `--rank`
+//! (10), `--k` (10), `--reps` (4), `--max-threads` (8), `--seed` (0).
+
+use dpar2_bench::{fmt_secs, print_table, Args};
+use dpar2_core::{Dpar2, Dpar2Config};
+use dpar2_data::planted_parafac2;
+use dpar2_serve::{ModelMeta, ModelRegistry, QueryEngine, ServedModel};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let entities = args.get("entities", 64usize).max(2);
+    let days = args.get("days", 96usize);
+    let features = args.get("features", 24usize);
+    let rank = args.get("rank", 10usize).min(features).min(days);
+    let k = args.get("k", 10usize);
+    let reps = args.get("reps", 4usize).max(1);
+    let max_threads = args.get("max-threads", 8usize).max(1);
+    let seed = args.get("seed", 0u64);
+
+    let tensor = planted_parafac2(&vec![days; entities], features, rank, 0.1, seed);
+    let fit = Dpar2::new(Dpar2Config::new(rank).with_seed(seed)).fit(&tensor).expect("fit failed");
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .publish("bench", ServedModel::from_parts(ModelMeta::new("bench").with_gamma(0.02), fit));
+
+    // One query per entity; `reps` passes per measurement.
+    let batch: Vec<(usize, usize)> = (0..entities).map(|t| (t, k)).collect();
+    let total = entities * reps;
+    println!(
+        "== serve_throughput: {entities} entities x {days} days x {features} features, \
+         rank {rank}, top-{k}, {reps} passes ==\n"
+    );
+
+    let mut rows = Vec::new();
+    let mut threads = 1;
+    while threads <= max_threads {
+        let engine = QueryEngine::new(registry.clone(), threads);
+
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            engine.clear_cache();
+            let out = engine.top_k_batch("bench", &batch);
+            assert!(out.iter().all(Result::is_ok), "cold query failed");
+        }
+        let cold = t0.elapsed().as_secs_f64();
+
+        engine.top_k_batch("bench", &batch); // prime
+        let t1 = Instant::now();
+        for _ in 0..reps {
+            let out = engine.top_k_batch("bench", &batch);
+            assert!(out.iter().all(Result::is_ok), "warm query failed");
+        }
+        let warm = t1.elapsed().as_secs_f64();
+
+        let stats = engine.cache_stats();
+        rows.push(vec![
+            threads.to_string(),
+            fmt_secs(cold),
+            format!("{:.0}", total as f64 / cold),
+            fmt_secs(warm),
+            format!("{:.0}", total as f64 / warm),
+            format!("{}/{}", stats.hits, stats.misses),
+        ]);
+        threads *= 2;
+    }
+    print_table(&["threads", "cold", "cold q/s", "warm", "warm q/s", "cache h/m"], &rows);
+    println!("\n(cold = cache cleared before every pass; warm = all hits after priming.");
+    println!(" Batched queries fan out over the dpar2-parallel pool per batch call.)");
+}

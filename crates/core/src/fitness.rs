@@ -6,7 +6,7 @@ use dpar2_tensor::IrregularTensor;
 /// Wall-clock breakdown of a decomposition run, in the categories the
 /// paper's evaluation reports (Fig. 9: preprocessing time and per-iteration
 /// time; Fig. 1/11: total time).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TimingBreakdown {
     /// Seconds spent in preprocessing (DPar2: two-stage compression;
     /// RD-ALS: concatenated SVD; others: 0).
@@ -34,7 +34,13 @@ impl TimingBreakdown {
 ///
 /// Produced by [`crate::Dpar2`] and by every baseline solver in
 /// `dpar2-baselines`, so harness code can treat all methods uniformly.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field with `f64` equality (so `NaN != NaN`
+/// and `-0.0 == 0.0`, as usual for floats). The `dpar2-serve` persistence
+/// layer preserves the underlying bits exactly, hence
+/// `load(save(fit)) == fit` for any NaN-free fit — which every solver in
+/// this workspace produces.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Parafac2Fit {
     /// Per-slice factor `U_k ∈ R^{I_k×R}` (`U_k = Q_k H`).
     pub u: Vec<Mat>,

@@ -76,6 +76,17 @@ impl StreamingDpar2 {
         if slices.is_empty() {
             return Ok(());
         }
+        // Validate column consistency up front (within the batch and
+        // against the ingested state) so a malformed batch is an `Err`,
+        // never a panic — long-lived ingest loops depend on this.
+        let j = self.ct.as_ref().map_or(slices[0].cols(), |ct| ct.j);
+        if let Some(bad) = slices.iter().find(|s| s.cols() != j) {
+            return Err(Dpar2Error::Linalg(dpar2_linalg::LinalgError::DimensionMismatch {
+                op: "streaming append",
+                left: (j, self.config.rank),
+                right: (bad.cols(), self.config.rank),
+            }));
+        }
         let batch = IrregularTensor::new(slices);
         self.appended_batches += 1;
         match self.ct.take() {
@@ -85,16 +96,26 @@ impl StreamingDpar2 {
                 Ok(())
             }
             Some(old) => {
-                let updated = self.extend(old, &batch)?;
-                self.ct = Some(updated);
-                Ok(())
+                // A rejected batch must leave the ingested state untouched
+                // (long-lived serving ingest keeps going after a bad batch).
+                let result = self.extend(&old, &batch);
+                match result {
+                    Ok(updated) => {
+                        self.ct = Some(updated);
+                        Ok(())
+                    }
+                    Err(e) => {
+                        self.ct = Some(old);
+                        Err(e)
+                    }
+                }
             }
         }
     }
 
     /// Incremental stage-2 update with a batch of freshly compressed
     /// slices.
-    fn extend(&self, old: CompressedTensor, batch: &IrregularTensor) -> Result<CompressedTensor> {
+    fn extend(&self, old: &CompressedTensor, batch: &IrregularTensor) -> Result<CompressedTensor> {
         let r = self.config.rank;
         if batch.j() != old.j {
             return Err(Dpar2Error::Linalg(dpar2_linalg::LinalgError::DimensionMismatch {
@@ -151,7 +172,7 @@ impl StreamingDpar2 {
             f_blocks.push(f2.v.block(r + j * r, r + (j + 1) * r, 0, r));
         }
 
-        let mut a = old.a;
+        let mut a = old.a.clone();
         a.extend(stage1.into_iter().map(|(u, _, _)| u));
         Ok(CompressedTensor { a, d: f2.u, e: f2.s, f_blocks, rank: r, j: old.j })
     }
@@ -164,14 +185,14 @@ impl StreamingDpar2 {
     pub fn decompose(&mut self) -> Parafac2Fit {
         let ct = self.ct.as_ref().expect("StreamingDpar2::decompose: no slices appended yet");
         // Extend the cached W with unit rows for slices added since the
-        // last decomposition; H and V carry over unchanged.
-        let warm = self.warm.take().map(|ws| {
-            let extra = ct.k() - ws.w.rows();
+        // last decomposition; H and V carry over unchanged. A stale warm
+        // start with more rows than the current slice count (impossible
+        // through the public API, but cheap to guard) is discarded.
+        let warm = self.warm.take().filter(|ws| ws.w.rows() <= ct.k()).map(|ws| {
             let mut w = Mat::ones(ct.k(), ct.rank);
             for i in 0..ws.w.rows() {
                 w.set_row(i, ws.w.row(i));
             }
-            let _ = extra;
             WarmStart { h: ws.h, v: ws.v, w }
         });
         let fit = Dpar2::new(self.config).fit_compressed_with_init(ct, warm);
@@ -313,6 +334,28 @@ mod tests {
     }
 
     #[test]
+    fn rejects_mixed_columns_within_batch() {
+        // Inconsistent columns inside one batch must be an Err, not the
+        // IrregularTensor constructor panic (serving ingest loops rely on
+        // append never panicking on malformed input).
+        let cfg = Dpar2Config::new(2).with_seed(88);
+        let mut stream = StreamingDpar2::new(cfg);
+        let mut rng = StdRng::seed_from_u64(89);
+        let err = stream
+            .append(vec![gaussian_mat(10, 8, &mut rng), gaussian_mat(10, 9, &mut rng)])
+            .unwrap_err();
+        assert!(matches!(err, Dpar2Error::Linalg(_)));
+        assert_eq!(stream.k(), 0);
+        // Same check against already-ingested state.
+        stream.append(vec![gaussian_mat(10, 8, &mut rng)]).unwrap();
+        let err = stream
+            .append(vec![gaussian_mat(10, 8, &mut rng), gaussian_mat(10, 7, &mut rng)])
+            .unwrap_err();
+        assert!(matches!(err, Dpar2Error::Linalg(_)));
+        assert_eq!(stream.k(), 1);
+    }
+
+    #[test]
     fn rejects_undersized_new_slice() {
         let cfg = Dpar2Config::new(5).with_seed(79);
         let mut stream = StreamingDpar2::new(cfg);
@@ -320,6 +363,23 @@ mod tests {
         stream.append(vec![gaussian_mat(12, 10, &mut rng)]).unwrap();
         let err = stream.append(vec![gaussian_mat(3, 10, &mut rng)]).unwrap_err();
         assert!(matches!(err, Dpar2Error::RankTooLarge { .. }));
+    }
+
+    #[test]
+    fn failed_append_preserves_state() {
+        let cfg = Dpar2Config::new(2).with_seed(85);
+        let mut stream = StreamingDpar2::new(cfg);
+        let mut gen = Planted::new(12, 2, 86);
+        stream.append(vec![gen.slice(20, 0.0), gen.slice(18, 0.0)]).unwrap();
+        let _ = stream.decompose();
+        let mut rng = StdRng::seed_from_u64(87);
+        // Wrong column count: rejected, but the two ingested slices (and the
+        // cached warm start) must survive for the next good batch.
+        assert!(stream.append(vec![gaussian_mat(10, 9, &mut rng)]).is_err());
+        assert_eq!(stream.k(), 2, "failed append lost ingested slices");
+        stream.append(vec![gen.slice(16, 0.0)]).unwrap();
+        let fit = stream.decompose();
+        assert_eq!(fit.u.len(), 3);
     }
 
     #[test]

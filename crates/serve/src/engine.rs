@@ -1,0 +1,535 @@
+//! The concurrent query engine: top-k similar-entity search over a fitted
+//! model's temporal factors.
+//!
+//! This is the paper's own application (§IV-E, Table III) turned into an
+//! online service. A query asks: *given entity `t` of model `m`, which `k`
+//! entities are most similar?* Similarity is Eq. 10,
+//! `sim(s_i, s_j) = exp(−γ ‖U_i − U_j‖²_F)`, over the temporal factors
+//! `U_k` of the fit — the same path `dpar2_analysis` drives offline.
+//!
+//! Serving-oriented machinery on top of that formula:
+//!
+//! * **Per-entity norm cache** ([`ServedModel`]): `‖U_k‖²_F` is precomputed
+//!   once per published model, so a pair's squared distance costs one inner
+//!   product via the Gram expansion
+//!   `‖U_i − U_j‖² = ‖U_i‖² + ‖U_j‖² − 2·tr(U_iᵀU_j)` instead of
+//!   materializing `U_i − U_j`.
+//! * **Partial selection**: ranking uses [`dpar2_analysis::select_top_k`]
+//!   — `O(n + k log k)` with a NaN-safe total order, since `k ≪ n` in
+//!   serving workloads.
+//! * **Batched execution** ([`QueryEngine::top_k_batch`]): a batch of
+//!   queries is fanned out over the [`dpar2_parallel::ThreadPool`] against
+//!   one registry snapshot, so every answer in the batch comes from the
+//!   same model version.
+//! * **Sharded LRU result cache**: completed rankings are cached keyed by
+//!   `(model, version, target, k)`. The version in the key makes
+//!   invalidation automatic — a publish simply starts missing into the new
+//!   version while stale entries age out. Shards (each a small
+//!   `Mutex<HashMap>`) keep concurrent query threads from serializing on
+//!   one lock.
+//!
+//! As in §IV-E2 of the paper, `U_i − U_j` is only defined for entities
+//! with the same temporal range, so a query ranks exactly the candidates
+//! whose factor shape matches the target's.
+
+use crate::error::{Result, ServeError};
+use crate::model::{ModelMeta, SavedModel};
+use crate::registry::{ModelRegistry, ModelVersion};
+use dpar2_analysis::select_top_k;
+use dpar2_core::Parafac2Fit;
+use dpar2_linalg::mat::dot;
+use dpar2_parallel::ThreadPool;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A fitted model prepared for serving: factors plus the precomputed
+/// per-entity caches queries need.
+#[derive(Debug, Clone)]
+pub struct ServedModel {
+    meta: ModelMeta,
+    fit: Parafac2Fit,
+    /// `‖U_k‖²_F` per entity — the norm half of the Gram expansion.
+    norms_sq: Vec<f64>,
+}
+
+impl ServedModel {
+    /// Prepares a fit for serving, precomputing the per-entity norm cache.
+    pub fn from_parts(meta: ModelMeta, fit: Parafac2Fit) -> Self {
+        let norms_sq = fit.u.iter().map(|u| u.fro_norm_sq()).collect();
+        ServedModel { meta, fit, norms_sq }
+    }
+
+    /// Prepares a loaded [`SavedModel`] for serving.
+    pub fn from_saved(saved: SavedModel) -> Self {
+        Self::from_parts(saved.meta, saved.fit)
+    }
+
+    /// The underlying fit.
+    pub fn fit(&self) -> &Parafac2Fit {
+        &self.fit
+    }
+
+    /// The model's metadata.
+    pub fn meta(&self) -> &ModelMeta {
+        &self.meta
+    }
+
+    /// Number of entities (slices) in the model.
+    pub fn entities(&self) -> usize {
+        self.fit.u.len()
+    }
+
+    /// Label of entity `i`, if the metadata carries labels.
+    pub fn label(&self, i: usize) -> Option<&str> {
+        self.meta.entity_labels.get(i).map(String::as_str)
+    }
+
+    /// Eq. 10 similarity between entities `i` and `j` through the norm
+    /// cache. `None` if either index is out of range or the two factor
+    /// shapes differ (not comparable, §IV-E2).
+    pub fn similarity(&self, i: usize, j: usize) -> Option<f64> {
+        let (u_i, u_j) = (self.fit.u.get(i)?, self.fit.u.get(j)?);
+        if u_i.shape() != u_j.shape() {
+            return None;
+        }
+        Some(self.pair_similarity(i, j))
+    }
+
+    /// Similarity for comparable in-range entities (callers check both).
+    fn pair_similarity(&self, i: usize, j: usize) -> f64 {
+        let cross = dot(self.fit.u[i].data(), self.fit.u[j].data());
+        let d_sq = (self.norms_sq[i] + self.norms_sq[j] - 2.0 * cross).max(0.0);
+        (-self.meta.gamma * d_sq).exp()
+    }
+
+    /// The `k` entities most similar to `target` (excluding itself),
+    /// descending, deterministic tie-break by lower index. Candidates are
+    /// the entities sharing `target`'s factor shape.
+    ///
+    /// # Errors
+    /// [`ServeError::EntityOutOfRange`] if `target` is not in the model.
+    pub fn top_k(&self, target: usize, k: usize) -> Result<Vec<(usize, f64)>> {
+        let n = self.entities();
+        if target >= n {
+            return Err(ServeError::EntityOutOfRange { entity: target, count: n });
+        }
+        let shape = self.fit.u[target].shape();
+        let pairs: Vec<(usize, f64)> = (0..n)
+            .filter(|&i| i != target && self.fit.u[i].shape() == shape)
+            .map(|i| (i, self.pair_similarity(target, i)))
+            .collect();
+        Ok(select_top_k(pairs, k))
+    }
+}
+
+/// One answered query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Model version the answer was computed against.
+    pub version: u64,
+    /// `(entity, similarity)` pairs, descending.
+    pub neighbors: Vec<(usize, f64)>,
+    /// True if the answer came from the result cache.
+    pub cache_hit: bool,
+}
+
+/// Cache hit/miss counters (see [`QueryEngine::cache_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Queries answered from the result cache.
+    pub hits: u64,
+    /// Queries that had to compute.
+    pub misses: u64,
+}
+
+/// Concurrent top-k query engine over a [`ModelRegistry`].
+///
+/// `QueryEngine` is `Sync`: any number of threads may call
+/// [`top_k`](QueryEngine::top_k) concurrently while other threads publish
+/// new model versions into the shared registry.
+#[derive(Debug)]
+pub struct QueryEngine {
+    registry: Arc<ModelRegistry>,
+    pool: ThreadPool,
+    cache: ShardedLru,
+}
+
+impl QueryEngine {
+    /// Default result-cache capacity per shard ([`SHARD_COUNT`] shards).
+    pub const DEFAULT_SHARD_CAPACITY: usize = 128;
+
+    /// An engine over `registry` with a `threads`-wide pool for batched
+    /// queries and the default cache capacity.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn new(registry: Arc<ModelRegistry>, threads: usize) -> Self {
+        Self::with_cache_capacity(registry, threads, Self::DEFAULT_SHARD_CAPACITY)
+    }
+
+    /// An engine with an explicit per-shard result-cache capacity
+    /// (`0` disables caching).
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn with_cache_capacity(
+        registry: Arc<ModelRegistry>,
+        threads: usize,
+        shard_capacity: usize,
+    ) -> Self {
+        QueryEngine {
+            registry,
+            pool: ThreadPool::new(threads),
+            cache: ShardedLru::new(shard_capacity),
+        }
+    }
+
+    /// The shared registry this engine serves from.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Answers one top-k query against the current version of `model`.
+    ///
+    /// # Errors
+    /// [`ServeError::ModelNotFound`] for an unknown name;
+    /// [`ServeError::EntityOutOfRange`] for a bad target index.
+    pub fn top_k(&self, model: &str, target: usize, k: usize) -> Result<QueryResult> {
+        let snapshot = self.snapshot(model)?;
+        self.query_snapshot(&snapshot, target, k)
+    }
+
+    /// Answers a batch of `(target, k)` queries, fanned out across the
+    /// thread pool. The whole batch runs against **one** registry snapshot,
+    /// so every answer carries the same version even if a publish lands
+    /// mid-batch.
+    ///
+    /// Per-query failures (bad target index) are reported per element.
+    pub fn top_k_batch(&self, model: &str, queries: &[(usize, usize)]) -> Vec<Result<QueryResult>> {
+        let snapshot = match self.snapshot(model) {
+            Ok(s) => s,
+            Err(_) => {
+                return queries
+                    .iter()
+                    .map(|_| Err(ServeError::ModelNotFound(model.to_string())))
+                    .collect()
+            }
+        };
+        self.pool.map(queries, |_, &(target, k)| self.query_snapshot(&snapshot, target, k))
+    }
+
+    /// Result-cache hit/miss counters since construction.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every cached result (counters are kept).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    fn snapshot(&self, model: &str) -> Result<Arc<ModelVersion>> {
+        self.registry.get(model).ok_or_else(|| ServeError::ModelNotFound(model.to_string()))
+    }
+
+    fn query_snapshot(
+        &self,
+        snapshot: &ModelVersion,
+        target: usize,
+        k: usize,
+    ) -> Result<QueryResult> {
+        let key = CacheKey { name: snapshot.name.clone(), version: snapshot.version, target, k };
+        if let Some(neighbors) = self.cache.get(&key) {
+            return Ok(QueryResult { version: snapshot.version, neighbors, cache_hit: true });
+        }
+        let neighbors = snapshot.model.top_k(target, k)?;
+        self.cache.insert(key, neighbors.clone());
+        Ok(QueryResult { version: snapshot.version, neighbors, cache_hit: false })
+    }
+}
+
+/// Number of independent cache shards.
+pub const SHARD_COUNT: usize = 8;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    name: String,
+    version: u64,
+    target: usize,
+    k: usize,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    neighbors: Vec<(usize, f64)>,
+    /// Last-touch tick for LRU eviction.
+    stamp: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<CacheKey, CacheEntry>,
+    tick: u64,
+}
+
+/// Small sharded LRU: shard = `hash(key) % SHARD_COUNT`, each shard an
+/// independently locked `HashMap` with last-touch stamps. Eviction scans
+/// the full shard for the oldest stamp — shards are small (default 128
+/// entries) so the scan is cheaper than maintaining an intrusive list, and
+/// it only runs on insert-at-capacity.
+#[derive(Debug)]
+struct ShardedLru {
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ShardedLru {
+    fn new(shard_capacity: usize) -> Self {
+        ShardedLru {
+            shards: (0..SHARD_COUNT).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_index(key: &CacheKey) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % SHARD_COUNT
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        &self.shards[Self::shard_index(key)]
+    }
+
+    fn get(&self, key: &CacheKey) -> Option<Vec<(usize, f64)>> {
+        if self.shard_capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut shard = self.shard(key).lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(key) {
+            Some(entry) => {
+                entry.stamp = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.neighbors.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, key: CacheKey, neighbors: Vec<(usize, f64)>) {
+        if self.shard_capacity == 0 {
+            return;
+        }
+        let mut shard = self.shard(&key).lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        shard.tick += 1;
+        let tick = shard.tick;
+        if shard.map.len() >= self.shard_capacity && !shard.map.contains_key(&key) {
+            if let Some(oldest) =
+                shard.map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&oldest);
+            }
+        }
+        shard.map.insert(key, CacheEntry { neighbors, stamp: tick });
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap_or_else(std::sync::PoisonError::into_inner).map.clear();
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpar2_analysis::{similarity_graph, top_k_neighbors};
+    use dpar2_core::TimingBreakdown;
+    use dpar2_linalg::random::gaussian_mat;
+    use dpar2_linalg::Mat;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A served model over `n` random temporal factors of equal shape.
+    fn random_model(n: usize, rows: usize, r: usize, seed: u64, gamma: f64) -> ServedModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u: Vec<Mat> = (0..n).map(|_| gaussian_mat(rows, r, &mut rng)).collect();
+        let fit = Parafac2Fit {
+            s: vec![vec![1.0; r]; n],
+            v: gaussian_mat(6, r, &mut rng),
+            h: gaussian_mat(r, r, &mut rng),
+            u,
+            iterations: 0,
+            criterion_trace: vec![],
+            timing: TimingBreakdown::default(),
+        };
+        ServedModel::from_parts(ModelMeta::new("test").with_gamma(gamma), fit)
+    }
+
+    #[test]
+    fn top_k_matches_offline_analysis_path() {
+        let m = random_model(14, 9, 3, 21, 0.05);
+        let refs: Vec<&Mat> = m.fit().u.iter().collect();
+        let (sim, _) = similarity_graph(&refs, 0.05);
+        for target in [0, 5, 13] {
+            let offline = top_k_neighbors(&sim, target, 5);
+            let online = m.top_k(target, 5).unwrap();
+            let off_ids: Vec<usize> = offline.iter().map(|&(i, _)| i).collect();
+            let on_ids: Vec<usize> = online.iter().map(|&(i, _)| i).collect();
+            assert_eq!(on_ids, off_ids, "target {target}: ranking diverged");
+            for (a, b) in offline.iter().zip(&online) {
+                assert!((a.1 - b.1).abs() < 1e-12, "similarity {} vs {}", a.1, b.1);
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_restricts_to_comparable_shapes() {
+        // Two shape groups: 3 entities of 8 rows, 2 entities of 5 rows.
+        let mut rng = StdRng::seed_from_u64(33);
+        let u: Vec<Mat> =
+            [8usize, 8, 8, 5, 5].iter().map(|&rows| gaussian_mat(rows, 2, &mut rng)).collect();
+        let n = u.len();
+        let fit = Parafac2Fit {
+            s: vec![vec![1.0; 2]; n],
+            v: gaussian_mat(4, 2, &mut rng),
+            h: gaussian_mat(2, 2, &mut rng),
+            u,
+            iterations: 0,
+            criterion_trace: vec![],
+            timing: TimingBreakdown::default(),
+        };
+        let m = ServedModel::from_parts(ModelMeta::new("mix"), fit);
+        let from_tall = m.top_k(0, 10).unwrap();
+        assert_eq!(from_tall.len(), 2, "only the other 8-row entities are comparable");
+        assert!(from_tall.iter().all(|&(i, _)| i == 1 || i == 2));
+        let from_short = m.top_k(4, 10).unwrap();
+        assert_eq!(from_short.len(), 1);
+        assert_eq!(from_short[0].0, 3);
+        // Cross-shape pair similarity is undefined.
+        assert!(m.similarity(0, 4).is_none());
+        assert!(m.similarity(0, 1).is_some());
+    }
+
+    #[test]
+    fn out_of_range_target_is_error() {
+        let m = random_model(4, 6, 2, 5, 0.01);
+        assert!(matches!(m.top_k(4, 2), Err(ServeError::EntityOutOfRange { entity: 4, count: 4 })));
+        assert!(m.similarity(0, 9).is_none());
+    }
+
+    #[test]
+    fn engine_serves_and_caches() {
+        let reg = Arc::new(ModelRegistry::new());
+        reg.publish("m", random_model(10, 7, 2, 9, 0.02));
+        let engine = QueryEngine::new(reg, 2);
+        let first = engine.top_k("m", 3, 4).unwrap();
+        assert!(!first.cache_hit);
+        assert_eq!(first.version, 1);
+        let second = engine.top_k("m", 3, 4).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(second.neighbors, first.neighbors);
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        engine.clear_cache();
+        assert!(!engine.top_k("m", 3, 4).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn cache_misses_across_versions() {
+        let reg = Arc::new(ModelRegistry::new());
+        reg.publish("m", random_model(8, 6, 2, 1, 0.02));
+        let engine = QueryEngine::new(reg.clone(), 1);
+        let v1 = engine.top_k("m", 0, 3).unwrap();
+        reg.publish("m", random_model(8, 6, 2, 2, 0.02));
+        let v2 = engine.top_k("m", 0, 3).unwrap();
+        assert_eq!(v1.version, 1);
+        assert_eq!(v2.version, 2);
+        assert!(!v2.cache_hit, "a new version must not serve stale results");
+    }
+
+    #[test]
+    fn unknown_model_is_error() {
+        let engine = QueryEngine::new(Arc::new(ModelRegistry::new()), 1);
+        assert!(matches!(engine.top_k("ghost", 0, 1), Err(ServeError::ModelNotFound(_))));
+        let batch = engine.top_k_batch("ghost", &[(0, 1), (1, 1)]);
+        assert_eq!(batch.len(), 2);
+        assert!(batch.iter().all(|r| matches!(r, Err(ServeError::ModelNotFound(_)))));
+    }
+
+    #[test]
+    fn batch_matches_singles_at_any_thread_count() {
+        let reg = Arc::new(ModelRegistry::new());
+        reg.publish("m", random_model(12, 8, 3, 77, 0.03));
+        let queries: Vec<(usize, usize)> = (0..12).map(|t| (t, 4)).collect();
+        let reference = QueryEngine::new(reg.clone(), 1);
+        let expected: Vec<Vec<(usize, f64)>> =
+            queries.iter().map(|&(t, k)| reference.top_k("m", t, k).unwrap().neighbors).collect();
+        for threads in [1, 2, 4] {
+            let engine = QueryEngine::new(reg.clone(), threads);
+            let got = engine.top_k_batch("m", &queries);
+            for (res, exp) in got.iter().zip(&expected) {
+                assert_eq!(res.as_ref().unwrap().neighbors, *exp, "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_reports_per_query_errors() {
+        let reg = Arc::new(ModelRegistry::new());
+        reg.publish("m", random_model(5, 6, 2, 3, 0.02));
+        let engine = QueryEngine::new(reg, 2);
+        let out = engine.top_k_batch("m", &[(0, 2), (99, 2), (4, 2)]);
+        assert!(out[0].is_ok());
+        assert!(matches!(out[1], Err(ServeError::EntityOutOfRange { entity: 99, .. })));
+        assert!(out[2].is_ok());
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_shard() {
+        let cache = ShardedLru::new(2);
+        let key = |t: usize| CacheKey { name: "m".into(), version: 1, target: t, k: 1 };
+        // Find three keys landing in the same shard.
+        let shard0 = ShardedLru::shard_index(&key(0));
+        let same_shard: Vec<usize> =
+            (0..200).filter(|&t| ShardedLru::shard_index(&key(t)) == shard0).take(3).collect();
+        let &[a, b, c] = same_shard.as_slice() else { panic!("hash spread too perfect") };
+        cache.insert(key(a), vec![(a, 1.0)]);
+        cache.insert(key(b), vec![(b, 1.0)]);
+        assert!(cache.get(&key(a)).is_some()); // refresh a: b is now oldest
+        cache.insert(key(c), vec![(c, 1.0)]);
+        assert!(cache.get(&key(b)).is_none(), "b should have been evicted");
+        assert!(cache.get(&key(a)).is_some());
+        assert!(cache.get(&key(c)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let reg = Arc::new(ModelRegistry::new());
+        reg.publish("m", random_model(6, 5, 2, 4, 0.02));
+        let engine = QueryEngine::with_cache_capacity(reg, 1, 0);
+        assert!(!engine.top_k("m", 0, 2).unwrap().cache_hit);
+        assert!(!engine.top_k("m", 0, 2).unwrap().cache_hit);
+    }
+}

@@ -1,0 +1,113 @@
+//! Error type for the serving layer.
+
+use std::fmt;
+
+/// Errors produced by the `dpar2-serve` persistence and query paths.
+///
+/// Every failure mode of a corrupted or truncated model file maps onto a
+/// variant here — the serving path returns `Err`, it never panics on bad
+/// bytes.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An underlying I/O operation failed.
+    Io(std::io::Error),
+    /// The file does not start with the `DPAR2MDL` magic bytes.
+    BadMagic,
+    /// The file's format version is newer than this reader understands.
+    UnsupportedVersion(u32),
+    /// The payload checksum recorded in the header does not match the bytes
+    /// actually read — the file was corrupted after writing.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the payload as read.
+        actual: u64,
+    },
+    /// The file ended before the full payload declared in the header.
+    Truncated {
+        /// Payload length the header promised.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// The payload decoded to structurally inconsistent data (bad lengths,
+    /// invalid UTF-8, shape mismatches).
+    Malformed(&'static str),
+    /// A query referenced a model name absent from the registry.
+    ModelNotFound(String),
+    /// A query referenced an entity index outside the model.
+    EntityOutOfRange {
+        /// Requested entity index.
+        entity: usize,
+        /// Number of entities in the model.
+        count: usize,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o failure: {e}"),
+            ServeError::BadMagic => write!(f, "not a DPar2 model file (bad magic)"),
+            ServeError::UnsupportedVersion(v) => {
+                write!(f, "unsupported model format version {v}")
+            }
+            ServeError::ChecksumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "model payload checksum mismatch: header {expected:#018x}, read {actual:#018x}"
+                )
+            }
+            ServeError::Truncated { expected, actual } => {
+                write!(f, "model file truncated: header promises {expected} payload bytes, found {actual}")
+            }
+            ServeError::Malformed(what) => write!(f, "malformed model payload: {what}"),
+            ServeError::ModelNotFound(name) => write!(f, "no model named {name:?} in the registry"),
+            ServeError::EntityOutOfRange { entity, count } => {
+                write!(f, "entity {entity} out of range (model has {count} entities)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ServeError::BadMagic.to_string().contains("bad magic"));
+        assert!(ServeError::UnsupportedVersion(9).to_string().contains('9'));
+        assert!(ServeError::Truncated { expected: 100, actual: 3 }.to_string().contains("100"));
+        assert!(ServeError::Malformed("rank of zero").to_string().contains("rank of zero"));
+        assert!(ServeError::ModelNotFound("m".into()).to_string().contains("\"m\""));
+        let e = ServeError::EntityOutOfRange { entity: 7, count: 4 };
+        assert!(e.to_string().contains('7') && e.to_string().contains('4'));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        use std::error::Error;
+        let e: ServeError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.source().is_some());
+        assert!(ServeError::BadMagic.source().is_none());
+    }
+}

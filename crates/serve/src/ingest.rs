@@ -1,0 +1,281 @@
+//! Background ingest: streaming appends that publish new model versions.
+//!
+//! The dual-way streaming PARAFAC2 follow-up (Jang et al., 2023) frames the
+//! serving problem this layer closes: models are *appended to* over time
+//! while queries keep flowing. `dpar2_core::streaming` implements the
+//! append half — incremental two-stage compression plus warm-started
+//! refits — and [`IngestWorker`] consumes it as a service:
+//!
+//! * a dedicated worker thread owns the [`StreamingDpar2`] state;
+//! * producers hand it slice batches over a crossbeam channel and return
+//!   immediately ([`IngestWorker::append`]);
+//! * for each batch the worker runs `append` + `decompose` and publishes
+//!   the refreshed model into the shared [`ModelRegistry`] as a brand-new
+//!   version — queries never see a half-updated model, they observe either
+//!   the old version or the new one (the registry's atomic swap);
+//! * [`IngestWorker::flush`] barriers on everything enqueued so far, and
+//!   append errors (inconsistent column counts, undersized slices) are
+//!   collected per batch rather than killing the worker.
+
+use crate::engine::ServedModel;
+use crate::model::ModelMeta;
+use crate::registry::ModelRegistry;
+use crossbeam::channel::{self, Sender};
+use dpar2_core::StreamingDpar2;
+use dpar2_linalg::Mat;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+enum Msg {
+    Append(Vec<Mat>),
+    /// Barrier: acknowledged once every earlier message is processed.
+    Flush(Sender<()>),
+    Shutdown,
+}
+
+/// Keeps the labels-per-slice invariant (`entity_labels` empty or exactly
+/// one per entity) as the entity count grows across appends: newcomers get
+/// placeholder `entity-<i>` labels, surplus labels are dropped.
+fn reconcile_labels(meta: &mut ModelMeta, entities: usize) {
+    if meta.entity_labels.is_empty() {
+        return;
+    }
+    while meta.entity_labels.len() < entities {
+        meta.entity_labels.push(format!("entity-{}", meta.entity_labels.len()));
+    }
+    meta.entity_labels.truncate(entities);
+}
+
+/// Handle to the background ingest thread.
+///
+/// Dropping the handle shuts the worker down cleanly (pending batches are
+/// still drained and published first).
+#[derive(Debug)]
+pub struct IngestWorker {
+    tx: Sender<Msg>,
+    handle: Option<JoinHandle<()>>,
+    errors: Arc<Mutex<Vec<String>>>,
+}
+
+impl IngestWorker {
+    /// Spawns the worker.
+    ///
+    /// `stream` may already hold slices (e.g. the batches a loaded model
+    /// was fitted on, re-appended by the caller) — the worker continues
+    /// from that state. Each processed non-empty batch publishes a new
+    /// version of `meta.name` into `registry`; empty batches are no-ops.
+    /// If `meta` carries entity labels, newly appended entities get
+    /// `entity-<i>` placeholder labels so the labels-per-slice invariant
+    /// holds on every published version.
+    pub fn spawn(
+        mut stream: StreamingDpar2,
+        meta: ModelMeta,
+        registry: Arc<ModelRegistry>,
+    ) -> Self {
+        let (tx, rx) = channel::unbounded::<Msg>();
+        let errors = Arc::new(Mutex::new(Vec::new()));
+        let errors_in_worker = errors.clone();
+        let handle = std::thread::spawn(move || {
+            for msg in rx {
+                match msg {
+                    Msg::Append(slices) => {
+                        // An empty batch changes nothing: skip the refit
+                        // and the version bump (a spurious publish would
+                        // cold-start every cached result for the model).
+                        if slices.is_empty() {
+                            continue;
+                        }
+                        match stream.append(slices) {
+                            Ok(()) => {
+                                let fit = stream.decompose();
+                                let mut now = meta.clone();
+                                reconcile_labels(&mut now, fit.u.len());
+                                registry.publish(&meta.name, ServedModel::from_parts(now, fit));
+                            }
+                            Err(e) => {
+                                let mut log = errors_in_worker
+                                    .lock()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                                log.push(e.to_string());
+                            }
+                        }
+                    }
+                    Msg::Flush(ack) => {
+                        // Receiving the barrier means everything before it
+                        // was processed; the ack may race a dropped flusher.
+                        let _ = ack.send(());
+                    }
+                    Msg::Shutdown => break,
+                }
+            }
+        });
+        IngestWorker { tx, handle: Some(handle), errors }
+    }
+
+    /// Enqueues a batch of new slices and returns immediately. The worker
+    /// will append, re-decompose, and publish a new model version.
+    ///
+    /// Returns `false` if the worker thread is gone (only after a panic —
+    /// normal shutdown goes through [`IngestWorker::shutdown`]/`Drop`).
+    pub fn append(&self, slices: Vec<Mat>) -> bool {
+        self.tx.send(Msg::Append(slices)).is_ok()
+    }
+
+    /// Blocks until every batch enqueued before this call has been
+    /// processed (published or recorded as an error).
+    pub fn flush(&self) {
+        let (ack_tx, ack_rx) = channel::unbounded::<()>();
+        if self.tx.send(Msg::Flush(ack_tx)).is_ok() {
+            let _ = ack_rx.recv();
+        }
+    }
+
+    /// Messages of batches that failed to append, in arrival order.
+    /// Successful batches leave no trace here.
+    pub fn errors(&self) -> Vec<String> {
+        self.errors.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+    }
+
+    /// Drains pending work, then stops and joins the worker thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let _ = self.tx.send(Msg::Shutdown);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for IngestWorker {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpar2_core::Dpar2Config;
+    use dpar2_data::planted_parafac2;
+
+    fn config() -> Dpar2Config {
+        Dpar2Config::new(2).with_seed(11).with_max_iterations(8)
+    }
+
+    #[test]
+    fn appends_publish_new_versions() {
+        let registry = Arc::new(ModelRegistry::new());
+        let worker = IngestWorker::spawn(
+            StreamingDpar2::new(config()),
+            ModelMeta::new("live").with_dataset("planted"),
+            registry.clone(),
+        );
+        let t = planted_parafac2(&[20, 20, 20, 20], 10, 2, 0.05, 3);
+        assert!(worker.append(t.slices()[..2].to_vec()));
+        worker.flush();
+        assert_eq!(registry.version("live"), Some(1));
+        assert_eq!(registry.get("live").unwrap().model.entities(), 2);
+
+        assert!(worker.append(t.slices()[2..].to_vec()));
+        worker.flush();
+        assert_eq!(registry.version("live"), Some(2));
+        assert_eq!(registry.get("live").unwrap().model.entities(), 4);
+        assert!(worker.errors().is_empty());
+        worker.shutdown();
+    }
+
+    #[test]
+    fn bad_batch_is_recorded_not_fatal() {
+        let registry = Arc::new(ModelRegistry::new());
+        let worker = IngestWorker::spawn(
+            StreamingDpar2::new(config()),
+            ModelMeta::new("live"),
+            registry.clone(),
+        );
+        let t = planted_parafac2(&[16, 16], 10, 2, 0.0, 4);
+        worker.append(t.slices().to_vec());
+        // Wrong column count: append fails, worker keeps running.
+        worker.append(vec![Mat::zeros(12, 7)]);
+        worker.flush();
+        assert_eq!(registry.version("live"), Some(1), "bad batch must not publish");
+        let errors = worker.errors();
+        assert_eq!(errors.len(), 1);
+        // The worker is still alive and can publish after the failure.
+        let more = planted_parafac2(&[14, 18, 16], 10, 2, 0.0, 4);
+        worker.append(vec![more.slices()[2].clone()]);
+        worker.flush();
+        assert_eq!(registry.version("live"), Some(2));
+        worker.shutdown();
+    }
+
+    #[test]
+    fn degenerate_batches_never_kill_the_worker() {
+        let registry = Arc::new(ModelRegistry::new());
+        let worker = IngestWorker::spawn(
+            StreamingDpar2::new(config()),
+            ModelMeta::new("live"),
+            registry.clone(),
+        );
+        // Empty batch on a fresh stream: nothing to decompose or publish.
+        worker.append(vec![]);
+        worker.flush();
+        assert_eq!(registry.version("live"), None);
+        // Mixed column counts *within* one batch: rejected as an error.
+        worker.append(vec![Mat::zeros(8, 5), Mat::zeros(8, 6)]);
+        worker.flush();
+        assert_eq!(worker.errors().len(), 1);
+        // The worker is still alive and serves the next good batch.
+        let t = planted_parafac2(&[16, 16], 10, 2, 0.0, 6);
+        assert!(worker.append(t.slices().to_vec()));
+        worker.flush();
+        assert_eq!(registry.version("live"), Some(1));
+        // An empty batch *after* data: still a no-op — no refit, no
+        // version bump (a spurious publish would cold-start the caches).
+        worker.append(vec![]);
+        worker.flush();
+        assert_eq!(registry.version("live"), Some(1));
+        worker.shutdown();
+    }
+
+    #[test]
+    fn labels_extend_with_the_entity_count() {
+        let registry = Arc::new(ModelRegistry::new());
+        let t = planted_parafac2(&[14, 14, 14], 10, 2, 0.0, 7);
+        let mut stream = StreamingDpar2::new(config());
+        stream.append(t.slices()[..2].to_vec()).unwrap();
+        let meta = ModelMeta::new("labeled").with_entity_labels(vec!["A".into(), "B".into()]);
+        let worker = IngestWorker::spawn(stream, meta, registry.clone());
+        worker.append(vec![t.slices()[2].clone()]);
+        worker.flush();
+        let published = registry.get("labeled").unwrap();
+        assert_eq!(published.model.entities(), 3);
+        assert_eq!(published.model.label(0), Some("A"));
+        assert_eq!(published.model.label(2), Some("entity-2"));
+        // The invariant holds, so the published model is persistable.
+        let saved = crate::model::SavedModel::new(
+            published.model.meta().clone(),
+            published.model.fit().clone(),
+        );
+        assert!(saved.to_bytes().is_ok());
+        worker.shutdown();
+    }
+
+    #[test]
+    fn drop_joins_cleanly_with_pending_work() {
+        let registry = Arc::new(ModelRegistry::new());
+        let t = planted_parafac2(&[18, 18], 9, 2, 0.0, 5);
+        {
+            let worker = IngestWorker::spawn(
+                StreamingDpar2::new(config()),
+                ModelMeta::new("drop-test"),
+                registry.clone(),
+            );
+            worker.append(t.slices().to_vec());
+            // No flush: Drop must still drain and join without deadlock.
+        }
+        assert_eq!(registry.version("drop-test"), Some(1));
+    }
+}

@@ -1,0 +1,64 @@
+//! # dpar2-serve
+//!
+//! The online half of the DPar2 reproduction: persistence, registry, and a
+//! concurrent query engine over fitted PARAFAC2 models.
+//!
+//! The paper's application (§IV-E, Table III) is a query workload — find
+//! the stocks most similar to a target from the temporal factors of a fit.
+//! This crate turns that one-shot analysis into a long-lived service:
+//!
+//! * [`model`] — a versioned, checksummed little-endian binary format for
+//!   [`dpar2_core::Parafac2Fit`] + dataset metadata; round-trips bit-exact
+//!   and rejects corrupted or truncated files with [`ServeError`]s, never
+//!   panics.
+//! * [`registry`] — a named, `RwLock`-based model store with atomic
+//!   version swap: readers grab an `Arc` snapshot and never block on (or
+//!   observe a torn state from) a concurrent publish.
+//! * [`engine`] — top-k similar-entity queries (Eq. 10/11 path from
+//!   `dpar2_analysis`) with precomputed per-entity norm caches, batched
+//!   execution over the [`dpar2_parallel::ThreadPool`], and a sharded LRU
+//!   result cache keyed by model version.
+//! * [`ingest`] — a background worker thread that drains appended slice
+//!   batches through [`dpar2_core::StreamingDpar2`] and publishes each
+//!   refreshed fit as a new registry version while queries keep flowing.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dpar2_core::{Dpar2, Dpar2Config};
+//! use dpar2_serve::{ModelMeta, ModelRegistry, QueryEngine, SavedModel, ServedModel};
+//!
+//! // Offline: fit and save. Equal slice heights keep every entity
+//! // pairwise comparable (§IV-E2).
+//! let tensor = dpar2_data::planted_parafac2(&[12; 6], 8, 3, 0.1, 7);
+//! let fit = Dpar2::new(Dpar2Config::new(3)).fit(&tensor).unwrap();
+//! let saved = SavedModel::new(ModelMeta::new("demo").with_gamma(0.05), fit);
+//! let bytes = saved.to_bytes().unwrap();
+//!
+//! // Online: load, publish, query.
+//! let loaded = SavedModel::from_bytes(&bytes).unwrap();
+//! assert_eq!(loaded, saved); // bit-exact round-trip
+//! let registry = std::sync::Arc::new(ModelRegistry::new());
+//! registry.publish("demo", ServedModel::from_saved(loaded));
+//! let engine = QueryEngine::new(registry, 2);
+//! let answer = engine.top_k("demo", 0, 3).unwrap();
+//! assert_eq!(answer.version, 1);
+//! assert_eq!(answer.neighbors.len(), 3);
+//! ```
+//!
+//! The `serve_demo` example walks the full lifecycle (fit → save → load →
+//! concurrent queries → live append), and
+//! `cargo run -p dpar2-bench --bin serve_throughput` measures queries/sec
+//! against thread count and cache temperature.
+
+pub mod engine;
+pub mod error;
+pub mod ingest;
+pub mod model;
+pub mod registry;
+
+pub use engine::{CacheStats, QueryEngine, QueryResult, ServedModel};
+pub use error::{Result, ServeError};
+pub use ingest::IngestWorker;
+pub use model::{ModelMeta, SavedModel, FORMAT_VERSION, MAGIC};
+pub use registry::{ModelRegistry, ModelVersion};

@@ -1,0 +1,184 @@
+//! Property-based and adversarial tests for the model persistence format:
+//! arbitrary-shape round-trips are bit-exact, and *no* corruption of the
+//! byte stream — truncation at any prefix, any single-byte flip — can make
+//! the reader panic or silently accept bad data.
+
+use dpar2_core::{Parafac2Fit, TimingBreakdown};
+use dpar2_linalg::Mat;
+use dpar2_serve::{ModelMeta, SavedModel, ServeError};
+use proptest::prelude::*;
+use proptest::strategy::Just;
+
+/// Builds a `SavedModel` with arbitrary ranks, slice counts, and slice
+/// heights from flat generated buffers.
+#[allow(clippy::type_complexity)]
+fn assemble(
+    (r, j, labeled): (usize, usize, bool),
+    rows: Vec<usize>,
+    udata: Vec<f64>,
+    sdata: Vec<f64>,
+    vdata: Vec<f64>,
+    hdata: Vec<f64>,
+    trace: Vec<f64>,
+) -> SavedModel {
+    let k = rows.len();
+    let mut u = Vec::with_capacity(k);
+    let mut off = 0;
+    for &rk in &rows {
+        u.push(Mat::from_vec(rk, r, udata[off..off + rk * r].to_vec()));
+        off += rk * r;
+    }
+    let s = sdata.chunks(r).map(<[f64]>::to_vec).collect();
+    let fit = Parafac2Fit {
+        u,
+        s,
+        v: Mat::from_vec(j, r, vdata),
+        h: Mat::from_vec(r, r, hdata),
+        iterations: trace.len(),
+        criterion_trace: trace.clone(),
+        timing: TimingBreakdown {
+            preprocess_secs: trace.first().copied().unwrap_or(0.0).abs(),
+            iterations_secs: trace.iter().sum::<f64>().abs(),
+            per_iteration_secs: trace,
+            total_secs: 0.25,
+        },
+    };
+    let labels = if labeled { (0..k).map(|i| format!("entity-{i}")).collect() } else { vec![] };
+    SavedModel::new(
+        ModelMeta::new("prop-model")
+            .with_dataset("proptest")
+            .with_gamma(0.01)
+            .with_entity_labels(labels),
+        fit,
+    )
+}
+
+fn saved_model_strategy() -> impl Strategy<Value = SavedModel> {
+    (1usize..4, 1usize..7, 0usize..2)
+        .prop_flat_map(|(r, j, lab)| {
+            (Just((r, j, lab == 1)), proptest::collection::vec(1usize..9, 0usize..5))
+        })
+        .prop_flat_map(|((r, j, labeled), rows)| {
+            let total: usize = rows.iter().sum();
+            let k = rows.len();
+            (
+                Just(((r, j, labeled), rows)),
+                proptest::collection::vec(-100.0f64..100.0, total * r),
+                proptest::collection::vec(-100.0f64..100.0, k * r),
+                proptest::collection::vec(-100.0f64..100.0, j * r),
+                proptest::collection::vec(-100.0f64..100.0, r * r),
+                proptest::collection::vec(-10.0f64..10.0, 0usize..6),
+            )
+        })
+        .prop_map(|((dims, rows), udata, sdata, vdata, hdata, trace)| {
+            assemble(dims, rows, udata, sdata, vdata, hdata, trace)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// save → load reproduces the model exactly, for arbitrary ranks,
+    /// slice counts, slice heights, and label presence.
+    #[test]
+    fn round_trip_is_identity(model in saved_model_strategy()) {
+        let bytes = model.to_bytes().expect("encode");
+        let back = SavedModel::from_bytes(&bytes).expect("decode");
+        prop_assert_eq!(&back, &model);
+        // Encoding is deterministic: same model, same bytes.
+        prop_assert_eq!(back.to_bytes().expect("re-encode"), bytes);
+    }
+
+    /// Truncating the byte stream anywhere yields `Err`, never a panic and
+    /// never a silently-decoded model.
+    #[test]
+    fn any_truncation_errors(model in saved_model_strategy(), frac in 0.0f64..1.0) {
+        let bytes = model.to_bytes().expect("encode");
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        prop_assert!(SavedModel::from_bytes(&bytes[..cut]).is_err(), "cut at {}", cut);
+    }
+}
+
+/// One fixed model for the exhaustive byte-level corruption sweeps.
+fn fixture() -> SavedModel {
+    assemble(
+        (2, 3, true),
+        vec![4, 2, 5],
+        (0..22).map(|i| i as f64 * 0.5 - 3.0).collect(),
+        (0..6).map(|i| i as f64).collect(),
+        (0..6).map(|i| -(i as f64)).collect(),
+        vec![1.0, 0.5, 0.25, 2.0],
+        vec![9.0, 3.0, 1.5],
+    )
+}
+
+/// `assemble` expects `hdata` of length `r²` and a free-length trace; keep
+/// the fixture arguments aligned with that signature.
+#[test]
+fn fixture_is_well_formed() {
+    assert!(fixture().to_bytes().is_ok());
+}
+
+#[test]
+fn every_single_byte_flip_is_rejected() {
+    let clean = fixture().to_bytes().unwrap();
+    for pos in 0..clean.len() {
+        let mut corrupt = clean.clone();
+        corrupt[pos] ^= 0x40;
+        let result = SavedModel::from_bytes(&corrupt);
+        assert!(result.is_err(), "flip at byte {pos} was accepted: {result:?}");
+    }
+}
+
+#[test]
+fn every_truncation_point_is_rejected() {
+    let clean = fixture().to_bytes().unwrap();
+    for cut in 0..clean.len() {
+        assert!(SavedModel::from_bytes(&clean[..cut]).is_err(), "truncation at {cut} accepted");
+    }
+}
+
+#[test]
+fn corruption_errors_carry_the_right_variant() {
+    let clean = fixture().to_bytes().unwrap();
+    // Magic byte.
+    let mut c = clean.clone();
+    c[3] = b'!';
+    assert!(matches!(SavedModel::from_bytes(&c), Err(ServeError::BadMagic)));
+    // Version field.
+    let mut c = clean.clone();
+    c[8..12].copy_from_slice(&7u32.to_le_bytes());
+    assert!(matches!(SavedModel::from_bytes(&c), Err(ServeError::UnsupportedVersion(7))));
+    // Checksum field.
+    let mut c = clean.clone();
+    c[20] ^= 0xff;
+    assert!(matches!(SavedModel::from_bytes(&c), Err(ServeError::ChecksumMismatch { .. })));
+    // Payload byte.
+    let mut c = clean.clone();
+    let last = c.len() - 1;
+    c[last] ^= 0xff;
+    assert!(matches!(SavedModel::from_bytes(&c), Err(ServeError::ChecksumMismatch { .. })));
+    // Whole-payload truncation.
+    assert!(matches!(
+        SavedModel::from_bytes(&clean[..dpar2_serve::model::HEADER_LEN]),
+        Err(ServeError::Truncated { actual: 0, .. })
+    ));
+}
+
+#[test]
+fn missing_file_is_io_error() {
+    let err = SavedModel::load("/nonexistent/dpar2/model.bin").unwrap_err();
+    assert!(matches!(err, ServeError::Io(_)));
+}
+
+#[test]
+fn garbage_files_are_rejected() {
+    assert!(matches!(SavedModel::from_bytes(&[]), Err(ServeError::Io(_))));
+    assert!(matches!(SavedModel::from_bytes(&[0u8; 64]), Err(ServeError::BadMagic)));
+    let mut zeros_with_magic = vec![0u8; 64];
+    zeros_with_magic[..8].copy_from_slice(&dpar2_serve::MAGIC);
+    zeros_with_magic[8..12].copy_from_slice(&1u32.to_le_bytes());
+    // Declares a zero-length payload with checksum 0 — FNV-1a of "" is not
+    // 0, so this is a checksum mismatch, not a crash.
+    assert!(SavedModel::from_bytes(&zeros_with_magic).is_err());
+}

@@ -15,6 +15,8 @@
 //! * [`baselines`] — PARAFAC2-ALS, RD-ALS, SPARTan-dense (Algorithm 2 & §V).
 //! * [`data`] — synthetic stand-ins for the paper's eight datasets.
 //! * [`analysis`] — feature correlations, stock similarity, k-NN, RWR (§IV-E).
+//! * [`serve`] — model persistence, versioned registry, concurrent query
+//!   engine, streaming ingest (the online half of the system).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the full system
 //! inventory.
@@ -26,4 +28,5 @@ pub use dpar2_data as data;
 pub use dpar2_linalg as linalg;
 pub use dpar2_parallel as parallel;
 pub use dpar2_rsvd as rsvd;
+pub use dpar2_serve as serve;
 pub use dpar2_tensor as tensor;

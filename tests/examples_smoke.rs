@@ -60,3 +60,10 @@ fn stock_analysis_runs() {
 fn streaming_updates_runs() {
     run_example("streaming_updates");
 }
+
+#[test]
+fn serve_demo_runs() {
+    // Exercises the full save/load/serve path: persistence round-trip,
+    // concurrent queries, and a live ingest publish.
+    run_example("serve_demo");
+}

@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::Range;
 
-/// Number-of-elements specification for [`vec`]: an exact count or a
+/// Number-of-elements specification for [`vec()`]: an exact count or a
 /// `[min, max)` range, mirroring upstream's `Into<SizeRange>` inputs.
 #[derive(Debug, Clone)]
 pub enum SizeRange {
@@ -31,7 +31,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     VecStrategy { element, size: size.into() }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

@@ -2,10 +2,11 @@
 //! crate, API-compatible with the surface this workspace's property tests
 //! use:
 //!
-//! * the [`Strategy`] trait with [`Strategy::prop_map`] and
-//!   [`Strategy::prop_flat_map`],
+//! * the [`Strategy`](strategy::Strategy) trait with
+//!   [`prop_map`](strategy::Strategy::prop_map) and
+//!   [`prop_flat_map`](strategy::Strategy::prop_flat_map),
 //! * range strategies (`1usize..12`, `-100.0f64..100.0`, `0u64..500`),
-//!   tuple strategies up to arity 6, and [`collection::vec`],
+//!   tuple strategies up to arity 6, and [`collection::vec()`],
 //! * the [`proptest!`] macro with `#![proptest_config(..)]` support and
 //!   `pat in strategy` arguments,
 //! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`].
