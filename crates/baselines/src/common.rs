@@ -2,6 +2,7 @@
 
 use dpar2_core::error::{Dpar2Error, Result};
 use dpar2_linalg::{svd::svd_truncated, Mat};
+use dpar2_parallel::{greedy_partition, ThreadPool};
 use dpar2_tensor::IrregularTensor;
 
 /// Configuration shared by every baseline solver (the subset of
@@ -14,7 +15,10 @@ pub struct AlsConfig {
     pub max_iterations: usize,
     /// Relative-change threshold on each solver's convergence criterion.
     pub tolerance: f64,
-    /// Worker threads (used by SPARTan-dense and DPar2).
+    /// Worker threads. SPARTan-dense and DPar2 parallelize their updates
+    /// over this many workers; PARAFAC2-ALS and RD-ALS use it for the
+    /// per-iteration true-error convergence check (their dominant cost),
+    /// keeping cross-method timings comparable.
     pub threads: usize,
     /// RNG seed (only DPar2 and RD-ALS's randomized pieces consume it; kept
     /// here so sweeps can treat all methods identically).
@@ -107,14 +111,49 @@ pub fn update_q(target: &Mat, rank: usize) -> Mat {
 /// convergence checks (and what DPar2 avoids; §III-E).
 pub fn true_error_sq(tensor: &IrregularTensor, qs: &[Mat], h: &Mat, w: &Mat, v: &Mat) -> f64 {
     let mut total = 0.0;
-    for (k, q_k) in qs.iter().enumerate() {
-        let mut hs = h.clone();
-        let wrow: Vec<f64> = w.row(k).to_vec();
-        scale_columns(&mut hs, &wrow);
-        let model = q_k.matmul(&hs).expect("Q_k·HS").matmul_nt(v).expect("·Vᵀ");
-        total += (tensor.slice(k) - &model).fro_norm_sq();
+    for k in 0..qs.len() {
+        total += slice_error_sq(tensor, qs, h, w, v, k);
     }
     total
+}
+
+/// [`true_error_sq`] with the per-slice reconstructions fanned out over
+/// `pool`. This is the dominant per-iteration cost of every explicit-factor
+/// baseline (`O(Σ_k I_k J R)` — as expensive as a whole compression pass),
+/// so sharing the parallel treatment keeps method-comparison timings about
+/// algorithmic cost, not about which solver got threads. Per-slice cost is
+/// proportional to `I_k`, so slices are assigned by the same greedy
+/// partition (Algorithm 4) the compression stage uses; results come back in
+/// slice order and are summed in ascending `k`, making the result
+/// bit-identical to the serial [`true_error_sq`] for every pool size.
+pub fn true_error_sq_pooled(
+    tensor: &IrregularTensor,
+    qs: &[Mat],
+    h: &Mat,
+    w: &Mat,
+    v: &Mat,
+    pool: &ThreadPool,
+) -> f64 {
+    let partition = greedy_partition(&tensor.row_dims(), pool.threads());
+    let per_slice: Vec<f64> =
+        pool.run_partitioned(&partition, |k| slice_error_sq(tensor, qs, h, w, v, k));
+    per_slice.iter().sum()
+}
+
+/// `‖X_k − Q_k H S_k Vᵀ‖²_F` for one slice.
+fn slice_error_sq(
+    tensor: &IrregularTensor,
+    qs: &[Mat],
+    h: &Mat,
+    w: &Mat,
+    v: &Mat,
+    k: usize,
+) -> f64 {
+    let mut hs = h.clone();
+    let wrow: Vec<f64> = w.row(k).to_vec();
+    scale_columns(&mut hs, &wrow);
+    let model = qs[k].matmul(&hs).expect("Q_k·HS").matmul_nt(v).expect("·Vᵀ");
+    (tensor.slice(k) - &model).fro_norm_sq()
 }
 
 /// Shared stopping rule for every ALS-family solver: stop when the squared
@@ -207,6 +246,23 @@ mod tests {
         scale_columns(&mut scaled, &w);
         let explicit = m.matmul(&Mat::diag(&w)).unwrap();
         assert!((&scaled - &explicit).fro_norm() < 1e-12);
+    }
+
+    #[test]
+    fn pooled_error_bitwise_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(508);
+        let r = 3;
+        let t = small_tensor(509);
+        let h = gaussian_mat(r, r, &mut rng);
+        let v = gaussian_mat(8, r, &mut rng);
+        let w = gaussian_mat(3, r, &mut rng);
+        let qs: Vec<Mat> =
+            (0..3).map(|k| dpar2_linalg::qr::qr(&gaussian_mat(t.i(k), r, &mut rng)).q).collect();
+        let serial = true_error_sq(&t, &qs, &h, &w, &v);
+        for threads in [1, 2, 4] {
+            let pooled = true_error_sq_pooled(&t, &qs, &h, &w, &v, &ThreadPool::new(threads));
+            assert_eq!(serial.to_bits(), pooled.to_bits(), "diverged at {threads} threads");
+        }
     }
 
     #[test]

@@ -24,10 +24,11 @@
 //!    criterion).
 
 use crate::common::{
-    converged, init_v, scale_columns, true_error_sq, update_q, validate_rank, AlsConfig,
+    converged, init_v, scale_columns, true_error_sq_pooled, update_q, validate_rank, AlsConfig,
 };
 use dpar2_core::{Parafac2Fit, Result, TimingBreakdown};
 use dpar2_linalg::{pinv, svd::svd_truncated, Mat};
+use dpar2_parallel::ThreadPool;
 use dpar2_tensor::{mttkrp, normalize_columns, Dense3, IrregularTensor};
 use std::time::Instant;
 
@@ -35,12 +36,18 @@ use std::time::Instant;
 #[derive(Debug, Clone)]
 pub struct RdAls {
     config: AlsConfig,
+    /// Pool for the per-iteration true-error convergence check against the
+    /// raw slices — RD-ALS's per-iteration bottleneck (Fig. 9(b)). Shared
+    /// with the other baselines so method-comparison timings stay about
+    /// algorithmic cost; bit-identical for every pool size.
+    pool: ThreadPool,
 }
 
 impl RdAls {
     /// Creates a solver with the given configuration.
     pub fn new(config: AlsConfig) -> Self {
-        RdAls { config }
+        let pool = ThreadPool::new(config.threads.max(1));
+        RdAls { config, pool }
     }
 
     /// Preprocesses the tensor: truncated SVD of the slice concatenation,
@@ -134,7 +141,7 @@ impl RdAls {
             // The expensive part the paper highlights: the *true*
             // reconstruction error against the ORIGINAL slices.
             let v_full = v_c.matmul(&v_t).expect("V_c·Ṽ");
-            let err = true_error_sq(tensor, &qs, &h, &w, &v_full);
+            let err = true_error_sq_pooled(tensor, &qs, &h, &w, &v_full, &self.pool);
             per_iteration_secs.push(it0.elapsed().as_secs_f64());
             let done =
                 converged(criterion_trace.last().copied(), err, x_norm_sq, self.config.tolerance);

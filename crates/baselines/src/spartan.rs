@@ -17,7 +17,7 @@
 //!   materialized unfoldings.
 
 use crate::common::{
-    converged, init_v, scale_columns, true_error_sq, update_q, validate_rank, AlsConfig,
+    converged, init_v, scale_columns, true_error_sq_pooled, update_q, validate_rank, AlsConfig,
 };
 use dpar2_core::{Parafac2Fit, Result, TimingBreakdown};
 use dpar2_linalg::{pinv, Mat};
@@ -107,7 +107,7 @@ impl SpartanDense {
                 .expect("W update");
 
             iterations += 1;
-            let err = true_error_sq(tensor, &qs, &h, &w, &v);
+            let err = true_error_sq_pooled(tensor, &qs, &h, &w, &v, &pool);
             per_iteration_secs.push(it0.elapsed().as_secs_f64());
             let done =
                 converged(criterion_trace.last().copied(), err, x_norm_sq, self.config.tolerance);

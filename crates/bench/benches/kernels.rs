@@ -19,6 +19,7 @@ use dpar2_core::config::Dpar2Config;
 use dpar2_core::convergence::compressed_criterion;
 use dpar2_core::lemmas::{g1, g2, g3, materialize_y, naive_g1, naive_g2, naive_g3};
 use dpar2_data::planted_parafac2;
+use dpar2_linalg::kernel::{self, Trans};
 use dpar2_linalg::random::gaussian_mat;
 use dpar2_linalg::{svd_truncated, Mat};
 use dpar2_parallel::{greedy_partition, round_robin_partition, ThreadPool};
@@ -167,9 +168,32 @@ fn bench_gemm(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(8);
     let a = gaussian_mat(256, 256, &mut rng);
     let b_m = gaussian_mat(256, 256, &mut rng);
+    // Public entry points (size-dispatched onto the blocked kernel layer).
     group.bench_function("matmul_256", |b| b.iter(|| black_box(a.matmul(&b_m).unwrap())));
     group.bench_function("matmul_tn_256", |b| b.iter(|| black_box(a.matmul_tn(&b_m).unwrap())));
     group.bench_function("matmul_nt_256", |b| b.iter(|| black_box(a.matmul_nt(&b_m).unwrap())));
+    // The dispatch ablation: retained naive reference vs forced blocked vs
+    // pooled (see `--bin gemm_kernels` for the full size/thread sweep).
+    let mut out = Mat::zeros(256, 256);
+    group.bench_function("naive_256", |b| {
+        b.iter(|| {
+            kernel::gemm_naive_into(Trans::N, Trans::N, &a, &b_m, &mut out);
+            black_box(&out);
+        })
+    });
+    group.bench_function("blocked_256", |b| {
+        b.iter(|| {
+            kernel::gemm_into(Trans::N, Trans::N, &a, &b_m, &mut out);
+            black_box(&out);
+        })
+    });
+    let pool = ThreadPool::new(4);
+    group.bench_function("pooled4_256", |b| {
+        b.iter(|| {
+            kernel::gemm_pooled_into(Trans::N, Trans::N, &a, &b_m, &mut out, &pool);
+            black_box(&out);
+        })
+    });
     group.finish();
 }
 

@@ -23,7 +23,7 @@ use crate::config::Dpar2Config;
 use crate::error::{Dpar2Error, Result};
 use dpar2_linalg::Mat;
 use dpar2_parallel::{greedy_partition, ThreadPool};
-use dpar2_rsvd::rsvd;
+use dpar2_rsvd::{rsvd, rsvd_pooled};
 use dpar2_tensor::IrregularTensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -143,7 +143,11 @@ pub fn compress(tensor: &IrregularTensor, config: &Dpar2Config) -> Result<Compre
         .collect();
     let m = Mat::hstack_all(&cb.iter().collect::<Vec<_>>());
     let mut rng2 = StdRng::seed_from_u64(base_seed ^ 0xD1B5_4A32_D192_ED03);
-    let f2 = rsvd(&m, &rsvd_cfg, &mut rng2);
+    // Stage 2 is one big `J × KR` factorization with no slice-level
+    // parallelism to exploit, so its GEMM chains fan out over the pool
+    // instead (pooled GEMM is bit-identical for every thread count, which
+    // keeps the whole compression schedule-independent).
+    let f2 = rsvd_pooled(&m, &rsvd_cfg, &mut rng2, &pool);
 
     // F ∈ R^{KR×R} comes back as f2.v; carve out the K vertical R×R blocks.
     let f_blocks: Vec<Mat> =

@@ -27,15 +27,20 @@ use dpar2_linalg::Mat;
 use dpar2_parallel::ThreadPool;
 use dpar2_tensor::{mttkrp, Dense3};
 
-/// Splits `0..k` into at most `threads` contiguous ranges for parallel
-/// reduction over slices.
-fn k_chunks(k: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
-    if k == 0 {
-        return vec![];
-    }
-    let threads = threads.max(1).min(k);
-    let chunk = k.div_ceil(threads);
-    (0..threads).map(|t| t * chunk..((t + 1) * chunk).min(k)).filter(|r| !r.is_empty()).collect()
+/// Width of one reduction chunk over the slice index `k`.
+///
+/// Fixed (instead of `K / threads`) so the *grouping* of the floating-point
+/// partial sums never depends on the pool size: partial sums are formed per
+/// chunk and then added in ascending chunk order, which makes `g1`/`g2`
+/// bit-identical for every thread count — the property `Dpar2::fit`'s
+/// determinism contract rests on. Work per chunk is `CHUNK` dense `R×R`
+/// accumulations, comfortably above scheduling overhead.
+const K_CHUNK: usize = 16;
+
+/// Splits `0..k` into contiguous ranges of [`K_CHUNK`] slices (the last
+/// range may be shorter) for parallel reduction.
+fn k_chunks(k: usize) -> Vec<std::ops::Range<usize>> {
+    (0..k.div_ceil(K_CHUNK)).map(|c| c * K_CHUNK..((c + 1) * K_CHUNK).min(k)).collect()
 }
 
 /// Lemma 1: `G⁽¹⁾ = Y_(1)(W ⊙ V) ∈ R^{R×R}` from the factorized slices.
@@ -46,7 +51,7 @@ pub fn g1(pzf: &[Mat], w: &Mat, edtv: &Mat, pool: &ThreadPool) -> Mat {
     let k_total = pzf.len();
     // Per-chunk partial sums T_r = Σ_k W(k,r)·PZF_k, then the columns
     // G⁽¹⁾(:,r) = T_r · edtv(:,r).
-    let chunks = k_chunks(k_total, pool.threads());
+    let chunks = k_chunks(k_total);
     let partials: Vec<Vec<Mat>> = pool.map(&chunks, |_, range| {
         let mut sums = vec![Mat::zeros(r, r); r];
         for k in range.clone() {
@@ -80,7 +85,7 @@ pub fn g1(pzf: &[Mat], w: &Mat, edtv: &Mat, pool: &ThreadPool) -> Mat {
 /// `ACC(:,r) = Σ_k W(k,r) · (PZF_kᵀ H)(:,r)` and returns `D E · ACC`.
 pub fn g2(pzf: &[Mat], w: &Mat, h: &Mat, de: &Mat, pool: &ThreadPool) -> Mat {
     let r = h.rows();
-    let chunks = k_chunks(pzf.len(), pool.threads());
+    let chunks = k_chunks(pzf.len());
     let partials: Vec<Mat> = pool.map(&chunks, |_, range| {
         let mut acc = Mat::zeros(r, r);
         let mut pth = Mat::zeros(r, r);
@@ -102,7 +107,9 @@ pub fn g2(pzf: &[Mat], w: &Mat, h: &Mat, de: &Mat, pool: &ThreadPool) -> Mat {
     for p in &partials {
         acc += p;
     }
-    de.matmul(&acc).expect("g2: D E · ACC")
+    // J×R product — the only lemma-kernel GEMM that grows with J, so it
+    // takes the pooled path (bit-identical for every pool size).
+    de.matmul_pooled(&acc, pool).expect("g2: D E · ACC")
 }
 
 /// Lemma 3: `G⁽³⁾ = Y_(3)(V ⊙ H) ∈ R^{K×R}` from the factorized slices.
@@ -246,17 +253,19 @@ mod tests {
     }
 
     #[test]
-    fn kernels_deterministic_across_thread_counts() {
-        let s = setup(23, 13, 4, 104);
+    fn kernels_bit_identical_across_thread_counts() {
+        // K = 53 spans multiple K_CHUNK reduction chunks; the fixed chunk
+        // grouping makes every kernel exactly schedule-independent.
+        let s = setup(53, 13, 4, 104);
         let a1 = g1(&s.pzf, &s.w, &s.edtv, &ThreadPool::new(1));
-        let a4 = g1(&s.pzf, &s.w, &s.edtv, &ThreadPool::new(4));
-        assert!((&a1 - &a4).fro_norm() < 1e-12);
         let b1 = g2(&s.pzf, &s.w, &s.h, &s.de, &ThreadPool::new(1));
-        let b4 = g2(&s.pzf, &s.w, &s.h, &s.de, &ThreadPool::new(4));
-        assert!((&b1 - &b4).fro_norm() < 1e-12);
         let c1 = g3(&s.pzf, &s.edtv, &s.h, &ThreadPool::new(1));
-        let c4 = g3(&s.pzf, &s.edtv, &s.h, &ThreadPool::new(4));
-        assert!((&c1 - &c4).fro_norm() < 1e-12);
+        for threads in [2, 3, 4] {
+            let pool = ThreadPool::new(threads);
+            assert_eq!(a1, g1(&s.pzf, &s.w, &s.edtv, &pool), "g1 diverged at {threads} threads");
+            assert_eq!(b1, g2(&s.pzf, &s.w, &s.h, &s.de, &pool), "g2 diverged at {threads}");
+            assert_eq!(c1, g3(&s.pzf, &s.edtv, &s.h, &pool), "g3 diverged at {threads}");
+        }
     }
 
     #[test]
@@ -280,8 +289,8 @@ mod tests {
 
     #[test]
     fn k_chunks_cover_range() {
-        for (k, t) in [(10, 3), (1, 8), (7, 7), (100, 6)] {
-            let chunks = k_chunks(k, t);
+        for k in [1, 7, K_CHUNK, K_CHUNK + 1, 100] {
+            let chunks = k_chunks(k);
             let mut covered = vec![false; k];
             for c in &chunks {
                 for i in c.clone() {
@@ -289,8 +298,8 @@ mod tests {
                     covered[i] = true;
                 }
             }
-            assert!(covered.iter().all(|&c| c), "k={k} t={t} left gaps");
+            assert!(covered.iter().all(|&c| c), "k={k} left gaps");
         }
-        assert!(k_chunks(0, 4).is_empty());
+        assert!(k_chunks(0).is_empty());
     }
 }

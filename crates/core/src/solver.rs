@@ -130,8 +130,11 @@ impl Dpar2 {
         // Squared norm of the compressed data: `P_k Z_kᵀ` is orthogonal, so
         // ‖PZF_k·EDᵀ‖ = ‖F(k)·EDᵀ‖ for every iteration — computed once and
         // used for the absolute ("residual is already tiny") stop test.
-        let data_norm_sq: f64 =
-            ct.f_blocks.iter().map(|f_k| f_k.matmul(&edt).expect("F(k)·EDᵀ").fro_norm_sq()).sum();
+        // Slice-parallel; the ascending-k summation keeps the value
+        // bit-identical for every thread count.
+        let slice_norms: Vec<f64> =
+            pool.map(&ct.f_blocks, |_, f_k| f_k.matmul(&edt).expect("F(k)·EDᵀ").fro_norm_sq());
+        let data_norm_sq: f64 = slice_norms.iter().sum();
 
         let mut edtv = edt.matmul(&v).expect("EDᵀ·V");
         let mut criterion_trace: Vec<f64> = Vec::new();

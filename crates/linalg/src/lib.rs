@@ -7,8 +7,15 @@
 //! functionality the paper's algorithms need, implemented from scratch in
 //! safe Rust on `f64`:
 //!
-//! * [`Mat`] — a row-major dense matrix with the usual arithmetic,
-//!   multiplication variants (`A·B`, `Aᵀ·B`, `A·Bᵀ`) and slicing helpers.
+//! * [`Mat`] — a row-major dense matrix with the usual arithmetic, all four
+//!   GEMM transpose variants (`A·B`, `Aᵀ·B`, `A·Bᵀ`, `Aᵀ·Bᵀ`) and slicing
+//!   helpers.
+//! * [`kernel`] — the blocked, register-tiled GEMM layer under every
+//!   multiply: packed `MR×NR` microkernel tiles (AVX2+FMA when the CPU has
+//!   them, detected at runtime), a size-based dispatch that keeps small
+//!   products on the naive loops, and a pooled path that row-partitions the
+//!   output over a [`dpar2_parallel::ThreadPool`] with bit-identical
+//!   results for every thread count.
 //! * [`mod@qr`] — Householder thin-QR factorization.
 //! * [`svd`] — one-sided Jacobi singular value decomposition (with QR
 //!   preconditioning for tall matrices), plus rank-truncated variants.
@@ -20,6 +27,10 @@
 //!   `Ω` test matrices of randomized SVD.
 //!
 //! Everything is deterministic given a seed and needs no external BLAS.
+//! The crate is safe Rust except for one narrowly-scoped exception in
+//! [`kernel`]: invoking the runtime-feature-dispatched AVX2/FMA microkernel
+//! (`#[target_feature]` functions are `unsafe` to call; the call is guarded
+//! by `is_x86_feature_detected!`).
 //!
 //! ## Example
 //!
@@ -39,6 +50,7 @@
 
 pub mod eig;
 pub mod error;
+pub mod kernel;
 pub mod mat;
 pub mod norms;
 pub mod pinv;

@@ -11,6 +11,8 @@
 //! reuses a caller-owned output buffer so hot ALS loops do not allocate.
 
 use crate::error::{LinalgError, Result};
+use crate::kernel::{self, Trans};
+use dpar2_parallel::ThreadPool;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
 /// A dense row-major matrix of `f64`.
@@ -412,6 +414,15 @@ impl Mat {
 
     // ------------------------------------------------------------------
     // Multiplication kernels
+    //
+    // Every variant dispatches on output size: products below the
+    // [`kernel::use_blocked`] threshold run the in-place naive loops here
+    // (IEEE-faithful: no `== 0.0` shortcuts, so `0·∞` and `0·NaN`
+    // propagate NaN per IEEE 754); larger products take the packed,
+    // register-tiled path in [`crate::kernel`]. The `_pooled` variants
+    // additionally fan row panels of C out over a
+    // [`dpar2_parallel::ThreadPool`] and are bit-identical to their serial
+    // counterparts for every thread count.
     // ------------------------------------------------------------------
 
     /// `C = A · B`.
@@ -437,16 +448,52 @@ impl Mat {
     /// Panics if `A.cols != B.rows`.
     pub fn matmul_into(&self, b: &Mat, c: &mut Mat) {
         assert_eq!(self.cols, b.rows, "matmul_into: inner dimension mismatch");
+        if kernel::use_blocked(self.rows, b.cols, self.cols) {
+            kernel::gemm_into(Trans::N, Trans::N, self, b, c);
+            return;
+        }
+        self.matmul_into_naive(b, c);
+    }
+
+    /// `C = A · B` with row panels of C computed in parallel on `pool`.
+    /// Bit-identical to [`Mat::matmul`] for every pool size.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] if `A.cols != B.rows`.
+    pub fn matmul_pooled(&self, b: &Mat, pool: &ThreadPool) -> Result<Mat> {
+        if self.cols != b.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_pooled",
+                left: self.shape(),
+                right: b.shape(),
+            });
+        }
+        let mut c = Mat::zeros(self.rows, b.cols);
+        self.matmul_pooled_into(b, &mut c, pool);
+        Ok(c)
+    }
+
+    /// Pooled form of [`Mat::matmul_into`].
+    ///
+    /// # Panics
+    /// Panics if `A.cols != B.rows`.
+    pub fn matmul_pooled_into(&self, b: &Mat, c: &mut Mat, pool: &ThreadPool) {
+        assert_eq!(self.cols, b.rows, "matmul_pooled_into: inner dimension mismatch");
+        if kernel::use_blocked(self.rows, b.cols, self.cols) {
+            kernel::gemm_pooled_into(Trans::N, Trans::N, self, b, c, pool);
+            return;
+        }
+        self.matmul_into_naive(b, c);
+    }
+
+    /// Naive i-k-j loop: the innermost loop streams over contiguous rows
+    /// of both B and C, which the compiler auto-vectorizes.
+    fn matmul_into_naive(&self, b: &Mat, c: &mut Mat) {
         c.resize_zeroed(self.rows, b.cols);
-        // i-k-j loop order: the innermost loop streams over contiguous rows
-        // of both B and C, which the compiler auto-vectorizes.
         for i in 0..self.rows {
             let arow = self.row(i);
             let crow = &mut c.data[i * b.cols..(i + 1) * b.cols];
             for (k, &aik) in arow.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
                 let brow = &b.data[k * b.cols..(k + 1) * b.cols];
                 for (cv, &bv) in crow.iter_mut().zip(brow) {
                     *cv += aik * bv;
@@ -478,15 +525,51 @@ impl Mat {
     /// Panics if `A.rows != B.rows`.
     pub fn matmul_tn_into(&self, b: &Mat, c: &mut Mat) {
         assert_eq!(self.rows, b.rows, "matmul_tn_into: row count mismatch");
+        if kernel::use_blocked(self.cols, b.cols, self.rows) {
+            kernel::gemm_into(Trans::T, Trans::N, self, b, c);
+            return;
+        }
+        self.matmul_tn_into_naive(b, c);
+    }
+
+    /// `C = Aᵀ · B` with row panels of C computed in parallel on `pool`.
+    /// Bit-identical to [`Mat::matmul_tn`] for every pool size.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] if `A.rows != B.rows`.
+    pub fn matmul_tn_pooled(&self, b: &Mat, pool: &ThreadPool) -> Result<Mat> {
+        if self.rows != b.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_tn_pooled",
+                left: self.shape(),
+                right: b.shape(),
+            });
+        }
+        let mut c = Mat::zeros(self.cols, b.cols);
+        self.matmul_tn_pooled_into(b, &mut c, pool);
+        Ok(c)
+    }
+
+    /// Pooled form of [`Mat::matmul_tn_into`].
+    ///
+    /// # Panics
+    /// Panics if `A.rows != B.rows`.
+    pub fn matmul_tn_pooled_into(&self, b: &Mat, c: &mut Mat, pool: &ThreadPool) {
+        assert_eq!(self.rows, b.rows, "matmul_tn_pooled_into: row count mismatch");
+        if kernel::use_blocked(self.cols, b.cols, self.rows) {
+            kernel::gemm_pooled_into(Trans::T, Trans::N, self, b, c, pool);
+            return;
+        }
+        self.matmul_tn_into_naive(b, c);
+    }
+
+    /// Naive Aᵀ·B: rank-1 updates row-by-row of A and B; contiguous on both.
+    fn matmul_tn_into_naive(&self, b: &Mat, c: &mut Mat) {
         c.resize_zeroed(self.cols, b.cols);
-        // Accumulate rank-1 updates row-by-row of A and B; contiguous on both.
         for k in 0..self.rows {
             let arow = self.row(k);
             let brow = b.row(k);
             for (i, &aki) in arow.iter().enumerate() {
-                if aki == 0.0 {
-                    continue;
-                }
                 let crow = &mut c.data[i * b.cols..(i + 1) * b.cols];
                 for (cv, &bv) in crow.iter_mut().zip(brow) {
                     *cv += aki * bv;
@@ -518,14 +601,131 @@ impl Mat {
     /// Panics if `A.cols != B.cols`.
     pub fn matmul_nt_into(&self, b: &Mat, c: &mut Mat) {
         assert_eq!(self.cols, b.cols, "matmul_nt_into: column count mismatch");
+        if kernel::use_blocked(self.rows, b.rows, self.cols) {
+            kernel::gemm_into(Trans::N, Trans::T, self, b, c);
+            return;
+        }
+        self.matmul_nt_into_naive(b, c);
+    }
+
+    /// `C = A · Bᵀ` with row panels of C computed in parallel on `pool`.
+    /// Bit-identical to [`Mat::matmul_nt`] for every pool size.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] if `A.cols != B.cols`.
+    pub fn matmul_nt_pooled(&self, b: &Mat, pool: &ThreadPool) -> Result<Mat> {
+        if self.cols != b.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_nt_pooled",
+                left: self.shape(),
+                right: b.shape(),
+            });
+        }
+        let mut c = Mat::zeros(self.rows, b.rows);
+        self.matmul_nt_pooled_into(b, &mut c, pool);
+        Ok(c)
+    }
+
+    /// Pooled form of [`Mat::matmul_nt_into`].
+    ///
+    /// # Panics
+    /// Panics if `A.cols != B.cols`.
+    pub fn matmul_nt_pooled_into(&self, b: &Mat, c: &mut Mat, pool: &ThreadPool) {
+        assert_eq!(self.cols, b.cols, "matmul_nt_pooled_into: column count mismatch");
+        if kernel::use_blocked(self.rows, b.rows, self.cols) {
+            kernel::gemm_pooled_into(Trans::N, Trans::T, self, b, c, pool);
+            return;
+        }
+        self.matmul_nt_into_naive(b, c);
+    }
+
+    /// Naive A·Bᵀ: each output entry is a dot product of two contiguous rows.
+    fn matmul_nt_into_naive(&self, b: &Mat, c: &mut Mat) {
         c.resize_zeroed(self.rows, b.rows);
-        // Each output entry is a dot product of two contiguous rows.
         for i in 0..self.rows {
             let arow = self.row(i);
             let crow = &mut c.data[i * b.rows..(i + 1) * b.rows];
             for (j, cv) in crow.iter_mut().enumerate() {
                 let brow = b.row(j);
                 *cv = dot(arow, brow);
+            }
+        }
+    }
+
+    /// `C = Aᵀ · Bᵀ` — the fourth transpose variant, completing the GEMM
+    /// family (equal to `(B·A)ᵀ`, computed directly without materializing
+    /// either transpose).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] if `A.rows != B.cols`.
+    pub fn matmul_tt(&self, b: &Mat) -> Result<Mat> {
+        if self.rows != b.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_tt",
+                left: self.shape(),
+                right: b.shape(),
+            });
+        }
+        let mut c = Mat::zeros(self.cols, b.rows);
+        self.matmul_tt_into(b, &mut c);
+        Ok(c)
+    }
+
+    /// `C = Aᵀ · Bᵀ` into a pre-allocated buffer.
+    ///
+    /// # Panics
+    /// Panics if `A.rows != B.cols`.
+    pub fn matmul_tt_into(&self, b: &Mat, c: &mut Mat) {
+        assert_eq!(self.rows, b.cols, "matmul_tt_into: dimension mismatch");
+        if kernel::use_blocked(self.cols, b.rows, self.rows) {
+            kernel::gemm_into(Trans::T, Trans::T, self, b, c);
+            return;
+        }
+        self.matmul_tt_into_naive(b, c);
+    }
+
+    /// `C = Aᵀ · Bᵀ` with row panels of C computed in parallel on `pool`.
+    /// Bit-identical to [`Mat::matmul_tt`] for every pool size.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] if `A.rows != B.cols`.
+    pub fn matmul_tt_pooled(&self, b: &Mat, pool: &ThreadPool) -> Result<Mat> {
+        if self.rows != b.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_tt_pooled",
+                left: self.shape(),
+                right: b.shape(),
+            });
+        }
+        let mut c = Mat::zeros(self.cols, b.rows);
+        self.matmul_tt_pooled_into(b, &mut c, pool);
+        Ok(c)
+    }
+
+    /// Pooled form of [`Mat::matmul_tt_into`].
+    ///
+    /// # Panics
+    /// Panics if `A.rows != B.cols`.
+    pub fn matmul_tt_pooled_into(&self, b: &Mat, c: &mut Mat, pool: &ThreadPool) {
+        assert_eq!(self.rows, b.cols, "matmul_tt_pooled_into: dimension mismatch");
+        if kernel::use_blocked(self.cols, b.rows, self.rows) {
+            kernel::gemm_pooled_into(Trans::T, Trans::T, self, b, c, pool);
+            return;
+        }
+        self.matmul_tt_into_naive(b, c);
+    }
+
+    /// Naive Aᵀ·Bᵀ: k-outer rank-1 updates; B rows are contiguous, A is
+    /// read once per (k, i) pair.
+    fn matmul_tt_into_naive(&self, b: &Mat, c: &mut Mat) {
+        c.resize_zeroed(self.cols, b.rows);
+        for k in 0..self.rows {
+            let arow = self.row(k);
+            for (i, &aki) in arow.iter().enumerate() {
+                let crow = &mut c.data[i * b.rows..(i + 1) * b.rows];
+                for (j, cv) in crow.iter_mut().enumerate() {
+                    *cv += aki * b.data[j * b.cols + k];
+                }
             }
         }
     }
@@ -547,9 +747,6 @@ impl Mat {
         assert_eq!(x.len(), self.rows, "matvec_t: length mismatch");
         let mut out = vec![0.0; self.cols];
         for (i, &xi) in x.iter().enumerate() {
-            if xi == 0.0 {
-                continue;
-            }
             for (o, &a) in out.iter_mut().zip(self.row(i)) {
                 *o += xi * a;
             }
@@ -559,13 +756,31 @@ impl Mat {
 
     /// Gram matrix `Aᵀ A` (symmetric `cols × cols`).
     pub fn gram(&self) -> Mat {
+        if kernel::use_blocked(self.cols, self.cols, self.rows) {
+            let mut g = Mat::zeros(self.cols, self.cols);
+            kernel::gemm_into(Trans::T, Trans::N, self, self, &mut g);
+            return g;
+        }
+        self.gram_naive()
+    }
+
+    /// Gram matrix with row panels computed in parallel on `pool`.
+    /// Bit-identical to [`Mat::gram`] for every pool size.
+    pub fn gram_pooled(&self, pool: &ThreadPool) -> Mat {
+        if kernel::use_blocked(self.cols, self.cols, self.rows) {
+            let mut g = Mat::zeros(self.cols, self.cols);
+            kernel::gemm_pooled_into(Trans::T, Trans::N, self, self, &mut g, pool);
+            return g;
+        }
+        self.gram_naive()
+    }
+
+    /// Naive Gram accumulation: rank-1 updates row-by-row of A.
+    fn gram_naive(&self) -> Mat {
         let mut g = Mat::zeros(self.cols, self.cols);
         for k in 0..self.rows {
             let row = self.row(k);
             for (i, &ri) in row.iter().enumerate() {
-                if ri == 0.0 {
-                    continue;
-                }
                 let grow = &mut g.data[i * self.cols..i * self.cols + self.cols];
                 for (gv, &rj) in grow.iter_mut().zip(row) {
                     *gv += ri * rj;
@@ -788,6 +1003,73 @@ mod tests {
         let expected = a.matmul(&b.transpose()).unwrap();
         let got = a.matmul_nt(&b).unwrap();
         assert!((&expected - &got).fro_norm() < 1e-12);
+    }
+
+    #[test]
+    fn matmul_tt_matches_explicit_transposes() {
+        let a = Mat::from_fn(6, 4, |i, j| (i * 4 + j) as f64 * 0.25);
+        let b = Mat::from_fn(5, 6, |i, j| (i as f64) - 0.5 * (j as f64));
+        let expected = a.transpose().matmul(&b.transpose()).unwrap();
+        let got = a.matmul_tt(&b).unwrap();
+        assert!((&expected - &got).fro_norm() < 1e-12);
+        assert!(matches!(
+            a.matmul_tt(&Mat::zeros(3, 3)),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn pooled_variants_bitwise_equal_serial() {
+        // 150 output rows > the MC = 120 row-panel unit, so the pooled arm
+        // genuinely fans out over multiple workers (not the serial
+        // fallback) in every variant below.
+        let a = Mat::from_fn(150, 40, |i, j| ((i * 3 + j) as f64).sin());
+        let b = Mat::from_fn(40, 50, |i, j| ((i + 7 * j) as f64).cos());
+        let pool = ThreadPool::new(3);
+        assert_eq!(a.matmul(&b).unwrap(), a.matmul_pooled(&b, &pool).unwrap());
+        // Aᵀ·B with a 40×150 A: output 150×150.
+        let at = a.transpose();
+        assert_eq!(at.matmul_tn(&b).unwrap(), at.matmul_tn_pooled(&b, &pool).unwrap());
+        assert_eq!(a.matmul_nt(&a).unwrap(), a.matmul_nt_pooled(&a, &pool).unwrap());
+        let b2 = Mat::from_fn(50, 40, |i, j| ((2 * i + j) as f64).sin());
+        assert_eq!(at.matmul_tt(&b2).unwrap(), {
+            let mut c = Mat::zeros(0, 0);
+            at.matmul_tt_pooled_into(&b2, &mut c, &pool);
+            c
+        });
+        let tall = Mat::from_fn(60, 150, |i, j| ((i + j) as f64).cos());
+        assert_eq!(tall.gram(), tall.gram_pooled(&pool));
+    }
+
+    #[test]
+    fn ieee_zero_times_infinity_propagates_nan() {
+        // Regression: the old kernels skipped `a == 0.0` multiplicands,
+        // silently dropping the IEEE-mandated `0·∞ = NaN` / `0·NaN = NaN`.
+        let a = Mat::from_rows(&[&[0.0, 1.0]]);
+        let b_inf = Mat::from_rows(&[&[f64::INFINITY], &[2.0]]);
+        let b_nan = Mat::from_rows(&[&[f64::NAN], &[2.0]]);
+        assert!(a.matmul(&b_inf).unwrap()[(0, 0)].is_nan());
+        assert!(a.matmul(&b_nan).unwrap()[(0, 0)].is_nan());
+
+        // Same contract for the other variants.
+        let at = a.transpose(); // 2×1
+        assert!(at.matmul_tn(&b_inf).unwrap()[(0, 0)].is_nan());
+        assert!(a.matmul_nt(&b_inf.transpose()).unwrap()[(0, 0)].is_nan());
+        assert!(at.matmul_tt(&b_inf.transpose()).unwrap()[(0, 0)].is_nan());
+        assert!(!a.matvec_t(&[0.0])[0].is_nan()); // 0·0 stays 0
+        let inf_row = Mat::from_rows(&[&[f64::INFINITY, 1.0]]);
+        assert!(inf_row.matvec_t(&[0.0])[0].is_nan());
+    }
+
+    #[test]
+    fn ieee_gram_with_zero_and_infinity() {
+        // A = [0  ∞]: AᵀA = [[0·0, 0·∞], [∞·0, ∞·∞]] = [[0, NaN], [NaN, ∞]].
+        let a = Mat::from_rows(&[&[0.0, f64::INFINITY]]);
+        let g = a.gram();
+        assert_eq!(g[(0, 0)], 0.0);
+        assert!(g[(0, 1)].is_nan());
+        assert!(g[(1, 0)].is_nan());
+        assert_eq!(g[(1, 1)], f64::INFINITY);
     }
 
     #[test]

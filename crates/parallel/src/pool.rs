@@ -86,6 +86,58 @@ impl ThreadPool {
         into_ordered(rx.into_iter().collect(), n)
     }
 
+    /// Splits `data` into disjoint consecutive chunks of `chunk_len`
+    /// elements (the last chunk may be shorter) and runs `f(chunk_index,
+    /// chunk)` on every chunk, distributing chunks round-robin over the
+    /// pool's threads.
+    ///
+    /// This is the borrowed-scope fan-out used by the blocked GEMM layer:
+    /// each chunk is a row panel of the output matrix, so workers write
+    /// disjoint `&mut` slices of one buffer without locks or channels. The
+    /// chunk boundaries depend only on `chunk_len`, never on the thread
+    /// count, and each chunk is processed by exactly one closure call — so
+    /// any per-chunk computation that is itself deterministic yields results
+    /// that are bit-identical for every pool size.
+    ///
+    /// # Panics
+    /// Panics if `chunk_len == 0` (with non-empty data) or a worker panics.
+    pub fn for_each_chunk_mut<T, F>(&self, data: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        if data.is_empty() {
+            return;
+        }
+        assert!(chunk_len > 0, "for_each_chunk_mut: chunk_len must be positive");
+        let n_chunks = data.len().div_ceil(chunk_len);
+        if self.threads == 1 || n_chunks <= 1 {
+            for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                f(i, chunk);
+            }
+            return;
+        }
+        // Deal chunks round-robin into one bucket per thread. GEMM row
+        // panels are uniform work items, so a static assignment balances
+        // as well as a queue without any synchronization.
+        let workers = self.threads.min(n_chunks);
+        let mut buckets: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            buckets[i % workers].push((i, chunk));
+        }
+        crossbeam::thread::scope(|scope| {
+            for bucket in buckets {
+                let f = &f;
+                scope.spawn(move |_| {
+                    for (i, chunk) in bucket {
+                        f(i, chunk);
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+    }
+
     /// Applies `f(index, item)` to every element of `items` with an even
     /// static chunking over the pool's threads; results in input order.
     ///
@@ -195,6 +247,53 @@ mod tests {
             let got = ThreadPool::new(threads).map(&items, |_, &x| (x.sin() * 1e6).round());
             assert_eq!(got, reference, "thread count {threads} changed results");
         }
+    }
+
+    #[test]
+    fn for_each_chunk_mut_covers_all_chunks() {
+        // 10 elements, chunk_len 3 -> chunks [0..3, 3..6, 6..9, 9..10].
+        let mut data = vec![0usize; 10];
+        ThreadPool::new(3).for_each_chunk_mut(&mut data, 3, |i, chunk| {
+            for x in chunk.iter_mut() {
+                *x = i + 1;
+            }
+        });
+        assert_eq!(data, vec![1, 1, 1, 2, 2, 2, 3, 3, 3, 4]);
+    }
+
+    #[test]
+    fn for_each_chunk_mut_identical_across_thread_counts() {
+        let reference: Vec<f64> = {
+            let mut d = vec![1.0f64; 64];
+            ThreadPool::new(1).for_each_chunk_mut(&mut d, 5, |i, chunk| {
+                for (off, x) in chunk.iter_mut().enumerate() {
+                    *x = ((i * 31 + off) as f64).sin();
+                }
+            });
+            d
+        };
+        for threads in [2, 3, 8] {
+            let mut d = vec![1.0f64; 64];
+            ThreadPool::new(threads).for_each_chunk_mut(&mut d, 5, |i, chunk| {
+                for (off, x) in chunk.iter_mut().enumerate() {
+                    *x = ((i * 31 + off) as f64).sin();
+                }
+            });
+            assert_eq!(d, reference, "thread count {threads} changed chunk results");
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_mut_empty_is_noop() {
+        let mut data: Vec<u8> = vec![];
+        ThreadPool::new(4).for_each_chunk_mut(&mut data, 0, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len must be positive")]
+    fn for_each_chunk_mut_zero_chunk_len_panics() {
+        let mut data = vec![1u8];
+        ThreadPool::new(2).for_each_chunk_mut(&mut data, 0, |_, _| {});
     }
 
     #[test]

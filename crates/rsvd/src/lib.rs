@@ -23,6 +23,7 @@
 //! and once on the concatenated `M = ∥_k C_k B_k` (stage 2).
 
 use dpar2_linalg::{gaussian_mat, qr, svd::truncate, svd_thin, Mat, SvdFactors};
+use dpar2_parallel::ThreadPool;
 use rand::Rng;
 
 /// Configuration for randomized SVD.
@@ -58,6 +59,24 @@ impl RsvdConfig {
 /// The sketch width is additionally capped at `min(I, J)` so tiny matrices
 /// degrade gracefully to an exact (thin) SVD.
 pub fn rsvd(a: &Mat, config: &RsvdConfig, rng: &mut impl Rng) -> SvdFactors {
+    rsvd_pooled(a, config, rng, &ThreadPool::new(1))
+}
+
+/// [`rsvd`] with every pass over `A` — the sketch `A·Ω`, the power
+/// iterations `Aᵀ·Q` / `A·Qz`, the projection `Qᵀ·A`, and the final lift
+/// `Q·Ũ` — running on the pooled GEMM path, which row-partitions each
+/// product over `pool`. These chained tall-matrix products dominate the
+/// rSVD cost, so this is where DPar2's compression stages spend their
+/// threads when slices are too few (or too skewed) to saturate the
+/// per-slice fan-out. Results are **bit-identical** for every pool size
+/// (the pooled GEMM fixes its reduction order), so `rsvd(a, c, rng)` and
+/// `rsvd_pooled(a, c, rng, pool)` agree exactly given equal RNG streams.
+pub fn rsvd_pooled(
+    a: &Mat,
+    config: &RsvdConfig,
+    rng: &mut impl Rng,
+    pool: &ThreadPool,
+) -> SvdFactors {
     let (i, j) = a.shape();
     let min_dim = i.min(j);
     if min_dim == 0 {
@@ -74,21 +93,21 @@ pub fn rsvd(a: &Mat, config: &RsvdConfig, rng: &mut impl Rng) -> SvdFactors {
     // 1. Gaussian test matrix Ω ∈ R^{J×sketch}.
     let omega = gaussian_mat(j, sketch, rng);
     // 2. Y = (A Aᵀ)^q A Ω, re-orthonormalized between powers for stability.
-    let mut y = a.matmul(&omega).expect("rsvd: A·Ω");
+    let mut y = a.matmul_pooled(&omega, pool).expect("rsvd: A·Ω");
     for _ in 0..config.power_iterations {
         let q_y = qr(&y).q;
-        let z = a.matmul_tn(&q_y).expect("rsvd: Aᵀ·Q"); // J × sketch
+        let z = a.matmul_tn_pooled(&q_y, pool).expect("rsvd: Aᵀ·Q"); // J × sketch
         let q_z = qr(&z).q;
-        y = a.matmul(&q_z).expect("rsvd: A·Qz");
+        y = a.matmul_pooled(&q_z, pool).expect("rsvd: A·Qz");
     }
     // 3. Orthonormal range basis (I × sketch).
     let q = qr(&y).q;
     // 4. Project: B = Qᵀ A (sketch × J).
-    let b = q.matmul_tn(a).expect("rsvd: Qᵀ·A");
+    let b = q.matmul_tn_pooled(a, pool).expect("rsvd: Qᵀ·A");
     // 5. Exact SVD of the small B, truncated to the target rank.
     let small = truncate(svd_thin(&b), rank);
     // 6. Lift the left factor back: U = Q Ũ.
-    let u = q.matmul(&small.u).expect("rsvd: Q·Ũ");
+    let u = q.matmul_pooled(&small.u, pool).expect("rsvd: Q·Ũ");
     SvdFactors { u, s: small.s, v: small.v }
 }
 
@@ -202,6 +221,21 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         let f = rsvd_default(&a, 10, &mut rng);
         assert_eq!(f.s.len(), 3);
+    }
+
+    #[test]
+    fn pooled_bitwise_matches_serial_for_every_thread_count() {
+        // Large enough that the blocked GEMM path engages inside rsvd.
+        let a = low_rank_noisy(300, 120, 6, 0.05, 30);
+        let serial = rsvd(&a, &RsvdConfig::new(6), &mut StdRng::seed_from_u64(31));
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            let pooled =
+                rsvd_pooled(&a, &RsvdConfig::new(6), &mut StdRng::seed_from_u64(31), &pool);
+            assert_eq!(serial.s, pooled.s, "σ diverged at {threads} threads");
+            assert_eq!(serial.u, pooled.u, "U diverged at {threads} threads");
+            assert_eq!(serial.v, pooled.v, "V diverged at {threads} threads");
+        }
     }
 
     #[test]

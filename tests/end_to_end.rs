@@ -88,6 +88,35 @@ fn tenrand_low_fitness_but_valid() {
     }
 }
 
+/// `Dpar2::fit` must be **bit-identical** across thread counts, not merely
+/// close: the pooled GEMM layer fixes its reduction order (row panels of C
+/// with ascending depth blocks), the lemma kernels reduce over fixed-width
+/// slice chunks, and every per-slice fan-out preserves item order — so no
+/// floating-point grouping anywhere depends on the schedule. This pins the
+/// whole chain at once.
+#[test]
+fn fit_bit_identical_across_thread_counts() {
+    let tensor = planted_parafac2(&[40, 65, 25, 55, 30, 45], 24, 4, 0.1, 1006);
+    let reference =
+        Dpar2::new(Dpar2Config::new(4).with_seed(12).with_threads(1)).fit(&tensor).unwrap();
+    for threads in [2, 4] {
+        let fit = Dpar2::new(Dpar2Config::new(4).with_seed(12).with_threads(threads))
+            .fit(&tensor)
+            .unwrap();
+        assert_eq!(fit.iterations, reference.iterations, "{threads} threads: iteration count");
+        // Mat/Vec equality here is exact f64 comparison — any reduction
+        // reordering would trip it.
+        assert_eq!(fit.h, reference.h, "{threads} threads: H differs");
+        assert_eq!(fit.v, reference.v, "{threads} threads: V differs");
+        assert_eq!(fit.s, reference.s, "{threads} threads: S differs");
+        assert_eq!(fit.u, reference.u, "{threads} threads: U differs");
+        assert_eq!(
+            fit.criterion_trace, reference.criterion_trace,
+            "{threads} threads: criterion trace differs"
+        );
+    }
+}
+
 /// PARAFAC2 constraint: the cross-product U_kᵀU_k is slice-invariant for
 /// every solver.
 #[test]
