@@ -1,59 +1,24 @@
 //! Shared machinery for the ALS-family baselines.
+//!
+//! All baselines are configured through the workspace-wide
+//! [`dpar2_core::FitOptions`] (the former baseline-local `AlsConfig` is
+//! gone) and drive their loops through [`dpar2_core::FitSession`].
 
 use dpar2_core::error::{Dpar2Error, Result};
+use dpar2_core::{FitOptions, Parafac2Fit};
 use dpar2_linalg::{svd::svd_truncated, Mat};
 use dpar2_parallel::{greedy_partition, ThreadPool};
 use dpar2_tensor::IrregularTensor;
 
-/// Configuration shared by every baseline solver (the subset of
-/// [`dpar2_core::Dpar2Config`] that applies without compression).
-#[derive(Debug, Clone)]
-pub struct AlsConfig {
-    /// Target rank `R`.
-    pub rank: usize,
-    /// Maximum ALS iterations (paper: 32).
-    pub max_iterations: usize,
-    /// Relative-change threshold on each solver's convergence criterion.
-    pub tolerance: f64,
-    /// Worker threads. SPARTan-dense and DPar2 parallelize their updates
-    /// over this many workers; PARAFAC2-ALS and RD-ALS use it for the
-    /// per-iteration true-error convergence check (their dominant cost),
-    /// keeping cross-method timings comparable.
-    pub threads: usize,
-    /// RNG seed (only DPar2 and RD-ALS's randomized pieces consume it; kept
-    /// here so sweeps can treat all methods identically).
-    pub seed: u64,
-}
-
-impl AlsConfig {
-    /// Paper-default configuration: 32 iterations, 1e-4 tolerance, 1 thread.
-    pub fn new(rank: usize) -> Self {
-        AlsConfig { rank, max_iterations: 32, tolerance: 1e-4, threads: 1, seed: 0 }
-    }
-
-    /// Sets the thread count.
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
-        self
-    }
-
-    /// Sets the RNG seed.
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-
-    /// Sets the iteration budget.
-    pub fn with_max_iterations(mut self, iters: usize) -> Self {
-        self.max_iterations = iters;
-        self
-    }
-
-    /// Sets the convergence tolerance.
-    pub fn with_tolerance(mut self, tol: f64) -> Self {
-        self.tolerance = tol;
-        self
-    }
+/// Initial `Q_k` for every slice: the identity embedding (first `R`
+/// columns of `I_{I_k}`), a valid orthonormal basis. The first ALS
+/// iteration overwrites these; they exist so a zero-iteration budget
+/// still produces a well-formed model with full factor shapes, keeping
+/// every solver uniform under the `Parafac2Solver` contract.
+pub fn identity_qs(tensor: &IrregularTensor, rank: usize) -> Vec<Mat> {
+    (0..tensor.k())
+        .map(|k| Mat::from_fn(tensor.i(k), rank, |i, j| if i == j { 1.0 } else { 0.0 }))
+        .collect()
 }
 
 /// Validates that `R ≤ min(I_k, J)` for every slice (same contract as the
@@ -156,18 +121,60 @@ fn slice_error_sq(
     (tensor.slice(k) - &model).fro_norm_sq()
 }
 
-/// Shared stopping rule for every ALS-family solver: stop when the squared
-/// criterion `err` ceases to decrease relative to `prev` by more than `tol`,
-/// or when it is already negligible against the data norm (`err ≤ tol·‖X‖²`,
-/// i.e. fitness ≥ 1 − tol under this repo's `1 − residual²/‖X‖²` fitness
-/// convention). Without the absolute test, ALS "swamps" that keep shaving
-/// ~1% per iteration off an already-converged solution never terminate.
+/// Cold- or warm-start factors `(H, V, W)` for the explicit-factor
+/// baselines: Kiers init (`H = I`, `V` = [`init_v`], `W = 1`) unless the
+/// options carry a warm start, in which case the previous fit's `H`, `V`,
+/// and slice weights seed the iteration (slices beyond the warm fit's
+/// coverage start at unit weights — the streaming semantics).
 ///
-/// This is the same rule `dpar2_core::Dpar2` applies to its compressed
-/// criterion, so cross-method timing comparisons measure algorithmic cost
-/// rather than differing stopping rules.
-pub fn converged(prev: Option<f64>, err: f64, data_norm_sq: f64, tol: f64) -> bool {
-    err <= tol * data_norm_sq || prev.is_some_and(|p| (p - err) / p.max(1e-300) < tol)
+/// # Errors
+/// [`Dpar2Error::WarmStart`] when the warm factors do not match the
+/// tensor's rank/shape.
+pub fn init_factors(tensor: &IrregularTensor, options: &FitOptions<'_>) -> Result<(Mat, Mat, Mat)> {
+    let r = options.rank;
+    let k = tensor.k();
+    match options.warm_start {
+        None => Ok((Mat::eye(r), init_v(tensor, r), Mat::ones(k, r))),
+        Some(fit) => {
+            let w = warm_weights(fit, k, r)?;
+            if fit.h.shape() != (r, r) {
+                return Err(Dpar2Error::WarmStart {
+                    factor: "H",
+                    expected: (r, r),
+                    got: fit.h.shape(),
+                });
+            }
+            if fit.v.shape() != (tensor.j(), r) {
+                return Err(Dpar2Error::WarmStart {
+                    factor: "V",
+                    expected: (tensor.j(), r),
+                    got: fit.v.shape(),
+                });
+            }
+            Ok((fit.h.clone(), fit.v.clone(), w))
+        }
+    }
+}
+
+/// Warm-start slice weights: rows of `W` from the previous fit's
+/// `diag(S_k)`, extended with unit rows for slices the fit does not cover.
+///
+/// # Errors
+/// [`Dpar2Error::WarmStart`] when the fit's rank differs from `r` or it
+/// covers more slices than the tensor.
+pub fn warm_weights(fit: &Parafac2Fit, k: usize, r: usize) -> Result<Mat> {
+    if fit.rank() != r || fit.k() > k {
+        return Err(Dpar2Error::WarmStart {
+            factor: "W",
+            expected: (k, r),
+            got: (fit.k(), fit.rank()),
+        });
+    }
+    let mut w = Mat::ones(k, r);
+    for (row, s) in fit.s.iter().enumerate() {
+        w.set_row(row, s);
+    }
+    Ok(w)
 }
 
 #[cfg(test)]

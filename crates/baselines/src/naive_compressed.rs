@@ -10,43 +10,68 @@
 //! family, but per-iteration cost back at PARAFAC2-ALS levels. See the
 //! `ablation` rows of EXPERIMENTS.md.
 
-use crate::common::AlsConfig;
 use crate::parafac2_als::Parafac2Als;
-use dpar2_core::{compress, Dpar2Config, Parafac2Fit, Result};
+use dpar2_core::{
+    compress, FitObserver, FitOptions, FitPhase, NoopObserver, Parafac2Fit, Parafac2Solver, Result,
+};
 use dpar2_tensor::IrregularTensor;
 use std::time::Instant;
 
-/// Compress-reconstruct-iterate strawman (the §III-C naive design).
-#[derive(Debug, Clone)]
-pub struct NaiveCompressedAls {
-    config: AlsConfig,
-}
+/// Compress-reconstruct-iterate strawman (the §III-C naive design) — a
+/// stateless [`Parafac2Solver`] handle; all per-fit settings travel in
+/// [`FitOptions`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveCompressedAls;
 
 impl NaiveCompressedAls {
-    /// Creates a solver with the given configuration.
-    pub fn new(config: AlsConfig) -> Self {
-        NaiveCompressedAls { config }
-    }
-
     /// Runs DPar2's two-stage compression, reconstructs every slice, and
     /// fits with plain PARAFAC2-ALS on the reconstructions.
     ///
     /// # Errors
     /// Propagates rank-validation errors from either phase.
-    pub fn fit(&self, tensor: &IrregularTensor) -> Result<Parafac2Fit> {
+    pub fn fit(&self, tensor: &IrregularTensor, options: &FitOptions<'_>) -> Result<Parafac2Fit> {
+        self.fit_observed(tensor, options, &mut NoopObserver)
+    }
+
+    /// [`NaiveCompressedAls::fit`] with a [`FitObserver`] session. The
+    /// preprocessing phase reported to the observer covers compression
+    /// *and* reconstruction (this ablation's whole point is that the
+    /// reconstruction undoes the compression).
+    ///
+    /// # Errors
+    /// See [`NaiveCompressedAls::fit`].
+    pub fn fit_observed(
+        &self,
+        tensor: &IrregularTensor,
+        options: &FitOptions<'_>,
+        observer: &mut dyn FitObserver,
+    ) -> Result<Parafac2Fit> {
         let t0 = Instant::now();
-        let dcfg = Dpar2Config::new(self.config.rank)
-            .with_seed(self.config.seed)
-            .with_threads(self.config.threads);
-        let ct = compress(tensor, &dcfg)?;
+        let ct = compress(tensor, options)?;
         let reconstructed =
             IrregularTensor::new((0..ct.k()).map(|k| ct.reconstruct_slice(k)).collect());
         let preprocess_secs = t0.elapsed().as_secs_f64();
+        observer.on_phase(FitPhase::Preprocess, preprocess_secs);
 
-        let mut fit = Parafac2Als::new(self.config.clone()).fit(&reconstructed)?;
+        let mut fit = Parafac2Als.fit_observed(&reconstructed, options, observer)?;
         fit.timing.preprocess_secs = preprocess_secs;
         fit.timing.total_secs += preprocess_secs;
         Ok(fit)
+    }
+}
+
+impl Parafac2Solver for NaiveCompressedAls {
+    fn name(&self) -> &'static str {
+        "NaiveCompressed"
+    }
+
+    fn fit_observed(
+        &self,
+        tensor: &IrregularTensor,
+        options: &FitOptions<'_>,
+        observer: &mut dyn FitObserver,
+    ) -> Result<Parafac2Fit> {
+        NaiveCompressedAls::fit_observed(self, tensor, options, observer)
     }
 }
 
@@ -58,9 +83,9 @@ mod tests {
     #[test]
     fn reaches_comparable_fitness() {
         let t = planted(&[30, 40, 25], 14, 3, 0.1, 901);
-        let cfg = AlsConfig::new(3).with_max_iterations(16).with_seed(902);
-        let naive = NaiveCompressedAls::new(cfg.clone()).fit(&t).unwrap();
-        let direct = Parafac2Als::new(cfg).fit(&t).unwrap();
+        let cfg = FitOptions::new(3).with_max_iterations(16).with_seed(902);
+        let naive = NaiveCompressedAls.fit(&t, &cfg).unwrap();
+        let direct = Parafac2Als.fit(&t, &cfg).unwrap();
         let (fn_, fd) = (naive.fitness(&t), direct.fitness(&t));
         assert!((fn_ - fd).abs() < 0.02, "naive {fn_} vs direct {fd}");
     }
@@ -72,7 +97,7 @@ mod tests {
         // input), so its per-iteration time scales like PARAFAC2-ALS, not
         // like DPar2. We check the data footprint it iterates over.
         let t = planted(&[50, 60], 20, 2, 0.05, 903);
-        let dcfg = Dpar2Config::new(2).with_seed(904);
+        let dcfg = FitOptions::new(2).with_seed(904);
         let ct = compress(&t, &dcfg).unwrap();
         let recon = IrregularTensor::new((0..2).map(|k| ct.reconstruct_slice(k)).collect());
         assert_eq!(recon.num_entries(), t.num_entries());
@@ -82,8 +107,7 @@ mod tests {
     #[test]
     fn timing_includes_compression() {
         let t = planted(&[25, 30], 12, 2, 0.1, 905);
-        let fit =
-            NaiveCompressedAls::new(AlsConfig::new(2).with_max_iterations(4)).fit(&t).unwrap();
+        let fit = NaiveCompressedAls.fit(&t, &FitOptions::new(2).with_max_iterations(4)).unwrap();
         assert!(fit.timing.preprocess_secs > 0.0);
     }
 }

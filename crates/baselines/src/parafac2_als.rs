@@ -14,60 +14,65 @@
 //! `O(J K R²)` MTTKRP with `O(J K R)` intermediates.
 
 use crate::common::{
-    converged, init_v, scale_columns, true_error_sq_pooled, update_q, validate_rank, AlsConfig,
+    identity_qs, init_factors, scale_columns, true_error_sq_pooled, update_q, validate_rank,
 };
-use dpar2_core::{Parafac2Fit, Result, TimingBreakdown};
+use dpar2_core::{
+    FitObserver, FitOptions, FitSession, NoopObserver, Parafac2Fit, Parafac2Solver, Result,
+    TimingBreakdown,
+};
 use dpar2_linalg::{pinv, Mat};
 use dpar2_parallel::ThreadPool;
 use dpar2_tensor::{mttkrp, normalize_columns, Dense3, IrregularTensor};
 use std::time::Instant;
 
-/// The classic PARAFAC2-ALS solver.
-#[derive(Debug, Clone)]
-pub struct Parafac2Als {
-    config: AlsConfig,
-    /// Pool for the per-iteration convergence check (the reconstruction
-    /// error costs as much as a compression pass). The ALS updates
-    /// themselves stay deliberately serial — they are the textbook
-    /// formulation DPar2 is compared against — but the *stopping rule*
-    /// shares the kernel-layer speedup so cross-method timings compare
-    /// algorithms, not thread budgets. `true_error_sq_pooled` is
-    /// bit-identical for every pool size.
-    pool: ThreadPool,
-}
+/// The classic PARAFAC2-ALS solver — a stateless [`Parafac2Solver`] handle;
+/// all per-fit settings travel in [`FitOptions`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Parafac2Als;
 
 impl Parafac2Als {
-    /// Creates a solver with the given configuration.
-    pub fn new(config: AlsConfig) -> Self {
-        let pool = ThreadPool::new(config.threads.max(1));
-        Parafac2Als { config, pool }
-    }
-
     /// Fits the PARAFAC2 model by direct ALS (Algorithm 2).
     ///
     /// # Errors
-    /// [`dpar2_core::Dpar2Error::RankTooLarge`] / `ZeroRank` on invalid rank.
-    pub fn fit(&self, tensor: &IrregularTensor) -> Result<Parafac2Fit> {
+    /// [`dpar2_core::Dpar2Error::RankTooLarge`] / `ZeroRank` on invalid
+    /// rank; `WarmStart` on mismatched warm-start factors.
+    pub fn fit(&self, tensor: &IrregularTensor, options: &FitOptions<'_>) -> Result<Parafac2Fit> {
+        self.fit_observed(tensor, options, &mut NoopObserver)
+    }
+
+    /// [`Parafac2Als::fit`] with a [`FitObserver`] session.
+    ///
+    /// # Errors
+    /// See [`Parafac2Als::fit`].
+    pub fn fit_observed(
+        &self,
+        tensor: &IrregularTensor,
+        options: &FitOptions<'_>,
+        observer: &mut dyn FitObserver,
+    ) -> Result<Parafac2Fit> {
         let t0 = Instant::now();
-        let r = self.config.rank;
+        let r = options.rank;
         validate_rank(tensor, r)?;
         let k_dim = tensor.k();
+        // Pool for the per-iteration convergence check (the reconstruction
+        // error costs as much as a compression pass). The ALS updates
+        // themselves stay deliberately serial — they are the textbook
+        // formulation DPar2 is compared against — but the *stopping rule*
+        // shares the kernel-layer speedup so cross-method timings compare
+        // algorithms, not thread budgets. `true_error_sq_pooled` is
+        // bit-identical for every pool size.
+        let pool = ThreadPool::new(options.threads.max(1));
 
-        // Line 1 — initialization.
-        let mut h = Mat::eye(r);
-        let mut v = init_v(tensor, r);
-        let mut w = Mat::ones(k_dim, r);
+        // Line 1 — initialization (or the caller's warm start).
+        let (mut h, mut v, mut w) = init_factors(tensor, options)?;
         let mut qs: Vec<Mat> = Vec::with_capacity(k_dim);
-
-        let mut criterion_trace = Vec::new();
-        let mut per_iteration_secs = Vec::new();
-        let mut iterations = 0;
 
         // Data norm for the absolute branch of the shared stopping rule.
         let x_norm_sq = tensor.fro_norm_sq();
 
-        for _iter in 0..self.config.max_iterations {
-            let it0 = Instant::now();
+        let mut session = FitSession::new(options, observer);
+        for _iter in 0..options.max_iterations {
+            session.start_iteration();
 
             // Lines 3–6: Q_k ← polar factor of X_k V S_k Hᵀ.
             qs.clear();
@@ -105,37 +110,55 @@ impl Parafac2Als {
                 .matmul(&pinv(&v.gram().hadamard(&h.gram()).expect("VᵀV∗HᵀH")))
                 .expect("W update");
 
-            iterations += 1;
-            // Line 17: true reconstruction error.
-            let err = true_error_sq_pooled(tensor, &qs, &h, &w, &v, &self.pool);
-            per_iteration_secs.push(it0.elapsed().as_secs_f64());
-            let done =
-                converged(criterion_trace.last().copied(), err, x_norm_sq, self.config.tolerance);
-            criterion_trace.push(err);
-            if done {
+            // Line 17: true reconstruction error, then the session's shared
+            // stopping rule (convergence / observer / time budget /
+            // iteration budget).
+            let err = true_error_sq_pooled(tensor, &qs, &h, &w, &v, &pool);
+            if session.finish_iteration(err, x_norm_sq) {
                 break;
             }
+        }
+        let outcome = session.finish();
+        if qs.is_empty() {
+            // Zero-iteration budget: identity-embedded Q_k keep the model
+            // well-formed (see `common::identity_qs`).
+            qs = identity_qs(tensor, r);
         }
 
         // Lines 18–20: U_k = Q_k H.
         let u: Vec<Mat> = qs.iter().map(|q| q.matmul(&h).expect("Q_k·H")).collect();
         let s: Vec<Vec<f64>> = (0..k_dim).map(|k| w.row(k).to_vec()).collect();
-        let iterations_secs: f64 = per_iteration_secs.iter().sum();
 
         Ok(Parafac2Fit {
             u,
             s,
             v,
             h,
-            iterations,
-            criterion_trace,
+            iterations: outcome.iterations(),
+            stop_reason: outcome.stop_reason,
             timing: TimingBreakdown {
                 preprocess_secs: 0.0,
-                iterations_secs,
-                per_iteration_secs,
+                iterations_secs: outcome.iterations_secs(),
+                per_iteration_secs: outcome.per_iteration_secs,
                 total_secs: t0.elapsed().as_secs_f64(),
             },
+            criterion_trace: outcome.criterion_trace,
         })
+    }
+}
+
+impl Parafac2Solver for Parafac2Als {
+    fn name(&self) -> &'static str {
+        "PARAFAC2-ALS"
+    }
+
+    fn fit_observed(
+        &self,
+        tensor: &IrregularTensor,
+        options: &FitOptions<'_>,
+        observer: &mut dyn FitObserver,
+    ) -> Result<Parafac2Fit> {
+        Parafac2Als::fit_observed(self, tensor, options, observer)
     }
 }
 
@@ -179,7 +202,7 @@ pub(crate) mod tests {
     #[test]
     fn fits_planted_data() {
         let t = planted(&[20, 35, 15], 12, 3, 0.0, 601);
-        let fit = Parafac2Als::new(AlsConfig::new(3)).fit(&t).unwrap();
+        let fit = Parafac2Als.fit(&t, &FitOptions::new(3)).unwrap();
         let f = fit.fitness(&t);
         assert!(f > 0.98, "PARAFAC2-ALS fitness {f}");
     }
@@ -187,8 +210,8 @@ pub(crate) mod tests {
     #[test]
     fn error_trace_nonincreasing() {
         let t = planted(&[25, 30, 20, 15], 10, 2, 0.3, 602);
-        let fit = Parafac2Als::new(AlsConfig::new(2).with_tolerance(0.0).with_max_iterations(15))
-            .fit(&t)
+        let fit = Parafac2Als
+            .fit(&t, &FitOptions::new(2).with_tolerance(0.0).with_max_iterations(15))
             .unwrap();
         for pair in fit.criterion_trace.windows(2) {
             assert!(
@@ -202,7 +225,7 @@ pub(crate) mod tests {
     #[test]
     fn uk_cross_products_invariant() {
         let t = planted(&[30, 22], 14, 3, 0.05, 603);
-        let fit = Parafac2Als::new(AlsConfig::new(3)).fit(&t).unwrap();
+        let fit = Parafac2Als.fit(&t, &FitOptions::new(3)).unwrap();
         let hth = fit.h.gram();
         for k in 0..2 {
             let utu = fit.u[k].gram();
@@ -213,14 +236,14 @@ pub(crate) mod tests {
     #[test]
     fn rejects_invalid_rank() {
         let t = planted(&[5, 30], 14, 2, 0.0, 604);
-        assert!(Parafac2Als::new(AlsConfig::new(9)).fit(&t).is_err());
+        assert!(Parafac2Als.fit(&t, &FitOptions::new(9)).is_err());
     }
 
     #[test]
     fn respects_iteration_budget() {
         let t = planted(&[15, 15], 8, 2, 0.5, 605);
-        let fit = Parafac2Als::new(AlsConfig::new(2).with_max_iterations(4).with_tolerance(0.0))
-            .fit(&t)
+        let fit = Parafac2Als
+            .fit(&t, &FitOptions::new(2).with_max_iterations(4).with_tolerance(0.0))
             .unwrap();
         assert_eq!(fit.iterations, 4);
     }

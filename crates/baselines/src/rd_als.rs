@@ -24,41 +24,32 @@
 //!    criterion).
 
 use crate::common::{
-    converged, init_v, scale_columns, true_error_sq_pooled, update_q, validate_rank, AlsConfig,
+    identity_qs, init_factors, scale_columns, true_error_sq_pooled, update_q, validate_rank,
 };
-use dpar2_core::{Parafac2Fit, Result, TimingBreakdown};
+use dpar2_core::{
+    FitObserver, FitOptions, FitPhase, FitSession, NoopObserver, Parafac2Fit, Parafac2Solver,
+    Result, TimingBreakdown,
+};
 use dpar2_linalg::{pinv, svd::svd_truncated, Mat};
 use dpar2_parallel::ThreadPool;
 use dpar2_tensor::{mttkrp, normalize_columns, Dense3, IrregularTensor};
 use std::time::Instant;
 
-/// The RD-ALS solver.
-#[derive(Debug, Clone)]
-pub struct RdAls {
-    config: AlsConfig,
-    /// Pool for the per-iteration true-error convergence check against the
-    /// raw slices — RD-ALS's per-iteration bottleneck (Fig. 9(b)). Shared
-    /// with the other baselines so method-comparison timings stay about
-    /// algorithmic cost; bit-identical for every pool size.
-    pool: ThreadPool,
-}
+/// The RD-ALS solver — a stateless [`Parafac2Solver`] handle; all per-fit
+/// settings travel in [`FitOptions`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RdAls;
 
 impl RdAls {
-    /// Creates a solver with the given configuration.
-    pub fn new(config: AlsConfig) -> Self {
-        let pool = ThreadPool::new(config.threads.max(1));
-        RdAls { config, pool }
-    }
-
     /// Preprocesses the tensor: truncated SVD of the slice concatenation,
     /// returning `(V_c, {X̃_k})`. Exposed for the Fig. 9(a)/Fig. 10
     /// harness, which times and sizes preprocessing separately.
-    pub fn preprocess(&self, tensor: &IrregularTensor) -> (Mat, Vec<Mat>) {
+    pub fn preprocess(&self, tensor: &IrregularTensor, rank: usize) -> (Mat, Vec<Mat>) {
         // [X_1ᵀ ∥ … ∥ X_Kᵀ] = (vstack_k X_k)ᵀ; we feed the tall stack to the
         // SVD directly (it transposes internally) and read V_c off the
         // right factor of the stacked form.
         let stacked = Mat::vstack_all(&tensor.slices().iter().collect::<Vec<_>>());
-        let f = svd_truncated(&stacked, self.config.rank);
+        let f = svd_truncated(&stacked, rank);
         let v_c = f.v; // J×R
         let reduced: Vec<Mat> =
             tensor.slices().iter().map(|x| x.matmul(&v_c).expect("X_k·V_c")).collect();
@@ -75,34 +66,61 @@ impl RdAls {
     /// reduced slices with true-error convergence checks.
     ///
     /// # Errors
-    /// [`dpar2_core::Dpar2Error::RankTooLarge`] / `ZeroRank` on invalid rank.
-    pub fn fit(&self, tensor: &IrregularTensor) -> Result<Parafac2Fit> {
+    /// [`dpar2_core::Dpar2Error::RankTooLarge`] / `ZeroRank` on invalid
+    /// rank; `WarmStart` on mismatched warm-start factors.
+    pub fn fit(&self, tensor: &IrregularTensor, options: &FitOptions<'_>) -> Result<Parafac2Fit> {
+        self.fit_observed(tensor, options, &mut NoopObserver)
+    }
+
+    /// [`RdAls::fit`] with a [`FitObserver`] session.
+    ///
+    /// # Errors
+    /// See [`RdAls::fit`].
+    pub fn fit_observed(
+        &self,
+        tensor: &IrregularTensor,
+        options: &FitOptions<'_>,
+        observer: &mut dyn FitObserver,
+    ) -> Result<Parafac2Fit> {
         let t0 = Instant::now();
-        let r = self.config.rank;
+        let r = options.rank;
         validate_rank(tensor, r)?;
         let k_dim = tensor.k();
+        // Pool for the per-iteration true-error convergence check against
+        // the raw slices — RD-ALS's per-iteration bottleneck (Fig. 9(b)).
+        // Shared with the other baselines so method-comparison timings stay
+        // about algorithmic cost; bit-identical for every pool size.
+        let pool = ThreadPool::new(options.threads.max(1));
 
         // ---- Preprocessing ----
-        let (v_c, reduced) = self.preprocess(tensor);
+        let (v_c, reduced) = self.preprocess(tensor, r);
         let reduced_tensor = IrregularTensor::new(reduced);
         let preprocess_secs = t0.elapsed().as_secs_f64();
 
         // ---- ALS on reduced slices ----
-        let mut h = Mat::eye(r);
-        // Init Ṽ from the reduced tensor (Kiers init in the reduced space).
-        let mut v_t = init_v(&reduced_tensor, r);
-        let mut w = Mat::ones(k_dim, r);
+        // Kiers init in the reduced space, or the caller's warm start
+        // projected onto the reduced column basis (`Ṽ = V_cᵀ V`, exact when
+        // the warm `V` lies in span(V_c) — V_c is orthonormal).
+        let (mut h, mut v_t, mut w) = match options.warm_start {
+            None => init_factors(&reduced_tensor, options)?,
+            Some(_) => {
+                // Validation lives in init_factors (against the FULL
+                // tensor's J); only the V_c-projection is RD-ALS-specific:
+                // Ṽ = V_cᵀ V, exact when V lies in span(V_c) (V_c is
+                // orthonormal).
+                let (h, v_full, w) = init_factors(tensor, options)?;
+                (h, v_c.matmul_tn(&v_full).expect("V_cᵀ·V"), w)
+            }
+        };
         let mut qs: Vec<Mat> = Vec::with_capacity(k_dim);
-
-        let mut criterion_trace = Vec::new();
-        let mut per_iteration_secs = Vec::new();
-        let mut iterations = 0;
 
         // Data norm for the absolute branch of the shared stopping rule.
         let x_norm_sq = tensor.fro_norm_sq();
 
-        for _iter in 0..self.config.max_iterations {
-            let it0 = Instant::now();
+        let mut session = FitSession::new(options, observer);
+        session.phase(FitPhase::Preprocess, preprocess_secs);
+        for _iter in 0..options.max_iterations {
+            session.start_iteration();
 
             qs.clear();
             for k in 0..k_dim {
@@ -137,39 +155,55 @@ impl RdAls {
                 .matmul(&pinv(&v_t.gram().hadamard(&h.gram()).expect("ṼᵀṼ∗HᵀH")))
                 .expect("W update");
 
-            iterations += 1;
             // The expensive part the paper highlights: the *true*
             // reconstruction error against the ORIGINAL slices.
             let v_full = v_c.matmul(&v_t).expect("V_c·Ṽ");
-            let err = true_error_sq_pooled(tensor, &qs, &h, &w, &v_full, &self.pool);
-            per_iteration_secs.push(it0.elapsed().as_secs_f64());
-            let done =
-                converged(criterion_trace.last().copied(), err, x_norm_sq, self.config.tolerance);
-            criterion_trace.push(err);
-            if done {
+            let err = true_error_sq_pooled(tensor, &qs, &h, &w, &v_full, &pool);
+            if session.finish_iteration(err, x_norm_sq) {
                 break;
             }
+        }
+        let outcome = session.finish();
+        if qs.is_empty() {
+            // Zero-iteration budget: identity-embedded Q_k keep the model
+            // well-formed (see `common::identity_qs`).
+            qs = identity_qs(tensor, r);
         }
 
         let v = v_c.matmul(&v_t).expect("V_c·Ṽ");
         let u: Vec<Mat> = qs.iter().map(|q| q.matmul(&h).expect("Q_k·H")).collect();
         let s: Vec<Vec<f64>> = (0..k_dim).map(|k| w.row(k).to_vec()).collect();
-        let iterations_secs: f64 = per_iteration_secs.iter().sum();
 
         Ok(Parafac2Fit {
             u,
             s,
             v,
             h,
-            iterations,
-            criterion_trace,
+            iterations: outcome.iterations(),
+            stop_reason: outcome.stop_reason,
             timing: TimingBreakdown {
                 preprocess_secs,
-                iterations_secs,
-                per_iteration_secs,
+                iterations_secs: outcome.iterations_secs(),
+                per_iteration_secs: outcome.per_iteration_secs,
                 total_secs: t0.elapsed().as_secs_f64(),
             },
+            criterion_trace: outcome.criterion_trace,
         })
+    }
+}
+
+impl Parafac2Solver for RdAls {
+    fn name(&self) -> &'static str {
+        "RD-ALS"
+    }
+
+    fn fit_observed(
+        &self,
+        tensor: &IrregularTensor,
+        options: &FitOptions<'_>,
+        observer: &mut dyn FitObserver,
+    ) -> Result<Parafac2Fit> {
+        RdAls::fit_observed(self, tensor, options, observer)
     }
 }
 
@@ -182,7 +216,7 @@ mod tests {
     #[test]
     fn fits_planted_data() {
         let t = planted(&[20, 30, 25], 12, 3, 0.0, 801);
-        let fit = RdAls::new(AlsConfig::new(3)).fit(&t).unwrap();
+        let fit = RdAls.fit(&t, &FitOptions::new(3)).unwrap();
         let f = fit.fitness(&t);
         assert!(f > 0.98, "RD-ALS fitness {f}");
     }
@@ -190,7 +224,7 @@ mod tests {
     #[test]
     fn projection_basis_is_orthonormal() {
         let t = planted(&[15, 22], 10, 2, 0.1, 802);
-        let (v_c, reduced) = RdAls::new(AlsConfig::new(2)).preprocess(&t);
+        let (v_c, reduced) = RdAls.preprocess(&t, 2);
         assert_eq!(v_c.shape(), (10, 2));
         assert!((&v_c.gram() - &Mat::eye(2)).fro_norm() < 1e-9);
         assert_eq!(reduced.len(), 2);
@@ -202,9 +236,9 @@ mod tests {
         // On noiseless planted data the projection loses nothing: fitness
         // of RD-ALS must match plain PARAFAC2-ALS closely.
         let t = planted(&[25, 35, 20], 14, 3, 0.0, 803);
-        let cfg = AlsConfig::new(3).with_max_iterations(20);
-        let rd = RdAls::new(cfg.clone()).fit(&t).unwrap();
-        let als = Parafac2Als::new(cfg).fit(&t).unwrap();
+        let cfg = FitOptions::new(3).with_max_iterations(20);
+        let rd = RdAls.fit(&t, &cfg).unwrap();
+        let als = Parafac2Als.fit(&t, &cfg).unwrap();
         let (fr, fa) = (rd.fitness(&t), als.fitness(&t));
         assert!((fr - fa).abs() < 0.02, "RD-ALS {fr} vs ALS {fa}");
     }
@@ -212,9 +246,8 @@ mod tests {
     #[test]
     fn error_trace_nonincreasing() {
         let t = planted(&[25, 18, 30], 10, 2, 0.2, 804);
-        let fit = RdAls::new(AlsConfig::new(2).with_tolerance(0.0).with_max_iterations(12))
-            .fit(&t)
-            .unwrap();
+        let fit =
+            RdAls.fit(&t, &FitOptions::new(2).with_tolerance(0.0).with_max_iterations(12)).unwrap();
         for pair in fit.criterion_trace.windows(2) {
             // The reduced-space ALS minimizes a projected objective, so the
             // true error can wobble at rounding scale but not diverge.
@@ -225,7 +258,7 @@ mod tests {
     #[test]
     fn timing_separates_preprocessing() {
         let t = planted(&[30, 30], 12, 2, 0.1, 805);
-        let fit = RdAls::new(AlsConfig::new(2)).fit(&t).unwrap();
+        let fit = RdAls.fit(&t, &FitOptions::new(2)).unwrap();
         assert!(fit.timing.preprocess_secs > 0.0);
         assert!(fit.timing.iterations_secs > 0.0);
     }
@@ -240,6 +273,6 @@ mod tests {
     #[test]
     fn rejects_invalid_rank() {
         let t = planted(&[6, 30], 14, 2, 0.0, 807);
-        assert!(RdAls::new(AlsConfig::new(7)).fit(&t).is_err());
+        assert!(RdAls.fit(&t, &FitOptions::new(7)).is_err());
     }
 }

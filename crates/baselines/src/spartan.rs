@@ -17,59 +17,61 @@
 //!   materialized unfoldings.
 
 use crate::common::{
-    converged, init_v, scale_columns, true_error_sq_pooled, update_q, validate_rank, AlsConfig,
+    identity_qs, init_factors, scale_columns, true_error_sq_pooled, update_q, validate_rank,
 };
-use dpar2_core::{Parafac2Fit, Result, TimingBreakdown};
+use dpar2_core::{
+    FitObserver, FitOptions, FitSession, NoopObserver, Parafac2Fit, Parafac2Solver, Result,
+    TimingBreakdown,
+};
 use dpar2_linalg::{pinv, Mat};
 use dpar2_parallel::{greedy_partition, ThreadPool};
 use dpar2_tensor::{normalize_columns, IrregularTensor};
 use std::time::Instant;
 
-/// SPARTan-style PARAFAC2 solver for dense slices.
-#[derive(Debug, Clone)]
-pub struct SpartanDense {
-    config: AlsConfig,
-    /// Worker-pool handle (validated thread count), constructed once in
-    /// [`SpartanDense::new`] — mirrors `dpar2_core::Dpar2`. Workers are
-    /// scoped per call; see [`dpar2_parallel::ThreadPool`].
-    pool: ThreadPool,
-}
+/// SPARTan-style PARAFAC2 solver for dense slices — a stateless
+/// [`Parafac2Solver`] handle; all per-fit settings travel in
+/// [`FitOptions`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpartanDense;
 
 impl SpartanDense {
-    /// Creates a solver with the given configuration.
-    pub fn new(config: AlsConfig) -> Self {
-        let pool = ThreadPool::new(config.threads.max(1));
-        SpartanDense { config, pool }
-    }
-
     /// Fits the PARAFAC2 model with slice-parallel scheduling.
     ///
     /// # Errors
-    /// [`dpar2_core::Dpar2Error::RankTooLarge`] / `ZeroRank` on invalid rank.
-    pub fn fit(&self, tensor: &IrregularTensor) -> Result<Parafac2Fit> {
+    /// [`dpar2_core::Dpar2Error::RankTooLarge`] / `ZeroRank` on invalid
+    /// rank; `WarmStart` on mismatched warm-start factors.
+    pub fn fit(&self, tensor: &IrregularTensor, options: &FitOptions<'_>) -> Result<Parafac2Fit> {
+        self.fit_observed(tensor, options, &mut NoopObserver)
+    }
+
+    /// [`SpartanDense::fit`] with a [`FitObserver`] session.
+    ///
+    /// # Errors
+    /// See [`SpartanDense::fit`].
+    pub fn fit_observed(
+        &self,
+        tensor: &IrregularTensor,
+        options: &FitOptions<'_>,
+        observer: &mut dyn FitObserver,
+    ) -> Result<Parafac2Fit> {
         let t0 = Instant::now();
-        let r = self.config.rank;
+        let r = options.rank;
         validate_rank(tensor, r)?;
         let k_dim = tensor.k();
-        let pool = self.pool;
+        let pool = ThreadPool::new(options.threads.max(1));
         // Slice partition by row count — SPARTan parallelizes over slices;
         // we reuse the greedy policy so thread counts compare fairly.
         let partition = greedy_partition(&tensor.row_dims(), pool.threads());
 
-        let mut h = Mat::eye(r);
-        let mut v = init_v(tensor, r);
-        let mut w = Mat::ones(k_dim, r);
-        let mut qs: Vec<Mat> = vec![Mat::zeros(0, 0); k_dim];
-
-        let mut criterion_trace = Vec::new();
-        let mut per_iteration_secs = Vec::new();
-        let mut iterations = 0;
+        let (mut h, mut v, mut w) = init_factors(tensor, options)?;
+        let mut qs: Vec<Mat> = Vec::new();
 
         // Data norm for the absolute branch of the shared stopping rule.
         let x_norm_sq = tensor.fro_norm_sq();
 
-        for _iter in 0..self.config.max_iterations {
-            let it0 = Instant::now();
+        let mut session = FitSession::new(options, observer);
+        for _iter in 0..options.max_iterations {
+            session.start_iteration();
 
             // Q_k updates, slice-parallel.
             let new_qs: Vec<Mat> = pool.run_partitioned(&partition, |k| {
@@ -106,35 +108,51 @@ impl SpartanDense {
                 .matmul(&pinv(&v.gram().hadamard(&h.gram()).expect("VᵀV∗HᵀH")))
                 .expect("W update");
 
-            iterations += 1;
             let err = true_error_sq_pooled(tensor, &qs, &h, &w, &v, &pool);
-            per_iteration_secs.push(it0.elapsed().as_secs_f64());
-            let done =
-                converged(criterion_trace.last().copied(), err, x_norm_sq, self.config.tolerance);
-            criterion_trace.push(err);
-            if done {
+            if session.finish_iteration(err, x_norm_sq) {
                 break;
             }
+        }
+        let outcome = session.finish();
+        if qs.is_empty() {
+            // Zero-iteration budget: identity-embedded Q_k keep the model
+            // well-formed (see `common::identity_qs`).
+            qs = identity_qs(tensor, r);
         }
 
         let u: Vec<Mat> = qs.iter().map(|q| q.matmul(&h).expect("Q_k·H")).collect();
         let s: Vec<Vec<f64>> = (0..k_dim).map(|k| w.row(k).to_vec()).collect();
-        let iterations_secs: f64 = per_iteration_secs.iter().sum();
 
         Ok(Parafac2Fit {
             u,
             s,
             v,
             h,
-            iterations,
-            criterion_trace,
+            iterations: outcome.iterations(),
+            stop_reason: outcome.stop_reason,
             timing: TimingBreakdown {
                 preprocess_secs: 0.0,
-                iterations_secs,
-                per_iteration_secs,
+                iterations_secs: outcome.iterations_secs(),
+                per_iteration_secs: outcome.per_iteration_secs,
                 total_secs: t0.elapsed().as_secs_f64(),
             },
+            criterion_trace: outcome.criterion_trace,
         })
+    }
+}
+
+impl Parafac2Solver for SpartanDense {
+    fn name(&self) -> &'static str {
+        "SPARTan"
+    }
+
+    fn fit_observed(
+        &self,
+        tensor: &IrregularTensor,
+        options: &FitOptions<'_>,
+        observer: &mut dyn FitObserver,
+    ) -> Result<Parafac2Fit> {
+        SpartanDense::fit_observed(self, tensor, options, observer)
     }
 }
 
@@ -230,9 +248,9 @@ mod tests {
     fn matches_parafac2_als_exactly() {
         // Same math, different scheduling: traces must agree to rounding.
         let t = planted(&[18, 25, 12], 10, 3, 0.2, 701);
-        let cfg = AlsConfig::new(3).with_max_iterations(6).with_tolerance(0.0);
-        let als = Parafac2Als::new(cfg.clone()).fit(&t).unwrap();
-        let sp = SpartanDense::new(cfg).fit(&t).unwrap();
+        let cfg = FitOptions::new(3).with_max_iterations(6).with_tolerance(0.0);
+        let als = Parafac2Als.fit(&t, &cfg).unwrap();
+        let sp = SpartanDense.fit(&t, &cfg).unwrap();
         assert_eq!(als.iterations, sp.iterations);
         for (a, b) in als.criterion_trace.iter().zip(&sp.criterion_trace) {
             assert!((a - b).abs() < 1e-6 * (1.0 + a), "traces diverge: {a} vs {b}");
@@ -243,10 +261,10 @@ mod tests {
     #[test]
     fn deterministic_across_thread_counts() {
         let t = planted(&[20, 35, 15, 27], 12, 2, 0.1, 702);
-        let cfg1 = AlsConfig::new(2).with_threads(1).with_max_iterations(5);
-        let cfg4 = AlsConfig::new(2).with_threads(4).with_max_iterations(5);
-        let f1 = SpartanDense::new(cfg1).fit(&t).unwrap();
-        let f4 = SpartanDense::new(cfg4).fit(&t).unwrap();
+        let cfg1 = FitOptions::new(2).with_threads(1).with_max_iterations(5);
+        let cfg4 = FitOptions::new(2).with_threads(4).with_max_iterations(5);
+        let f1 = SpartanDense.fit(&t, &cfg1).unwrap();
+        let f4 = SpartanDense.fit(&t, &cfg4).unwrap();
         assert!((&f1.v - &f4.v).fro_norm() < 1e-9);
         for k in 0..t.k() {
             assert!((&f1.u[k] - &f4.u[k]).fro_norm() < 1e-9);
@@ -256,13 +274,13 @@ mod tests {
     #[test]
     fn fits_planted_data() {
         let t = planted(&[25, 30, 18], 14, 3, 0.05, 703);
-        let fit = SpartanDense::new(AlsConfig::new(3)).fit(&t).unwrap();
+        let fit = SpartanDense.fit(&t, &FitOptions::new(3)).unwrap();
         assert!(fit.fitness(&t) > 0.95, "fitness {}", fit.fitness(&t));
     }
 
     #[test]
     fn rejects_invalid_rank() {
         let t = planted(&[6, 30], 14, 2, 0.0, 704);
-        assert!(SpartanDense::new(AlsConfig::new(7)).fit(&t).is_err());
+        assert!(SpartanDense.fit(&t, &FitOptions::new(7)).is_err());
     }
 }

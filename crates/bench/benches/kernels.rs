@@ -15,7 +15,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dpar2_baselines::common::true_error_sq;
 use dpar2_core::compress::compress;
-use dpar2_core::config::Dpar2Config;
+use dpar2_core::config::FitOptions;
 use dpar2_core::convergence::compressed_criterion;
 use dpar2_core::lemmas::{g1, g2, g3, materialize_y, naive_g1, naive_g2, naive_g3};
 use dpar2_data::planted_parafac2;
@@ -135,7 +135,7 @@ fn bench_convergence(c: &mut Criterion) {
     group.sample_size(10);
     // A real tensor + its compression so both criteria are meaningful.
     let t = planted_parafac2(&[200, 300, 150, 250], 128, 10, 0.1, 6);
-    let cfg = Dpar2Config::new(10).with_seed(7);
+    let cfg = FitOptions::new(10).with_seed(7);
     let ct = compress(&t, &cfg).unwrap();
     let fx = lemma_fixture(t.k(), t.j(), 10);
     let pool = ThreadPool::new(1);
@@ -201,7 +201,7 @@ fn bench_two_stage_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("two_stage_ablation");
     group.sample_size(10);
     let t = planted_parafac2(&[150, 220, 180, 120, 200], 96, 10, 0.1, 9);
-    let cfg = Dpar2Config::new(10).with_seed(10);
+    let cfg = FitOptions::new(10).with_seed(10);
     group.bench_function("two_stage_compress", |b| {
         b.iter(|| black_box(compress(&t, &cfg).unwrap()))
     });

@@ -8,7 +8,7 @@
 
 use dpar2_baselines::RdAls;
 use dpar2_bench::{fmt_bytes, print_table, Args, HarnessConfig};
-use dpar2_core::{compress, Dpar2Config};
+use dpar2_core::compress;
 use dpar2_data::registry;
 
 fn main() {
@@ -20,8 +20,7 @@ fn main() {
     for spec in registry() {
         let tensor = spec.generate_scaled(cfg.scale, cfg.seed);
         let input_floats = tensor.num_entries();
-        let dcfg = Dpar2Config::new(cfg.rank).with_seed(cfg.seed).with_threads(cfg.threads);
-        let ct = compress(&tensor, &dcfg).expect("compression failed");
+        let ct = compress(&tensor, &cfg.fit_options()).expect("compression failed");
         let dpar2_floats = ct.size_floats();
         let rd_floats = RdAls::preprocessed_size_floats(&tensor, cfg.rank);
         rows.push(vec![

@@ -6,12 +6,14 @@
 //!
 //! ```text
 //! cargo run -p dpar2-bench --release --bin fig11_scalability -- --axis size
-//! cargo run -p dpar2-bench --release --bin fig11_scalability -- --axis rank
+//! cargo run -p dpar2-bench --release --bin fig11_scalability -- --axis rank --methods dpar2,rd-als
 //! cargo run -p dpar2-bench --release --bin fig11_scalability -- --axis threads
 //! ```
 
-use dpar2_baselines::{AlsConfig, Method};
-use dpar2_bench::{fmt_secs, measure, print_table, Args, HarnessConfig};
+use dpar2_baselines::Method;
+use dpar2_bench::{
+    dpar2_leads, fmt_secs, measure, methods_arg, print_table, sweep_header, Args, HarnessConfig,
+};
 use dpar2_data::tenrand_irregular;
 use dpar2_parallel::{greedy_partition, imbalance};
 
@@ -23,17 +25,18 @@ fn main() {
     } else {
         cfg.scale = 0.1;
     }
+    let methods = methods_arg(&args);
     let axis = args.get_str("axis", "size");
     match axis.as_str() {
-        "size" => size_axis(&cfg),
-        "rank" => rank_axis(&cfg),
+        "size" => size_axis(&cfg, &methods),
+        "rank" => rank_axis(&cfg, &methods),
         "threads" => thread_axis(&cfg),
         other => panic!("unknown --axis {other} (size|rank|threads)"),
     }
 }
 
 /// Fig. 11(a): the paper's five I×J×K grids, scaled.
-fn size_axis(cfg: &HarnessConfig) {
+fn size_axis(cfg: &HarnessConfig, methods: &[Method]) {
     let s = cfg.scale;
     let dims: Vec<(usize, usize, usize)> = [
         (1000, 1000, 1000),
@@ -59,25 +62,24 @@ fn size_axis(cfg: &HarnessConfig) {
         let total = (i * j * k) as f64;
         let mut cells = vec![format!("{i}x{j}x{k}"), format!("{:.1e}", total)];
         let mut times = Vec::new();
-        for method in Method::ALL {
-            let rec = measure(method, "tenrand", &tensor, &cfg.als_config()).expect("run failed");
+        for &method in methods {
+            let rec = measure(method, "tenrand", &tensor, &cfg.fit_options()).expect("run failed");
             times.push(rec.total_secs);
             cells.push(fmt_secs(rec.total_secs));
         }
-        let best_other = times[1..].iter().cloned().fold(f64::INFINITY, f64::min);
-        cells.push(format!("{:.1}x", best_other / times[0].max(1e-12)));
+        if dpar2_leads(methods) {
+            let best_other = times[1..].iter().cloned().fold(f64::INFINITY, f64::min);
+            cells.push(format!("{:.1}x", best_other / times[0].max(1e-12)));
+        }
         rows.push(cells);
     }
-    print_table(
-        &["I x J x K", "entries", "DPar2", "RD-ALS", "PARAFAC2-ALS", "SPARTan", "best-other/DPar2"],
-        &rows,
-    );
+    print_table(&sweep_header(&["I x J x K", "entries"], methods), &rows);
     println!("\nPaper shape: DPar2 fastest at every size (paper: 15.3x at 1.6e10 entries)");
     println!("with a flatter slope than the competitors.");
 }
 
 /// Fig. 11(b): rank sweep 10..50 on the largest synthetic tensor.
-fn rank_axis(cfg: &HarnessConfig) {
+fn rank_axis(cfg: &HarnessConfig, methods: &[Method]) {
     let s = cfg.scale;
     let (i, j, k) = (
         ((2000.0 * s) as usize).max(60),
@@ -92,19 +94,21 @@ fn rank_axis(cfg: &HarnessConfig) {
             println!("  (skipping R={rank}: exceeds min(I,J)={})", i.min(j));
             continue;
         }
-        let c = AlsConfig { rank, ..cfg.als_config() };
+        let c = cfg.fit_options().with_rank(rank);
         let mut cells = vec![format!("{rank}")];
         let mut times = Vec::new();
-        for method in Method::ALL {
+        for &method in methods {
             let rec = measure(method, "tenrand", &tensor, &c).expect("run failed");
             times.push(rec.total_secs);
             cells.push(fmt_secs(rec.total_secs));
         }
-        let best_other = times[1..].iter().cloned().fold(f64::INFINITY, f64::min);
-        cells.push(format!("{:.1}x", best_other / times[0].max(1e-12)));
+        if dpar2_leads(methods) {
+            let best_other = times[1..].iter().cloned().fold(f64::INFINITY, f64::min);
+            cells.push(format!("{:.1}x", best_other / times[0].max(1e-12)));
+        }
         rows.push(cells);
     }
-    print_table(&["R", "DPar2", "RD-ALS", "PARAFAC2-ALS", "SPARTan", "best-other/DPar2"], &rows);
+    print_table(&sweep_header(&["R"], methods), &rows);
     println!("\nPaper shape: DPar2 fastest at every rank; the gap narrows as R grows");
     println!("(paper: 15.9x at R=10 down to 7.0x at R=50) because randomized SVD is");
     println!("designed for low target ranks.");
@@ -129,7 +133,7 @@ fn thread_axis(cfg: &HarnessConfig) {
     let mut t1 = None;
     let mut rows = Vec::new();
     for threads in [1usize, 2, 4, 6, 8, 10] {
-        let c = AlsConfig { threads, ..cfg.als_config() };
+        let c = cfg.fit_options().with_threads(threads);
         let rec = measure(Method::Dpar2, "tenrand", &tensor, &c).expect("run failed");
         if threads == 1 {
             t1 = Some(rec.total_secs);

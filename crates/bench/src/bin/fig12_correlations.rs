@@ -15,7 +15,7 @@
 
 use dpar2_analysis::pcc_matrix;
 use dpar2_bench::{Args, HarnessConfig};
-use dpar2_core::{Dpar2, Dpar2Config};
+use dpar2_core::Dpar2;
 use dpar2_data::stock::{generate, StockMarketConfig};
 
 const SELECTED: [&str; 8] =
@@ -34,13 +34,7 @@ fn main() {
         ("Korea stock data", StockMarketConfig::kr_like(n_stocks, max_days, cfg.seed + 1)),
     ] {
         let ds = generate(&market);
-        let solver = Dpar2::new(
-            Dpar2Config::new(cfg.rank)
-                .with_seed(cfg.seed)
-                .with_threads(cfg.threads)
-                .with_max_iterations(cfg.iters),
-        );
-        let fit = solver.fit(&ds.tensor).expect("decomposition failed");
+        let fit = Dpar2.fit(&ds.tensor, &cfg.fit_options()).expect("decomposition failed");
         let rows: Vec<usize> = SELECTED
             .iter()
             .map(|want| {

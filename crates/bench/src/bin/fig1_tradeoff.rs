@@ -8,16 +8,17 @@
 //!
 //! ```text
 //! cargo run -p dpar2-bench --release --bin fig1_tradeoff -- --scale 0.5
-//! # quick pass: --scale 0.25 --ranks 10
+//! # quick pass: --scale 0.25 --ranks 10 --methods dpar2,spartan
 //! ```
 
 use dpar2_baselines::Method;
-use dpar2_bench::{measure, print_table, Args, HarnessConfig};
+use dpar2_bench::{measure, methods_arg, print_table, Args, HarnessConfig};
 use dpar2_data::registry;
 
 fn main() {
     let args = Args::parse();
     let cfg = HarnessConfig::from_args(&args);
+    let methods = methods_arg(&args);
     let ranks: Vec<usize> = args
         .get_str("ranks", "10,15,20")
         .split(',')
@@ -43,9 +44,8 @@ fn main() {
         for &rank in &ranks {
             let mut dpar2_time = None;
             let mut best_baseline: Option<f64> = None;
-            for method in Method::ALL {
-                let c = cfg.als_config();
-                let c = dpar2_baselines::AlsConfig { rank, ..c };
+            for &method in &methods {
+                let c = cfg.fit_options().with_rank(rank);
                 match measure(method, spec.name, &tensor, &c) {
                     Ok(rec) => {
                         if method == Method::Dpar2 {

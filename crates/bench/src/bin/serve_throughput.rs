@@ -15,7 +15,7 @@
 //! (10), `--k` (10), `--reps` (4), `--max-threads` (8), `--seed` (0).
 
 use dpar2_bench::{fmt_secs, print_table, Args};
-use dpar2_core::{Dpar2, Dpar2Config};
+use dpar2_core::{Dpar2, FitOptions};
 use dpar2_data::planted_parafac2;
 use dpar2_serve::{ModelMeta, ModelRegistry, QueryEngine, ServedModel};
 use std::sync::Arc;
@@ -33,7 +33,7 @@ fn main() {
     let seed = args.get("seed", 0u64);
 
     let tensor = planted_parafac2(&vec![days; entities], features, rank, 0.1, seed);
-    let fit = Dpar2::new(Dpar2Config::new(rank).with_seed(seed)).fit(&tensor).expect("fit failed");
+    let fit = Dpar2.fit(&tensor, &FitOptions::new(rank).with_seed(seed)).expect("fit failed");
     let registry = Arc::new(ModelRegistry::new());
     registry
         .publish("bench", ServedModel::from_parts(ModelMeta::new("bench").with_gamma(0.02), fit));

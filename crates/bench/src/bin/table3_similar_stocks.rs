@@ -9,7 +9,7 @@
 
 use dpar2_analysis::{rwr_scores, similarity_graph, top_k_neighbors, RwrConfig};
 use dpar2_bench::{print_table, Args, HarnessConfig};
-use dpar2_core::{Dpar2, Dpar2Config};
+use dpar2_core::Dpar2;
 use dpar2_data::stock::{generate, StockMarketConfig};
 
 fn main() {
@@ -34,14 +34,7 @@ fn main() {
     );
 
     // 2) Decompose with DPar2 (§IV-E2 step 2).
-    let fit = Dpar2::new(
-        Dpar2Config::new(cfg.rank)
-            .with_seed(cfg.seed)
-            .with_threads(cfg.threads)
-            .with_max_iterations(cfg.iters),
-    )
-    .fit(&windowed.tensor)
-    .expect("decomposition failed");
+    let fit = Dpar2.fit(&windowed.tensor, &cfg.fit_options()).expect("decomposition failed");
     println!("fitness on windowed tensor: {:.4}\n", fit.fitness(&windowed.tensor));
 
     // 3) Post-process the factors (§IV-E2 step 3). Target: the first

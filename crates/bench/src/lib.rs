@@ -12,9 +12,11 @@
 //! * `--iters <usize>` — max ALS iterations (default 32, as in the paper)
 //! * `--threads <usize>` — worker threads (default 1 on this 1-core host)
 //! * `--seed <u64>`    — RNG seed (default 0)
+//! * `--methods <list>` — comma-separated solver names (`dpar2,rd-als,…`
+//!   via `Method::from_str`; default `all` = the paper's four)
 
-use dpar2_baselines::{fit_with, AlsConfig, Method};
-use dpar2_core::{Parafac2Fit, Result};
+use dpar2_baselines::{fit_with, Method};
+use dpar2_core::{FitOptions, Parafac2Fit, Result};
 use dpar2_tensor::IrregularTensor;
 use std::collections::HashMap;
 
@@ -93,13 +95,50 @@ impl HarnessConfig {
         }
     }
 
-    /// The matching solver configuration.
-    pub fn als_config(&self) -> AlsConfig {
-        AlsConfig::new(self.rank)
+    /// The matching solver options.
+    pub fn fit_options(&self) -> FitOptions<'static> {
+        FitOptions::new(self.rank)
             .with_max_iterations(self.iters)
             .with_threads(self.threads)
             .with_seed(self.seed)
     }
+}
+
+/// Parses `--methods` into solver selections by name (`gemm_kernels`-style
+/// comma lists, via `Method::from_str`). `all` (the default) is the
+/// paper's four-method figure set; `with-ablation` adds the §III-C naive
+/// strawman.
+///
+/// # Panics
+/// Panics with the parse error's message (listing valid names) on an
+/// unknown method.
+pub fn methods_arg(args: &Args) -> Vec<Method> {
+    match args.get_str("methods", "all").as_str() {
+        "all" => Method::ALL.to_vec(),
+        "with-ablation" => Method::WITH_ABLATION.to_vec(),
+        list => list
+            .split(',')
+            .map(|tok| tok.trim().parse().unwrap_or_else(|e| panic!("--methods: {e}")))
+            .collect(),
+    }
+}
+
+/// Whether a sweep's table gets the `best-other/DPar2` ratio column:
+/// DPar2 must lead the selection and have at least one competitor.
+pub fn dpar2_leads(methods: &[Method]) -> bool {
+    methods.first() == Some(&Method::Dpar2) && methods.len() > 1
+}
+
+/// Table header for a method sweep: label column(s), one column per
+/// selected method, plus the DPar2-vs-best-other ratio when
+/// [`dpar2_leads`].
+pub fn sweep_header(labels: &[&'static str], methods: &[Method]) -> Vec<&'static str> {
+    let mut header: Vec<&'static str> = labels.to_vec();
+    header.extend(methods.iter().map(Method::name));
+    if dpar2_leads(methods) {
+        header.push("best-other/DPar2");
+    }
+    header
 }
 
 /// One measured run: method × dataset × rank with timing and fitness.
@@ -131,13 +170,13 @@ pub fn measure(
     method: Method,
     dataset: &str,
     tensor: &IrregularTensor,
-    config: &AlsConfig,
+    options: &FitOptions<'_>,
 ) -> Result<RunRecord> {
-    let fit: Parafac2Fit = fit_with(method, tensor, config)?;
+    let fit: Parafac2Fit = fit_with(method, tensor, options)?;
     Ok(RunRecord {
         method: method.name(),
         dataset: dataset.to_string(),
-        rank: config.rank,
+        rank: options.rank,
         total_secs: fit.timing.total_secs,
         preprocess_secs: fit.timing.preprocess_secs,
         iter_secs: fit.timing.mean_iteration_secs(),
@@ -231,12 +270,22 @@ mod tests {
     #[test]
     fn measure_runs_every_method() {
         let t = dpar2_data::planted_parafac2(&[20, 30, 16], 12, 3, 0.1, 5);
-        let cfg = AlsConfig::new(3).with_max_iterations(3);
+        let cfg = FitOptions::new(3).with_max_iterations(3);
         for m in Method::ALL {
             let rec = measure(m, "test", &t, &cfg).unwrap();
             assert!(rec.fitness > 0.5, "{} fitness {}", rec.method, rec.fitness);
             assert!(rec.total_secs > 0.0);
         }
+    }
+
+    #[test]
+    fn methods_arg_selects_by_name() {
+        let default = methods_arg(&Args::default());
+        assert_eq!(default, Method::ALL.to_vec());
+        let a = Args::from_tokens(["--methods", "dpar2, spartan"].iter().map(|s| s.to_string()));
+        assert_eq!(methods_arg(&a), vec![Method::Dpar2, Method::Spartan]);
+        let all = Args::from_tokens(["--methods", "with-ablation"].iter().map(|s| s.to_string()));
+        assert_eq!(methods_arg(&all), Method::WITH_ABLATION.to_vec());
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! floats (Theorem 2), which Fig. 10 of the paper shows is up to 201× smaller
 //! than the input.
 
-use crate::config::Dpar2Config;
+use crate::config::FitOptions;
 use crate::error::{Dpar2Error, Result};
 use dpar2_linalg::Mat;
 use dpar2_parallel::{greedy_partition, ThreadPool};
@@ -91,16 +91,16 @@ impl CompressedTensor {
 /// Runs the two-stage compression (lines 2–6 of Algorithm 3).
 ///
 /// Stage-1 per-slice randomized SVDs run in parallel over
-/// `config.threads` threads, with slices assigned by greedy number
+/// `options.threads` threads, with slices assigned by greedy number
 /// partitioning on their row counts (Algorithm 4). Each slice draws from an
-/// independent RNG seeded with `config.seed ⊕ k`, so results are identical
+/// independent RNG seeded with `options.seed ⊕ k`, so results are identical
 /// for every thread count.
 ///
 /// # Errors
 /// [`Dpar2Error::RankTooLarge`] if `R > min(I_k, J)` for any slice;
 /// [`Dpar2Error::ZeroRank`] if `R == 0`.
-pub fn compress(tensor: &IrregularTensor, config: &Dpar2Config) -> Result<CompressedTensor> {
-    let r = config.rank;
+pub fn compress(tensor: &IrregularTensor, options: &FitOptions<'_>) -> Result<CompressedTensor> {
+    let r = options.rank;
     if r == 0 {
         return Err(Dpar2Error::ZeroRank);
     }
@@ -112,10 +112,12 @@ pub fn compress(tensor: &IrregularTensor, config: &Dpar2Config) -> Result<Compre
     }
 
     // ---- Stage 1: per-slice rSVD, greedy-partitioned over threads ----
-    let pool = ThreadPool::new(config.threads.max(1));
+    let pool = ThreadPool::new(options.threads.max(1));
     let partition = greedy_partition(&tensor.row_dims(), pool.threads());
-    let rsvd_cfg = config.rsvd;
-    let base_seed = config.seed;
+    // The compression rank always follows `options.rank`; only the
+    // oversampling/power-iteration knobs of `options.rsvd` apply.
+    let rsvd_cfg = dpar2_rsvd::RsvdConfig { rank: r, ..options.rsvd };
+    let base_seed = options.seed;
     let stage1: Vec<(Mat, Vec<f64>, Mat)> = pool.run_partitioned(&partition, |k| {
         // Independent, slice-indexed stream: parallel schedule cannot
         // change the factorization.
@@ -190,7 +192,7 @@ mod tests {
     #[test]
     fn exact_on_planted_low_rank() {
         let t = planted(&[30, 50, 20, 40], 25, 3, 0.0, 1);
-        let c = compress(&t, &Dpar2Config::new(3).with_seed(2)).unwrap();
+        let c = compress(&t, &FitOptions::new(3).with_seed(2)).unwrap();
         for k in 0..t.k() {
             let err = (t.slice(k) - &c.reconstruct_slice(k)).fro_norm() / t.slice(k).fro_norm();
             assert!(err < 1e-8, "slice {k} rel err {err}");
@@ -200,7 +202,7 @@ mod tests {
     #[test]
     fn a_factors_column_orthonormal() {
         let t = planted(&[40, 25], 20, 4, 0.1, 3);
-        let c = compress(&t, &Dpar2Config::new(4).with_seed(4)).unwrap();
+        let c = compress(&t, &FitOptions::new(4).with_seed(4)).unwrap();
         for (k, a) in c.a.iter().enumerate() {
             let dev = (&a.gram() - &Mat::eye(4)).fro_norm();
             assert!(dev < 1e-10, "A_{k} not orthonormal: {dev}");
@@ -210,7 +212,7 @@ mod tests {
     #[test]
     fn shapes_match_theorem_2() {
         let t = planted(&[15, 25, 35], 18, 5, 0.05, 5);
-        let c = compress(&t, &Dpar2Config::new(5).with_seed(6)).unwrap();
+        let c = compress(&t, &FitOptions::new(5).with_seed(6)).unwrap();
         assert_eq!(c.k(), 3);
         assert_eq!(c.d.shape(), (18, 5));
         assert_eq!(c.e.len(), 5);
@@ -227,8 +229,8 @@ mod tests {
     #[test]
     fn deterministic_across_thread_counts() {
         let t = planted(&[30, 60, 10, 45, 22], 16, 3, 0.2, 7);
-        let c1 = compress(&t, &Dpar2Config::new(3).with_seed(8).with_threads(1)).unwrap();
-        let c4 = compress(&t, &Dpar2Config::new(3).with_seed(8).with_threads(4)).unwrap();
+        let c1 = compress(&t, &FitOptions::new(3).with_seed(8).with_threads(1)).unwrap();
+        let c4 = compress(&t, &FitOptions::new(3).with_seed(8).with_threads(4)).unwrap();
         for k in 0..t.k() {
             assert!((&c1.a[k] - &c4.a[k]).fro_norm() < 1e-14, "A_{k} differs across thread counts");
             assert!((&c1.f_blocks[k] - &c4.f_blocks[k]).fro_norm() < 1e-14);
@@ -242,7 +244,7 @@ mod tests {
         // signal: relative error about the noise floor, not worse.
         let eps = 0.05;
         let t = planted(&[50, 70], 30, 4, eps, 9);
-        let c = compress(&t, &Dpar2Config::new(4).with_seed(10)).unwrap();
+        let c = compress(&t, &FitOptions::new(4).with_seed(10)).unwrap();
         for k in 0..t.k() {
             let rel = (t.slice(k) - &c.reconstruct_slice(k)).fro_norm() / t.slice(k).fro_norm();
             assert!(rel < 0.2, "slice {k} rel err {rel} too high");
@@ -252,20 +254,20 @@ mod tests {
     #[test]
     fn rank_too_large_rejected() {
         let t = planted(&[10, 4], 20, 2, 0.0, 11);
-        let err = compress(&t, &Dpar2Config::new(5)).unwrap_err();
+        let err = compress(&t, &FitOptions::new(5)).unwrap_err();
         assert!(matches!(err, Dpar2Error::RankTooLarge { slice: 1, limit: 4, .. }));
     }
 
     #[test]
     fn zero_rank_rejected() {
         let t = planted(&[10], 8, 2, 0.0, 12);
-        assert_eq!(compress(&t, &Dpar2Config::new(0)).unwrap_err(), Dpar2Error::ZeroRank);
+        assert_eq!(compress(&t, &FitOptions::new(0)).unwrap_err(), Dpar2Error::ZeroRank);
     }
 
     #[test]
     fn edt_matches_explicit_product() {
         let t = planted(&[20, 30], 15, 3, 0.1, 13);
-        let c = compress(&t, &Dpar2Config::new(3).with_seed(14)).unwrap();
+        let c = compress(&t, &FitOptions::new(3).with_seed(14)).unwrap();
         let explicit = Mat::diag(&c.e).matmul(&c.d.transpose()).unwrap();
         assert!((&c.edt() - &explicit).fro_norm() < 1e-12);
     }
@@ -275,7 +277,7 @@ mod tests {
         // B_k C_kᵀ ≈ F(k) E Dᵀ (Equation 6's replacement step): verify the
         // products agree for noiseless low-rank input.
         let t = planted(&[25, 35], 12, 2, 0.0, 15);
-        let cfg = Dpar2Config::new(2).with_seed(16);
+        let cfg = FitOptions::new(2).with_seed(16);
         let c = compress(&t, &cfg).unwrap();
         // Reconstruct both sides through the slices: A_k B_k C_kᵀ == X_k
         // (noiseless) and A_k F(k) E Dᵀ == X_k.
@@ -291,7 +293,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(17);
         let slices = (0..4).map(|_| Mat::from_fn(22, 14, |_, _| rng.random())).collect();
         let t = IrregularTensor::new(slices);
-        let c = compress(&t, &Dpar2Config::new(5).with_seed(18)).unwrap();
+        let c = compress(&t, &FitOptions::new(5).with_seed(18)).unwrap();
         assert_eq!(c.k(), 4);
         assert_eq!(c.rank, 5);
     }

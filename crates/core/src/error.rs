@@ -18,6 +18,16 @@ pub enum Dpar2Error {
     },
     /// A zero target rank was requested.
     ZeroRank,
+    /// A warm-start factor does not fit the tensor being decomposed
+    /// (wrong rank, column dimension, or more slices than the data).
+    WarmStart {
+        /// Which factor is inconsistent (`"H"`, `"V"`, or `"W"`).
+        factor: &'static str,
+        /// Shape the solver needs.
+        expected: (usize, usize),
+        /// Shape the warm start carries.
+        got: (usize, usize),
+    },
     /// An underlying linear-algebra routine failed.
     Linalg(dpar2_linalg::LinalgError),
 }
@@ -29,6 +39,11 @@ impl fmt::Display for Dpar2Error {
                 write!(f, "target rank {rank} exceeds min(I_k, J) = {limit} of slice {slice}")
             }
             Dpar2Error::ZeroRank => write!(f, "target rank must be positive"),
+            Dpar2Error::WarmStart { factor, expected, got } => write!(
+                f,
+                "warm-start factor {factor} has shape {}x{}, expected {}x{}",
+                got.0, got.1, expected.0, expected.1
+            ),
             Dpar2Error::Linalg(e) => write!(f, "linear algebra failure: {e}"),
         }
     }
@@ -54,6 +69,8 @@ mod tests {
         let e = Dpar2Error::RankTooLarge { rank: 10, slice: 3, limit: 8 };
         assert_eq!(e.to_string(), "target rank 10 exceeds min(I_k, J) = 8 of slice 3");
         assert_eq!(Dpar2Error::ZeroRank.to_string(), "target rank must be positive");
+        let w = Dpar2Error::WarmStart { factor: "V", expected: (12, 3), got: (10, 3) };
+        assert_eq!(w.to_string(), "warm-start factor V has shape 10x3, expected 12x3");
     }
 
     #[test]

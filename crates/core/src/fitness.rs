@@ -1,5 +1,6 @@
 //! The PARAFAC2 model container and the paper's fitness metric (§IV-A).
 
+use crate::session::StopReason;
 use dpar2_linalg::Mat;
 use dpar2_tensor::IrregularTensor;
 
@@ -56,6 +57,9 @@ pub struct Parafac2Fit {
     /// Convergence-criterion value after each iteration (whatever criterion
     /// the producing solver uses; DPar2: compressed residual).
     pub criterion_trace: Vec<f64>,
+    /// Why the iteration loop ended (typed — convergence, iteration budget,
+    /// observer cancellation, or wall-clock budget).
+    pub stop_reason: StopReason,
     /// Wall-clock breakdown.
     pub timing: TimingBreakdown,
 }
@@ -147,6 +151,7 @@ mod tests {
             h,
             iterations: 0,
             criterion_trace: vec![],
+            stop_reason: StopReason::Converged,
             timing: TimingBreakdown::default(),
         };
         (IrregularTensor::new(slices), fit)

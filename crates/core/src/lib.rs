@@ -19,8 +19,12 @@
 //!
 //! ## Quickstart
 //!
+//! Every solver in this workspace — [`Dpar2`] here, the baselines in
+//! `dpar2-baselines` — implements the [`Parafac2Solver`] trait and is
+//! driven by one shared [`FitOptions`] builder:
+//!
 //! ```
-//! use dpar2_core::{Dpar2, Dpar2Config};
+//! use dpar2_core::{Dpar2, FitOptions, Parafac2Solver, StopReason};
 //! use dpar2_linalg::Mat;
 //! use dpar2_tensor::IrregularTensor;
 //! use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -33,9 +37,33 @@
 //!     .collect();
 //! let tensor = IrregularTensor::new(slices);
 //!
-//! let fit = Dpar2::new(Dpar2Config::new(4)).fit(&tensor).unwrap();
+//! let fit = Dpar2.fit(&tensor, &FitOptions::new(4)).unwrap();
 //! assert_eq!(fit.v.shape(), (12, 4));
 //! assert!(fit.fitness(&tensor) > 0.0);
+//! assert!(matches!(fit.stop_reason, StopReason::Converged | StopReason::MaxIterations));
+//! ```
+//!
+//! For live traces and cooperative cancellation, pass a [`FitObserver`]
+//! (any `FnMut(&IterationEvent) -> ControlFlow<StopReason>` works):
+//!
+//! ```
+//! use dpar2_core::{Dpar2, FitOptions, IterationEvent, StopReason};
+//! use std::ops::ControlFlow;
+//! # use dpar2_linalg::Mat;
+//! # use dpar2_tensor::IrregularTensor;
+//! # use rand::{rngs::StdRng, Rng, SeedableRng};
+//! # let mut rng = StdRng::seed_from_u64(1);
+//! # let tensor = IrregularTensor::new(
+//! #     [14usize, 10].iter().map(|&ik| Mat::from_fn(ik, 8, |_, _| rng.random::<f64>())).collect(),
+//! # );
+//! let mut trace = Vec::new();
+//! let mut observer = |e: &IterationEvent| {
+//!     trace.push(e.criterion);
+//!     if e.iteration >= 2 { ControlFlow::Break(StopReason::Cancelled) } else { ControlFlow::Continue(()) }
+//! };
+//! let fit = Dpar2.fit_observed(&tensor, &FitOptions::new(2).with_tolerance(0.0), &mut observer).unwrap();
+//! assert_eq!(fit.stop_reason, StopReason::Cancelled);
+//! assert_eq!(trace, fit.criterion_trace);
 //! ```
 
 pub mod compress;
@@ -44,12 +72,17 @@ pub mod convergence;
 pub mod error;
 pub mod fitness;
 pub mod lemmas;
+pub mod session;
 pub mod solver;
 pub mod streaming;
 
 pub use compress::{compress, CompressedTensor};
-pub use config::Dpar2Config;
+pub use config::FitOptions;
 pub use error::{Dpar2Error, Result};
 pub use fitness::{fitness, Parafac2Fit, TimingBreakdown};
+pub use session::{
+    CancelToken, FitObserver, FitPhase, FitSession, IterationEvent, NoopObserver, Parafac2Solver,
+    SessionOutcome, StopReason,
+};
 pub use solver::{Dpar2, WarmStart};
 pub use streaming::StreamingDpar2;

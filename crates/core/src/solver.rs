@@ -1,11 +1,12 @@
 //! The DPar2 solver — Algorithm 3 of the paper.
 
 use crate::compress::{compress, CompressedTensor};
-use crate::config::Dpar2Config;
+use crate::config::FitOptions;
 use crate::convergence::compressed_criterion;
-use crate::error::Result;
+use crate::error::{Dpar2Error, Result};
 use crate::fitness::{Parafac2Fit, TimingBreakdown};
 use crate::lemmas::{g1, g2, g3};
+use crate::session::{FitObserver, FitPhase, FitSession, NoopObserver, Parafac2Solver};
 use dpar2_linalg::{pinv, svd_thin, Mat};
 use dpar2_parallel::ThreadPool;
 use dpar2_tensor::normalize_columns;
@@ -24,7 +25,67 @@ pub struct WarmStart {
     pub w: Mat,
 }
 
+impl WarmStart {
+    /// Extracts warm-start factors from a previous fit (`W` row `k` is
+    /// `diag(S_k)`). The usual path is [`FitOptions::with_warm_start`],
+    /// which performs this conversion internally.
+    pub fn from_fit(fit: &Parafac2Fit) -> WarmStart {
+        let r = fit.rank();
+        let mut w = Mat::zeros(fit.k(), r);
+        for (k, s) in fit.s.iter().enumerate() {
+            w.set_row(k, s);
+        }
+        WarmStart { h: fit.h.clone(), v: fit.v.clone(), w }
+    }
+
+    /// Validates this warm start against a compressed tensor and extends
+    /// `W` with unit rows for slices beyond its coverage (the streaming
+    /// semantics: newcomers start at unit weights).
+    ///
+    /// # Errors
+    /// [`Dpar2Error::WarmStart`] on a rank/shape mismatch or when the warm
+    /// start covers more slices than the data.
+    fn conform(mut self, ct: &CompressedTensor) -> Result<WarmStart> {
+        let r = ct.rank;
+        let k = ct.k();
+        if self.h.shape() != (r, r) {
+            return Err(Dpar2Error::WarmStart {
+                factor: "H",
+                expected: (r, r),
+                got: self.h.shape(),
+            });
+        }
+        if self.v.shape() != (ct.j, r) {
+            return Err(Dpar2Error::WarmStart {
+                factor: "V",
+                expected: (ct.j, r),
+                got: self.v.shape(),
+            });
+        }
+        if self.w.cols() != r || self.w.rows() > k {
+            return Err(Dpar2Error::WarmStart {
+                factor: "W",
+                expected: (k, r),
+                got: self.w.shape(),
+            });
+        }
+        if self.w.rows() < k {
+            let mut w = Mat::ones(k, r);
+            for i in 0..self.w.rows() {
+                w.set_row(i, self.w.row(i));
+            }
+            self.w = w;
+        }
+        Ok(self)
+    }
+}
+
 /// Fast and scalable PARAFAC2 decomposition for irregular dense tensors.
+///
+/// A stateless solver handle: all per-fit settings (rank, seed, threads,
+/// iteration/time budgets, warm start) travel in [`FitOptions`], so the
+/// same value serves every fit and the type slots into
+/// `Box<dyn Parafac2Solver>` registries.
 ///
 /// ```text
 /// Algorithm 3 (paper):
@@ -38,41 +99,39 @@ pub struct WarmStart {
 ///   16-17  G⁽²⁾ ← Lemma 2;  V ← G⁽²⁾(WᵀW ∗ HᵀH)†;  normalize V
 ///   18-19  G⁽³⁾ ← Lemma 3;  W ← G⁽³⁾(VᵀV ∗ HᵀH)†
 ///   20-22  S_k ← diag(W(k,:))
-///   23 until max iterations or the compressed criterion stops decreasing
+///   23 until converged / iteration budget / observer break / time budget
 ///   24-26  U_k ← A_k Z_k P_kᵀ H
 /// ```
-#[derive(Debug, Clone)]
-pub struct Dpar2 {
-    config: Dpar2Config,
-    /// Worker-pool handle (validated thread count), constructed once in
-    /// [`Dpar2::new`] so every `fit` path uses one consistent pool config.
-    /// Workers themselves are scoped per call; see
-    /// [`dpar2_parallel::ThreadPool`].
-    pool: ThreadPool,
-}
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dpar2;
 
 impl Dpar2 {
-    /// Creates a solver with the given configuration.
-    pub fn new(config: Dpar2Config) -> Self {
-        let pool = ThreadPool::new(config.threads.max(1));
-        Dpar2 { config, pool }
-    }
-
-    /// The solver's configuration.
-    pub fn config(&self) -> &Dpar2Config {
-        &self.config
-    }
-
     /// Decomposes an irregular tensor: compression + iterations + recovery.
     ///
     /// # Errors
     /// Propagates [`crate::Dpar2Error`] from the compression stage (invalid
-    /// rank) — the iteration phase itself cannot fail.
-    pub fn fit(&self, tensor: &IrregularTensor) -> Result<Parafac2Fit> {
+    /// rank) and warm-start validation.
+    pub fn fit(&self, tensor: &IrregularTensor, options: &FitOptions<'_>) -> Result<Parafac2Fit> {
+        self.fit_observed(tensor, options, &mut NoopObserver)
+    }
+
+    /// [`Dpar2::fit`] with a [`FitObserver`] session: the observer sees the
+    /// preprocessing phase and every ALS iteration, and can cancel
+    /// cooperatively.
+    ///
+    /// # Errors
+    /// See [`Dpar2::fit`].
+    pub fn fit_observed(
+        &self,
+        tensor: &IrregularTensor,
+        options: &FitOptions<'_>,
+        observer: &mut dyn FitObserver,
+    ) -> Result<Parafac2Fit> {
         let t0 = Instant::now();
-        let compressed = compress(tensor, &self.config)?;
+        let compressed = compress(tensor, options)?;
         let preprocess_secs = t0.elapsed().as_secs_f64();
-        let mut fit = self.fit_compressed(&compressed);
+        observer.on_phase(FitPhase::Preprocess, preprocess_secs);
+        let mut fit = self.fit_compressed_observed(&compressed, options, observer)?;
         fit.timing.preprocess_secs = preprocess_secs;
         fit.timing.total_secs += preprocess_secs;
         Ok(fit)
@@ -82,27 +141,71 @@ impl Dpar2 {
     ///
     /// Exposed separately so the benchmark harness can time preprocessing
     /// and iterations independently (Fig. 9 of the paper).
-    pub fn fit_compressed(&self, ct: &CompressedTensor) -> Parafac2Fit {
-        self.fit_compressed_with_init(ct, None)
+    ///
+    /// # Errors
+    /// [`Dpar2Error::WarmStart`] if `options.warm_start` does not match the
+    /// compressed tensor's rank/shape.
+    pub fn fit_compressed(
+        &self,
+        ct: &CompressedTensor,
+        options: &FitOptions<'_>,
+    ) -> Result<Parafac2Fit> {
+        self.fit_compressed_observed(ct, options, &mut NoopObserver)
     }
 
-    /// Like [`Dpar2::fit_compressed`] but optionally warm-started from
-    /// existing factors — the entry point of the streaming extension
-    /// ([`crate::streaming`]), where factors from the previous window seed
-    /// the next decomposition.
+    /// [`Dpar2::fit_compressed`] with an observer session.
     ///
-    /// # Panics
-    /// Panics if warm-start factor shapes do not match the compressed
-    /// tensor (`H: R×R`, `V: J×R`, `W: K×R`).
+    /// # Errors
+    /// See [`Dpar2::fit_compressed`].
+    pub fn fit_compressed_observed(
+        &self,
+        ct: &CompressedTensor,
+        options: &FitOptions<'_>,
+        observer: &mut dyn FitObserver,
+    ) -> Result<Parafac2Fit> {
+        // `fit_compressed_with_init` owns the warm-start rule (explicit
+        // factors win, else `options.warm_start`).
+        self.fit_compressed_with_init(ct, None, options, observer)
+    }
+
+    /// Like [`Dpar2::fit_compressed_observed`] but warm-started from
+    /// explicit factors — the entry point of the streaming extension
+    /// ([`crate::streaming`]), where factors from the previous window seed
+    /// the next decomposition. An explicit `warm` takes precedence over
+    /// `options.warm_start`.
+    ///
+    /// # Errors
+    /// [`Dpar2Error::WarmStart`] if warm-start factor shapes do not match
+    /// the compressed tensor (`H: R×R`, `V: J×R`, `W: at most K×R` — `W`
+    /// with fewer than `K` rows is extended with unit rows).
     pub fn fit_compressed_with_init(
         &self,
         ct: &CompressedTensor,
         warm: Option<WarmStart>,
-    ) -> Parafac2Fit {
+        options: &FitOptions<'_>,
+        observer: &mut dyn FitObserver,
+    ) -> Result<Parafac2Fit> {
         let t_start = Instant::now();
+        // Doc contract: an explicit warm start wins, otherwise fall back
+        // to the one carried in the options.
+        let warm = warm.or_else(|| options.warm_start.map(WarmStart::from_fit));
+        // The compressed tensor's rank governs the iteration; `compress`
+        // already enforced `0 < R ≤ min(I_k, J)`, but a hand-built
+        // CompressedTensor (the fields are public) gets the same typed
+        // rejection instead of a downstream panic.
+        if ct.rank == 0 {
+            return Err(Dpar2Error::ZeroRank);
+        }
+        if ct.f_blocks.len() != ct.a.len() {
+            return Err(Dpar2Error::Linalg(dpar2_linalg::LinalgError::DimensionMismatch {
+                op: "fit_compressed: F-blocks vs A-factors",
+                left: (ct.f_blocks.len(), ct.rank),
+                right: (ct.a.len(), ct.rank),
+            }));
+        }
         let r = ct.rank;
         let k_dim = ct.k();
-        let pool = self.pool;
+        let pool = ThreadPool::new(options.threads.max(1));
 
         // Static precomputations: E Dᵀ (R×J) and D E (J×R).
         let edt = ct.edt();
@@ -116,12 +219,10 @@ impl Dpar2 {
 
         // Line 1 — initialization: H = I, V = D (orthonormal, spans the
         // compressed column space), S_k = I (W = all-ones); or the caller's
-        // warm start.
+        // warm start, validated and W-extended to the current slice count.
         let (mut h, mut v, mut w) = match warm {
             Some(ws) => {
-                assert_eq!(ws.h.shape(), (r, r), "WarmStart: H shape");
-                assert_eq!(ws.v.shape(), (ct.j, r), "WarmStart: V shape");
-                assert_eq!(ws.w.shape(), (k_dim, r), "WarmStart: W shape");
+                let ws = ws.conform(ct)?;
                 (ws.h, ws.v, ws.w)
             }
             None => (Mat::eye(r), ct.d.clone(), Mat::ones(k_dim, r)),
@@ -137,15 +238,13 @@ impl Dpar2 {
         let data_norm_sq: f64 = slice_norms.iter().sum();
 
         let mut edtv = edt.matmul(&v).expect("EDᵀ·V");
-        let mut criterion_trace: Vec<f64> = Vec::new();
-        let mut per_iteration_secs: Vec<f64> = Vec::new();
         // Z_k P_kᵀ kept for the final U_k recovery.
         let mut zpt: Vec<Mat> = vec![Mat::eye(r); k_dim];
         let mut pzf: Vec<Mat> = ct.f_blocks.clone();
 
-        let mut iterations = 0;
-        for _iter in 0..self.config.max_iterations {
-            let it0 = Instant::now();
+        let mut session = FitSession::new(options, observer);
+        for _iter in 0..options.max_iterations {
+            session.start_iteration();
 
             // Lines 8–10: per-slice R×R SVD of F(k)·(E Dᵀ V)·S_k·Hᵀ.
             let svd_out: Vec<(Mat, Mat)> = pool.map(&ct.f_blocks, |k, f_k| {
@@ -191,29 +290,15 @@ impl Dpar2 {
             let gram_w = v.gram().hadamard(&h.gram()).expect("VᵀV ∗ HᵀH");
             w = g3_m.matmul(&pinv(&gram_w)).expect("W update");
 
-            iterations += 1;
-            // Line 23: compressed convergence criterion.
+            // Line 23: compressed convergence criterion, then the session's
+            // shared stopping rule (convergence / observer / time budget /
+            // iteration budget).
             let crit = compressed_criterion(&pzf, &edt, &h, &w, &v, &pool);
-            per_iteration_secs.push(it0.elapsed().as_secs_f64());
-            // Stop when the criterion ceases to decrease (relative test), or
-            // when the compressed residual itself is negligible against the
-            // data norm — ALS "swamps" can keep shaving ~1% per iteration off
-            // an already-converged solution forever, which the relative test
-            // alone never catches. `crit ≤ tol·‖data‖²` is equivalent to
-            // "compressed fitness ≥ 1 − tol" under this repo's
-            // fitness = 1 − residual²/‖X‖² convention.
-            let tol = self.config.tolerance;
-            let absolutely_converged = crit <= tol * data_norm_sq;
-            let done = absolutely_converged
-                || criterion_trace.last().is_some_and(|&prev| {
-                    let denom = prev.max(1e-300);
-                    (prev - crit) / denom < tol
-                });
-            criterion_trace.push(crit);
-            if done {
+            if session.finish_iteration(crit, data_norm_sq) {
                 break;
             }
         }
+        let outcome = session.finish();
 
         // Lines 24–26: U_k = A_k Z_k P_kᵀ H.
         let u: Vec<Mat> = pool.map(&ct.a, |k, a_k| {
@@ -222,31 +307,48 @@ impl Dpar2 {
         });
         let s: Vec<Vec<f64>> = (0..k_dim).map(|k| w.row(k).to_vec()).collect();
 
-        let iterations_secs: f64 = per_iteration_secs.iter().sum();
-        Parafac2Fit {
+        Ok(Parafac2Fit {
             u,
             s,
             v,
             h,
-            iterations,
-            criterion_trace,
+            iterations: outcome.iterations(),
+            stop_reason: outcome.stop_reason,
             timing: TimingBreakdown {
                 preprocess_secs: 0.0,
-                iterations_secs,
-                per_iteration_secs,
+                iterations_secs: outcome.iterations_secs(),
+                per_iteration_secs: outcome.per_iteration_secs,
                 total_secs: t_start.elapsed().as_secs_f64(),
             },
-        }
+            criterion_trace: outcome.criterion_trace,
+        })
+    }
+}
+
+impl Parafac2Solver for Dpar2 {
+    fn name(&self) -> &'static str {
+        "DPar2"
+    }
+
+    fn fit_observed(
+        &self,
+        tensor: &IrregularTensor,
+        options: &FitOptions<'_>,
+        observer: &mut dyn FitObserver,
+    ) -> Result<Parafac2Fit> {
+        Dpar2::fit_observed(self, tensor, options, observer)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::{IterationEvent, StopReason};
     use dpar2_linalg::qr;
     use dpar2_linalg::random::gaussian_mat;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use std::ops::ControlFlow;
 
     /// Irregular tensor with an exact PARAFAC2 structure
     /// `X_k = Q_k H S_k Vᵀ` plus optional noise.
@@ -291,7 +393,7 @@ mod tests {
         // same 0.9985 fitness plateau at 32 iterations. DPar2 must match
         // that reference behaviour, not exceed it.
         let t = planted_parafac2(&[25, 40, 30, 20], 15, 3, 0.0, 401);
-        let fit = Dpar2::new(Dpar2Config::new(3).with_seed(402)).fit(&t).unwrap();
+        let fit = Dpar2.fit(&t, &FitOptions::new(3).with_seed(402)).unwrap();
         let f = fit.fitness(&t);
         assert!(f > 0.99, "fitness on noiseless planted data: {f}");
     }
@@ -299,7 +401,7 @@ mod tests {
     #[test]
     fn high_fitness_on_noisy_planted_model() {
         let t = planted_parafac2(&[35, 50, 25], 20, 4, 0.1, 403);
-        let fit = Dpar2::new(Dpar2Config::new(4).with_seed(404)).fit(&t).unwrap();
+        let fit = Dpar2.fit(&t, &FitOptions::new(4).with_seed(404)).unwrap();
         let f = fit.fitness(&t);
         assert!(f > 0.9, "fitness on lightly-noisy planted data: {f}");
     }
@@ -307,11 +409,9 @@ mod tests {
     #[test]
     fn criterion_trace_is_monotone_decreasing() {
         let t = planted_parafac2(&[30, 45, 25, 35], 18, 3, 0.3, 405);
-        let fit = Dpar2::new(
-            Dpar2Config::new(3).with_seed(406).with_tolerance(0.0).with_max_iterations(12),
-        )
-        .fit(&t)
-        .unwrap();
+        let fit = Dpar2
+            .fit(&t, &FitOptions::new(3).with_seed(406).with_tolerance(0.0).with_max_iterations(12))
+            .unwrap();
         // ALS on a fixed objective should not increase the criterion
         // (tiny numerical wobble tolerated).
         for pair in fit.criterion_trace.windows(2) {
@@ -326,7 +426,7 @@ mod tests {
     #[test]
     fn factor_shapes() {
         let t = planted_parafac2(&[12, 22, 9], 11, 2, 0.2, 407);
-        let fit = Dpar2::new(Dpar2Config::new(2).with_seed(408)).fit(&t).unwrap();
+        let fit = Dpar2.fit(&t, &FitOptions::new(2).with_seed(408)).unwrap();
         assert_eq!(fit.u.len(), 3);
         assert_eq!(fit.u[0].shape(), (12, 2));
         assert_eq!(fit.u[1].shape(), (22, 2));
@@ -341,7 +441,7 @@ mod tests {
         // U_k = Q_k H with Q_k orthonormal: U_kᵀ U_k = Hᵀ H for all k
         // (the PARAFAC2 cross-product invariance constraint).
         let t = planted_parafac2(&[30, 40], 14, 3, 0.05, 409);
-        let fit = Dpar2::new(Dpar2Config::new(3).with_seed(410)).fit(&t).unwrap();
+        let fit = Dpar2.fit(&t, &FitOptions::new(3).with_seed(410)).unwrap();
         let hth = fit.h.gram();
         for k in 0..2 {
             let utu = fit.u[k].gram();
@@ -355,8 +455,8 @@ mod tests {
     #[test]
     fn deterministic_across_thread_counts() {
         let t = planted_parafac2(&[20, 35, 15, 28, 40], 12, 3, 0.2, 411);
-        let fit1 = Dpar2::new(Dpar2Config::new(3).with_seed(412).with_threads(1)).fit(&t).unwrap();
-        let fit4 = Dpar2::new(Dpar2Config::new(3).with_seed(412).with_threads(4)).fit(&t).unwrap();
+        let fit1 = Dpar2.fit(&t, &FitOptions::new(3).with_seed(412).with_threads(1)).unwrap();
+        let fit4 = Dpar2.fit(&t, &FitOptions::new(3).with_seed(412).with_threads(4)).unwrap();
         assert_eq!(fit1.iterations, fit4.iterations);
         assert!((&fit1.v - &fit4.v).fro_norm() < 1e-10);
         for k in 0..t.k() {
@@ -367,32 +467,31 @@ mod tests {
     #[test]
     fn respects_iteration_budget() {
         let t = planted_parafac2(&[15, 25], 10, 2, 0.5, 413);
-        let fit = Dpar2::new(
-            Dpar2Config::new(2).with_seed(414).with_max_iterations(3).with_tolerance(0.0),
-        )
-        .fit(&t)
-        .unwrap();
+        let fit = Dpar2
+            .fit(&t, &FitOptions::new(2).with_seed(414).with_max_iterations(3).with_tolerance(0.0))
+            .unwrap();
         assert_eq!(fit.iterations, 3);
         assert_eq!(fit.criterion_trace.len(), 3);
         assert_eq!(fit.timing.per_iteration_secs.len(), 3);
+        assert_eq!(fit.stop_reason, StopReason::MaxIterations);
     }
 
     #[test]
     fn early_stop_on_converged_input() {
         let t = planted_parafac2(&[30, 30], 12, 2, 0.0, 415);
-        let fit =
-            Dpar2::new(Dpar2Config::new(2).with_seed(416).with_tolerance(1e-2)).fit(&t).unwrap();
+        let fit = Dpar2.fit(&t, &FitOptions::new(2).with_seed(416).with_tolerance(1e-2)).unwrap();
         assert!(
             fit.iterations < 32,
             "noiseless input should converge early, ran {} iterations",
             fit.iterations
         );
+        assert_eq!(fit.stop_reason, StopReason::Converged);
     }
 
     #[test]
     fn timing_populated() {
         let t = planted_parafac2(&[20, 20], 10, 2, 0.1, 417);
-        let fit = Dpar2::new(Dpar2Config::new(2).with_seed(418)).fit(&t).unwrap();
+        let fit = Dpar2.fit(&t, &FitOptions::new(2).with_seed(418)).unwrap();
         assert!(fit.timing.total_secs > 0.0);
         assert!(fit.timing.preprocess_secs > 0.0);
         assert!(fit.timing.iterations_secs > 0.0);
@@ -401,19 +500,77 @@ mod tests {
     #[test]
     fn rank_one_tensor() {
         let t = planted_parafac2(&[10, 14, 8], 9, 1, 0.0, 419);
-        let fit = Dpar2::new(Dpar2Config::new(1).with_seed(420)).fit(&t).unwrap();
+        let fit = Dpar2.fit(&t, &FitOptions::new(1).with_seed(420)).unwrap();
         assert!(fit.fitness(&t) > 0.999);
     }
 
     #[test]
     fn fit_compressed_matches_fit() {
         let t = planted_parafac2(&[18, 26], 12, 3, 0.1, 421);
-        let cfg = Dpar2Config::new(3).with_seed(422);
-        let solver = Dpar2::new(cfg);
-        let via_fit = solver.fit(&t).unwrap();
-        let ct = compress(&t, &cfg).unwrap();
-        let via_compressed = solver.fit_compressed(&ct);
+        let opts = FitOptions::new(3).with_seed(422);
+        let via_fit = Dpar2.fit(&t, &opts).unwrap();
+        let ct = compress(&t, &opts).unwrap();
+        let via_compressed = Dpar2.fit_compressed(&ct, &opts).unwrap();
         assert!((&via_fit.v - &via_compressed.v).fro_norm() < 1e-12);
         assert_eq!(via_fit.iterations, via_compressed.iterations);
+    }
+
+    #[test]
+    fn fit_compressed_rejects_degenerate_compressed_tensors() {
+        let t = planted_parafac2(&[16, 20], 10, 2, 0.1, 430);
+        let opts = FitOptions::new(2).with_seed(431);
+        let mut ct = compress(&t, &opts).unwrap();
+        ct.rank = 0;
+        assert_eq!(Dpar2.fit_compressed(&ct, &opts).unwrap_err(), Dpar2Error::ZeroRank);
+        let mut ct = compress(&t, &opts).unwrap();
+        ct.f_blocks.pop();
+        assert!(matches!(Dpar2.fit_compressed(&ct, &opts).unwrap_err(), Dpar2Error::Linalg(_)));
+    }
+
+    #[test]
+    fn observer_trace_matches_fit_trace() {
+        let t = planted_parafac2(&[20, 28, 16], 12, 3, 0.2, 423);
+        let mut seen: Vec<f64> = Vec::new();
+        let mut obs = |e: &IterationEvent| {
+            seen.push(e.criterion);
+            ControlFlow::<StopReason>::Continue(())
+        };
+        let opts = FitOptions::new(3).with_seed(424).with_max_iterations(8).with_tolerance(0.0);
+        let fit = Dpar2.fit_observed(&t, &opts, &mut obs).unwrap();
+        assert_eq!(seen, fit.criterion_trace, "observer must see the exact criterion trace");
+    }
+
+    #[test]
+    fn observer_cancellation_is_typed() {
+        let t = planted_parafac2(&[20, 28], 12, 2, 0.3, 425);
+        let mut obs = |e: &IterationEvent| {
+            if e.iteration == 2 {
+                ControlFlow::Break(StopReason::Cancelled)
+            } else {
+                ControlFlow::Continue(())
+            }
+        };
+        let opts = FitOptions::new(2).with_seed(426).with_tolerance(0.0);
+        let fit = Dpar2.fit_observed(&t, &opts, &mut obs).unwrap();
+        assert_eq!(fit.stop_reason, StopReason::Cancelled);
+        assert_eq!(fit.iterations, 2);
+    }
+
+    #[test]
+    fn warm_start_from_options_accepted_and_validated() {
+        let t = planted_parafac2(&[22, 30, 18], 12, 3, 0.1, 427);
+        let opts = FitOptions::new(3).with_seed(428).with_tolerance(1e-6);
+        let cold = Dpar2.fit(&t, &opts).unwrap();
+        // Warm-started refit converges at least as fast as the cold fit.
+        let warm = Dpar2.fit(&t, &opts.with_warm_start(&cold)).unwrap();
+        assert!(
+            warm.iterations <= cold.iterations,
+            "warm {} vs cold {} iterations",
+            warm.iterations,
+            cold.iterations
+        );
+        // A rank-mismatched warm start is a typed error, not a panic.
+        let bad = Dpar2.fit(&t, &FitOptions::new(2).with_seed(428).with_warm_start(&cold));
+        assert!(matches!(bad.unwrap_err(), Dpar2Error::WarmStart { .. }));
     }
 }

@@ -31,9 +31,10 @@
 //!    empirically cuts the iterations to re-converge.
 
 use crate::compress::{compress, CompressedTensor};
-use crate::config::Dpar2Config;
+use crate::config::FitOptions;
 use crate::error::{Dpar2Error, Result};
 use crate::fitness::Parafac2Fit;
+use crate::session::{FitObserver, NoopObserver};
 use crate::solver::{Dpar2, WarmStart};
 use dpar2_linalg::Mat;
 use dpar2_rsvd::rsvd;
@@ -44,16 +45,18 @@ use rand::SeedableRng;
 /// Incremental PARAFAC2 over a growing collection of slices.
 #[derive(Debug, Clone)]
 pub struct StreamingDpar2 {
-    config: Dpar2Config,
+    options: FitOptions<'static>,
     ct: Option<CompressedTensor>,
     warm: Option<WarmStart>,
     appended_batches: usize,
 }
 
 impl StreamingDpar2 {
-    /// Creates an empty streaming decomposer.
-    pub fn new(config: Dpar2Config) -> Self {
-        StreamingDpar2 { config, ct: None, warm: None, appended_batches: 0 }
+    /// Creates an empty streaming decomposer. The options' `time_budget`
+    /// applies to every [`StreamingDpar2::decompose`] refit (warm starts are
+    /// managed internally, so only `'static` options are accepted).
+    pub fn new(options: FitOptions<'static>) -> Self {
+        StreamingDpar2 { options, ct: None, warm: None, appended_batches: 0 }
     }
 
     /// Number of slices ingested so far.
@@ -83,8 +86,8 @@ impl StreamingDpar2 {
         if let Some(bad) = slices.iter().find(|s| s.cols() != j) {
             return Err(Dpar2Error::Linalg(dpar2_linalg::LinalgError::DimensionMismatch {
                 op: "streaming append",
-                left: (j, self.config.rank),
-                right: (bad.cols(), self.config.rank),
+                left: (j, self.options.rank),
+                right: (bad.cols(), self.options.rank),
             }));
         }
         let batch = IrregularTensor::new(slices);
@@ -92,7 +95,7 @@ impl StreamingDpar2 {
         match self.ct.take() {
             None => {
                 // First batch: plain two-stage compression.
-                self.ct = Some(compress(&batch, &self.config)?);
+                self.ct = Some(compress(&batch, &self.options)?);
                 Ok(())
             }
             Some(old) => {
@@ -116,7 +119,7 @@ impl StreamingDpar2 {
     /// Incremental stage-2 update with a batch of freshly compressed
     /// slices.
     fn extend(&self, old: &CompressedTensor, batch: &IrregularTensor) -> Result<CompressedTensor> {
-        let r = self.config.rank;
+        let r = self.options.rank;
         if batch.j() != old.j {
             return Err(Dpar2Error::Linalg(dpar2_linalg::LinalgError::DimensionMismatch {
                 op: "streaming append",
@@ -132,11 +135,12 @@ impl StreamingDpar2 {
         }
 
         // Stage 1 on the new slices only.
-        let base_seed = self.config.seed.wrapping_add(0x5EED_0000 + self.appended_batches as u64);
+        let base_seed = self.options.seed.wrapping_add(0x5EED_0000 + self.appended_batches as u64);
+        let rsvd_cfg = dpar2_rsvd::RsvdConfig { rank: r, ..self.options.rsvd };
         let mut stage1: Vec<(Mat, Vec<f64>, Mat)> = Vec::with_capacity(batch.k());
         for k in 0..batch.k() {
             let mut rng = StdRng::seed_from_u64(base_seed.wrapping_mul(k as u64 + 1));
-            let f = rsvd(batch.slice(k), &self.config.rsvd, &mut rng);
+            let f = rsvd(batch.slice(k), &rsvd_cfg, &mut rng);
             stage1.push((f.u, f.s, f.v));
         }
 
@@ -161,7 +165,7 @@ impl StreamingDpar2 {
         }
         let g = Mat::hstack_all(&blocks.iter().collect::<Vec<_>>());
         let mut rng2 = StdRng::seed_from_u64(base_seed ^ 0x0B5E55ED);
-        let f2 = rsvd(&g, &self.config.rsvd, &mut rng2);
+        let f2 = rsvd(&g, &rsvd_cfg, &mut rng2);
 
         // Rewrite old F-blocks against the new basis: F'(k) = F(k)·G'_top.
         let g_top = f2.v.block(0, r, 0, r);
@@ -183,6 +187,18 @@ impl StreamingDpar2 {
     /// # Panics
     /// Panics if called before any slices were appended.
     pub fn decompose(&mut self) -> Parafac2Fit {
+        self.decompose_observed(&mut NoopObserver)
+    }
+
+    /// [`StreamingDpar2::decompose`] with a [`FitObserver`] session: the
+    /// observer sees every refit iteration and can cancel cooperatively —
+    /// together with the options' `time_budget`, this is what lets a
+    /// serving ingest loop bound refit latency and shut down promptly
+    /// (see `dpar2_serve::ingest`).
+    ///
+    /// # Panics
+    /// Panics if called before any slices were appended.
+    pub fn decompose_observed(&mut self, observer: &mut dyn FitObserver) -> Parafac2Fit {
         let ct = self.ct.as_ref().expect("StreamingDpar2::decompose: no slices appended yet");
         // Extend the cached W with unit rows for slices added since the
         // last decomposition; H and V carry over unchanged. A stale warm
@@ -195,7 +211,9 @@ impl StreamingDpar2 {
             }
             WarmStart { h: ws.h, v: ws.v, w }
         });
-        let fit = Dpar2::new(self.config).fit_compressed_with_init(ct, warm);
+        let fit = Dpar2
+            .fit_compressed_with_init(ct, warm, &self.options, observer)
+            .expect("streaming warm start is internally consistent");
         self.warm = Some(WarmStart {
             h: fit.h.clone(),
             v: fit.v.clone(),
@@ -262,8 +280,8 @@ mod tests {
         let tensor = IrregularTensor::new(all.clone());
 
         // Batch run.
-        let cfg = Dpar2Config::new(3).with_seed(72).with_max_iterations(24);
-        let batch_fit = Dpar2::new(cfg).fit(&tensor).unwrap();
+        let cfg = FitOptions::new(3).with_seed(72).with_max_iterations(24);
+        let batch_fit = Dpar2.fit(&tensor, &cfg).unwrap();
 
         // Streaming run: two batches of three.
         let mut stream = StreamingDpar2::new(cfg);
@@ -284,7 +302,7 @@ mod tests {
         let second: Vec<Mat> = (0..2).map(|_| gen.slice(24, 0.0)).collect();
         let all: Vec<Mat> = first.iter().chain(&second).cloned().collect();
 
-        let cfg = Dpar2Config::new(2).with_seed(74);
+        let cfg = FitOptions::new(2).with_seed(74);
         let mut stream = StreamingDpar2::new(cfg);
         stream.append(first).unwrap();
         stream.append(second).unwrap();
@@ -302,7 +320,7 @@ mod tests {
         let first: Vec<Mat> = (0..4).map(|_| gen.slice(35, 0.1)).collect();
         let second: Vec<Mat> = (0..2).map(|_| gen.slice(30, 0.1)).collect();
 
-        let cfg = Dpar2Config::new(3).with_seed(76).with_tolerance(1e-5);
+        let cfg = FitOptions::new(3).with_seed(76).with_tolerance(1e-5);
         let mut stream = StreamingDpar2::new(cfg);
         stream.append(first.clone()).unwrap();
         let _ = stream.decompose();
@@ -313,7 +331,7 @@ mod tests {
         let mut cold_slices = first;
         cold_slices.extend(second);
         let ct = compress(&IrregularTensor::new(cold_slices), &cfg).unwrap();
-        let cold_fit = Dpar2::new(cfg).fit_compressed(&ct);
+        let cold_fit = Dpar2.fit_compressed(&ct, &cfg).unwrap();
 
         assert!(
             warm_fit.iterations <= cold_fit.iterations,
@@ -325,7 +343,7 @@ mod tests {
 
     #[test]
     fn rejects_inconsistent_columns() {
-        let cfg = Dpar2Config::new(2).with_seed(77);
+        let cfg = FitOptions::new(2).with_seed(77);
         let mut stream = StreamingDpar2::new(cfg);
         let mut rng = StdRng::seed_from_u64(78);
         stream.append(vec![gaussian_mat(10, 8, &mut rng)]).unwrap();
@@ -338,7 +356,7 @@ mod tests {
         // Inconsistent columns inside one batch must be an Err, not the
         // IrregularTensor constructor panic (serving ingest loops rely on
         // append never panicking on malformed input).
-        let cfg = Dpar2Config::new(2).with_seed(88);
+        let cfg = FitOptions::new(2).with_seed(88);
         let mut stream = StreamingDpar2::new(cfg);
         let mut rng = StdRng::seed_from_u64(89);
         let err = stream
@@ -357,7 +375,7 @@ mod tests {
 
     #[test]
     fn rejects_undersized_new_slice() {
-        let cfg = Dpar2Config::new(5).with_seed(79);
+        let cfg = FitOptions::new(5).with_seed(79);
         let mut stream = StreamingDpar2::new(cfg);
         let mut rng = StdRng::seed_from_u64(80);
         stream.append(vec![gaussian_mat(12, 10, &mut rng)]).unwrap();
@@ -367,7 +385,7 @@ mod tests {
 
     #[test]
     fn failed_append_preserves_state() {
-        let cfg = Dpar2Config::new(2).with_seed(85);
+        let cfg = FitOptions::new(2).with_seed(85);
         let mut stream = StreamingDpar2::new(cfg);
         let mut gen = Planted::new(12, 2, 86);
         stream.append(vec![gen.slice(20, 0.0), gen.slice(18, 0.0)]).unwrap();
@@ -384,7 +402,7 @@ mod tests {
 
     #[test]
     fn empty_append_is_noop() {
-        let cfg = Dpar2Config::new(2).with_seed(81);
+        let cfg = FitOptions::new(2).with_seed(81);
         let mut stream = StreamingDpar2::new(cfg);
         stream.append(vec![]).unwrap();
         assert_eq!(stream.k(), 0);

@@ -2,7 +2,7 @@
 //! kernel equivalence, and criterion consistency over randomized shapes.
 
 use dpar2_core::compress::compress;
-use dpar2_core::config::Dpar2Config;
+use dpar2_core::config::FitOptions;
 use dpar2_core::convergence::{compressed_criterion, explicit_criterion};
 use dpar2_core::lemmas::{g1, g2, g3, materialize_y, naive_g1, naive_g2, naive_g3};
 use dpar2_core::{Dpar2, StreamingDpar2};
@@ -36,7 +36,7 @@ proptest! {
     #[test]
     fn compression_lossless_on_planted(seed in 0u64..500, k in 2usize..6, j in 6usize..14, r in 1usize..4) {
         let t = planted(seed, k, j, r);
-        let ct = compress(&t, &Dpar2Config::new(r).with_seed(seed ^ 1)).unwrap();
+        let ct = compress(&t, &FitOptions::new(r).with_seed(seed ^ 1)).unwrap();
         for kk in 0..t.k() {
             let rel = (t.slice(kk) - &ct.reconstruct_slice(kk)).fro_norm()
                 / t.slice(kk).fro_norm().max(1e-12);
@@ -94,8 +94,8 @@ proptest! {
     #[test]
     fn solver_fitness_bounds(seed in 0u64..200, k in 2usize..5, j in 6usize..12, r in 1usize..4) {
         let t = planted(seed, k, j, r);
-        let fit = Dpar2::new(Dpar2Config::new(r).with_seed(seed).with_max_iterations(8))
-            .fit(&t)
+        let fit = Dpar2
+            .fit(&t, &FitOptions::new(r).with_seed(seed).with_max_iterations(8))
             .unwrap();
         let f = fit.fitness(&t);
         prop_assert!(f <= 1.0 + 1e-9);
@@ -108,7 +108,7 @@ proptest! {
     fn streaming_equals_batch_compression(seed in 0u64..200, j in 6usize..12, r in 1usize..4) {
         let t = planted(seed, 4, j, r);
         let slices = t.slices().to_vec();
-        let cfg = Dpar2Config::new(r).with_seed(seed ^ 7);
+        let cfg = FitOptions::new(r).with_seed(seed ^ 7);
         let mut stream = StreamingDpar2::new(cfg);
         stream.append(slices[..2].to_vec()).unwrap();
         stream.append(slices[2..].to_vec()).unwrap();

@@ -364,7 +364,7 @@ impl ShardedLru {
 mod tests {
     use super::*;
     use dpar2_analysis::{similarity_graph, top_k_neighbors};
-    use dpar2_core::TimingBreakdown;
+    use dpar2_core::{StopReason, TimingBreakdown};
     use dpar2_linalg::random::gaussian_mat;
     use dpar2_linalg::Mat;
     use rand::rngs::StdRng;
@@ -381,6 +381,7 @@ mod tests {
             u,
             iterations: 0,
             criterion_trace: vec![],
+            stop_reason: StopReason::Converged,
             timing: TimingBreakdown::default(),
         };
         ServedModel::from_parts(ModelMeta::new("test").with_gamma(gamma), fit)
@@ -417,6 +418,7 @@ mod tests {
             u,
             iterations: 0,
             criterion_trace: vec![],
+            stop_reason: StopReason::Converged,
             timing: TimingBreakdown::default(),
         };
         let m = ServedModel::from_parts(ModelMeta::new("mix"), fit);

@@ -15,13 +15,20 @@
 //!   the old version or the new one (the registry's atomic swap);
 //! * [`IngestWorker::flush`] barriers on everything enqueued so far, and
 //!   append errors (inconsistent column counts, undersized slices) are
-//!   collected per batch rather than killing the worker.
+//!   collected per batch rather than killing the worker;
+//! * refits are bounded: the stream options' `time_budget` caps each
+//!   refit's wall-clock (the published fit records
+//!   [`StopReason::TimeBudget`](dpar2_core::StopReason)), and a shared
+//!   [`dpar2_core::CancelToken`] observes every refit so a
+//!   shutdown never waits on a full ALS run — in-flight and drained refits
+//!   break at the next iteration boundary and publish whatever they have
+//!   ([`StopReason::Cancelled`](dpar2_core::StopReason)).
 
 use crate::engine::ServedModel;
 use crate::model::ModelMeta;
 use crate::registry::ModelRegistry;
 use crossbeam::channel::{self, Sender};
-use dpar2_core::StreamingDpar2;
+use dpar2_core::{CancelToken, StreamingDpar2};
 use dpar2_linalg::Mat;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -55,6 +62,7 @@ pub struct IngestWorker {
     tx: Sender<Msg>,
     handle: Option<JoinHandle<()>>,
     errors: Arc<Mutex<Vec<String>>>,
+    cancel: CancelToken,
 }
 
 impl IngestWorker {
@@ -75,6 +83,8 @@ impl IngestWorker {
         let (tx, rx) = channel::unbounded::<Msg>();
         let errors = Arc::new(Mutex::new(Vec::new()));
         let errors_in_worker = errors.clone();
+        let cancel = CancelToken::new();
+        let mut cancel_in_worker = cancel.clone();
         let handle = std::thread::spawn(move || {
             for msg in rx {
                 match msg {
@@ -87,7 +97,12 @@ impl IngestWorker {
                         }
                         match stream.append(slices) {
                             Ok(()) => {
-                                let fit = stream.decompose();
+                                // The cancel token observes the refit: a
+                                // shutdown breaks it at the next iteration
+                                // boundary (the partial fit still
+                                // publishes), and the stream options'
+                                // time_budget bounds it regardless.
+                                let fit = stream.decompose_observed(&mut cancel_in_worker);
                                 let mut now = meta.clone();
                                 reconcile_labels(&mut now, fit.u.len());
                                 registry.publish(&meta.name, ServedModel::from_parts(now, fit));
@@ -109,7 +124,16 @@ impl IngestWorker {
                 }
             }
         });
-        IngestWorker { tx, handle: Some(handle), errors }
+        IngestWorker { tx, handle: Some(handle), errors, cancel }
+    }
+
+    /// Requests cooperative cancellation of the current and all subsequent
+    /// refits: each breaks at its next iteration boundary with
+    /// [`StopReason::Cancelled`](dpar2_core::StopReason) and still
+    /// publishes. Appends keep flowing; use this to bound refit latency
+    /// ahead of a shutdown or failover. Irreversible for this worker.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
     }
 
     /// Enqueues a batch of new slices and returns immediately. The worker
@@ -143,6 +167,10 @@ impl IngestWorker {
 
     fn stop(&mut self) {
         if let Some(handle) = self.handle.take() {
+            // Cancel first so an in-flight refit (and any queued batches
+            // drained before the Shutdown message) cannot block the join
+            // for a full ALS run — a publish never blocks a shutdown.
+            self.cancel.cancel();
             let _ = self.tx.send(Msg::Shutdown);
             let _ = handle.join();
         }
@@ -158,11 +186,12 @@ impl Drop for IngestWorker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dpar2_core::Dpar2Config;
+    use dpar2_core::{FitOptions, StopReason};
     use dpar2_data::planted_parafac2;
+    use std::time::Duration;
 
-    fn config() -> Dpar2Config {
-        Dpar2Config::new(2).with_seed(11).with_max_iterations(8)
+    fn config() -> FitOptions<'static> {
+        FitOptions::new(2).with_seed(11).with_max_iterations(8)
     }
 
     #[test]
@@ -184,6 +213,51 @@ mod tests {
         assert_eq!(registry.version("live"), Some(2));
         assert_eq!(registry.get("live").unwrap().model.entities(), 4);
         assert!(worker.errors().is_empty());
+        worker.shutdown();
+    }
+
+    #[test]
+    fn refits_honor_a_time_budget_with_typed_stop_reason() {
+        // A zero budget stops every refit after its first iteration — the
+        // deadline-bounded publish path: the model still publishes, and the
+        // typed reason is visible on the served fit.
+        let registry = Arc::new(ModelRegistry::new());
+        let opts = config().with_tolerance(0.0).with_time_budget(Duration::ZERO);
+        let worker = IngestWorker::spawn(
+            StreamingDpar2::new(opts),
+            ModelMeta::new("budgeted"),
+            registry.clone(),
+        );
+        let t = planted_parafac2(&[20, 20, 20], 10, 2, 0.3, 41);
+        assert!(worker.append(t.slices().to_vec()));
+        worker.flush();
+        let served = registry.get("budgeted").unwrap();
+        let fit = served.model.fit();
+        assert_eq!(fit.stop_reason, StopReason::TimeBudget);
+        assert_eq!(fit.iterations, 1);
+        worker.shutdown();
+    }
+
+    #[test]
+    fn cancellation_bounds_refits_but_still_publishes() {
+        let registry = Arc::new(ModelRegistry::new());
+        let opts = config().with_tolerance(0.0).with_max_iterations(32);
+        let worker = IngestWorker::spawn(
+            StreamingDpar2::new(opts),
+            ModelMeta::new("cancelled"),
+            registry.clone(),
+        );
+        let t = planted_parafac2(&[20, 20, 20, 20], 10, 2, 0.3, 42);
+        // Cancel before the batch: the refit breaks at its first iteration
+        // boundary with a typed reason, and the publish still happens.
+        worker.cancel();
+        assert!(worker.append(t.slices().to_vec()));
+        worker.flush();
+        let served = registry.get("cancelled").unwrap();
+        let fit = served.model.fit();
+        assert_eq!(fit.stop_reason, StopReason::Cancelled);
+        assert_eq!(fit.iterations, 1);
+        assert_eq!(registry.version("cancelled"), Some(1));
         worker.shutdown();
     }
 

@@ -25,13 +25,13 @@
 //! ## Quickstart
 //!
 //! ```
-//! use dpar2_core::{Dpar2, Dpar2Config};
+//! use dpar2_core::{Dpar2, FitOptions};
 //! use dpar2_serve::{ModelMeta, ModelRegistry, QueryEngine, SavedModel, ServedModel};
 //!
 //! // Offline: fit and save. Equal slice heights keep every entity
 //! // pairwise comparable (§IV-E2).
 //! let tensor = dpar2_data::planted_parafac2(&[12; 6], 8, 3, 0.1, 7);
-//! let fit = Dpar2::new(Dpar2Config::new(3)).fit(&tensor).unwrap();
+//! let fit = Dpar2.fit(&tensor, &FitOptions::new(3)).unwrap();
 //! let saved = SavedModel::new(ModelMeta::new("demo").with_gamma(0.05), fit);
 //! let bytes = saved.to_bytes().unwrap();
 //!

@@ -7,7 +7,7 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic  b"DPAR2MDL"
-//! 8       4     format version (u32 LE, currently 1)
+//! 8       4     format version (u32 LE, currently 2)
 //! 12      8     payload length in bytes (u64 LE)
 //! 20      8     FNV-1a 64 checksum of the payload (u64 LE)
 //! 28      …     payload
@@ -16,9 +16,11 @@
 //! The payload serializes, in order: the metadata (`name`, `dataset`,
 //! `gamma`, entity labels), the factor shapes (`R`, `J`, `K`), the shared
 //! factors `H` and `V`, then per slice the row count, `U_k`, and
-//! `diag(S_k)`, and finally the solver diagnostics (iterations, criterion
-//! trace, timing). Strings are `u64` length + UTF-8 bytes; `f64`s are raw
-//! IEEE-754 little-endian bits, so a round-trip is bit-exact.
+//! `diag(S_k)`, and finally the solver diagnostics (iterations, the typed
+//! stop reason as one byte, criterion trace, timing). Strings are `u64`
+//! length + UTF-8 bytes; `f64`s are raw IEEE-754 little-endian bits, so a
+//! round-trip is bit-exact. (Format 2 added the stop-reason byte; format-1
+//! files are rejected as [`ServeError::UnsupportedVersion`].)
 //!
 //! Everything is hand-rolled over [`std::io`] — this workspace builds
 //! offline with no serde — and the reader is defensive: bad magic, an
@@ -26,7 +28,7 @@
 //! impossible lengths all surface as [`ServeError`] values, never panics.
 
 use crate::error::{Result, ServeError};
-use dpar2_core::{Parafac2Fit, TimingBreakdown};
+use dpar2_core::{Parafac2Fit, StopReason, TimingBreakdown};
 use dpar2_linalg::Mat;
 use std::io::{Read, Write};
 use std::path::Path;
@@ -34,7 +36,7 @@ use std::path::Path;
 /// File magic: identifies a DPar2 model file.
 pub const MAGIC: [u8; 8] = *b"DPAR2MDL";
 /// Current format version written by [`SavedModel::write_to`].
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 /// Fixed header size (magic + version + payload length + checksum).
 pub const HEADER_LEN: usize = 8 + 4 + 8 + 8;
 
@@ -230,6 +232,7 @@ impl SavedModel {
             put_f64s(&mut p, s_k);
         }
         put_u64(&mut p, fit.iterations as u64);
+        p.push(stop_reason_code(fit.stop_reason));
         put_u64(&mut p, fit.criterion_trace.len() as u64);
         put_f64s(&mut p, &fit.criterion_trace);
         put_f64(&mut p, fit.timing.preprocess_secs);
@@ -267,6 +270,7 @@ impl SavedModel {
             s.push(c.f64_vec(r)?);
         }
         let iterations = c.len()?;
+        let stop_reason = stop_reason_from_code(c.u8()?)?;
         let trace_len = c.len()?;
         let criterion_trace = c.f64_vec(trace_len)?;
         let preprocess_secs = c.f64()?;
@@ -287,6 +291,7 @@ impl SavedModel {
                 h,
                 iterations,
                 criterion_trace,
+                stop_reason,
                 timing: TimingBreakdown {
                     preprocess_secs,
                     iterations_secs,
@@ -295,6 +300,27 @@ impl SavedModel {
                 },
             },
         })
+    }
+}
+
+/// One-byte wire code for [`StopReason`].
+fn stop_reason_code(reason: StopReason) -> u8 {
+    match reason {
+        StopReason::Converged => 0,
+        StopReason::MaxIterations => 1,
+        StopReason::Cancelled => 2,
+        StopReason::TimeBudget => 3,
+    }
+}
+
+/// Decodes a [`StopReason`] wire code; unknown codes are corruption.
+fn stop_reason_from_code(code: u8) -> Result<StopReason> {
+    match code {
+        0 => Ok(StopReason::Converged),
+        1 => Ok(StopReason::MaxIterations),
+        2 => Ok(StopReason::Cancelled),
+        3 => Ok(StopReason::TimeBudget),
+        _ => Err(ServeError::Malformed("unknown stop-reason code")),
     }
 }
 
@@ -347,6 +373,10 @@ impl<'a> Cursor<'a> {
         let out = &self.buf[self.pos..end];
         self.pos = end;
         Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
     }
 
     fn u64(&mut self) -> Result<u64> {
@@ -402,6 +432,7 @@ mod tests {
             h: Mat::from_fn(r, r, |i, j| if i == j { 1.0 } else { 0.125 }),
             iterations: 7,
             criterion_trace: vec![3.0, 1.0, 0.5],
+            stop_reason: StopReason::Converged,
             timing: TimingBreakdown {
                 preprocess_secs: 0.01,
                 iterations_secs: 0.05,
@@ -427,6 +458,31 @@ mod tests {
         let bytes = m.to_bytes().unwrap();
         let back = SavedModel::from_bytes(&bytes).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn every_stop_reason_round_trips() {
+        for reason in [
+            StopReason::Converged,
+            StopReason::MaxIterations,
+            StopReason::Cancelled,
+            StopReason::TimeBudget,
+        ] {
+            let mut m = sample();
+            m.fit.stop_reason = reason;
+            let back = SavedModel::from_bytes(&m.to_bytes().unwrap()).unwrap();
+            assert_eq!(back.fit.stop_reason, reason);
+        }
+    }
+
+    #[test]
+    fn unknown_stop_reason_code_is_malformed() {
+        // Round-trip through the codec directly: codes 0..=3 are the only
+        // valid wire values.
+        for code in 0u8..=3 {
+            assert!(stop_reason_from_code(code).is_ok());
+        }
+        assert!(matches!(stop_reason_from_code(9), Err(ServeError::Malformed(_))));
     }
 
     #[test]
@@ -516,6 +572,7 @@ mod tests {
                 h: Mat::zeros(0, 0),
                 iterations: 0,
                 criterion_trace: vec![],
+                stop_reason: StopReason::MaxIterations,
                 timing: TimingBreakdown::default(),
             },
         );

@@ -117,7 +117,7 @@ impl ModelRegistry {
 mod tests {
     use super::*;
     use crate::model::ModelMeta;
-    use dpar2_core::{Parafac2Fit, TimingBreakdown};
+    use dpar2_core::{Parafac2Fit, StopReason, TimingBreakdown};
     use dpar2_linalg::Mat;
 
     fn tiny_model(scale: f64) -> ServedModel {
@@ -128,6 +128,7 @@ mod tests {
             h: Mat::eye(2),
             iterations: 1,
             criterion_trace: vec![],
+            stop_reason: StopReason::Converged,
             timing: TimingBreakdown::default(),
         };
         ServedModel::from_parts(ModelMeta::new("m"), fit)

@@ -3,7 +3,7 @@
 //! byte stream — truncation at any prefix, any single-byte flip — can make
 //! the reader panic or silently accept bad data.
 
-use dpar2_core::{Parafac2Fit, TimingBreakdown};
+use dpar2_core::{Parafac2Fit, StopReason, TimingBreakdown};
 use dpar2_linalg::Mat;
 use dpar2_serve::{ModelMeta, SavedModel, ServeError};
 use proptest::prelude::*;
@@ -36,6 +36,7 @@ fn assemble(
         h: Mat::from_vec(r, r, hdata),
         iterations: trace.len(),
         criterion_trace: trace.clone(),
+        stop_reason: StopReason::Converged,
         timing: TimingBreakdown {
             preprocess_secs: trace.first().copied().unwrap_or(0.0).abs(),
             iterations_secs: trace.iter().sum::<f64>().abs(),

@@ -7,7 +7,7 @@
 //! cargo run --release --example audio_similarity
 //! ```
 
-use dpar2_repro::core::{Dpar2, Dpar2Config};
+use dpar2_repro::core::{Dpar2, FitOptions};
 use dpar2_repro::data::spectrogram::{generate, SpectrogramConfig};
 
 fn main() {
@@ -22,8 +22,8 @@ fn main() {
         corpus.row_dims().iter().max().unwrap()
     );
 
-    let fit = Dpar2::new(Dpar2Config::new(8).with_seed(3).with_max_iterations(32))
-        .fit(&corpus)
+    let fit = Dpar2
+        .fit(&corpus, &FitOptions::new(8).with_seed(3).with_max_iterations(32))
         .expect("decomposition failed");
     println!(
         "fitness {:.4}, compression preprocessing took {:.0} ms\n",

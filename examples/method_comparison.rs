@@ -1,13 +1,17 @@
-//! Head-to-head comparison of all four PARAFAC2 solvers on one dataset —
-//! a miniature of the paper's Fig. 1 experiment, showing the shared
-//! `Parafac2Fit` interface across methods.
+//! Head-to-head comparison of the PARAFAC2 solvers on one dataset — a
+//! miniature of the paper's Fig. 1 experiment, showing the unified
+//! `Parafac2Solver` surface: one `FitOptions` drives every method, solvers
+//! are addressable by name (`Method: FromStr`), fits carry a typed
+//! `StopReason`, and a `FitObserver` streams the live convergence trace.
 //!
 //! ```text
 //! cargo run --release --example method_comparison
 //! ```
 
-use dpar2_repro::baselines::{fit_with, AlsConfig, Method};
+use dpar2_repro::baselines::{fit_with, fit_with_observer, Method};
+use dpar2_repro::core::{FitOptions, IterationEvent, StopReason};
 use dpar2_repro::data::registry;
+use std::ops::ControlFlow;
 
 fn main() {
     // Activity-sim at 30% scale: small enough to run all four methods in
@@ -22,23 +26,52 @@ fn main() {
         tensor.k()
     );
 
-    let config = AlsConfig::new(10).with_max_iterations(32).with_seed(5);
+    // One options value for the whole sweep — methods are selected by
+    // name, exactly how the bench bins' --methods flag works.
+    let config = FitOptions::new(10).with_max_iterations(32).with_seed(5);
     println!(
-        "{:>14}  {:>10} {:>12} {:>10} {:>8} {:>7}",
+        "{:>14}  {:>10} {:>12} {:>10} {:>8} {:>7}  stop",
         "method", "total", "preprocess", "per-iter", "fitness", "iters"
     );
-    for method in Method::ALL {
+    for name in ["dpar2", "rd-als", "parafac2-als", "spartan"] {
+        let method: Method = name.parse().expect("registered method name");
         let fit = fit_with(method, &tensor, &config).expect("solver failed");
         println!(
-            "{:>14}  {:>9.0}ms {:>11.0}ms {:>9.2}ms {:>8.4} {:>7}",
+            "{:>14}  {:>9.0}ms {:>11.0}ms {:>9.2}ms {:>8.4} {:>7}  {:?}",
             method.name(),
             fit.timing.total_secs * 1e3,
             fit.timing.preprocess_secs * 1e3,
             fit.timing.mean_iteration_secs() * 1e3,
             fit.fitness(&tensor),
             fit.iterations,
+            fit.stop_reason,
         );
     }
+
+    // The observer path: a live fitness trace from DPar2's compressed
+    // criterion, with cooperative early stopping once fitness plateaus
+    // within 1e-3 of the previous iteration.
+    println!("\nDPar2 live trace (observer-driven, early-stop on plateau):");
+    let mut last = f64::NEG_INFINITY;
+    let mut observer = |e: &IterationEvent| {
+        println!(
+            "  iter {:>2}: compressed fitness {:.6} ({:.2}ms)",
+            e.iteration,
+            e.fitness(),
+            e.iteration_secs * 1e3
+        );
+        let stop = e.fitness() - last < 1e-3;
+        last = e.fitness();
+        if stop {
+            ControlFlow::Break(StopReason::Cancelled)
+        } else {
+            ControlFlow::Continue(())
+        }
+    };
+    let fit = fit_with_observer(Method::Dpar2, &tensor, &config.with_tolerance(0.0), &mut observer)
+        .expect("solver failed");
+    println!("stopped after {} iterations: {:?}", fit.iterations, fit.stop_reason);
+
     println!("\nExpected shape (paper Fig. 1/9): DPar2 cheapest per iteration with");
     println!("fitness comparable to the ALS baselines; RD-ALS pays a large");
     println!("preprocessing cost plus true-error convergence checks.");

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use dpar2_repro::core::{Dpar2, Dpar2Config};
+use dpar2_repro::core::{Dpar2, FitOptions};
 use dpar2_repro::data::planted_parafac2;
 
 fn main() {
@@ -21,8 +21,8 @@ fn main() {
 
     // Configure DPar2 exactly like the paper's experiments: target rank,
     // 32 max iterations, seeded for reproducibility.
-    let config = Dpar2Config::new(5).with_seed(7).with_max_iterations(32);
-    let fit = Dpar2::new(config).fit(&tensor).expect("decomposition failed");
+    let config = FitOptions::new(5).with_seed(7).with_max_iterations(32);
+    let fit = Dpar2.fit(&tensor, &config).expect("decomposition failed");
 
     println!("\nPARAFAC2 model  X_k ≈ U_k S_k Vᵀ");
     println!("  V: {}x{} (shared)", fit.v.rows(), fit.v.cols());

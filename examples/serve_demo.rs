@@ -13,7 +13,7 @@
 //! cargo run --release --example serve_demo
 //! ```
 
-use dpar2_repro::core::{Dpar2, Dpar2Config, StreamingDpar2};
+use dpar2_repro::core::{Dpar2, FitOptions, StreamingDpar2};
 use dpar2_repro::data::planted_parafac2;
 use dpar2_repro::serve::{
     IngestWorker, ModelMeta, ModelRegistry, QueryEngine, SavedModel, ServedModel,
@@ -26,8 +26,8 @@ fn main() {
     //    comparable (§IV-E2: U_i − U_j needs matching shapes).
     let n = 16usize;
     let tensor = planted_parafac2(&vec![40; n], 24, 5, 0.08, 42);
-    let config = Dpar2Config::new(5).with_seed(7).with_threads(2);
-    let fit = Dpar2::new(config).fit(&tensor).expect("fit failed");
+    let config = FitOptions::new(5).with_seed(7).with_threads(2);
+    let fit = Dpar2.fit(&tensor, &config).expect("fit failed");
     println!(
         "fitted: {} entities, rank {}, fitness {:.4}",
         fit.k(),

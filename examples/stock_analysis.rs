@@ -12,7 +12,7 @@
 //! ```
 
 use dpar2_repro::analysis::{pcc_matrix, rwr_scores, similarity_graph, top_k_neighbors, RwrConfig};
-use dpar2_repro::core::{Dpar2, Dpar2Config};
+use dpar2_repro::core::{Dpar2, FitOptions};
 use dpar2_repro::data::stock::{generate, StockMarketConfig};
 use dpar2_repro::linalg::Mat;
 
@@ -29,8 +29,8 @@ fn main() {
     );
 
     // 2. Decompose at rank 10 (the paper's default).
-    let fit = Dpar2::new(Dpar2Config::new(10).with_seed(1).with_max_iterations(32))
-        .fit(&ds.tensor)
+    let fit = Dpar2
+        .fit(&ds.tensor, &FitOptions::new(10).with_seed(1).with_max_iterations(32))
         .expect("decomposition failed");
     println!("fitness {:.4} after {} iterations\n", fit.fitness(&ds.tensor), fit.iterations);
 
@@ -49,8 +49,8 @@ fn main() {
     // 4. Similar-stock search during the crash window (Table III).
     let (cs, ce) = market.crash_window.expect("crash window");
     let windowed = ds.window(cs, ce);
-    let wfit = Dpar2::new(Dpar2Config::new(10).with_seed(2))
-        .fit(&windowed.tensor)
+    let wfit = Dpar2
+        .fit(&windowed.tensor, &FitOptions::new(10).with_seed(2))
         .expect("windowed decomposition failed");
     let factors: Vec<&Mat> = wfit.u.iter().collect();
     // Median-heuristic gamma keeps the similarity graph discriminative.

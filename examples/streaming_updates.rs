@@ -10,7 +10,7 @@
 //! cargo run --release --example streaming_updates
 //! ```
 
-use dpar2_repro::core::{Dpar2, Dpar2Config, StreamingDpar2};
+use dpar2_repro::core::{Dpar2, FitOptions, StreamingDpar2};
 use dpar2_repro::data::planted_parafac2;
 use dpar2_repro::tensor::IrregularTensor;
 use std::time::Instant;
@@ -21,7 +21,7 @@ fn main() {
     let full = planted_parafac2(&row_dims, 32, 6, 0.1, 99);
     let slices = full.slices().to_vec();
 
-    let config = Dpar2Config::new(6).with_seed(5).with_tolerance(1e-5);
+    let config = FitOptions::new(6).with_seed(5).with_tolerance(1e-5);
     let mut stream = StreamingDpar2::new(config);
 
     println!("batch  slices  append(ms)  iters  decompose(ms)  fitness(sofar)");
@@ -49,7 +49,7 @@ fn main() {
     }
 
     // Compare the final streaming state against a from-scratch batch run.
-    let batch_fit = Dpar2::new(config).fit(&full).expect("batch fit failed");
+    let batch_fit = Dpar2.fit(&full, &config).expect("batch fit failed");
     let mut stream2 = StreamingDpar2::new(config);
     stream2.append(slices).expect("append failed");
     let stream_fit = stream2.decompose();

@@ -2,7 +2,7 @@
 //! DPar2 factors → correlation / similarity / ranking analyses.
 
 use dpar2_repro::analysis::{pcc_matrix, rwr_scores, similarity_graph, top_k_neighbors, RwrConfig};
-use dpar2_repro::core::{Dpar2, Dpar2Config};
+use dpar2_repro::core::{Dpar2, FitOptions};
 use dpar2_repro::data::stock::{generate, StockMarketConfig};
 use dpar2_repro::linalg::Mat;
 
@@ -21,8 +21,8 @@ fn fig12_pipeline_us_vs_kr_contrast() {
     // statistic EXPERIMENTS.md records.
     let run = |cfg: &StockMarketConfig| {
         let ds = generate(cfg);
-        let fit = Dpar2::new(Dpar2Config::new(10).with_seed(3).with_max_iterations(24))
-            .fit(&ds.tensor)
+        let fit = Dpar2
+            .fit(&ds.tensor, &FitOptions::new(10).with_seed(3).with_max_iterations(24))
             .expect("fit failed");
         let sel: Vec<usize> = ["CLOSING", "ATR_14", "OBV"]
             .iter()
@@ -47,8 +47,8 @@ fn table3_pipeline_finds_sector_peers() {
     let windowed = ds.window(cs, ce);
     assert!(windowed.tensor.k() >= 12, "window kept too few stocks");
 
-    let fit = Dpar2::new(Dpar2Config::new(8).with_seed(19).with_max_iterations(24))
-        .fit(&windowed.tensor)
+    let fit = Dpar2
+        .fit(&windowed.tensor, &FitOptions::new(8).with_seed(19).with_max_iterations(24))
         .expect("fit failed");
 
     let factors: Vec<&Mat> = fit.u.iter().collect();
@@ -94,8 +94,8 @@ fn windowing_preserves_decomposability() {
     let (config, ds) = small_market(23);
     let (cs, ce) = config.crash_window.unwrap();
     let windowed = ds.window(cs, ce);
-    let fit = Dpar2::new(Dpar2Config::new(6).with_seed(29).with_max_iterations(16))
-        .fit(&windowed.tensor)
+    let fit = Dpar2
+        .fit(&windowed.tensor, &FitOptions::new(6).with_seed(29).with_max_iterations(16))
         .expect("fit failed");
     assert!(fit.fitness(&windowed.tensor) > 0.6);
     // All windowed slices share the same length — Eq. 10's requirement.

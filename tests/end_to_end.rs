@@ -1,16 +1,17 @@
 //! Cross-crate integration tests: the full pipeline from data generation
 //! through decomposition to analysis, plus cross-method validation.
 
-use dpar2_repro::baselines::{fit_with, AlsConfig, Method};
-use dpar2_repro::core::{Dpar2, Dpar2Config};
+use dpar2_repro::baselines::{fit_with, Method};
+use dpar2_repro::core::{Dpar2, FitOptions, IterationEvent, StopReason};
 use dpar2_repro::data::{planted_parafac2, registry, tenrand_irregular};
+use std::ops::ControlFlow;
 
 /// All four solvers must reach comparable fitness on planted data — the
 /// paper's "comparable accuracy" claim (Fig. 1).
 #[test]
 fn all_methods_agree_on_planted_data() {
     let tensor = planted_parafac2(&[40, 60, 35, 50], 24, 4, 0.1, 1001);
-    let config = AlsConfig::new(4).with_max_iterations(20).with_seed(7);
+    let config = FitOptions::new(4).with_max_iterations(20).with_seed(7);
     let mut fitnesses = Vec::new();
     for method in Method::ALL {
         let fit = fit_with(method, &tensor, &config).expect("solver failed");
@@ -28,8 +29,8 @@ fn all_methods_agree_on_planted_data() {
 fn dpar2_runs_on_every_registry_dataset() {
     for spec in registry() {
         let tensor = spec.generate_scaled(0.1, 5);
-        let fit = Dpar2::new(Dpar2Config::new(6).with_seed(6).with_max_iterations(8))
-            .fit(&tensor)
+        let fit = Dpar2
+            .fit(&tensor, &FitOptions::new(6).with_seed(6).with_max_iterations(8))
             .unwrap_or_else(|e| panic!("{} failed: {e}", spec.name));
         let f = fit.fitness(&tensor);
         assert!((0.0..=1.0 + 1e-9).contains(&f), "{}: fitness {f} out of range", spec.name);
@@ -45,8 +46,8 @@ fn fitness_monotone_in_rank() {
     let tensor = planted_parafac2(&[50, 70, 40], 30, 6, 0.2, 1002);
     let mut last = 0.0;
     for rank in [2usize, 4, 6] {
-        let fit = Dpar2::new(Dpar2Config::new(rank).with_seed(8).with_max_iterations(20))
-            .fit(&tensor)
+        let fit = Dpar2
+            .fit(&tensor, &FitOptions::new(rank).with_seed(8).with_max_iterations(20))
             .expect("fit failed");
         let f = fit.fitness(&tensor);
         assert!(f > last - 0.02, "fitness dropped from {last} to {f} at rank {rank}");
@@ -59,14 +60,12 @@ fn fitness_monotone_in_rank() {
 #[test]
 fn compressed_criterion_tracks_true_error() {
     let tensor = planted_parafac2(&[45, 55, 60], 20, 3, 0.15, 1003);
-    let short =
-        Dpar2::new(Dpar2Config::new(3).with_seed(9).with_max_iterations(6).with_tolerance(0.0))
-            .fit(&tensor)
-            .unwrap();
-    let long =
-        Dpar2::new(Dpar2Config::new(3).with_seed(9).with_max_iterations(30).with_tolerance(0.0))
-            .fit(&tensor)
-            .unwrap();
+    let short = Dpar2
+        .fit(&tensor, &FitOptions::new(3).with_seed(9).with_max_iterations(6).with_tolerance(0.0))
+        .unwrap();
+    let long = Dpar2
+        .fit(&tensor, &FitOptions::new(3).with_seed(9).with_max_iterations(30).with_tolerance(0.0))
+        .unwrap();
     // More iterations → criterion and true error both improve (or hold).
     assert!(long.criterion_trace.last().unwrap() <= short.criterion_trace.last().unwrap());
     assert!(long.fitness(&tensor) >= short.fitness(&tensor) - 1e-6);
@@ -77,8 +76,7 @@ fn compressed_criterion_tracks_true_error() {
 #[test]
 fn tenrand_low_fitness_but_valid() {
     let tensor = tenrand_irregular(40, 30, 12, 1004);
-    let fit =
-        Dpar2::new(Dpar2Config::new(5).with_seed(10).with_max_iterations(8)).fit(&tensor).unwrap();
+    let fit = Dpar2.fit(&tensor, &FitOptions::new(5).with_seed(10).with_max_iterations(8)).unwrap();
     let f = fit.fitness(&tensor);
     // Uniform[0,1) tensors have a large rank-1 "DC" component, so fitness
     // is meaningful but far from 1.
@@ -97,12 +95,10 @@ fn tenrand_low_fitness_but_valid() {
 #[test]
 fn fit_bit_identical_across_thread_counts() {
     let tensor = planted_parafac2(&[40, 65, 25, 55, 30, 45], 24, 4, 0.1, 1006);
-    let reference =
-        Dpar2::new(Dpar2Config::new(4).with_seed(12).with_threads(1)).fit(&tensor).unwrap();
+    let reference = Dpar2.fit(&tensor, &FitOptions::new(4).with_seed(12).with_threads(1)).unwrap();
     for threads in [2, 4] {
-        let fit = Dpar2::new(Dpar2Config::new(4).with_seed(12).with_threads(threads))
-            .fit(&tensor)
-            .unwrap();
+        let fit =
+            Dpar2.fit(&tensor, &FitOptions::new(4).with_seed(12).with_threads(threads)).unwrap();
         assert_eq!(fit.iterations, reference.iterations, "{threads} threads: iteration count");
         // Mat/Vec equality here is exact f64 comparison — any reduction
         // reordering would trip it.
@@ -122,7 +118,7 @@ fn fit_bit_identical_across_thread_counts() {
 #[test]
 fn cross_product_invariance_all_methods() {
     let tensor = planted_parafac2(&[30, 45, 25], 18, 3, 0.1, 1005);
-    let config = AlsConfig::new(3).with_max_iterations(10).with_seed(11);
+    let config = FitOptions::new(3).with_max_iterations(10).with_seed(11);
     for method in Method::ALL {
         let fit = fit_with(method, &tensor, &config).expect("solver failed");
         let reference = fit.u[0].gram();
@@ -130,5 +126,51 @@ fn cross_product_invariance_all_methods() {
             let dev = (&fit.u[k].gram() - &reference).fro_norm() / (1.0 + reference.fro_norm());
             assert!(dev < 1e-6, "{}: U_kᵀU_k varies across slices ({dev})", method.name());
         }
+    }
+}
+
+/// Acceptance fixture for the observer API: on the fixed-seed end-to-end
+/// tensor, the live criterion trace an observer sees is exactly the fit's
+/// recorded trace and is monotonically non-increasing for DPar2.
+#[test]
+fn observer_trace_monotone_on_fixed_seed_fixture() {
+    let tensor = planted_parafac2(&[40, 60, 35, 50], 24, 4, 0.1, 1001);
+    let mut live: Vec<f64> = Vec::new();
+    let mut fitness_trace: Vec<f64> = Vec::new();
+    let mut observer = |e: &IterationEvent| {
+        live.push(e.criterion);
+        fitness_trace.push(e.fitness());
+        ControlFlow::<StopReason>::Continue(())
+    };
+    let options = FitOptions::new(4).with_seed(7).with_max_iterations(20).with_tolerance(0.0);
+    let fit = Dpar2.fit_observed(&tensor, &options, &mut observer).unwrap();
+    assert_eq!(live, fit.criterion_trace, "observer must see the recorded trace, live");
+    assert!(!live.is_empty());
+    for pair in live.windows(2) {
+        assert!(pair[1] <= pair[0] * (1.0 + 1e-9), "DPar2 observer trace increased: {live:?}");
+    }
+    // The live compressed fitness mirrors the criterion, so it must be
+    // non-decreasing to the same tolerance.
+    for pair in fitness_trace.windows(2) {
+        assert!(pair[1] >= pair[0] - 1e-9, "live fitness decreased: {fitness_trace:?}");
+    }
+}
+
+/// The typed stop reason is consistent across every solver in the
+/// registry: with a generous tolerance the solvers report Converged or
+/// MaxIterations, never a cancellation they did not receive.
+#[test]
+fn stop_reasons_are_typed_for_every_method() {
+    let tensor = planted_parafac2(&[30, 45, 25], 18, 3, 0.1, 1005);
+    let config = FitOptions::new(3).with_max_iterations(10).with_seed(11);
+    for method in Method::WITH_ABLATION {
+        let fit = fit_with(method, &tensor, &config).expect("solver failed");
+        assert!(
+            matches!(fit.stop_reason, StopReason::Converged | StopReason::MaxIterations),
+            "{}: unexpected stop reason {:?}",
+            method.name(),
+            fit.stop_reason
+        );
+        assert_eq!(fit.iterations, fit.criterion_trace.len(), "{}: trace length", method.name());
     }
 }

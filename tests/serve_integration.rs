@@ -5,7 +5,7 @@
 //! *exactly* the new version's ranking — a torn state (mixed factors, or a
 //! cached answer leaking across versions) would break the equality.
 
-use dpar2_repro::core::{Dpar2, Dpar2Config, StreamingDpar2};
+use dpar2_repro::core::{Dpar2, FitOptions, StreamingDpar2};
 use dpar2_repro::data::planted_parafac2;
 use dpar2_repro::serve::{
     IngestWorker, ModelMeta, ModelRegistry, QueryEngine, SavedModel, ServedModel,
@@ -21,8 +21,8 @@ fn save_load_serve_concurrently_with_midflight_publish() {
     let n = 12usize;
     let k = 4usize;
     let tensor = planted_parafac2(&vec![30; n], 14, 3, 0.05, 1234);
-    let config = Dpar2Config::new(3).with_seed(5);
-    let fit = Dpar2::new(config).fit(&tensor).expect("fit");
+    let config = FitOptions::new(3).with_seed(5);
+    let fit = Dpar2.fit(&tensor, &config).expect("fit");
 
     // Persist, then reload into a *fresh* registry.
     let meta = ModelMeta::new("live").with_gamma(0.05);
