@@ -5,8 +5,9 @@
 //! gone) and drive their loops through [`dpar2_core::FitSession`].
 
 use dpar2_core::error::{Dpar2Error, Result};
-use dpar2_core::{FitOptions, Parafac2Fit};
-use dpar2_linalg::{svd::svd_truncated, Mat};
+use dpar2_core::{FitOptions, Parafac2Fit, Workspace};
+use dpar2_linalg::svd::{svd_truncated, svd_truncated_into};
+use dpar2_linalg::{Mat, SvdFactors, SvdScratch};
 use dpar2_parallel::{greedy_partition, ThreadPool};
 use dpar2_tensor::IrregularTensor;
 
@@ -71,13 +72,29 @@ pub fn update_q(target: &Mat, rank: usize) -> Mat {
     f.u.matmul_nt(&f.v).expect("update_q: Z'·P'ᵀ")
 }
 
+/// [`update_q`] into a caller-owned `Q_k` with reusable SVD scratch — the
+/// allocation-free form the RD-ALS steady-state loop runs on.
+/// Bit-identical to [`update_q`].
+pub fn update_q_into(
+    target: &Mat,
+    rank: usize,
+    q_out: &mut Mat,
+    f: &mut SvdFactors,
+    tmp: &mut SvdFactors,
+    ws: &mut SvdScratch,
+) {
+    svd_truncated_into(target, rank, f, tmp, ws);
+    f.u.matmul_nt_into(&f.v, q_out);
+}
+
 /// True squared reconstruction error `Σ_k ‖X_k − Q_k H S_k Vᵀ‖²_F` given
 /// explicit `Q_k` — what PARAFAC2-ALS, SPARTan, and RD-ALS use for their
 /// convergence checks (and what DPar2 avoids; §III-E).
 pub fn true_error_sq(tensor: &IrregularTensor, qs: &[Mat], h: &Mat, w: &Mat, v: &Mat) -> f64 {
+    let (mut hs, mut qhs, mut model) = (Mat::default(), Mat::default(), Mat::default());
     let mut total = 0.0;
     for k in 0..qs.len() {
-        total += slice_error_sq(tensor, qs, h, w, v, k);
+        total += slice_error_sq(tensor, qs, h, w, v, k, &mut hs, &mut qhs, &mut model);
     }
     total
 }
@@ -100,12 +117,50 @@ pub fn true_error_sq_pooled(
     pool: &ThreadPool,
 ) -> f64 {
     let partition = greedy_partition(&tensor.row_dims(), pool.threads());
-    let per_slice: Vec<f64> =
-        pool.run_partitioned(&partition, |k| slice_error_sq(tensor, qs, h, w, v, k));
+    true_error_sq_ws(tensor, qs, h, w, v, pool, &partition, &mut Workspace::new())
+}
+
+/// [`true_error_sq_pooled`] against a caller-owned slice partition and
+/// [`Workspace`]: single-threaded pools run the ascending-`k` sum on the
+/// arena's scratch with zero allocations; larger pools fan slices out over
+/// `partition`. Bit-identical to [`true_error_sq`] for every pool size.
+#[allow(clippy::too_many_arguments)]
+pub fn true_error_sq_ws(
+    tensor: &IrregularTensor,
+    qs: &[Mat],
+    h: &Mat,
+    w: &Mat,
+    v: &Mat,
+    pool: &ThreadPool,
+    partition: &[Vec<usize>],
+    ws: &mut Workspace,
+) -> f64 {
+    if pool.threads() == 1 {
+        let mut total = 0.0;
+        for k in 0..qs.len() {
+            total += slice_error_sq(
+                tensor,
+                qs,
+                h,
+                w,
+                v,
+                k,
+                &mut ws.crit_hs,
+                &mut ws.tall_a,
+                &mut ws.tall_b,
+            );
+        }
+        return total;
+    }
+    let per_slice: Vec<f64> = pool.run_partitioned(partition, |k| {
+        let (mut hs, mut qhs, mut model) = (Mat::default(), Mat::default(), Mat::default());
+        slice_error_sq(tensor, qs, h, w, v, k, &mut hs, &mut qhs, &mut model)
+    });
     per_slice.iter().sum()
 }
 
-/// `‖X_k − Q_k H S_k Vᵀ‖²_F` for one slice.
+/// `‖X_k − Q_k H S_k Vᵀ‖²_F` for one slice, computed on caller scratch.
+#[allow(clippy::too_many_arguments)]
 fn slice_error_sq(
     tensor: &IrregularTensor,
     qs: &[Mat],
@@ -113,12 +168,15 @@ fn slice_error_sq(
     w: &Mat,
     v: &Mat,
     k: usize,
+    hs: &mut Mat,
+    qhs: &mut Mat,
+    model: &mut Mat,
 ) -> f64 {
-    let mut hs = h.clone();
-    let wrow: Vec<f64> = w.row(k).to_vec();
-    scale_columns(&mut hs, &wrow);
-    let model = qs[k].matmul(&hs).expect("Q_k·HS").matmul_nt(v).expect("·Vᵀ");
-    (tensor.slice(k) - &model).fro_norm_sq()
+    hs.copy_from(h);
+    scale_columns(hs, w.row(k));
+    qs[k].matmul_into(&*hs, qhs); // Q_k·HS
+    qhs.matmul_nt_into(v, model); // ·Vᵀ
+    tensor.slice(k).diff_norm_sq(&*model)
 }
 
 /// Cold- or warm-start factors `(H, V, W)` for the explicit-factor
@@ -206,7 +264,7 @@ mod tests {
         // For a tensor with planted shared column space, init_v must
         // recover that space.
         let mut rng = StdRng::seed_from_u64(502);
-        let v_true = dpar2_linalg::qr::qr(&gaussian_mat(10, 2, &mut rng)).q;
+        let v_true = dpar2_linalg::qr::qr(gaussian_mat(10, 2, &mut rng)).q;
         let slices: Vec<Mat> =
             (0..3).map(|_| gaussian_mat(15, 2, &mut rng).matmul_nt(&v_true).unwrap()).collect();
         let t = IrregularTensor::new(slices);
@@ -229,7 +287,7 @@ mod tests {
         let t_q: f64 = q.matmul_tn(&target).unwrap().diagonal().iter().sum();
         for trial in 0..5 {
             let o =
-                dpar2_linalg::qr::qr(&gaussian_mat(20, 4, &mut StdRng::seed_from_u64(504 + trial)))
+                dpar2_linalg::qr::qr(gaussian_mat(20, 4, &mut StdRng::seed_from_u64(504 + trial)))
                     .q;
             let t_o: f64 = o.matmul_tn(&target).unwrap().diagonal().iter().sum();
             assert!(t_q >= t_o - 1e-9, "Procrustes solution beaten by random Q");
@@ -251,7 +309,7 @@ mod tests {
         let w = [2.0, 0.5, -1.0];
         let mut scaled = m.clone();
         scale_columns(&mut scaled, &w);
-        let explicit = m.matmul(&Mat::diag(&w)).unwrap();
+        let explicit = m.matmul(Mat::diag(&w)).unwrap();
         assert!((&scaled - &explicit).fro_norm() < 1e-12);
     }
 
@@ -264,7 +322,7 @@ mod tests {
         let v = gaussian_mat(8, r, &mut rng);
         let w = gaussian_mat(3, r, &mut rng);
         let qs: Vec<Mat> =
-            (0..3).map(|k| dpar2_linalg::qr::qr(&gaussian_mat(t.i(k), r, &mut rng)).q).collect();
+            (0..3).map(|k| dpar2_linalg::qr::qr(gaussian_mat(t.i(k), r, &mut rng)).q).collect();
         let serial = true_error_sq(&t, &qs, &h, &w, &v);
         for threads in [1, 2, 4] {
             let pooled = true_error_sq_pooled(&t, &qs, &h, &w, &v, &ThreadPool::new(threads));
@@ -282,7 +340,7 @@ mod tests {
         let mut qs = Vec::new();
         let mut slices = Vec::new();
         for k in 0..2 {
-            let q = dpar2_linalg::qr::qr(&gaussian_mat(14, r, &mut rng)).q;
+            let q = dpar2_linalg::qr::qr(gaussian_mat(14, r, &mut rng)).q;
             let mut hs = h.clone();
             scale_columns(&mut hs, w.row(k));
             slices.push(q.matmul(&hs).unwrap().matmul_nt(&v).unwrap());

@@ -92,23 +92,17 @@ impl Parafac2Als {
 
             // Lines 11–16: one naive CP-ALS iteration on Y.
             let g1 = mttkrp(&y, &h, &v, &w, 1);
-            h = g1
-                .matmul(&pinv(&w.gram().hadamard(&v.gram()).expect("WᵀW∗VᵀV")))
-                .expect("H update");
+            h = g1.matmul(pinv(w.gram().hadamard(&v.gram()).expect("WᵀW∗VᵀV"))).expect("H update");
             let (hn, _) = normalize_columns(&h);
             h = hn;
 
             let g2 = mttkrp(&y, &h, &v, &w, 2);
-            v = g2
-                .matmul(&pinv(&w.gram().hadamard(&h.gram()).expect("WᵀW∗HᵀH")))
-                .expect("V update");
+            v = g2.matmul(pinv(w.gram().hadamard(&h.gram()).expect("WᵀW∗HᵀH"))).expect("V update");
             let (vn, _) = normalize_columns(&v);
             v = vn;
 
             let g3 = mttkrp(&y, &h, &v, &w, 3);
-            w = g3
-                .matmul(&pinv(&v.gram().hadamard(&h.gram()).expect("VᵀV∗HᵀH")))
-                .expect("W update");
+            w = g3.matmul(pinv(v.gram().hadamard(&h.gram()).expect("VᵀV∗HᵀH"))).expect("W update");
 
             // Line 17: true reconstruction error, then the session's shared
             // stopping rule (convergence / observer / time budget /
@@ -183,7 +177,7 @@ pub(crate) mod tests {
         let slices = row_dims
             .iter()
             .map(|&ik| {
-                let q = qr::qr(&gaussian_mat(ik, r, &mut rng)).q;
+                let q = qr::qr(gaussian_mat(ik, r, &mut rng)).q;
                 let sk: Vec<f64> =
                     (0..r).map(|i| 1.0 + 0.3 * i as f64 + rng.random::<f64>()).collect();
                 let mut qh = q.matmul(&h).unwrap();

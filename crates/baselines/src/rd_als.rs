@@ -24,15 +24,15 @@
 //!    criterion).
 
 use crate::common::{
-    identity_qs, init_factors, scale_columns, true_error_sq_pooled, update_q, validate_rank,
+    identity_qs, init_factors, scale_columns, true_error_sq_ws, update_q_into, validate_rank,
 };
 use dpar2_core::{
     FitObserver, FitOptions, FitPhase, FitSession, NoopObserver, Parafac2Fit, Parafac2Solver,
     Result, TimingBreakdown,
 };
-use dpar2_linalg::{pinv, svd::svd_truncated, Mat};
-use dpar2_parallel::ThreadPool;
-use dpar2_tensor::{mttkrp, normalize_columns, Dense3, IrregularTensor};
+use dpar2_linalg::{pinv_into, svd::svd_truncated, Mat};
+use dpar2_parallel::{greedy_partition, ThreadPool};
+use dpar2_tensor::{mttkrp_into, normalize_columns_mut, Dense3, IrregularTensor};
 use std::time::Instant;
 
 /// The RD-ALS solver — a stateless [`Parafac2Solver`] handle; all per-fit
@@ -45,14 +45,14 @@ impl RdAls {
     /// returning `(V_c, {X̃_k})`. Exposed for the Fig. 9(a)/Fig. 10
     /// harness, which times and sizes preprocessing separately.
     pub fn preprocess(&self, tensor: &IrregularTensor, rank: usize) -> (Mat, Vec<Mat>) {
-        // [X_1ᵀ ∥ … ∥ X_Kᵀ] = (vstack_k X_k)ᵀ; we feed the tall stack to the
-        // SVD directly (it transposes internally) and read V_c off the
-        // right factor of the stacked form.
-        let stacked = Mat::vstack_all(&tensor.slices().iter().collect::<Vec<_>>());
-        let f = svd_truncated(&stacked, rank);
+        // [X_1ᵀ ∥ … ∥ X_Kᵀ] = (vstack_k X_k)ᵀ; the tensor's contiguous
+        // backing buffer *is* that vertical stack, so `stacked()` feeds the
+        // SVD a zero-copy view (it transposes internally) and V_c is read
+        // off the right factor of the stacked form.
+        let f = svd_truncated(tensor.stacked(), rank);
         let v_c = f.v; // J×R
         let reduced: Vec<Mat> =
-            tensor.slices().iter().map(|x| x.matmul(&v_c).expect("X_k·V_c")).collect();
+            tensor.slice_views().map(|x| x.matmul(&v_c).expect("X_k·V_c")).collect();
         (v_c, reduced)
     }
 
@@ -112,59 +112,93 @@ impl RdAls {
                 (h, v_c.matmul_tn(&v_full).expect("V_cᵀ·V"), w)
             }
         };
-        let mut qs: Vec<Mat> = Vec::with_capacity(k_dim);
+        // Q_k buffers, updated in place every iteration (no per-iteration
+        // Vec churn); `Y` is a persistent R×R×K tensor whose slices are
+        // overwritten in place.
+        let mut qs: Vec<Mat> = (0..k_dim).map(|_| Mat::default()).collect();
+        let mut y = Dense3::zeros(r, r, k_dim);
 
-        // Data norm for the absolute branch of the shared stopping rule.
+        // Data norm for the absolute branch of the shared stopping rule,
+        // and the loop-invariant slice partition for the pooled error check.
         let x_norm_sq = tensor.fro_norm_sq();
+        let partition = greedy_partition(&tensor.row_dims(), pool.threads());
+
+        // Persistent staging buffers (grown once, reused every iteration).
+        let mut vs_buf = Mat::default();
+        let mut vsh = Mat::default();
+        let mut target = Mat::default();
+        let mut g_out = Mat::default();
+        let mut gram_a = Mat::default();
+        let mut gram_b = Mat::default();
+        let mut pinv_buf = Mat::default();
+        // One staging buffer per factor (capacities differ, and the swap
+        // idiom would otherwise re-grow a shared buffer every iteration).
+        let mut next_h = Mat::default();
+        let mut next_v = Mat::default();
+        let mut next_w = Mat::default();
+        let mut v_full = Mat::default();
 
         let mut session = FitSession::new(options, observer);
         session.phase(FitPhase::Preprocess, preprocess_secs);
         for _iter in 0..options.max_iterations {
             session.start_iteration();
+            let ws = session.workspace();
 
-            qs.clear();
             for k in 0..k_dim {
-                let mut vs = v_t.clone();
-                scale_columns(&mut vs, w.row(k));
-                let vsh = vs.matmul_nt(&h).expect("Ṽ S_k Hᵀ");
-                let target = reduced_tensor.slice(k).matmul(&vsh).expect("X̃_k·ṼSHᵀ");
-                qs.push(update_q(&target, r));
+                vs_buf.copy_from(&v_t);
+                scale_columns(&mut vs_buf, w.row(k));
+                vs_buf.matmul_nt_into(&h, &mut vsh); // Ṽ S_k Hᵀ
+                reduced_tensor.slice(k).matmul_into(&vsh, &mut target); // X̃_k·ṼSHᵀ
+                update_q_into(
+                    &target,
+                    r,
+                    &mut qs[k],
+                    &mut ws.svd_out,
+                    &mut ws.svd_tmp,
+                    &mut ws.svd,
+                );
             }
 
-            let yks: Vec<Mat> = (0..k_dim)
-                .map(|k| qs[k].matmul_tn(reduced_tensor.slice(k)).expect("Q_kᵀX̃_k"))
-                .collect();
-            let y = Dense3::from_frontal_slices(yks);
+            for k in 0..k_dim {
+                qs[k].matmul_tn_into(reduced_tensor.slice(k), y.slice_mut(k)); // Q_kᵀX̃_k
+            }
 
-            let g1 = mttkrp(&y, &h, &v_t, &w, 1);
-            h = g1
-                .matmul(&pinv(&w.gram().hadamard(&v_t.gram()).expect("WᵀW∗ṼᵀṼ")))
-                .expect("H update");
-            let (hn, _) = normalize_columns(&h);
-            h = hn;
+            mttkrp_into(&y, &h, &v_t, &w, 1, &mut g_out, &mut ws.mttkrp);
+            w.gram_into(&mut gram_a);
+            v_t.gram_into(&mut gram_b);
+            gram_a.hadamard_assign(&gram_b); // WᵀW∗ṼᵀṼ
+            pinv_into(&gram_a, &mut pinv_buf, &mut ws.svd_tmp, &mut ws.svd);
+            g_out.matmul_into(&pinv_buf, &mut next_h); // H update
+            std::mem::swap(&mut h, &mut next_h);
+            normalize_columns_mut(&mut h, &mut ws.norms);
 
-            let g2 = mttkrp(&y, &h, &v_t, &w, 2);
-            v_t = g2
-                .matmul(&pinv(&w.gram().hadamard(&h.gram()).expect("WᵀW∗HᵀH")))
-                .expect("Ṽ update");
-            let (vn, _) = normalize_columns(&v_t);
-            v_t = vn;
+            mttkrp_into(&y, &h, &v_t, &w, 2, &mut g_out, &mut ws.mttkrp);
+            w.gram_into(&mut gram_a);
+            h.gram_into(&mut gram_b);
+            gram_a.hadamard_assign(&gram_b); // WᵀW∗HᵀH
+            pinv_into(&gram_a, &mut pinv_buf, &mut ws.svd_tmp, &mut ws.svd);
+            g_out.matmul_into(&pinv_buf, &mut next_v); // Ṽ update
+            std::mem::swap(&mut v_t, &mut next_v);
+            normalize_columns_mut(&mut v_t, &mut ws.norms);
 
-            let g3 = mttkrp(&y, &h, &v_t, &w, 3);
-            w = g3
-                .matmul(&pinv(&v_t.gram().hadamard(&h.gram()).expect("ṼᵀṼ∗HᵀH")))
-                .expect("W update");
+            mttkrp_into(&y, &h, &v_t, &w, 3, &mut g_out, &mut ws.mttkrp);
+            v_t.gram_into(&mut gram_a);
+            h.gram_into(&mut gram_b);
+            gram_a.hadamard_assign(&gram_b); // ṼᵀṼ∗HᵀH
+            pinv_into(&gram_a, &mut pinv_buf, &mut ws.svd_tmp, &mut ws.svd);
+            g_out.matmul_into(&pinv_buf, &mut next_w); // W update
+            std::mem::swap(&mut w, &mut next_w);
 
             // The expensive part the paper highlights: the *true*
             // reconstruction error against the ORIGINAL slices.
-            let v_full = v_c.matmul(&v_t).expect("V_c·Ṽ");
-            let err = true_error_sq_pooled(tensor, &qs, &h, &w, &v_full, &pool);
+            v_c.matmul_into(&v_t, &mut v_full);
+            let err = true_error_sq_ws(tensor, &qs, &h, &w, &v_full, &pool, &partition, ws);
             if session.finish_iteration(err, x_norm_sq) {
                 break;
             }
         }
         let outcome = session.finish();
-        if qs.is_empty() {
+        if outcome.iterations() == 0 {
             // Zero-iteration budget: identity-embedded Q_k keep the model
             // well-formed (see `common::identity_qs`).
             qs = identity_qs(tensor, r);

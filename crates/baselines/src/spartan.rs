@@ -90,23 +90,17 @@ impl SpartanDense {
 
             // Slice-wise parallel MTTKRP + factor updates.
             let g1 = par_mttkrp_mode1(&yks, &v, &w, &pool);
-            h = g1
-                .matmul(&pinv(&w.gram().hadamard(&v.gram()).expect("WᵀW∗VᵀV")))
-                .expect("H update");
+            h = g1.matmul(pinv(w.gram().hadamard(&v.gram()).expect("WᵀW∗VᵀV"))).expect("H update");
             let (hn, _) = normalize_columns(&h);
             h = hn;
 
             let g2 = par_mttkrp_mode2(&yks, &h, &w, &pool);
-            v = g2
-                .matmul(&pinv(&w.gram().hadamard(&h.gram()).expect("WᵀW∗HᵀH")))
-                .expect("V update");
+            v = g2.matmul(pinv(w.gram().hadamard(&h.gram()).expect("WᵀW∗HᵀH"))).expect("V update");
             let (vn, _) = normalize_columns(&v);
             v = vn;
 
             let g3 = par_mttkrp_mode3(&yks, &h, &v, &pool);
-            w = g3
-                .matmul(&pinv(&v.gram().hadamard(&h.gram()).expect("VᵀV∗HᵀH")))
-                .expect("W update");
+            w = g3.matmul(pinv(v.gram().hadamard(&h.gram()).expect("VᵀV∗HᵀH"))).expect("W update");
 
             let err = true_error_sq_pooled(tensor, &qs, &h, &w, &v, &pool);
             if session.finish_iteration(err, x_norm_sq) {

@@ -98,7 +98,7 @@ fn lemma_fixture(k: usize, j: usize, r: usize) -> LemmaFixture {
             *x *= ev;
         }
     }
-    let mut de = d.clone();
+    let mut de = d;
     for i in 0..j {
         let rr = de.row_mut(i);
         for (c, &ev) in e.iter().enumerate() {
@@ -141,7 +141,7 @@ fn bench_convergence(c: &mut Criterion) {
     let pool = ThreadPool::new(1);
     let edt = ct.edt();
     // Q_k for the true-error oracle: orthonormal bases from the compression.
-    let qs: Vec<Mat> = ct.a.clone();
+    let qs: Vec<Mat> = ct.a;
 
     group.bench_function("compressed_criterion", |b| {
         b.iter(|| black_box(compressed_criterion(&fx.pzf, &edt, &fx.h, &fx.w, &fx.v, &pool)))
@@ -211,7 +211,7 @@ fn bench_two_stage_ablation(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(11);
             let out: Vec<_> =
-                t.slices().iter().map(|x| rsvd(x, &RsvdConfig::new(10), &mut rng)).collect();
+                t.slice_views().map(|x| rsvd(x, &RsvdConfig::new(10), &mut rng)).collect();
             black_box(out)
         })
     });

@@ -70,7 +70,7 @@ impl CompressedTensor {
     /// the naive-update ablation, not by the solver).
     pub fn reconstruct_slice(&self, k: usize) -> Mat {
         let afe = self.a[k].matmul(&self.f_blocks[k]).expect("A_k · F(k)");
-        afe.matmul(&self.edt()).expect("· E Dᵀ")
+        afe.matmul(self.edt()).expect("· E Dᵀ")
     }
 
     /// Total number of `f64` values retained — the "Size of Preprocessed
@@ -268,7 +268,7 @@ mod tests {
     fn edt_matches_explicit_product() {
         let t = planted(&[20, 30], 15, 3, 0.1, 13);
         let c = compress(&t, &FitOptions::new(3).with_seed(14)).unwrap();
-        let explicit = Mat::diag(&c.e).matmul(&c.d.transpose()).unwrap();
+        let explicit = Mat::diag(&c.e).matmul(c.d.transpose()).unwrap();
         assert!((&c.edt() - &explicit).fro_norm() < 1e-12);
     }
 

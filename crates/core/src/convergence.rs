@@ -14,8 +14,39 @@
 //! space. (Unitary invariance of the Frobenius norm plus `P_kᵀP_k = I`,
 //! `Z_k Z_kᵀ = I` gives the equality; see the derivation in §III-E.)
 
+use crate::session::Workspace;
 use dpar2_linalg::Mat;
 use dpar2_parallel::ThreadPool;
+
+/// One slice's compressed residual `‖PZF_k·EDᵀ − H S_k Vᵀ‖²_F`, computed
+/// into caller-owned scratch buffers. Shared by the serial (workspace) and
+/// pooled paths, so both produce bit-identical per-slice values.
+#[allow(clippy::too_many_arguments)]
+fn slice_residual_sq(
+    pzf_k: &Mat,
+    edt: &Mat,
+    h: &Mat,
+    wrow: &[f64],
+    v: &Mat,
+    yk: &mut Mat,
+    hs: &mut Mat,
+    model: &mut Mat,
+) -> f64 {
+    // ŷ_k = PZF_k · E Dᵀ  (R×J)
+    pzf_k.matmul_into(edt, yk);
+    // H S_k: scale column c of H by W(k, c).
+    hs.copy_from(h);
+    for i in 0..hs.rows() {
+        let row = hs.row_mut(i);
+        for (c, &wv) in wrow.iter().enumerate() {
+            row[c] *= wv;
+        }
+    }
+    // model_k = H S_k Vᵀ (R×J), then the fused difference-norm
+    // (`MatRef::diff_norm_sq` carries the bit-identity ordering guarantee).
+    hs.matmul_nt_into(v, model);
+    yk.view().diff_norm_sq(&*model)
+}
 
 /// Evaluates the compressed residual
 /// `Σ_k ‖PZF_k · E Dᵀ − H · diag(W(k,:)) · Vᵀ‖²_F`.
@@ -31,22 +62,41 @@ pub fn compressed_criterion(
     v: &Mat,
     pool: &ThreadPool,
 ) -> f64 {
-    let r = h.rows();
-    let partial: Vec<f64> = pool.map(pzf, |k, pzf_k| {
-        // ŷ_k = PZF_k · E Dᵀ  (R×J)
-        let yk = pzf_k.matmul(edt).expect("criterion: PZF·EDᵀ");
-        // H S_k: scale column c of H by W(k, c).
-        let mut hs = h.clone();
-        let wrow = w.row(k);
-        for i in 0..r {
-            let row = hs.row_mut(i);
-            for (c, &wv) in wrow.iter().enumerate() {
-                row[c] *= wv;
-            }
+    compressed_criterion_ws(pzf, edt, h, w, v, pool, &mut Workspace::new())
+}
+
+/// [`compressed_criterion`] against a caller-owned [`Workspace`]: the
+/// single-threaded path reuses the arena's criterion buffers and performs
+/// zero allocations; multi-threaded pools fan slices out as before.
+/// Bit-identical to [`compressed_criterion`] for every thread count.
+pub fn compressed_criterion_ws(
+    pzf: &[Mat],
+    edt: &Mat,
+    h: &Mat,
+    w: &Mat,
+    v: &Mat,
+    pool: &ThreadPool,
+    ws: &mut Workspace,
+) -> f64 {
+    if pool.threads() == 1 {
+        let mut total = 0.0;
+        for (k, pzf_k) in pzf.iter().enumerate() {
+            total += slice_residual_sq(
+                pzf_k,
+                edt,
+                h,
+                w.row(k),
+                v,
+                &mut ws.crit_pred,
+                &mut ws.crit_hs,
+                &mut ws.crit_model,
+            );
         }
-        // model_k = H S_k Vᵀ (R×J)
-        let model = hs.matmul_nt(v).expect("criterion: HS·Vᵀ");
-        (&yk - &model).fro_norm_sq()
+        return total;
+    }
+    let partial: Vec<f64> = pool.map(pzf, |k, pzf_k| {
+        let (mut yk, mut hs, mut model) = (Mat::default(), Mat::default(), Mat::default());
+        slice_residual_sq(pzf_k, edt, h, w.row(k), v, &mut yk, &mut hs, &mut model)
     });
     partial.iter().sum()
 }
@@ -57,8 +107,10 @@ pub fn compressed_criterion(
 pub fn explicit_criterion(y: &[Mat], h: &Mat, w: &Mat, v: &Mat) -> f64 {
     let r = h.rows();
     let mut total = 0.0;
+    let mut hs = Mat::default();
+    let mut model = Mat::default();
     for (k, yk) in y.iter().enumerate() {
-        let mut hs = h.clone();
+        hs.copy_from(h);
         let wrow = w.row(k);
         for i in 0..r {
             let row = hs.row_mut(i);
@@ -66,7 +118,7 @@ pub fn explicit_criterion(y: &[Mat], h: &Mat, w: &Mat, v: &Mat) -> f64 {
                 row[c] *= wv;
             }
         }
-        let model = hs.matmul_nt(v).expect("explicit_criterion: HS·Vᵀ");
+        hs.matmul_nt_into(v, &mut model);
         total += (yk - &model).fro_norm_sq();
     }
     total

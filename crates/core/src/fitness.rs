@@ -77,14 +77,24 @@ impl Parafac2Fit {
 
     /// Reconstructs slice `k` as `U_k S_k Vᵀ`.
     pub fn reconstruct_slice(&self, k: usize) -> Mat {
-        let mut us = self.u[k].clone();
-        for i in 0..us.rows() {
-            let row = us.row_mut(i);
+        let mut out = Mat::default();
+        self.reconstruct_slice_into(k, &mut Mat::default(), &mut out);
+        out
+    }
+
+    /// [`Parafac2Fit::reconstruct_slice`] into caller-owned buffers:
+    /// `scaled` receives `U_k S_k`, `out` the reconstruction — zero
+    /// allocations once both have capacity (the fitness loop reuses one
+    /// pair across all slices).
+    pub fn reconstruct_slice_into(&self, k: usize, scaled: &mut Mat, out: &mut Mat) {
+        scaled.copy_from(&self.u[k]);
+        for i in 0..scaled.rows() {
+            let row = scaled.row_mut(i);
             for (c, &sv) in self.s[k].iter().enumerate() {
                 row[c] *= sv;
             }
         }
-        us.matmul_nt(&self.v).expect("reconstruct_slice: U S Vᵀ")
+        scaled.matmul_nt_into(&self.v, out);
     }
 
     /// The paper's fitness metric (§IV-A):
@@ -98,10 +108,19 @@ impl Parafac2Fit {
         fitness(tensor, self)
     }
 
-    /// Sum of squared reconstruction errors `Σ_k ‖X_k − X̂_k‖²_F`.
+    /// Sum of squared reconstruction errors `Σ_k ‖X_k − X̂_k‖²_F`. Runs on
+    /// two reused scratch buffers (one `U_k S_k`, one reconstruction) and
+    /// zero-copy tensor slice views, so no factor matrix is cloned.
     pub fn reconstruction_error_sq(&self, tensor: &IrregularTensor) -> f64 {
         assert_eq!(tensor.k(), self.k(), "fit and tensor have different K");
-        (0..tensor.k()).map(|k| (tensor.slice(k) - &self.reconstruct_slice(k)).fro_norm_sq()).sum()
+        let mut scaled = Mat::default();
+        let mut model = Mat::default();
+        let mut total = 0.0;
+        for k in 0..tensor.k() {
+            self.reconstruct_slice_into(k, &mut scaled, &mut model);
+            total += tensor.slice(k).diff_norm_sq(&model);
+        }
+        total
     }
 }
 
@@ -130,7 +149,7 @@ mod tests {
         let mut s = Vec::new();
         let mut slices = Vec::new();
         for &ik in &row_dims {
-            let q = qr::qr(&gaussian_mat(ik, r, &mut rng)).q;
+            let q = qr::qr(gaussian_mat(ik, r, &mut rng)).q;
             let uk = q.matmul(&h).unwrap();
             let sk: Vec<f64> = (0..r).map(|i| 1.0 + i as f64 * 0.5).collect();
             let mut us = uk.clone();

@@ -23,6 +23,7 @@
 //! The closed form used for Lemma 3 follows from column-major vectorization:
 //! `vec(M)ᵀ (a ⊗ b) = Σ_{ij} M(i,j)·a(j)·b(i) = bᵀ M a`.
 
+use crate::session::Workspace;
 use dpar2_linalg::Mat;
 use dpar2_parallel::ThreadPool;
 use dpar2_tensor::{mttkrp, Dense3};
@@ -47,8 +48,65 @@ fn k_chunks(k: usize) -> Vec<std::ops::Range<usize>> {
 ///
 /// `pzf[k] = P_k Z_kᵀ F(k)`, `w ∈ R^{K×R}`, `edtv = E Dᵀ V ∈ R^{R×R}`.
 pub fn g1(pzf: &[Mat], w: &Mat, edtv: &Mat, pool: &ThreadPool) -> Mat {
+    let mut g = Mat::default();
+    g1_ws(pzf, w, edtv, pool, &mut g, &mut Workspace::new());
+    g
+}
+
+/// [`g1`] into a caller-owned output against a reusable [`Workspace`]:
+/// single-threaded pools run the chunked reduction allocation-free on the
+/// arena's accumulator slots; larger pools fan chunks out as before.
+/// Bit-identical to [`g1`] for every thread count (same `K_CHUNK`
+/// grouping, same ascending-chunk reduction).
+pub fn g1_ws(
+    pzf: &[Mat],
+    w: &Mat,
+    edtv: &Mat,
+    pool: &ThreadPool,
+    out: &mut Mat,
+    ws: &mut Workspace,
+) {
     let r = edtv.rows();
     let k_total = pzf.len();
+    if pool.threads() == 1 {
+        let Workspace { lemma_acc, lemma_chunk, col_in, col_out, .. } = ws;
+        while lemma_acc.len() < r {
+            lemma_acc.push(Mat::default());
+        }
+        while lemma_chunk.len() < r {
+            lemma_chunk.push(Mat::default());
+        }
+        for t in &mut lemma_acc[..r] {
+            t.resize_zeroed(r, r);
+        }
+        for range in
+            (0..k_total.div_ceil(K_CHUNK)).map(|c| c * K_CHUNK..((c + 1) * K_CHUNK).min(k_total))
+        {
+            for s in &mut lemma_chunk[..r] {
+                s.resize_zeroed(r, r);
+            }
+            for k in range {
+                let wrow = w.row(k);
+                for (col, &wkr) in wrow.iter().enumerate() {
+                    if wkr != 0.0 {
+                        lemma_chunk[col].axpy(wkr, &pzf[k]);
+                    }
+                }
+            }
+            for (t, p) in lemma_acc[..r].iter_mut().zip(&lemma_chunk[..r]) {
+                *t += p;
+            }
+        }
+        out.resize_zeroed(r, r);
+        for (col, t_r) in lemma_acc[..r].iter().enumerate() {
+            col_in.clear();
+            col_in.extend((0..edtv.rows()).map(|i| edtv.at(i, col)));
+            t_r.view().matvec_into(col_in, col_out);
+            out.set_col(col, col_out);
+        }
+        return;
+    }
+
     // Per-chunk partial sums T_r = Σ_k W(k,r)·PZF_k, then the columns
     // G⁽¹⁾(:,r) = T_r · edtv(:,r).
     let chunks = k_chunks(k_total);
@@ -64,7 +122,7 @@ pub fn g1(pzf: &[Mat], w: &Mat, edtv: &Mat, pool: &ThreadPool) -> Mat {
         }
         sums
     });
-    let mut g = Mat::zeros(r, r);
+    out.resize_zeroed(r, r);
     let mut total = vec![Mat::zeros(r, r); r];
     for part in &partials {
         for (t, p) in total.iter_mut().zip(part) {
@@ -73,9 +131,8 @@ pub fn g1(pzf: &[Mat], w: &Mat, edtv: &Mat, pool: &ThreadPool) -> Mat {
     }
     for (col, t_r) in total.iter().enumerate() {
         let gcol = t_r.matvec(&edtv.col(col));
-        g.set_col(col, &gcol);
+        out.set_col(col, &gcol);
     }
-    g
 }
 
 /// Lemma 2: `G⁽²⁾ = Y_(2)(W ⊙ H) ∈ R^{J×R}` from the factorized slices.
@@ -84,8 +141,62 @@ pub fn g1(pzf: &[Mat], w: &Mat, edtv: &Mat, pool: &ThreadPool) -> Mat {
 /// singular values). Internally accumulates
 /// `ACC(:,r) = Σ_k W(k,r) · (PZF_kᵀ H)(:,r)` and returns `D E · ACC`.
 pub fn g2(pzf: &[Mat], w: &Mat, h: &Mat, de: &Mat, pool: &ThreadPool) -> Mat {
+    let mut g = Mat::default();
+    g2_ws(pzf, w, h, de, pool, &mut g, &mut Workspace::new());
+    g
+}
+
+/// [`g2`] into a caller-owned output against a reusable [`Workspace`].
+/// Bit-identical to [`g2`] for every thread count.
+pub fn g2_ws(
+    pzf: &[Mat],
+    w: &Mat,
+    h: &Mat,
+    de: &Mat,
+    pool: &ThreadPool,
+    out: &mut Mat,
+    ws: &mut Workspace,
+) {
     let r = h.rows();
-    let chunks = k_chunks(pzf.len());
+    let k_total = pzf.len();
+    if pool.threads() == 1 {
+        let Workspace { lemma_acc, lemma_chunk, lemma_tmp, .. } = ws;
+        if lemma_acc.is_empty() {
+            lemma_acc.push(Mat::default());
+        }
+        if lemma_chunk.is_empty() {
+            lemma_chunk.push(Mat::default());
+        }
+        let total = &mut lemma_acc[0];
+        let chunk_acc = &mut lemma_chunk[0];
+        let pth = lemma_tmp;
+        total.resize_zeroed(r, r);
+        for range in
+            (0..k_total.div_ceil(K_CHUNK)).map(|c| c * K_CHUNK..((c + 1) * K_CHUNK).min(k_total))
+        {
+            chunk_acc.resize_zeroed(r, r);
+            pth.resize_zeroed(r, r);
+            for k in range {
+                // PZF_kᵀ · H in one shot, then scale column r by W(k,r).
+                pzf[k].matmul_tn_into(h, pth);
+                let wrow = w.row(k);
+                for i in 0..r {
+                    let acc_row = chunk_acc.row_mut(i);
+                    let pth_row = pth.row(i);
+                    for (col, &wkr) in wrow.iter().enumerate() {
+                        acc_row[col] += wkr * pth_row[col];
+                    }
+                }
+            }
+            *total += &*chunk_acc;
+        }
+        // J×R product; at one thread the pooled GEMM path is exactly the
+        // serial blocked/naive dispatch, so `matmul_into` is bit-identical.
+        de.matmul_into(&*total, out);
+        return;
+    }
+
+    let chunks = k_chunks(k_total);
     let partials: Vec<Mat> = pool.map(&chunks, |_, range| {
         let mut acc = Mat::zeros(r, r);
         let mut pth = Mat::zeros(r, r);
@@ -109,7 +220,7 @@ pub fn g2(pzf: &[Mat], w: &Mat, h: &Mat, de: &Mat, pool: &ThreadPool) -> Mat {
     }
     // J×R product — the only lemma-kernel GEMM that grows with J, so it
     // takes the pooled path (bit-identical for every pool size).
-    de.matmul_pooled(&acc, pool).expect("g2: D E · ACC")
+    de.matmul_pooled_into(&acc, out, pool);
 }
 
 /// Lemma 3: `G⁽³⁾ = Y_(3)(V ⊙ H) ∈ R^{K×R}` from the factorized slices.
@@ -117,8 +228,43 @@ pub fn g2(pzf: &[Mat], w: &Mat, h: &Mat, de: &Mat, pool: &ThreadPool) -> Mat {
 /// Row `k` is computed via the bilinear form
 /// `G⁽³⁾(k,r) = H(:,r)ᵀ · PZF_k · edtv(:,r)`.
 pub fn g3(pzf: &[Mat], edtv: &Mat, h: &Mat, pool: &ThreadPool) -> Mat {
+    let mut g = Mat::default();
+    g3_ws(pzf, edtv, h, pool, &mut g, &mut Workspace::new());
+    g
+}
+
+/// [`g3`] into a caller-owned output against a reusable [`Workspace`].
+/// Bit-identical to [`g3`] for every thread count.
+pub fn g3_ws(
+    pzf: &[Mat],
+    edtv: &Mat,
+    h: &Mat,
+    pool: &ThreadPool,
+    out: &mut Mat,
+    ws: &mut Workspace,
+) {
     let r = h.rows();
     let k_total = pzf.len();
+    if pool.threads() == 1 {
+        let Workspace { lemma_tmp, col_out, .. } = ws;
+        out.resize_zeroed(k_total, r);
+        for (k, pzf_k) in pzf.iter().enumerate() {
+            // T = PZF_k · edtv, then G⁽³⁾(k,r) = Σ_i H(i,r) T(i,r).
+            pzf_k.matmul_into(edtv, lemma_tmp);
+            col_out.clear();
+            col_out.resize(r, 0.0);
+            for i in 0..r {
+                let hrow = h.row(i);
+                let trow = lemma_tmp.row(i);
+                for (col, v) in col_out.iter_mut().enumerate() {
+                    *v += hrow[col] * trow[col];
+                }
+            }
+            out.set_row(k, col_out);
+        }
+        return;
+    }
+
     let rows: Vec<Vec<f64>> = pool.map(pzf, |_, pzf_k| {
         // T = PZF_k · edtv, then G⁽³⁾(k,r) = Σ_i H(i,r) T(i,r).
         let t = pzf_k.matmul(edtv).expect("g3: PZF_k · edtv");
@@ -132,11 +278,10 @@ pub fn g3(pzf: &[Mat], edtv: &Mat, h: &Mat, pool: &ThreadPool) -> Mat {
         }
         row
     });
-    let mut g = Mat::zeros(k_total, r);
+    out.resize_zeroed(k_total, r);
     for (k, row) in rows.iter().enumerate() {
-        g.set_row(k, row);
+        out.set_row(k, row);
     }
-    g
 }
 
 /// Materializes the frontal slices `Y_k = PZF_k · E Dᵀ` — the explicit
@@ -196,7 +341,7 @@ mod tests {
                 *x *= ev;
             }
         }
-        let mut de = d.clone();
+        let mut de = d;
         for i in 0..j {
             let rr = de.row_mut(i);
             for (c, &ev) in e.iter().enumerate() {

@@ -82,7 +82,7 @@ pub use error::{Dpar2Error, Result};
 pub use fitness::{fitness, Parafac2Fit, TimingBreakdown};
 pub use session::{
     CancelToken, FitObserver, FitPhase, FitSession, IterationEvent, NoopObserver, Parafac2Solver,
-    SessionOutcome, StopReason,
+    SessionOutcome, StopReason, Workspace,
 };
 pub use solver::{Dpar2, WarmStart};
 pub use streaming::StreamingDpar2;

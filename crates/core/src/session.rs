@@ -21,11 +21,78 @@ use crate::config::FitOptions;
 use crate::convergence::converged;
 use crate::error::Result;
 use crate::fitness::Parafac2Fit;
-use dpar2_tensor::IrregularTensor;
+use dpar2_linalg::{Mat, SvdFactors, SvdScratch};
+use dpar2_tensor::{IrregularTensor, MttkrpScratch};
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Reusable scratch arena for one fit: every temporary an ALS iteration
+/// needs — SVD working stores, lemma-kernel accumulators, criterion
+/// buffers, factor-update staging — lives here as a named slot, sized
+/// lazily on first use and reused verbatim afterwards.
+///
+/// The contract the allocation-regression suite (`tests/alloc_regression.rs`)
+/// pins: after the first (warm-up) iteration has exercised every slot, a
+/// steady-state single-threaded ALS iteration of DPar2 or RD-ALS performs
+/// **zero heap allocations** — all arithmetic runs through `*_into` kernels
+/// against these buffers (multi-threaded fits still allocate inside the
+/// fan-out, which thread spawning makes unavoidable).
+///
+/// [`FitSession::workspace`] hands the arena to the solver loop; solvers
+/// borrow individual fields when a helper needs several slots at once
+/// (field-disjoint borrows keep the borrow checker happy without `RefCell`).
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Jacobi/QR working stores shared by every small SVD of the iteration.
+    pub svd: SvdScratch,
+    /// Primary SVD output slot (per-slice factors, `pinv` internals).
+    pub svd_out: SvdFactors,
+    /// Secondary SVD slot (full factorization before truncation).
+    pub svd_tmp: SvdFactors,
+    /// Unfolding/Khatri-Rao scratch for the textbook MTTKRP baselines.
+    pub mttkrp: MttkrpScratch,
+    /// Per-slice product scratch (`R×R` or `I_k×R` scale).
+    pub slice_a: Mat,
+    /// Second per-slice product scratch.
+    pub slice_b: Mat,
+    /// Criterion scratch: the model row-block `H S_k Vᵀ` (or `Q_k H S_k`).
+    pub crit_hs: Mat,
+    /// Criterion scratch: the predicted slice.
+    pub crit_pred: Mat,
+    /// Criterion scratch: the reconstructed slice.
+    pub crit_model: Mat,
+    /// Lemma-kernel running totals (one `R×R` accumulator per column).
+    pub lemma_acc: Vec<Mat>,
+    /// Lemma-kernel per-chunk partial sums.
+    pub lemma_chunk: Vec<Mat>,
+    /// Lemma-kernel dense temporary (`PZF_kᵀH`-sized).
+    pub lemma_tmp: Mat,
+    /// Column gather buffer (input side).
+    pub col_in: Vec<f64>,
+    /// Column result buffer (output side).
+    pub col_out: Vec<f64>,
+    /// Column norms from `normalize_columns_mut`.
+    pub norms: Vec<f64>,
+    /// Baseline scratch at `I_k×R` / `I_k×J` scale (targets, models).
+    pub tall_a: Mat,
+    /// Second tall baseline scratch.
+    pub tall_b: Mat,
+}
+
+impl Workspace {
+    /// A fresh, empty arena (all buffers zero-sized until first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+// Per-factor staging buffers (Gram operands, pseudoinverse outputs, the
+// next factor value swapped in) deliberately live as solver locals, not
+// arena slots: their shapes differ per factor, and a shared slot would
+// re-grow as it ping-pongs between shapes (see the solvers' `next_h` /
+// `next_v` / `next_w` trio).
 
 /// Why a fit's iteration loop ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -220,6 +287,7 @@ pub struct FitSession<'o> {
     criterion_trace: Vec<f64>,
     per_iteration_secs: Vec<f64>,
     stop: Option<StopReason>,
+    workspace: Workspace,
 }
 
 /// What a completed [`FitSession`] hands back to the solver.
@@ -250,6 +318,9 @@ impl<'o> FitSession<'o> {
     /// Opens a session for one fit.
     pub fn new(options: &FitOptions<'_>, observer: &'o mut dyn FitObserver) -> FitSession<'o> {
         let now = Instant::now();
+        // Pre-reserve the traces so per-iteration pushes never reallocate
+        // (capped: an absurd iteration budget must not pre-commit memory).
+        let reserve = options.max_iterations.min(4096);
         FitSession {
             max_iterations: options.max_iterations,
             tolerance: options.tolerance,
@@ -257,10 +328,17 @@ impl<'o> FitSession<'o> {
             observer,
             t_loop: now,
             t_iter: now,
-            criterion_trace: Vec::new(),
-            per_iteration_secs: Vec::new(),
+            criterion_trace: Vec::with_capacity(reserve),
+            per_iteration_secs: Vec::with_capacity(reserve),
             stop: None,
+            workspace: Workspace::new(),
         }
+    }
+
+    /// The session's scratch arena — the solver loop borrows it each
+    /// iteration and runs its `*_into` kernels against the named slots.
+    pub fn workspace(&mut self) -> &mut Workspace {
+        &mut self.workspace
     }
 
     /// Reports a completed timed phase to the observer.

@@ -2,14 +2,16 @@
 
 use crate::compress::{compress, CompressedTensor};
 use crate::config::FitOptions;
-use crate::convergence::compressed_criterion;
+use crate::convergence::compressed_criterion_ws;
 use crate::error::{Dpar2Error, Result};
 use crate::fitness::{Parafac2Fit, TimingBreakdown};
-use crate::lemmas::{g1, g2, g3};
+use crate::lemmas::{g1_ws, g2_ws, g3_ws};
 use crate::session::{FitObserver, FitPhase, FitSession, NoopObserver, Parafac2Solver};
-use dpar2_linalg::{pinv, svd_thin, Mat};
+use dpar2_linalg::pinv_into;
+use dpar2_linalg::svd::svd_thin_into;
+use dpar2_linalg::{Mat, SvdFactors, SvdScratch};
 use dpar2_parallel::ThreadPool;
-use dpar2_tensor::normalize_columns;
+use dpar2_tensor::normalize_columns_mut;
 use dpar2_tensor::IrregularTensor;
 use std::time::Instant;
 
@@ -238,62 +240,104 @@ impl Dpar2 {
         let data_norm_sq: f64 = slice_norms.iter().sum();
 
         let mut edtv = edt.matmul(&v).expect("EDᵀ·V");
-        // Z_k P_kᵀ kept for the final U_k recovery.
+        // Z_k P_kᵀ kept for the final U_k recovery. `pzf` is fully
+        // overwritten by the first iteration's slice step before any read,
+        // so it starts as empty buffers (no `f_blocks` clone).
         let mut zpt: Vec<Mat> = vec![Mat::eye(r); k_dim];
-        let mut pzf: Vec<Mat> = ct.f_blocks.clone();
+        let mut pzf: Vec<Mat> = (0..k_dim).map(|_| Mat::default()).collect();
+        let serial = pool.threads() == 1;
+
+        // Factor-update staging buffers, persistent across iterations so
+        // the steady-state loop allocates nothing.
+        let mut g_out = Mat::default();
+        let mut gram_a = Mat::default();
+        let mut gram_b = Mat::default();
+        let mut pinv_buf = Mat::default();
+        // One staging buffer per factor: capacities differ (H is R×R, V is
+        // J×R, W is K×R), so a shared buffer would re-grow as it ping-pongs
+        // between shapes via the swaps below.
+        let mut next_h = Mat::default();
+        let mut next_v = Mat::default();
+        let mut next_w = Mat::default();
 
         let mut session = FitSession::new(options, observer);
         for _iter in 0..options.max_iterations {
             session.start_iteration();
+            let ws = session.workspace();
 
             // Lines 8–10: per-slice R×R SVD of F(k)·(E Dᵀ V)·S_k·Hᵀ.
-            let svd_out: Vec<(Mat, Mat)> = pool.map(&ct.f_blocks, |k, f_k| {
-                let mut t = f_k.matmul(&edtv).expect("F(k)·EDᵀV");
-                // · S_k (diagonal, scale columns by W(k,:))
-                let wrow = w.row(k);
-                for i in 0..r {
-                    let row = t.row_mut(i);
-                    for (c, &wv) in wrow.iter().enumerate() {
-                        row[c] *= wv;
-                    }
+            if serial {
+                for k in 0..k_dim {
+                    slice_svd_update(
+                        &ct.f_blocks[k],
+                        &edtv,
+                        w.row(k),
+                        &h,
+                        &mut zpt[k],
+                        &mut pzf[k],
+                        &mut ws.svd_out,
+                        &mut ws.svd,
+                        &mut ws.slice_a,
+                        &mut ws.slice_b,
+                    );
                 }
-                // · Hᵀ
-                let t = t.matmul_nt(&h).expect("·Hᵀ");
-                let f = svd_thin(&t);
-                // Z_k P_kᵀ and PZF_k = P_k Z_kᵀ F(k) = (Z_k P_kᵀ)ᵀ F(k).
-                let zp = f.u.matmul_nt(&f.v).expect("Z·Pᵀ");
-                let pzf_k = zp.matmul_tn(f_k).expect("(ZPᵀ)ᵀ·F(k)");
-                (zp, pzf_k)
-            });
-            for (k, (zp, pzf_k)) in svd_out.into_iter().enumerate() {
-                zpt[k] = zp;
-                pzf[k] = pzf_k;
+            } else {
+                let svd_out: Vec<(Mat, Mat)> = pool.map(&ct.f_blocks, |k, f_k| {
+                    let (mut zp, mut pzf_k) = (Mat::default(), Mat::default());
+                    slice_svd_update(
+                        f_k,
+                        &edtv,
+                        w.row(k),
+                        &h,
+                        &mut zp,
+                        &mut pzf_k,
+                        &mut SvdFactors::default(),
+                        &mut SvdScratch::default(),
+                        &mut Mat::default(),
+                        &mut Mat::default(),
+                    );
+                    (zp, pzf_k)
+                });
+                for (k, (zp, pzf_k)) in svd_out.into_iter().enumerate() {
+                    zpt[k] = zp;
+                    pzf[k] = pzf_k;
+                }
             }
 
             // Lines 14–15: H update.
-            let g1_m = g1(&pzf, &w, &edtv, &pool);
-            let gram_h = w.gram().hadamard(&v.gram()).expect("WᵀW ∗ VᵀV");
-            h = g1_m.matmul(&pinv(&gram_h)).expect("H update");
-            let (h_n, _) = normalize_columns(&h);
-            h = h_n;
+            g1_ws(&pzf, &w, &edtv, &pool, &mut g_out, ws);
+            w.gram_into(&mut gram_a);
+            v.gram_into(&mut gram_b);
+            gram_a.hadamard_assign(&gram_b); // WᵀW ∗ VᵀV
+            pinv_into(&gram_a, &mut pinv_buf, &mut ws.svd_tmp, &mut ws.svd);
+            g_out.matmul_into(&pinv_buf, &mut next_h);
+            std::mem::swap(&mut h, &mut next_h);
+            normalize_columns_mut(&mut h, &mut ws.norms);
 
             // Lines 16–17: V update (edtv refreshed afterwards).
-            let g2_m = g2(&pzf, &w, &h, &de, &pool);
-            let gram_v = w.gram().hadamard(&h.gram()).expect("WᵀW ∗ HᵀH");
-            v = g2_m.matmul(&pinv(&gram_v)).expect("V update");
-            let (v_n, _) = normalize_columns(&v);
-            v = v_n;
-            edtv = edt.matmul(&v).expect("EDᵀ·V refresh");
+            g2_ws(&pzf, &w, &h, &de, &pool, &mut g_out, ws);
+            w.gram_into(&mut gram_a);
+            h.gram_into(&mut gram_b);
+            gram_a.hadamard_assign(&gram_b); // WᵀW ∗ HᵀH
+            pinv_into(&gram_a, &mut pinv_buf, &mut ws.svd_tmp, &mut ws.svd);
+            g_out.matmul_into(&pinv_buf, &mut next_v);
+            std::mem::swap(&mut v, &mut next_v);
+            normalize_columns_mut(&mut v, &mut ws.norms);
+            edt.matmul_into(&v, &mut edtv);
 
             // Lines 18–19: W update.
-            let g3_m = g3(&pzf, &edtv, &h, &pool);
-            let gram_w = v.gram().hadamard(&h.gram()).expect("VᵀV ∗ HᵀH");
-            w = g3_m.matmul(&pinv(&gram_w)).expect("W update");
+            g3_ws(&pzf, &edtv, &h, &pool, &mut g_out, ws);
+            v.gram_into(&mut gram_a);
+            h.gram_into(&mut gram_b);
+            gram_a.hadamard_assign(&gram_b); // VᵀV ∗ HᵀH
+            pinv_into(&gram_a, &mut pinv_buf, &mut ws.svd_tmp, &mut ws.svd);
+            g_out.matmul_into(&pinv_buf, &mut next_w);
+            std::mem::swap(&mut w, &mut next_w);
 
             // Line 23: compressed convergence criterion, then the session's
             // shared stopping rule (convergence / observer / time budget /
             // iteration budget).
-            let crit = compressed_criterion(&pzf, &edt, &h, &w, &v, &pool);
+            let crit = compressed_criterion_ws(&pzf, &edt, &h, &w, &v, &pool, ws);
             if session.finish_iteration(crit, data_norm_sq) {
                 break;
             }
@@ -323,6 +367,39 @@ impl Dpar2 {
             criterion_trace: outcome.criterion_trace,
         })
     }
+}
+
+/// One slice's `Q_k` step (lines 8–13): the `R×R` SVD of
+/// `F(k)·(EDᵀV)·S_k·Hᵀ` plus the factorized-slice refresh, entirely into
+/// caller-owned buffers. Shared by the serial (workspace-backed) and
+/// pooled paths so both are bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn slice_svd_update(
+    f_k: &Mat,
+    edtv: &Mat,
+    wrow: &[f64],
+    h: &Mat,
+    zp: &mut Mat,
+    pzf_k: &mut Mat,
+    svd_out: &mut SvdFactors,
+    svd_ws: &mut SvdScratch,
+    t1: &mut Mat,
+    t2: &mut Mat,
+) {
+    f_k.matmul_into(edtv, t1); // F(k)·EDᵀV
+                               // · S_k (diagonal, scale columns by W(k,:))
+    for i in 0..t1.rows() {
+        let row = t1.row_mut(i);
+        for (c, &wv) in wrow.iter().enumerate() {
+            row[c] *= wv;
+        }
+    }
+    // · Hᵀ, then the small SVD.
+    t1.matmul_nt_into(h, t2);
+    svd_thin_into(&*t2, svd_out, svd_ws);
+    // Z_k P_kᵀ and PZF_k = P_k Z_kᵀ F(k) = (Z_k P_kᵀ)ᵀ F(k).
+    svd_out.u.matmul_nt_into(&svd_out.v, zp);
+    zp.matmul_tn_into(f_k, pzf_k);
 }
 
 impl Parafac2Solver for Dpar2 {
@@ -365,7 +442,7 @@ mod tests {
         let slices = row_dims
             .iter()
             .map(|&ik| {
-                let q = qr::qr(&gaussian_mat(ik, r, &mut rng)).q;
+                let q = qr::qr(gaussian_mat(ik, r, &mut rng)).q;
                 let sk: Vec<f64> =
                     (0..r).map(|i| 1.0 + 0.3 * i as f64 + rng.random::<f64>()).collect();
                 let mut qh = q.matmul(&h).unwrap();

@@ -254,7 +254,7 @@ mod tests {
         }
 
         fn slice(&mut self, ik: usize, noise: f64) -> Mat {
-            let q = qr::qr(&gaussian_mat(ik, self.rank, &mut self.rng)).q;
+            let q = qr::qr(gaussian_mat(ik, self.rank, &mut self.rng)).q;
             let sk: Vec<f64> = (0..self.rank).map(|_| 0.5 + self.rng.random::<f64>()).collect();
             let mut qh = q.matmul(&self.h).unwrap();
             for row in 0..ik {

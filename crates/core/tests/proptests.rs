@@ -21,7 +21,7 @@ fn planted(seed: u64, k: usize, j: usize, r: usize) -> IrregularTensor {
     let slices = (0..k)
         .map(|i| {
             let ik = j + 3 + 7 * i; // varied, ≥ j ≥ r
-            let q = qr::qr(&gaussian_mat(ik, r, &mut rng)).q;
+            let q = qr::qr(gaussian_mat(ik, r, &mut rng)).q;
             q.matmul(&h).unwrap().matmul_nt(&v).unwrap()
         })
         .collect();
@@ -107,7 +107,7 @@ proptest! {
     #[test]
     fn streaming_equals_batch_compression(seed in 0u64..200, j in 6usize..12, r in 1usize..4) {
         let t = planted(seed, 4, j, r);
-        let slices = t.slices().to_vec();
+        let slices = t.to_slices();
         let cfg = FitOptions::new(r).with_seed(seed ^ 7);
         let mut stream = StreamingDpar2::new(cfg);
         stream.append(slices[..2].to_vec()).unwrap();

@@ -24,7 +24,7 @@ pub fn planted_parafac2(
     let slices = row_dims
         .iter()
         .map(|&ik| {
-            let q = qr::qr(&gaussian_mat(ik, rank, &mut rng)).q;
+            let q = qr::qr(gaussian_mat(ik, rank, &mut rng)).q;
             let sk: Vec<f64> =
                 (0..rank).map(|i| 1.0 + 0.3 * i as f64 + rng.random::<f64>()).collect();
             let mut qh = q.matmul(&h).expect("planted: Q·H");
@@ -98,7 +98,7 @@ mod tests {
         let t = tenrand_irregular(6, 5, 4, 3);
         assert_eq!(t.k(), 4);
         assert!(t.is_regular());
-        assert!(t.slices().iter().all(|s| s.data().iter().all(|&x| (0.0..1.0).contains(&x))));
+        assert!(t.packed_data().iter().all(|&x| (0.0..1.0).contains(&x)));
     }
 
     #[test]
@@ -107,7 +107,7 @@ mod tests {
         assert_eq!(dims.len(), 500);
         assert!(dims.iter().all(|&d| (50..=2000).contains(&d)));
         // Skew check: median well below the midpoint.
-        let mut sorted = dims.clone();
+        let mut sorted = dims;
         sorted.sort_unstable();
         let median = sorted[250];
         assert!(median < 1025, "median {median} suggests no skew");

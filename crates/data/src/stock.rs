@@ -156,7 +156,7 @@ impl StockDataset {
             let slice = self.tensor.slice(k);
             let r0 = start - first_day;
             let r1 = end - first_day;
-            slices.push(slice.block(r0, r1, 0, slice.cols()));
+            slices.push(slice.submatrix(r0, r1, 0, slice.cols()).to_mat());
             meta.push(StockMeta { ticker: m.ticker.clone(), sector: m.sector, days: end - start });
         }
         StockDataset {

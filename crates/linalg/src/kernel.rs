@@ -61,7 +61,18 @@
 //! NaN) and the small-size fast path behind [`Mat::matmul`]'s dispatch.
 
 use crate::mat::Mat;
+use crate::view::{AsMatRef, MatMut, MatRef};
 use dpar2_parallel::ThreadPool;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread packing buffers for the serial blocked path (one `MC×KC`
+    /// A block, one `KC×NC` B block). Reusing them across calls makes the
+    /// blocked GEMM allocation-free in steady state — the property the
+    /// solvers' zero-allocation ALS iterations (tests/alloc_regression.rs)
+    /// rest on.
+    static PACK_BUFS: RefCell<(Vec<f64>, Vec<f64>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
 
 /// Rows per register tile (microkernel height).
 pub const MR: usize = 6;
@@ -86,7 +97,7 @@ pub enum Trans {
 impl Trans {
     /// Logical `(rows, cols)` of `op(m)`.
     #[inline]
-    fn dims(self, m: &Mat) -> (usize, usize) {
+    fn dims(self, m: MatRef<'_>) -> (usize, usize) {
         match self {
             Trans::N => (m.rows(), m.cols()),
             Trans::T => (m.cols(), m.rows()),
@@ -94,9 +105,9 @@ impl Trans {
     }
 }
 
-/// Element `op(m)[i, j]` (debug-asserted bounds via `Mat::at`).
+/// Element `op(m)[i, j]` (debug-asserted bounds via `MatRef::at`).
 #[inline(always)]
-fn at(m: &Mat, t: Trans, i: usize, j: usize) -> f64 {
+fn at(m: MatRef<'_>, t: Trans, i: usize, j: usize) -> f64 {
     match t {
         Trans::N => m.at(i, j),
         Trans::T => m.at(j, i),
@@ -225,7 +236,15 @@ fn run_micro(kcb: usize, ap: &[f64], bp: &[f64], acc: &mut [[f64; NR]; MR]) {
 /// Packs the `mcb × kcb` block of `op(a)` starting at `(ic, pc)` into
 /// `MR`-row panels: `buf[panel·(MR·kcb) + p·MR + r] = op(a)[ic+panel·MR+r,
 /// pc+p]`, zero-padding rows past `mcb`.
-fn pack_a(a: &Mat, ta: Trans, ic: usize, mcb: usize, pc: usize, kcb: usize, buf: &mut Vec<f64>) {
+fn pack_a(
+    a: MatRef<'_>,
+    ta: Trans,
+    ic: usize,
+    mcb: usize,
+    pc: usize,
+    kcb: usize,
+    buf: &mut Vec<f64>,
+) {
     let panels = mcb.div_ceil(MR);
     buf.clear();
     buf.reserve(panels * MR * kcb);
@@ -243,7 +262,15 @@ fn pack_a(a: &Mat, ta: Trans, ic: usize, mcb: usize, pc: usize, kcb: usize, buf:
 /// Packs the `kcb × ncb` block of `op(b)` starting at `(pc, jc)` into
 /// `NR`-column panels: `buf[panel·(NR·kcb) + p·NR + c] = op(b)[pc+p,
 /// jc+panel·NR+c]`, zero-padding columns past `ncb`.
-fn pack_b(b: &Mat, tb: Trans, pc: usize, kcb: usize, jc: usize, ncb: usize, buf: &mut Vec<f64>) {
+fn pack_b(
+    b: MatRef<'_>,
+    tb: Trans,
+    pc: usize,
+    kcb: usize,
+    jc: usize,
+    ncb: usize,
+    buf: &mut Vec<f64>,
+) {
     let panels = ncb.div_ceil(NR);
     buf.clear();
     buf.reserve(panels * NR * kcb);
@@ -262,19 +289,11 @@ fn pack_b(b: &Mat, tb: Trans, pc: usize, kcb: usize, jc: usize, ncb: usize, buf:
 // Macro kernel and drivers
 // ----------------------------------------------------------------------
 
-/// Sweeps the packed panels with register tiles, accumulating into the
-/// `mcb`-row slab `crows` (row stride `ldc`, columns starting at `jc`).
-#[allow(clippy::too_many_arguments)]
-fn macro_kernel(
-    mcb: usize,
-    ncb: usize,
-    kcb: usize,
-    apack: &[f64],
-    bpack: &[f64],
-    crows: &mut [f64],
-    ldc: usize,
-    jc: usize,
-) {
+/// Sweeps the packed panels with register tiles, accumulating into
+/// `c_panel` — the `mcb × ncb` destination sub-block of C, handed in as a
+/// (generally strided) [`MatMut`] view.
+fn macro_kernel(kcb: usize, apack: &[f64], bpack: &[f64], mut c_panel: MatMut<'_>) {
+    let (mcb, ncb) = c_panel.shape();
     for (jp, bp) in bpack.chunks_exact(NR * kcb).enumerate() {
         let jr = jp * NR;
         let nrb = NR.min(ncb - jr);
@@ -284,7 +303,7 @@ fn macro_kernel(
             let mut acc = [[0.0f64; NR]; MR];
             run_micro(kcb, ap, bp, &mut acc);
             for (r, acc_row) in acc.iter().enumerate().take(mrb) {
-                let crow = &mut crows[(ir + r) * ldc + jc + jr..][..nrb];
+                let crow = &mut c_panel.row_mut(ir + r)[jr..jr + nrb];
                 for (cv, &av) in crow.iter_mut().zip(&acc_row[..nrb]) {
                     *cv += av;
                 }
@@ -296,7 +315,14 @@ fn macro_kernel(
 /// Shared driver for the serial and pooled blocked paths. `C` is resized
 /// and zeroed, then filled as `op(a)·op(b)` panel by panel; when `pool`
 /// has more than one thread, `MC`-row panels of C fan out over it.
-fn gemm_blocked(ta: Trans, tb: Trans, a: &Mat, b: &Mat, c: &mut Mat, pool: Option<&ThreadPool>) {
+fn gemm_blocked(
+    ta: Trans,
+    tb: Trans,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    c: &mut Mat,
+    pool: Option<&ThreadPool>,
+) {
     let (m, kk) = ta.dims(a);
     let (kb, n) = tb.dims(b);
     assert_eq!(kk, kb, "gemm: inner dimension mismatch ({m}x{kk} · {kb}x{n})");
@@ -328,7 +354,9 @@ fn gemm_blocked(ta: Trans, tb: Trans, a: &Mat, b: &Mat, c: &mut Mat, pool: Optio
                 })
                 .collect();
             // One MC-row panel of C: repack the matching A rows per depth
-            // block and sweep.
+            // block and sweep. Each worker's chunk is reinterpreted as a
+            // row-panel view; the `jc` column window is a strided
+            // `MatMut` sub-block of it.
             let process_panel = |blk: usize, crows: &mut [f64]| {
                 let ic = blk * MC;
                 let mcb = MC.min(m - ic);
@@ -340,16 +368,13 @@ fn gemm_blocked(ta: Trans, tb: Trans, a: &Mat, b: &Mat, c: &mut Mat, pool: Optio
                     for jci in 0..n_jc {
                         let jc = jci * NC;
                         let ncb = NC.min(n - jc);
-                        macro_kernel(
+                        let panel = MatMut::from_parts(mcb, n, n, crows).submatrix_mut(
+                            0,
                             mcb,
-                            ncb,
-                            kcb,
-                            &apack,
-                            &bpacks[jci * n_pc + pci],
-                            crows,
-                            n,
                             jc,
+                            jc + ncb,
                         );
+                        macro_kernel(kcb, &apack, &bpacks[jci * n_pc + pci], panel);
                     }
                 }
             };
@@ -358,36 +383,46 @@ fn gemm_blocked(ta: Trans, tb: Trans, a: &Mat, b: &Mat, c: &mut Mat, pool: Optio
         _ => {
             // Serial: bounded transient memory — exactly one KC×NC packed B
             // block and one MC×KC packed A block live at a time (the classic
-            // Goto scheme), instead of a full padded copy of op(B).
+            // Goto scheme), instead of a full padded copy of op(B). The two
+            // buffers are thread-local and reused across calls, so the
+            // serial blocked path performs no allocations in steady state.
             let cdata = c.data_mut();
-            let mut apack = Vec::new();
-            let mut bpack = Vec::new();
-            for pci in 0..n_pc {
-                let pc = pci * KC;
-                let kcb = KC.min(kk - pc);
-                for jci in 0..n_jc {
-                    let jc = jci * NC;
-                    let ncb = NC.min(n - jc);
-                    pack_b(b, tb, pc, kcb, jc, ncb, &mut bpack);
-                    for (blk, crows) in cdata.chunks_mut(MC * n).enumerate() {
-                        let ic = blk * MC;
-                        let mcb = MC.min(m - ic);
-                        pack_a(a, ta, ic, mcb, pc, kcb, &mut apack);
-                        macro_kernel(mcb, ncb, kcb, &apack, &bpack, crows, n, jc);
+            PACK_BUFS.with(|bufs| {
+                let (apack, bpack) = &mut *bufs.borrow_mut();
+                for pci in 0..n_pc {
+                    let pc = pci * KC;
+                    let kcb = KC.min(kk - pc);
+                    for jci in 0..n_jc {
+                        let jc = jci * NC;
+                        let ncb = NC.min(n - jc);
+                        pack_b(b, tb, pc, kcb, jc, ncb, bpack);
+                        for (blk, crows) in cdata.chunks_mut(MC * n).enumerate() {
+                            let ic = blk * MC;
+                            let mcb = MC.min(m - ic);
+                            pack_a(a, ta, ic, mcb, pc, kcb, apack);
+                            let panel = MatMut::from_parts(mcb, n, n, crows).submatrix_mut(
+                                0,
+                                mcb,
+                                jc,
+                                jc + ncb,
+                            );
+                            macro_kernel(kcb, apack, bpack, panel);
+                        }
                     }
                 }
-            }
+            });
         }
     }
 }
 
 /// `C = op(a)·op(b)` via the serial blocked path, at any size (no
-/// dispatch). `c` is resized and overwritten.
+/// dispatch). `c` is resized and overwritten. Operands are anything
+/// view-convertible ([`AsMatRef`]): `&Mat`, [`MatRef`], strided sub-blocks.
 ///
 /// # Panics
 /// Panics on inner-dimension mismatch.
-pub fn gemm_into(ta: Trans, tb: Trans, a: &Mat, b: &Mat, c: &mut Mat) {
-    gemm_blocked(ta, tb, a, b, c, None);
+pub fn gemm_into(ta: Trans, tb: Trans, a: impl AsMatRef, b: impl AsMatRef, c: &mut Mat) {
+    gemm_blocked(ta, tb, a.as_mat_ref(), b.as_mat_ref(), c, None);
 }
 
 /// `C = op(a)·op(b)` with `MC`-row panels of C fanned out over `pool`.
@@ -396,8 +431,15 @@ pub fn gemm_into(ta: Trans, tb: Trans, a: &Mat, b: &Mat, c: &mut Mat) {
 ///
 /// # Panics
 /// Panics on inner-dimension mismatch.
-pub fn gemm_pooled_into(ta: Trans, tb: Trans, a: &Mat, b: &Mat, c: &mut Mat, pool: &ThreadPool) {
-    gemm_blocked(ta, tb, a, b, c, Some(pool));
+pub fn gemm_pooled_into(
+    ta: Trans,
+    tb: Trans,
+    a: impl AsMatRef,
+    b: impl AsMatRef,
+    c: &mut Mat,
+    pool: &ThreadPool,
+) {
+    gemm_blocked(ta, tb, a.as_mat_ref(), b.as_mat_ref(), c, Some(pool));
 }
 
 /// IEEE-faithful naive reference: flat i-k-j triple loop, ascending-`k`
@@ -407,7 +449,8 @@ pub fn gemm_pooled_into(ta: Trans, tb: Trans, a: &Mat, b: &Mat, c: &mut Mat, poo
 ///
 /// # Panics
 /// Panics on inner-dimension mismatch.
-pub fn gemm_naive_into(ta: Trans, tb: Trans, a: &Mat, b: &Mat, c: &mut Mat) {
+pub fn gemm_naive_into(ta: Trans, tb: Trans, a: impl AsMatRef, b: impl AsMatRef, c: &mut Mat) {
+    let (a, b) = (a.as_mat_ref(), b.as_mat_ref());
     let (m, kk) = ta.dims(a);
     let (kb, n) = tb.dims(b);
     assert_eq!(kk, kb, "gemm: inner dimension mismatch ({m}x{kk} · {kb}x{n})");
@@ -415,11 +458,10 @@ pub fn gemm_naive_into(ta: Trans, tb: Trans, a: &Mat, b: &Mat, c: &mut Mat) {
     for i in 0..m {
         for p in 0..kk {
             let aip = at(a, ta, i, p);
-            let crow = &mut c.data_mut()[i * n..(i + 1) * n];
+            let crow = c.row_mut(i);
             match tb {
                 Trans::N => {
-                    let brow = &b.data()[p * n..(p + 1) * n];
-                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    for (cv, &bv) in crow.iter_mut().zip(b.row(p)) {
                         *cv += aip * bv;
                     }
                 }

@@ -58,13 +58,15 @@ pub mod qr;
 pub mod random;
 pub mod solve;
 pub mod svd;
+pub mod view;
 
 pub use error::{LinalgError, Result};
 pub use mat::Mat;
-pub use pinv::pinv;
+pub use pinv::{pinv, pinv_into};
 pub use qr::{qr, QrFactors};
 pub use random::{gaussian_mat, uniform_mat};
-pub use svd::{svd_thin, svd_truncated, SvdFactors};
+pub use svd::{svd_thin, svd_truncated, SvdFactors, SvdScratch};
+pub use view::{AsMatRef, MatMut, MatRef};
 
 /// Machine-epsilon-scale tolerance used across factorization routines when
 /// deciding whether a value is numerically zero.

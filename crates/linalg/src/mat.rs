@@ -12,6 +12,7 @@
 
 use crate::error::{LinalgError, Result};
 use crate::kernel::{self, Trans};
+use crate::view::{AsMatRef, MatMut, MatRef};
 use dpar2_parallel::ThreadPool;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
@@ -21,6 +22,14 @@ pub struct Mat {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
+}
+
+impl Default for Mat {
+    /// The empty `0 × 0` matrix — the canonical "unsized scratch buffer"
+    /// starting state (every `_into` kernel resizes its output).
+    fn default() -> Self {
+        Mat::zeros(0, 0)
+    }
 }
 
 impl Mat {
@@ -200,6 +209,44 @@ impl Mat {
         for (i, &x) in v.iter().enumerate() {
             self.data[i * self.cols + j] = x;
         }
+    }
+
+    /// Borrowed contiguous view of the whole matrix.
+    #[inline]
+    pub fn view(&self) -> MatRef<'_> {
+        MatRef::from_slice(self.rows, self.cols, &self.data)
+    }
+
+    /// Borrowed mutable view of the whole matrix.
+    #[inline]
+    pub fn view_mut(&mut self) -> MatMut<'_> {
+        MatMut::from_slice(self.rows, self.cols, &mut self.data)
+    }
+
+    /// Zero-copy view of the block `rows r0..r1`, `cols c0..c1` (half-open,
+    /// strided when the column range is narrower than the matrix). The
+    /// borrowing counterpart of [`Mat::block`].
+    ///
+    /// # Panics
+    /// Panics if the block is out of bounds.
+    #[inline]
+    pub fn subview(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> MatRef<'_> {
+        self.view().submatrix(r0, r1, c0, c1)
+    }
+
+    /// Mutable zero-copy view of a block (see [`Mat::subview`]).
+    ///
+    /// # Panics
+    /// Panics if the block is out of bounds.
+    #[inline]
+    pub fn subview_mut(&mut self, r0: usize, r1: usize, c0: usize, c1: usize) -> MatMut<'_> {
+        self.view_mut().submatrix_mut(r0, r1, c0, c1)
+    }
+
+    /// Overwrites this matrix with `src`, resizing to match (reuses the
+    /// allocation when capacity suffices — the scratch-buffer idiom).
+    pub fn copy_from(&mut self, src: impl AsMatRef) {
+        src.as_mat_ref().copy_into(self);
     }
 
     /// Unchecked entry read (debug-asserted). Prefer indexing in cold code.
@@ -386,6 +433,21 @@ impl Mat {
         Ok(Mat { rows: self.rows, cols: self.cols, data })
     }
 
+    /// In-place Hadamard product `self ∗= other` — the allocation-free form
+    /// the ALS normal equations use (`WᵀW ∗ VᵀV` on scratch Gram buffers).
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn hadamard_assign(&mut self, other: impl AsMatRef) {
+        let other = other.as_mat_ref();
+        assert_eq!(self.shape(), other.shape(), "hadamard_assign: shape mismatch");
+        for i in 0..self.rows {
+            for (a, &b) in self.row_mut(i).iter_mut().zip(other.row(i)) {
+                *a *= b;
+            }
+        }
+    }
+
     /// `self += alpha * other` without allocating.
     ///
     /// # Panics
@@ -415,44 +477,32 @@ impl Mat {
     // ------------------------------------------------------------------
     // Multiplication kernels
     //
-    // Every variant dispatches on output size: products below the
-    // [`kernel::use_blocked`] threshold run the in-place naive loops here
-    // (IEEE-faithful: no `== 0.0` shortcuts, so `0·∞` and `0·NaN`
-    // propagate NaN per IEEE 754); larger products take the packed,
-    // register-tiled path in [`crate::kernel`]. The `_pooled` variants
-    // additionally fan row panels of C out over a
+    // Every variant is a thin wrapper over the view-based dispatcher
+    // [`mm_into`]: products below the [`kernel::use_blocked`] threshold run
+    // the stride-aware naive loops (IEEE-faithful: no `== 0.0` shortcuts,
+    // so `0·∞` and `0·NaN` propagate NaN per IEEE 754); larger products
+    // take the packed, register-tiled path in [`crate::kernel`]. The
+    // `_pooled` variants additionally fan row panels of C out over a
     // [`dpar2_parallel::ThreadPool`] and are bit-identical to their serial
-    // counterparts for every thread count.
+    // counterparts for every thread count. Every `b` operand is
+    // [`AsMatRef`], so `&Mat`, [`MatRef`] slices of a backing buffer, and
+    // strided sub-blocks all flow through without copies.
     // ------------------------------------------------------------------
 
     /// `C = A · B`.
     ///
     /// # Errors
     /// Returns [`LinalgError::DimensionMismatch`] if `A.cols != B.rows`.
-    pub fn matmul(&self, b: &Mat) -> Result<Mat> {
-        if self.cols != b.rows {
-            return Err(LinalgError::DimensionMismatch {
-                op: "matmul",
-                left: self.shape(),
-                right: b.shape(),
-            });
-        }
-        let mut c = Mat::zeros(self.rows, b.cols);
-        self.matmul_into(b, &mut c);
-        Ok(c)
+    pub fn matmul(&self, b: impl AsMatRef) -> Result<Mat> {
+        self.view().matmul(b)
     }
 
     /// `C = A · B` written into a pre-allocated `c` (resized if needed).
     ///
     /// # Panics
     /// Panics if `A.cols != B.rows`.
-    pub fn matmul_into(&self, b: &Mat, c: &mut Mat) {
-        assert_eq!(self.cols, b.rows, "matmul_into: inner dimension mismatch");
-        if kernel::use_blocked(self.rows, b.cols, self.cols) {
-            kernel::gemm_into(Trans::N, Trans::N, self, b, c);
-            return;
-        }
-        self.matmul_into_naive(b, c);
+    pub fn matmul_into(&self, b: impl AsMatRef, c: &mut Mat) {
+        self.view().matmul_into(b, c);
     }
 
     /// `C = A · B` with row panels of C computed in parallel on `pool`.
@@ -460,76 +510,32 @@ impl Mat {
     ///
     /// # Errors
     /// Returns [`LinalgError::DimensionMismatch`] if `A.cols != B.rows`.
-    pub fn matmul_pooled(&self, b: &Mat, pool: &ThreadPool) -> Result<Mat> {
-        if self.cols != b.rows {
-            return Err(LinalgError::DimensionMismatch {
-                op: "matmul_pooled",
-                left: self.shape(),
-                right: b.shape(),
-            });
-        }
-        let mut c = Mat::zeros(self.rows, b.cols);
-        self.matmul_pooled_into(b, &mut c, pool);
-        Ok(c)
+    pub fn matmul_pooled(&self, b: impl AsMatRef, pool: &ThreadPool) -> Result<Mat> {
+        self.view().matmul_pooled(b, pool)
     }
 
     /// Pooled form of [`Mat::matmul_into`].
     ///
     /// # Panics
     /// Panics if `A.cols != B.rows`.
-    pub fn matmul_pooled_into(&self, b: &Mat, c: &mut Mat, pool: &ThreadPool) {
-        assert_eq!(self.cols, b.rows, "matmul_pooled_into: inner dimension mismatch");
-        if kernel::use_blocked(self.rows, b.cols, self.cols) {
-            kernel::gemm_pooled_into(Trans::N, Trans::N, self, b, c, pool);
-            return;
-        }
-        self.matmul_into_naive(b, c);
-    }
-
-    /// Naive i-k-j loop: the innermost loop streams over contiguous rows
-    /// of both B and C, which the compiler auto-vectorizes.
-    fn matmul_into_naive(&self, b: &Mat, c: &mut Mat) {
-        c.resize_zeroed(self.rows, b.cols);
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            let crow = &mut c.data[i * b.cols..(i + 1) * b.cols];
-            for (k, &aik) in arow.iter().enumerate() {
-                let brow = &b.data[k * b.cols..(k + 1) * b.cols];
-                for (cv, &bv) in crow.iter_mut().zip(brow) {
-                    *cv += aik * bv;
-                }
-            }
-        }
+    pub fn matmul_pooled_into(&self, b: impl AsMatRef, c: &mut Mat, pool: &ThreadPool) {
+        self.view().matmul_pooled_into(b, c, pool);
     }
 
     /// `C = Aᵀ · B` without materializing the transpose.
     ///
     /// # Errors
     /// Returns [`LinalgError::DimensionMismatch`] if `A.rows != B.rows`.
-    pub fn matmul_tn(&self, b: &Mat) -> Result<Mat> {
-        if self.rows != b.rows {
-            return Err(LinalgError::DimensionMismatch {
-                op: "matmul_tn",
-                left: self.shape(),
-                right: b.shape(),
-            });
-        }
-        let mut c = Mat::zeros(self.cols, b.cols);
-        self.matmul_tn_into(b, &mut c);
-        Ok(c)
+    pub fn matmul_tn(&self, b: impl AsMatRef) -> Result<Mat> {
+        self.view().matmul_tn(b)
     }
 
     /// `C = Aᵀ · B` into a pre-allocated buffer.
     ///
     /// # Panics
     /// Panics if `A.rows != B.rows`.
-    pub fn matmul_tn_into(&self, b: &Mat, c: &mut Mat) {
-        assert_eq!(self.rows, b.rows, "matmul_tn_into: row count mismatch");
-        if kernel::use_blocked(self.cols, b.cols, self.rows) {
-            kernel::gemm_into(Trans::T, Trans::N, self, b, c);
-            return;
-        }
-        self.matmul_tn_into_naive(b, c);
+    pub fn matmul_tn_into(&self, b: impl AsMatRef, c: &mut Mat) {
+        self.view().matmul_tn_into(b, c);
     }
 
     /// `C = Aᵀ · B` with row panels of C computed in parallel on `pool`.
@@ -537,75 +543,32 @@ impl Mat {
     ///
     /// # Errors
     /// Returns [`LinalgError::DimensionMismatch`] if `A.rows != B.rows`.
-    pub fn matmul_tn_pooled(&self, b: &Mat, pool: &ThreadPool) -> Result<Mat> {
-        if self.rows != b.rows {
-            return Err(LinalgError::DimensionMismatch {
-                op: "matmul_tn_pooled",
-                left: self.shape(),
-                right: b.shape(),
-            });
-        }
-        let mut c = Mat::zeros(self.cols, b.cols);
-        self.matmul_tn_pooled_into(b, &mut c, pool);
-        Ok(c)
+    pub fn matmul_tn_pooled(&self, b: impl AsMatRef, pool: &ThreadPool) -> Result<Mat> {
+        self.view().matmul_tn_pooled(b, pool)
     }
 
     /// Pooled form of [`Mat::matmul_tn_into`].
     ///
     /// # Panics
     /// Panics if `A.rows != B.rows`.
-    pub fn matmul_tn_pooled_into(&self, b: &Mat, c: &mut Mat, pool: &ThreadPool) {
-        assert_eq!(self.rows, b.rows, "matmul_tn_pooled_into: row count mismatch");
-        if kernel::use_blocked(self.cols, b.cols, self.rows) {
-            kernel::gemm_pooled_into(Trans::T, Trans::N, self, b, c, pool);
-            return;
-        }
-        self.matmul_tn_into_naive(b, c);
-    }
-
-    /// Naive Aᵀ·B: rank-1 updates row-by-row of A and B; contiguous on both.
-    fn matmul_tn_into_naive(&self, b: &Mat, c: &mut Mat) {
-        c.resize_zeroed(self.cols, b.cols);
-        for k in 0..self.rows {
-            let arow = self.row(k);
-            let brow = b.row(k);
-            for (i, &aki) in arow.iter().enumerate() {
-                let crow = &mut c.data[i * b.cols..(i + 1) * b.cols];
-                for (cv, &bv) in crow.iter_mut().zip(brow) {
-                    *cv += aki * bv;
-                }
-            }
-        }
+    pub fn matmul_tn_pooled_into(&self, b: impl AsMatRef, c: &mut Mat, pool: &ThreadPool) {
+        self.view().matmul_tn_pooled_into(b, c, pool);
     }
 
     /// `C = A · Bᵀ` without materializing the transpose.
     ///
     /// # Errors
     /// Returns [`LinalgError::DimensionMismatch`] if `A.cols != B.cols`.
-    pub fn matmul_nt(&self, b: &Mat) -> Result<Mat> {
-        if self.cols != b.cols {
-            return Err(LinalgError::DimensionMismatch {
-                op: "matmul_nt",
-                left: self.shape(),
-                right: b.shape(),
-            });
-        }
-        let mut c = Mat::zeros(self.rows, b.rows);
-        self.matmul_nt_into(b, &mut c);
-        Ok(c)
+    pub fn matmul_nt(&self, b: impl AsMatRef) -> Result<Mat> {
+        self.view().matmul_nt(b)
     }
 
     /// `C = A · Bᵀ` into a pre-allocated buffer.
     ///
     /// # Panics
     /// Panics if `A.cols != B.cols`.
-    pub fn matmul_nt_into(&self, b: &Mat, c: &mut Mat) {
-        assert_eq!(self.cols, b.cols, "matmul_nt_into: column count mismatch");
-        if kernel::use_blocked(self.rows, b.rows, self.cols) {
-            kernel::gemm_into(Trans::N, Trans::T, self, b, c);
-            return;
-        }
-        self.matmul_nt_into_naive(b, c);
+    pub fn matmul_nt_into(&self, b: impl AsMatRef, c: &mut Mat) {
+        self.view().matmul_nt_into(b, c);
     }
 
     /// `C = A · Bᵀ` with row panels of C computed in parallel on `pool`.
@@ -613,43 +576,16 @@ impl Mat {
     ///
     /// # Errors
     /// Returns [`LinalgError::DimensionMismatch`] if `A.cols != B.cols`.
-    pub fn matmul_nt_pooled(&self, b: &Mat, pool: &ThreadPool) -> Result<Mat> {
-        if self.cols != b.cols {
-            return Err(LinalgError::DimensionMismatch {
-                op: "matmul_nt_pooled",
-                left: self.shape(),
-                right: b.shape(),
-            });
-        }
-        let mut c = Mat::zeros(self.rows, b.rows);
-        self.matmul_nt_pooled_into(b, &mut c, pool);
-        Ok(c)
+    pub fn matmul_nt_pooled(&self, b: impl AsMatRef, pool: &ThreadPool) -> Result<Mat> {
+        self.view().matmul_nt_pooled(b, pool)
     }
 
     /// Pooled form of [`Mat::matmul_nt_into`].
     ///
     /// # Panics
     /// Panics if `A.cols != B.cols`.
-    pub fn matmul_nt_pooled_into(&self, b: &Mat, c: &mut Mat, pool: &ThreadPool) {
-        assert_eq!(self.cols, b.cols, "matmul_nt_pooled_into: column count mismatch");
-        if kernel::use_blocked(self.rows, b.rows, self.cols) {
-            kernel::gemm_pooled_into(Trans::N, Trans::T, self, b, c, pool);
-            return;
-        }
-        self.matmul_nt_into_naive(b, c);
-    }
-
-    /// Naive A·Bᵀ: each output entry is a dot product of two contiguous rows.
-    fn matmul_nt_into_naive(&self, b: &Mat, c: &mut Mat) {
-        c.resize_zeroed(self.rows, b.rows);
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            let crow = &mut c.data[i * b.rows..(i + 1) * b.rows];
-            for (j, cv) in crow.iter_mut().enumerate() {
-                let brow = b.row(j);
-                *cv = dot(arow, brow);
-            }
-        }
+    pub fn matmul_nt_pooled_into(&self, b: impl AsMatRef, c: &mut Mat, pool: &ThreadPool) {
+        self.view().matmul_nt_pooled_into(b, c, pool);
     }
 
     /// `C = Aᵀ · Bᵀ` — the fourth transpose variant, completing the GEMM
@@ -658,30 +594,16 @@ impl Mat {
     ///
     /// # Errors
     /// Returns [`LinalgError::DimensionMismatch`] if `A.rows != B.cols`.
-    pub fn matmul_tt(&self, b: &Mat) -> Result<Mat> {
-        if self.rows != b.cols {
-            return Err(LinalgError::DimensionMismatch {
-                op: "matmul_tt",
-                left: self.shape(),
-                right: b.shape(),
-            });
-        }
-        let mut c = Mat::zeros(self.cols, b.rows);
-        self.matmul_tt_into(b, &mut c);
-        Ok(c)
+    pub fn matmul_tt(&self, b: impl AsMatRef) -> Result<Mat> {
+        self.view().matmul_tt(b)
     }
 
     /// `C = Aᵀ · Bᵀ` into a pre-allocated buffer.
     ///
     /// # Panics
     /// Panics if `A.rows != B.cols`.
-    pub fn matmul_tt_into(&self, b: &Mat, c: &mut Mat) {
-        assert_eq!(self.rows, b.cols, "matmul_tt_into: dimension mismatch");
-        if kernel::use_blocked(self.cols, b.rows, self.rows) {
-            kernel::gemm_into(Trans::T, Trans::T, self, b, c);
-            return;
-        }
-        self.matmul_tt_into_naive(b, c);
+    pub fn matmul_tt_into(&self, b: impl AsMatRef, c: &mut Mat) {
+        self.view().matmul_tt_into(b, c);
     }
 
     /// `C = Aᵀ · Bᵀ` with row panels of C computed in parallel on `pool`.
@@ -689,45 +611,16 @@ impl Mat {
     ///
     /// # Errors
     /// Returns [`LinalgError::DimensionMismatch`] if `A.rows != B.cols`.
-    pub fn matmul_tt_pooled(&self, b: &Mat, pool: &ThreadPool) -> Result<Mat> {
-        if self.rows != b.cols {
-            return Err(LinalgError::DimensionMismatch {
-                op: "matmul_tt_pooled",
-                left: self.shape(),
-                right: b.shape(),
-            });
-        }
-        let mut c = Mat::zeros(self.cols, b.rows);
-        self.matmul_tt_pooled_into(b, &mut c, pool);
-        Ok(c)
+    pub fn matmul_tt_pooled(&self, b: impl AsMatRef, pool: &ThreadPool) -> Result<Mat> {
+        self.view().matmul_tt_pooled(b, pool)
     }
 
     /// Pooled form of [`Mat::matmul_tt_into`].
     ///
     /// # Panics
     /// Panics if `A.rows != B.cols`.
-    pub fn matmul_tt_pooled_into(&self, b: &Mat, c: &mut Mat, pool: &ThreadPool) {
-        assert_eq!(self.rows, b.cols, "matmul_tt_pooled_into: dimension mismatch");
-        if kernel::use_blocked(self.cols, b.rows, self.rows) {
-            kernel::gemm_pooled_into(Trans::T, Trans::T, self, b, c, pool);
-            return;
-        }
-        self.matmul_tt_into_naive(b, c);
-    }
-
-    /// Naive Aᵀ·Bᵀ: k-outer rank-1 updates; B rows are contiguous, A is
-    /// read once per (k, i) pair.
-    fn matmul_tt_into_naive(&self, b: &Mat, c: &mut Mat) {
-        c.resize_zeroed(self.cols, b.rows);
-        for k in 0..self.rows {
-            let arow = self.row(k);
-            for (i, &aki) in arow.iter().enumerate() {
-                let crow = &mut c.data[i * b.rows..(i + 1) * b.rows];
-                for (j, cv) in crow.iter_mut().enumerate() {
-                    *cv += aki * b.data[j * b.cols + k];
-                }
-            }
-        }
+    pub fn matmul_tt_pooled_into(&self, b: impl AsMatRef, c: &mut Mat, pool: &ThreadPool) {
+        self.view().matmul_tt_pooled_into(b, c, pool);
     }
 
     /// Matrix-vector product `A · x`.
@@ -735,8 +628,7 @@ impl Mat {
     /// # Panics
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "matvec: length mismatch");
-        (0..self.rows).map(|i| dot(self.row(i), x)).collect()
+        self.view().matvec(x)
     }
 
     /// Vector-matrix product `Aᵀ · x` (equivalently `xᵀ A`).
@@ -744,50 +636,23 @@ impl Mat {
     /// # Panics
     /// Panics if `x.len() != rows`.
     pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.rows, "matvec_t: length mismatch");
-        let mut out = vec![0.0; self.cols];
-        for (i, &xi) in x.iter().enumerate() {
-            for (o, &a) in out.iter_mut().zip(self.row(i)) {
-                *o += xi * a;
-            }
-        }
-        out
+        self.view().matvec_t(x)
     }
 
     /// Gram matrix `Aᵀ A` (symmetric `cols × cols`).
     pub fn gram(&self) -> Mat {
-        if kernel::use_blocked(self.cols, self.cols, self.rows) {
-            let mut g = Mat::zeros(self.cols, self.cols);
-            kernel::gemm_into(Trans::T, Trans::N, self, self, &mut g);
-            return g;
-        }
-        self.gram_naive()
+        self.view().gram()
+    }
+
+    /// Gram matrix written into a pre-allocated buffer (resized if needed).
+    pub fn gram_into(&self, g: &mut Mat) {
+        self.view().gram_into(g);
     }
 
     /// Gram matrix with row panels computed in parallel on `pool`.
     /// Bit-identical to [`Mat::gram`] for every pool size.
     pub fn gram_pooled(&self, pool: &ThreadPool) -> Mat {
-        if kernel::use_blocked(self.cols, self.cols, self.rows) {
-            let mut g = Mat::zeros(self.cols, self.cols);
-            kernel::gemm_pooled_into(Trans::T, Trans::N, self, self, &mut g, pool);
-            return g;
-        }
-        self.gram_naive()
-    }
-
-    /// Naive Gram accumulation: rank-1 updates row-by-row of A.
-    fn gram_naive(&self) -> Mat {
-        let mut g = Mat::zeros(self.cols, self.cols);
-        for k in 0..self.rows {
-            let row = self.row(k);
-            for (i, &ri) in row.iter().enumerate() {
-                let grow = &mut g.data[i * self.cols..i * self.cols + self.cols];
-                for (gv, &rj) in grow.iter_mut().zip(row) {
-                    *gv += ri * rj;
-                }
-            }
-        }
-        g
+        self.view().gram_pooled(pool)
     }
 
     /// Reshapes in place to `rows × cols` filled with zeros, reusing the
@@ -797,6 +662,292 @@ impl Mat {
         self.cols = cols;
         self.data.clear();
         self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshapes in place to `rows × cols` WITHOUT zeroing retained storage
+    /// — only for buffers whose every entry is overwritten immediately
+    /// after (the copy primitives), where the zero pass of
+    /// [`Mat::resize_zeroed`] would double the memory traffic.
+    pub(crate) fn resize_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        let n = rows * cols;
+        if self.data.len() != n {
+            self.data.clear();
+            self.data.resize(n, 0.0);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// View-based multiply dispatch — the single implementation every `Mat`
+// and `MatRef` entry point delegates to.
+// ----------------------------------------------------------------------
+
+/// Shape check for `op(a)·op(b)`, returning the logical `(m, n, k)`.
+/// Panics with the calling operation's name on a mismatch.
+fn mm_check(
+    op: &'static str,
+    ta: Trans,
+    tb: Trans,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+) -> (usize, usize, usize) {
+    let (m, kk) = match ta {
+        Trans::N => (a.rows(), a.cols()),
+        Trans::T => (a.cols(), a.rows()),
+    };
+    let (kb, n) = match tb {
+        Trans::N => (b.rows(), b.cols()),
+        Trans::T => (b.cols(), b.rows()),
+    };
+    assert_eq!(kk, kb, "{op}: inner dimension mismatch");
+    (m, n, kk)
+}
+
+/// `C = op(a)·op(b)` with size-based dispatch: blocked kernel above the
+/// threshold, stride-aware naive loops below.
+fn mm_into(
+    op: &'static str,
+    ta: Trans,
+    tb: Trans,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    c: &mut Mat,
+    pool: Option<&ThreadPool>,
+) {
+    let (m, n, kk) = mm_check(op, ta, tb, a, b);
+    if kernel::use_blocked(m, n, kk) {
+        match pool {
+            Some(p) => kernel::gemm_pooled_into(ta, tb, a, b, c, p),
+            None => kernel::gemm_into(ta, tb, a, b, c),
+        }
+        return;
+    }
+    mm_naive(ta, tb, a, b, c);
+}
+
+/// Stride-aware naive loops, one per transpose variant. Arithmetic order is
+/// identical to the historical contiguous loops (each inner loop streams
+/// rows, which stay contiguous in any view).
+fn mm_naive(ta: Trans, tb: Trans, a: MatRef<'_>, b: MatRef<'_>, c: &mut Mat) {
+    match (ta, tb) {
+        (Trans::N, Trans::N) => {
+            // i-k-j: the innermost loop streams over contiguous rows of
+            // both B and C, which the compiler auto-vectorizes.
+            c.resize_zeroed(a.rows(), b.cols());
+            for i in 0..a.rows() {
+                let arow = a.row(i);
+                let crow = c.row_mut(i);
+                for (k, &aik) in arow.iter().enumerate() {
+                    for (cv, &bv) in crow.iter_mut().zip(b.row(k)) {
+                        *cv += aik * bv;
+                    }
+                }
+            }
+        }
+        (Trans::T, Trans::N) => {
+            // Aᵀ·B: rank-1 updates row-by-row of A and B.
+            c.resize_zeroed(a.cols(), b.cols());
+            for k in 0..a.rows() {
+                let arow = a.row(k);
+                let brow = b.row(k);
+                for (i, &aki) in arow.iter().enumerate() {
+                    for (cv, &bv) in c.row_mut(i).iter_mut().zip(brow) {
+                        *cv += aki * bv;
+                    }
+                }
+            }
+        }
+        (Trans::N, Trans::T) => {
+            // A·Bᵀ: each output entry is a dot product of two rows.
+            c.resize_zeroed(a.rows(), b.rows());
+            for i in 0..a.rows() {
+                let arow = a.row(i);
+                let crow = c.row_mut(i);
+                for (j, cv) in crow.iter_mut().enumerate() {
+                    *cv = dot(arow, b.row(j));
+                }
+            }
+        }
+        (Trans::T, Trans::T) => {
+            // Aᵀ·Bᵀ: k-outer rank-1 updates.
+            c.resize_zeroed(a.cols(), b.rows());
+            for k in 0..a.rows() {
+                let arow = a.row(k);
+                for (i, &aki) in arow.iter().enumerate() {
+                    let crow = c.row_mut(i);
+                    for (j, cv) in crow.iter_mut().enumerate() {
+                        *cv += aki * b.at(j, k);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Naive Gram accumulation: rank-1 updates row-by-row of A.
+fn gram_naive(a: MatRef<'_>, g: &mut Mat) {
+    g.resize_zeroed(a.cols(), a.cols());
+    for k in 0..a.rows() {
+        let row = a.row(k);
+        for (i, &ri) in row.iter().enumerate() {
+            for (gv, &rj) in g.row_mut(i).iter_mut().zip(row) {
+                *gv += ri * rj;
+            }
+        }
+    }
+}
+
+/// Builds the multiply method family on `MatRef` for one transpose variant.
+macro_rules! view_matmul_variant {
+    ($([$doc:literal, $name:ident, $into:ident, $pooled:ident, $pooled_into:ident,
+        $op:literal, $ta:expr, $tb:expr, $ok:ident]),+ $(,)?) => {
+        impl<'v> MatRef<'v> {
+            $(
+                #[doc = concat!("`", $doc, "` (see the identically-named [`Mat`] method).")]
+                ///
+                /// # Errors
+                /// Returns [`LinalgError::DimensionMismatch`] on an inner-dimension mismatch.
+                pub fn $name(self, b: impl AsMatRef) -> Result<Mat> {
+                    let b = b.as_mat_ref();
+                    if !$ok(self, b) {
+                        return Err(LinalgError::DimensionMismatch {
+                            op: $op,
+                            left: self.shape(),
+                            right: b.shape(),
+                        });
+                    }
+                    let mut c = Mat::zeros(0, 0);
+                    mm_into($op, $ta, $tb, self, b, &mut c, None);
+                    Ok(c)
+                }
+
+                #[doc = concat!("`", $doc, "` into a pre-allocated buffer (resized if needed).")]
+                ///
+                /// # Panics
+                /// Panics on an inner-dimension mismatch.
+                pub fn $into(self, b: impl AsMatRef, c: &mut Mat) {
+                    mm_into($op, $ta, $tb, self, b.as_mat_ref(), c, None);
+                }
+
+                #[doc = concat!("`", $doc, "` with row panels of C fanned out over `pool`; bit-identical to the serial form for every pool size.")]
+                ///
+                /// # Errors
+                /// Returns [`LinalgError::DimensionMismatch`] on an inner-dimension mismatch.
+                pub fn $pooled(self, b: impl AsMatRef, pool: &ThreadPool) -> Result<Mat> {
+                    let b = b.as_mat_ref();
+                    if !$ok(self, b) {
+                        return Err(LinalgError::DimensionMismatch {
+                            op: $op,
+                            left: self.shape(),
+                            right: b.shape(),
+                        });
+                    }
+                    let mut c = Mat::zeros(0, 0);
+                    mm_into($op, $ta, $tb, self, b, &mut c, Some(pool));
+                    Ok(c)
+                }
+
+                #[doc = concat!("Pooled `", $doc, "` into a pre-allocated buffer.")]
+                ///
+                /// # Panics
+                /// Panics on an inner-dimension mismatch.
+                pub fn $pooled_into(self, b: impl AsMatRef, c: &mut Mat, pool: &ThreadPool) {
+                    mm_into($op, $ta, $tb, self, b.as_mat_ref(), c, Some(pool));
+                }
+            )+
+        }
+    };
+}
+
+fn nn_ok(a: MatRef<'_>, b: MatRef<'_>) -> bool {
+    a.cols() == b.rows()
+}
+fn tn_ok(a: MatRef<'_>, b: MatRef<'_>) -> bool {
+    a.rows() == b.rows()
+}
+fn nt_ok(a: MatRef<'_>, b: MatRef<'_>) -> bool {
+    a.cols() == b.cols()
+}
+fn tt_ok(a: MatRef<'_>, b: MatRef<'_>) -> bool {
+    a.rows() == b.cols()
+}
+
+view_matmul_variant!(
+    [
+        "C = A · B",
+        matmul,
+        matmul_into,
+        matmul_pooled,
+        matmul_pooled_into,
+        "matmul",
+        Trans::N,
+        Trans::N,
+        nn_ok
+    ],
+    [
+        "C = Aᵀ · B",
+        matmul_tn,
+        matmul_tn_into,
+        matmul_tn_pooled,
+        matmul_tn_pooled_into,
+        "matmul_tn",
+        Trans::T,
+        Trans::N,
+        tn_ok
+    ],
+    [
+        "C = A · Bᵀ",
+        matmul_nt,
+        matmul_nt_into,
+        matmul_nt_pooled,
+        matmul_nt_pooled_into,
+        "matmul_nt",
+        Trans::N,
+        Trans::T,
+        nt_ok
+    ],
+    [
+        "C = Aᵀ · Bᵀ",
+        matmul_tt,
+        matmul_tt_into,
+        matmul_tt_pooled,
+        matmul_tt_pooled_into,
+        "matmul_tt",
+        Trans::T,
+        Trans::T,
+        tt_ok
+    ],
+);
+
+impl<'v> MatRef<'v> {
+    /// Gram matrix `Aᵀ A` (symmetric `cols × cols`).
+    pub fn gram(self) -> Mat {
+        let mut g = Mat::zeros(0, 0);
+        self.gram_into(&mut g);
+        g
+    }
+
+    /// Gram matrix written into a pre-allocated buffer (resized if needed).
+    pub fn gram_into(self, g: &mut Mat) {
+        if kernel::use_blocked(self.cols(), self.cols(), self.rows()) {
+            kernel::gemm_into(Trans::T, Trans::N, self, self, g);
+            return;
+        }
+        gram_naive(self, g);
+    }
+
+    /// Gram matrix with row panels computed in parallel on `pool`.
+    /// Bit-identical to [`MatRef::gram`] for every pool size.
+    pub fn gram_pooled(self, pool: &ThreadPool) -> Mat {
+        let mut g = Mat::zeros(0, 0);
+        if kernel::use_blocked(self.cols(), self.cols(), self.rows()) {
+            kernel::gemm_pooled_into(Trans::T, Trans::N, self, self, &mut g, pool);
+            return g;
+        }
+        gram_naive(self, &mut g);
+        g
     }
 }
 
@@ -1000,7 +1151,7 @@ mod tests {
     fn matmul_nt_matches_explicit_transpose() {
         let a = Mat::from_fn(4, 6, |i, j| ((i + 1) * (j + 2)) as f64);
         let b = Mat::from_fn(3, 6, |i, j| (i as f64) - (j as f64));
-        let expected = a.matmul(&b.transpose()).unwrap();
+        let expected = a.matmul(b.transpose()).unwrap();
         let got = a.matmul_nt(&b).unwrap();
         assert!((&expected - &got).fro_norm() < 1e-12);
     }
@@ -1009,11 +1160,11 @@ mod tests {
     fn matmul_tt_matches_explicit_transposes() {
         let a = Mat::from_fn(6, 4, |i, j| (i * 4 + j) as f64 * 0.25);
         let b = Mat::from_fn(5, 6, |i, j| (i as f64) - 0.5 * (j as f64));
-        let expected = a.transpose().matmul(&b.transpose()).unwrap();
+        let expected = a.transpose().matmul(b.transpose()).unwrap();
         let got = a.matmul_tt(&b).unwrap();
         assert!((&expected - &got).fro_norm() < 1e-12);
         assert!(matches!(
-            a.matmul_tt(&Mat::zeros(3, 3)),
+            a.matmul_tt(Mat::zeros(3, 3)),
             Err(LinalgError::DimensionMismatch { .. })
         ));
     }
@@ -1054,8 +1205,8 @@ mod tests {
         // Same contract for the other variants.
         let at = a.transpose(); // 2×1
         assert!(at.matmul_tn(&b_inf).unwrap()[(0, 0)].is_nan());
-        assert!(a.matmul_nt(&b_inf.transpose()).unwrap()[(0, 0)].is_nan());
-        assert!(at.matmul_tt(&b_inf.transpose()).unwrap()[(0, 0)].is_nan());
+        assert!(a.matmul_nt(b_inf.transpose()).unwrap()[(0, 0)].is_nan());
+        assert!(at.matmul_tt(b_inf.transpose()).unwrap()[(0, 0)].is_nan());
         assert!(!a.matvec_t(&[0.0])[0].is_nan()); // 0·0 stays 0
         let inf_row = Mat::from_rows(&[&[f64::INFINITY, 1.0]]);
         assert!(inf_row.matvec_t(&[0.0])[0].is_nan());

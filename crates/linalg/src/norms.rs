@@ -1,9 +1,10 @@
-//! Matrix norms beyond the Frobenius norm that lives on [`Mat`] itself.
+//! Matrix norms beyond the Frobenius norm that lives on [`crate::Mat`] itself.
 
-use crate::mat::Mat;
+use crate::view::AsMatRef;
 
 /// Induced 1-norm: maximum absolute column sum.
-pub fn one_norm(a: &Mat) -> f64 {
+pub fn one_norm(a: impl AsMatRef) -> f64 {
+    let a = a.as_mat_ref();
     let mut best = 0.0f64;
     for j in 0..a.cols() {
         let s: f64 = (0..a.rows()).map(|i| a.at(i, j).abs()).sum();
@@ -13,7 +14,8 @@ pub fn one_norm(a: &Mat) -> f64 {
 }
 
 /// Induced ∞-norm: maximum absolute row sum.
-pub fn inf_norm(a: &Mat) -> f64 {
+pub fn inf_norm(a: impl AsMatRef) -> f64 {
+    let a = a.as_mat_ref();
     let mut best = 0.0f64;
     for i in 0..a.rows() {
         let s: f64 = a.row(i).iter().map(|x| x.abs()).sum();
@@ -24,7 +26,8 @@ pub fn inf_norm(a: &Mat) -> f64 {
 
 /// Spectral norm estimate (largest singular value) by power iteration on
 /// `AᵀA`. Deterministic: starts from the all-ones vector.
-pub fn two_norm_est(a: &Mat, iterations: usize) -> f64 {
+pub fn two_norm_est(a: impl AsMatRef, iterations: usize) -> f64 {
+    let a = a.as_mat_ref();
     if a.rows() == 0 || a.cols() == 0 {
         return 0.0;
     }
@@ -49,10 +52,18 @@ pub fn two_norm_est(a: &Mat, iterations: usize) -> f64 {
 ///
 /// # Panics
 /// Panics if shapes differ.
-pub fn rel_fro_dist(a: &Mat, b: &Mat) -> f64 {
+pub fn rel_fro_dist(a: impl AsMatRef, b: impl AsMatRef) -> f64 {
+    let (a, b) = (a.as_mat_ref(), b.as_mat_ref());
     assert_eq!(a.shape(), b.shape(), "rel_fro_dist: shape mismatch");
     let denom = a.fro_norm();
-    let num = (a - b).fro_norm();
+    let mut num_sq = 0.0;
+    for i in 0..a.rows() {
+        for (&x, &y) in a.row(i).iter().zip(b.row(i)) {
+            let d = x - y;
+            num_sq += d * d;
+        }
+    }
+    let num = num_sq.sqrt();
     if denom > 0.0 {
         num / denom
     } else {
@@ -63,6 +74,7 @@ pub fn rel_fro_dist(a: &Mat, b: &Mat) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mat::Mat;
     use crate::random::gaussian_mat;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -85,7 +97,7 @@ mod tests {
 
     #[test]
     fn two_norm_zero_matrix() {
-        assert_eq!(two_norm_est(&Mat::zeros(3, 3), 10), 0.0);
+        assert_eq!(two_norm_est(Mat::zeros(3, 3), 10), 0.0);
     }
 
     #[test]

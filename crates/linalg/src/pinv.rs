@@ -8,31 +8,61 @@
 //! tolerance, exactly as MATLAB's `pinv` does.
 
 use crate::mat::Mat;
-use crate::svd::svd_thin;
+use crate::svd::{svd_thin_into, SvdFactors, SvdScratch};
+use crate::view::AsMatRef;
 
 /// Computes the Moore–Penrose pseudoinverse `A†` via the SVD.
 ///
 /// Singular values `≤ max(m,n) · eps · σ₁` are treated as zero
 /// (MATLAB-compatible default tolerance).
-pub fn pinv(a: &Mat) -> Mat {
+pub fn pinv(a: impl AsMatRef) -> Mat {
+    let a = a.as_mat_ref();
     pinv_with_tol(a, f64::EPSILON * a.rows().max(a.cols()) as f64)
+}
+
+/// [`pinv`] into a caller-owned output with reusable SVD scratch — the
+/// allocation-free form of the `(WᵀW ∗ VᵀV)†` step of every ALS update.
+/// Bit-identical to [`pinv`].
+pub fn pinv_into(a: impl AsMatRef, out: &mut Mat, tmp: &mut SvdFactors, ws: &mut SvdScratch) {
+    let a = a.as_mat_ref();
+    let rel_tol = f64::EPSILON * a.rows().max(a.cols()) as f64;
+    pinv_with_tol_into(a, rel_tol, out, tmp, ws);
 }
 
 /// Pseudoinverse with an explicit relative tolerance: singular values
 /// `≤ rel_tol · σ₁` are discarded.
-pub fn pinv_with_tol(a: &Mat, rel_tol: f64) -> Mat {
-    let f = svd_thin(a);
-    let sigma_max = f.s.first().copied().unwrap_or(0.0);
+pub fn pinv_with_tol(a: impl AsMatRef, rel_tol: f64) -> Mat {
+    let mut out = Mat::zeros(0, 0);
+    pinv_with_tol_into(
+        a,
+        rel_tol,
+        &mut out,
+        &mut SvdFactors::default(),
+        &mut SvdScratch::default(),
+    );
+    out
+}
+
+/// [`pinv_with_tol`] into a caller-owned output with reusable scratch.
+pub fn pinv_with_tol_into(
+    a: impl AsMatRef,
+    rel_tol: f64,
+    out: &mut Mat,
+    tmp: &mut SvdFactors,
+    ws: &mut SvdScratch,
+) {
+    svd_thin_into(a, tmp, ws);
+    let sigma_max = tmp.s.first().copied().unwrap_or(0.0);
     let cutoff = sigma_max * rel_tol;
-    // A† = V Σ† Uᵀ, built as (V · Σ†) · Uᵀ.
-    let mut v_scaled = f.v.clone();
-    for i in 0..v_scaled.rows() {
-        let row = v_scaled.row_mut(i);
-        for (j, &sigma) in f.s.iter().enumerate() {
+    // A† = V Σ† Uᵀ, built as (V · Σ†) · Uᵀ; Σ† is applied to the scratch
+    // copy of V in place.
+    for i in 0..tmp.v.rows() {
+        let row = tmp.v.row_mut(i);
+        for (j, &sigma) in tmp.s.iter().enumerate() {
             row[j] = if sigma > cutoff && sigma > 0.0 { row[j] / sigma } else { 0.0 };
         }
     }
-    v_scaled.matmul_nt(&f.u).expect("pinv: shape mismatch")
+    tmp.v.matmul_nt_into(&tmp.u, out);
 }
 
 #[cfg(test)]
@@ -81,7 +111,7 @@ mod tests {
 
     #[test]
     fn pinv_zero_matrix_is_zero() {
-        let p = pinv(&Mat::zeros(3, 2));
+        let p = pinv(Mat::zeros(3, 2));
         assert_eq!(p.shape(), (2, 3));
         assert!(p.fro_norm() < 1e-300);
     }
@@ -90,7 +120,7 @@ mod tests {
     fn pinv_of_transpose_is_transpose_of_pinv() {
         let mut rng = StdRng::seed_from_u64(42);
         let a = gaussian_mat(6, 3, &mut rng);
-        let p1 = pinv(&a.transpose());
+        let p1 = pinv(a.transpose());
         let p2 = pinv(&a).transpose();
         assert!((&p1 - &p2).fro_norm() < 1e-9 * p1.fro_norm());
     }

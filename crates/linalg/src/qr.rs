@@ -7,6 +7,7 @@
 //! numerically stable (unlike Gram–Schmidt).
 
 use crate::mat::Mat;
+use crate::view::AsMatRef;
 
 /// Result of a thin QR factorization `A = Q R`.
 #[derive(Debug, Clone)]
@@ -17,29 +18,57 @@ pub struct QrFactors {
     pub r: Mat,
 }
 
+/// Reusable scratch for [`qr_into`]: the full-size working copy of `A` and
+/// the Householder vectors. Holding one of these across calls makes
+/// repeated factorizations of same-shaped inputs allocation-free.
+#[derive(Debug, Default)]
+pub struct QrScratch {
+    /// Working copy of `A` that the reflectors are applied to.
+    work: Mat,
+    /// Householder vectors; `vs[j]` has length `m - j`. The outer vector is
+    /// never cleared, so inner capacities persist across calls.
+    vs: Vec<Vec<f64>>,
+    /// Reflector scales, one per column.
+    taus: Vec<f64>,
+}
+
 /// Computes the thin QR factorization of `a` using Householder reflections.
 ///
 /// For each column `k`, a reflector `H_k = I − τ v vᵀ` annihilates the
 /// entries below the diagonal; `Q` is accumulated by applying the reflectors
 /// to the thin identity in reverse order.
-pub fn qr(a: &Mat) -> QrFactors {
+pub fn qr(a: impl AsMatRef) -> QrFactors {
+    let mut f = QrFactors { q: Mat::zeros(0, 0), r: Mat::zeros(0, 0) };
+    qr_into(a, &mut f.q, &mut f.r, &mut QrScratch::default());
+    f
+}
+
+/// [`qr`] into caller-owned output buffers (`q`, `r` resized in place) with
+/// reusable scratch — the allocation-free form the per-iteration SVDs of
+/// the ALS solvers run on. Bit-identical to [`qr`].
+pub fn qr_into(a: impl AsMatRef, q: &mut Mat, r_thin: &mut Mat, ws: &mut QrScratch) {
+    let a = a.as_mat_ref();
     let m = a.rows();
     let n = a.cols();
     let k = m.min(n);
-    let mut r = a.clone();
+    let r = &mut ws.work;
+    r.copy_from(a);
     // Householder vectors, one per reflected column. v[j] has length m - j.
-    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(k);
-    let mut taus: Vec<f64> = Vec::with_capacity(k);
+    while ws.vs.len() < k {
+        ws.vs.push(Vec::new());
+    }
+    ws.taus.clear();
 
     for j in 0..k {
         // Build the reflector from column j, rows j..m.
-        let mut v: Vec<f64> = (j..m).map(|i| r.at(i, j)).collect();
+        let v = &mut ws.vs[j];
+        v.clear();
+        v.extend((j..m).map(|i| r.at(i, j)));
         let alpha = v[0];
         let sigma: f64 = v[1..].iter().map(|&x| x * x).sum();
         if sigma == 0.0 && alpha >= 0.0 {
             // Column already in upper-triangular form; identity reflector.
-            vs.push(v);
-            taus.push(0.0);
+            ws.taus.push(0.0);
             continue;
         }
         let norm = (alpha * alpha + sigma).sqrt();
@@ -66,12 +95,11 @@ pub fn qr(a: &Mat) -> QrFactors {
                 }
             }
         }
-        vs.push(v);
-        taus.push(tau);
+        ws.taus.push(tau);
     }
 
     // Zero the subdiagonal of R explicitly and truncate to k rows.
-    let mut r_thin = Mat::zeros(k, n);
+    r_thin.resize_zeroed(k, n);
     for i in 0..k {
         for j in i..n {
             r_thin.set(i, j, r.at(i, j));
@@ -80,13 +108,13 @@ pub fn qr(a: &Mat) -> QrFactors {
 
     // Accumulate the thin Q: apply H_0 H_1 … H_{k-1} to the m×k identity,
     // multiplying from the last reflector backwards.
-    let mut q = Mat::zeros(m, k);
+    q.resize_zeroed(m, k);
     for i in 0..k {
         q.set(i, i, 1.0);
     }
     for j in (0..k).rev() {
-        let v = &vs[j];
-        let tau = taus[j];
+        let v = &ws.vs[j];
+        let tau = ws.taus[j];
         if tau == 0.0 {
             continue;
         }
@@ -104,8 +132,6 @@ pub fn qr(a: &Mat) -> QrFactors {
             }
         }
     }
-
-    QrFactors { q, r: r_thin }
 }
 
 /// Solves the least-squares problem `min_x ‖A x − b‖₂` for tall full-rank `A`
@@ -113,7 +139,8 @@ pub fn qr(a: &Mat) -> QrFactors {
 ///
 /// # Panics
 /// Panics if `a.rows() < a.cols()` or `b.len() != a.rows()`.
-pub fn lstsq(a: &Mat, b: &[f64]) -> Vec<f64> {
+pub fn lstsq(a: impl AsMatRef, b: &[f64]) -> Vec<f64> {
+    let a = a.as_mat_ref();
     assert!(a.rows() >= a.cols(), "lstsq: system must be square or overdetermined");
     assert_eq!(b.len(), a.rows(), "lstsq: rhs length mismatch");
     let f = qr(a);
@@ -195,7 +222,7 @@ mod tests {
 
     #[test]
     fn qr_of_identity() {
-        let f = qr(&Mat::eye(5));
+        let f = qr(Mat::eye(5));
         assert!((&f.q.matmul(&f.r).unwrap() - &Mat::eye(5)).fro_norm() < 1e-14);
     }
 

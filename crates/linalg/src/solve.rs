@@ -6,6 +6,7 @@
 
 use crate::error::{LinalgError, Result};
 use crate::mat::Mat;
+use crate::view::AsMatRef;
 
 /// LU factorization with partial pivoting: `P A = L U`.
 #[derive(Debug, Clone)]
@@ -23,12 +24,13 @@ pub struct LuFactors {
 /// # Errors
 /// * [`LinalgError::NotSquare`] for rectangular input.
 /// * [`LinalgError::Singular`] if a pivot underflows.
-pub fn lu(a: &Mat) -> Result<LuFactors> {
+pub fn lu(a: impl AsMatRef) -> Result<LuFactors> {
+    let a = a.as_mat_ref();
     let (m, n) = a.shape();
     if m != n {
         return Err(LinalgError::NotSquare { op: "lu", shape: (m, n) });
     }
-    let mut lu_m = a.clone();
+    let mut lu_m = a.to_mat();
     let mut perm: Vec<usize> = (0..n).collect();
     let mut sign = 1.0;
 
@@ -130,7 +132,7 @@ impl LuFactors {
 ///
 /// # Errors
 /// Propagates factorization errors from [`lu`].
-pub fn solve(a: &Mat, b: &[f64]) -> Result<Vec<f64>> {
+pub fn solve(a: impl AsMatRef, b: &[f64]) -> Result<Vec<f64>> {
     Ok(lu(a)?.solve_vec(b))
 }
 
@@ -138,8 +140,10 @@ pub fn solve(a: &Mat, b: &[f64]) -> Result<Vec<f64>> {
 ///
 /// # Errors
 /// Propagates factorization errors from [`lu`].
-pub fn inverse(a: &Mat) -> Result<Mat> {
-    Ok(lu(a)?.solve_mat(&Mat::eye(a.rows())))
+pub fn inverse(a: impl AsMatRef) -> Result<Mat> {
+    let a = a.as_mat_ref();
+    let n = a.rows();
+    Ok(lu(a)?.solve_mat(&Mat::eye(n)))
 }
 
 #[cfg(test)]
@@ -180,7 +184,7 @@ mod tests {
 
     #[test]
     fn det_of_diag() {
-        let f = lu(&Mat::diag(&[2.0, 3.0, 4.0])).unwrap();
+        let f = lu(Mat::diag(&[2.0, 3.0, 4.0])).unwrap();
         assert!((f.det() - 24.0).abs() < 1e-12);
     }
 
@@ -199,7 +203,7 @@ mod tests {
 
     #[test]
     fn rejects_rectangular() {
-        assert!(matches!(lu(&Mat::zeros(2, 3)), Err(LinalgError::NotSquare { .. })));
+        assert!(matches!(lu(Mat::zeros(2, 3)), Err(LinalgError::NotSquare { .. })));
     }
 
     #[test]

@@ -18,7 +18,8 @@
 //! transposed.
 
 use crate::mat::Mat;
-use crate::qr::qr;
+use crate::qr::{qr_into, QrScratch};
+use crate::view::{AsMatRef, MatRef};
 
 /// Maximum number of Jacobi sweeps before declaring non-convergence.
 /// One-sided Jacobi converges quadratically; well-conditioned inputs finish
@@ -26,7 +27,7 @@ use crate::qr::qr;
 const MAX_SWEEPS: usize = 60;
 
 /// A (thin) singular value decomposition `A ≈ U · diag(s) · Vᵀ`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SvdFactors {
     /// Column-orthonormal left factor, `m × k`.
     pub u: Mat,
@@ -63,43 +64,123 @@ fn scale_cols(m: &Mat, s: &[f64]) -> Mat {
     out
 }
 
+/// Reusable scratch for the in-place SVD entry points. One instance serves
+/// any sequence of factorizations; buffers grow to the largest shape seen
+/// and are then reused, so repeated same-shape factorizations (the per-slice
+/// `R×R` SVDs of the ALS iterations) perform no heap allocations.
+#[derive(Debug, Default)]
+pub struct SvdScratch {
+    /// Column-major Jacobi working store (`n` columns of length `m`).
+    w: Vec<f64>,
+    /// Accumulated right-rotation matrix before sorting.
+    v: Mat,
+    /// Column norms (candidate singular values) before sorting.
+    sigmas: Vec<f64>,
+    /// Column permutation sorting the spectrum descending.
+    order: Vec<usize>,
+    /// Indices of numerically-null columns of `U` to re-orthonormalize.
+    deficient: Vec<usize>,
+    /// Gram–Schmidt candidate vector for basis completion.
+    cand: Vec<f64>,
+    /// QR-preconditioning scratch (tall inputs).
+    qr: QrScratch,
+    /// QR factors of tall inputs.
+    qr_q: Mat,
+    qr_r: Mat,
+    /// Left factor of the preconditioned inner SVD.
+    u_inner: Mat,
+    /// Transposed copy for wide inputs.
+    trans: Mat,
+}
+
 /// Thin SVD of an arbitrary dense matrix.
 ///
 /// Strategy:
 /// * `m ≥ n`: QR-precondition when noticeably tall, then one-sided Jacobi.
 /// * `m < n`: factorize the transpose and swap `U`/`V`.
-pub fn svd_thin(a: &Mat) -> SvdFactors {
+pub fn svd_thin(a: impl AsMatRef) -> SvdFactors {
+    let mut out = SvdFactors::default();
+    svd_thin_into(a, &mut out, &mut SvdScratch::default());
+    out
+}
+
+/// [`svd_thin`] into a caller-owned [`SvdFactors`] with reusable scratch —
+/// the allocation-free form the ALS hot loops run on. Bit-identical to
+/// [`svd_thin`].
+pub fn svd_thin_into(a: impl AsMatRef, out: &mut SvdFactors, ws: &mut SvdScratch) {
+    let a = a.as_mat_ref();
     let (m, n) = a.shape();
     if m == 0 || n == 0 {
-        return SvdFactors { u: Mat::zeros(m, 0), s: vec![], v: Mat::zeros(n, 0) };
+        out.u.resize_zeroed(m, 0);
+        out.s.clear();
+        out.v.resize_zeroed(n, 0);
+        return;
     }
     if m < n {
-        let f = svd_thin(&a.transpose());
-        return SvdFactors { u: f.v, s: f.s, v: f.u };
+        // Wide: factorize the transpose with U/V output slots swapped.
+        let mut t = std::mem::take(&mut ws.trans);
+        a.transpose_into(&mut t);
+        svd_tall_into(t.view(), &mut out.v, &mut out.s, &mut out.u, ws);
+        ws.trans = t;
+        return;
     }
+    svd_tall_into(a, &mut out.u, &mut out.s, &mut out.v, ws);
+}
+
+/// Tall/square driver (`m ≥ n`): QR-precondition when noticeably tall.
+fn svd_tall_into(a: MatRef<'_>, u: &mut Mat, s: &mut Vec<f64>, v: &mut Mat, ws: &mut SvdScratch) {
+    let (m, n) = a.shape();
+    debug_assert!(m >= n);
     // QR preconditioning: Jacobi sweeps cost O(m n²) each, so shrinking the
     // row dimension to n first is a large win whenever m is even modestly
     // larger than n (and never hurts accuracy).
     if m > n + n / 4 {
-        let f = qr(a);
-        let inner = jacobi_svd_tall(&f.r);
-        let u = f.q.matmul(&inner.u).expect("svd_thin: Q·U_r shape mismatch");
-        return SvdFactors { u, s: inner.s, v: inner.v };
+        qr_into(a, &mut ws.qr_q, &mut ws.qr_r, &mut ws.qr);
+        let mut u_inner = std::mem::take(&mut ws.u_inner);
+        let r = std::mem::take(&mut ws.qr_r);
+        jacobi_svd_into(r.view(), &mut u_inner, s, v, ws);
+        ws.qr_q.matmul_into(&u_inner, u);
+        ws.u_inner = u_inner;
+        ws.qr_r = r;
+        return;
     }
-    jacobi_svd_tall(a)
+    jacobi_svd_into(a, u, s, v, ws);
 }
 
 /// Rank-`r` truncated SVD: the leading `r` singular triplets of `a`.
 ///
 /// This mirrors MATLAB's `svds(A, r)` as used throughout the paper's
 /// pseudocode ("performing truncated SVD at rank R").
-pub fn svd_truncated(a: &Mat, r: usize) -> SvdFactors {
+pub fn svd_truncated(a: impl AsMatRef, r: usize) -> SvdFactors {
     let f = svd_thin(a);
-    truncate(f, r)
+    truncate(&f, r)
+}
+
+/// [`svd_truncated`] into a caller-owned [`SvdFactors`]; `tmp` holds the
+/// full factorization before truncation. Bit-identical to [`svd_truncated`].
+pub fn svd_truncated_into(
+    a: impl AsMatRef,
+    r: usize,
+    out: &mut SvdFactors,
+    tmp: &mut SvdFactors,
+    ws: &mut SvdScratch,
+) {
+    svd_thin_into(a, tmp, ws);
+    let k = r.min(tmp.s.len());
+    out.u.resize_zeroed(tmp.u.rows(), k);
+    for i in 0..tmp.u.rows() {
+        out.u.row_mut(i).copy_from_slice(&tmp.u.row(i)[..k]);
+    }
+    out.s.clear();
+    out.s.extend_from_slice(&tmp.s[..k]);
+    out.v.resize_zeroed(tmp.v.rows(), k);
+    for i in 0..tmp.v.rows() {
+        out.v.row_mut(i).copy_from_slice(&tmp.v.row(i)[..k]);
+    }
 }
 
 /// Keeps the leading `r` triplets of an existing factorization.
-pub fn truncate(f: SvdFactors, r: usize) -> SvdFactors {
+pub fn truncate(f: &SvdFactors, r: usize) -> SvdFactors {
     let k = r.min(f.s.len());
     SvdFactors {
         u: f.u.block(0, f.u.rows(), 0, k),
@@ -108,27 +189,49 @@ pub fn truncate(f: SvdFactors, r: usize) -> SvdFactors {
     }
 }
 
-/// One-sided Jacobi SVD for `m ≥ n`.
+/// One-sided Jacobi SVD for `m ≥ n`, writing into caller buffers.
 ///
 /// Works on `W = A` column-wise: each rotation orthogonalizes one pair of
 /// columns of `W` while accumulating the same rotation into `V`. On
-/// convergence `W = U · diag(s)` and `A = W Vᵀ`.
-fn jacobi_svd_tall(a: &Mat) -> SvdFactors {
+/// convergence `W = U · diag(s)` and `A = W Vᵀ`. The working store is one
+/// flat column-major buffer (column `j` at `w[j·m..(j+1)·m]`), so the
+/// rotation loops stream contiguous memory.
+fn jacobi_svd_into(
+    a: MatRef<'_>,
+    u: &mut Mat,
+    s: &mut Vec<f64>,
+    v_out: &mut Mat,
+    ws: &mut SvdScratch,
+) {
     let (m, n) = a.shape();
     debug_assert!(m >= n);
     // Column-major working copy: rotations touch whole columns, so columns
     // must be contiguous for this loop to vectorize.
-    let mut w: Vec<Vec<f64>> = (0..n).map(|j| a.col(j)).collect();
-    let mut v = Mat::eye(n);
+    let w = &mut ws.w;
+    w.clear();
+    w.reserve(n * m);
+    for j in 0..n {
+        for i in 0..m {
+            w.push(a.at(i, j));
+        }
+    }
+    let v = &mut ws.v;
+    v.resize_zeroed(n, n);
+    for i in 0..n {
+        v.set(i, i, 1.0);
+    }
 
     let fro: f64 = a.fro_norm();
     if fro == 0.0 {
         // Zero matrix: arbitrary orthonormal factors, zero spectrum.
-        let mut u = Mat::zeros(m, n);
+        u.resize_zeroed(m, n);
         for j in 0..n {
             u.set(j, j, 1.0);
         }
-        return SvdFactors { u, s: vec![0.0; n], v };
+        s.clear();
+        s.resize(n, 0.0);
+        v_out.copy_from(&*v);
+        return;
     }
     let tol = 1e-15 * fro * fro;
 
@@ -136,10 +239,11 @@ fn jacobi_svd_tall(a: &Mat) -> SvdFactors {
         let mut rotated = false;
         for p in 0..n {
             for q in p + 1..n {
+                let (col_p, col_q) = (&w[p * m..(p + 1) * m], &w[q * m..(q + 1) * m]);
                 let (mut app, mut aqq, mut apq) = (0.0, 0.0, 0.0);
                 for i in 0..m {
-                    let wp = w[p][i];
-                    let wq = w[q][i];
+                    let wp = col_p[i];
+                    let wq = col_q[i];
                     app += wp * wp;
                     aqq += wq * wq;
                     apq += wp * wq;
@@ -153,21 +257,21 @@ fn jacobi_svd_tall(a: &Mat) -> SvdFactors {
                 let zeta = (aqq - app) / (2.0 * apq);
                 let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
                 let c = 1.0 / (1.0 + t * t).sqrt();
-                let s = c * t;
+                let s_rot = c * t;
                 // Rotate columns p and q of W…
-                let (wp, wq) = pair_mut(&mut w, p, q);
+                let (wp, wq) = pair_mut(w, m, p, q);
                 for i in 0..m {
                     let xp = wp[i];
                     let xq = wq[i];
-                    wp[i] = c * xp - s * xq;
-                    wq[i] = s * xp + c * xq;
+                    wp[i] = c * xp - s_rot * xq;
+                    wq[i] = s_rot * xp + c * xq;
                 }
                 // …and the same columns of V.
                 for i in 0..n {
                     let vp = v.at(i, p);
                     let vq = v.at(i, q);
-                    v.set(i, p, c * vp - s * vq);
-                    v.set(i, q, s * vp + c * vq);
+                    v.set(i, p, c * vp - s_rot * vq);
+                    v.set(i, q, s_rot * vp + c * vq);
                 }
             }
         }
@@ -177,58 +281,62 @@ fn jacobi_svd_tall(a: &Mat) -> SvdFactors {
     }
 
     // Column norms are the singular values.
-    let mut order: Vec<usize> = (0..n).collect();
-    let sigmas: Vec<f64> =
-        w.iter().map(|col| col.iter().map(|&x| x * x).sum::<f64>().sqrt()).collect();
+    let order = &mut ws.order;
+    order.clear();
+    order.extend(0..n);
+    let sigmas = &mut ws.sigmas;
+    sigmas.clear();
+    sigmas
+        .extend(w.chunks_exact(m.max(1)).map(|col| col.iter().map(|&x| x * x).sum::<f64>().sqrt()));
     order.sort_by(|&i, &j| sigmas[j].partial_cmp(&sigmas[i]).expect("NaN singular value"));
 
-    let mut u = Mat::zeros(m, n);
-    let mut s = Vec::with_capacity(n);
-    let mut v_sorted = Mat::zeros(n, n);
+    u.resize_zeroed(m, n);
+    s.clear();
+    v_out.resize_zeroed(n, n);
     let sigma_max = order.first().map(|&i| sigmas[i]).unwrap_or(0.0);
     let rank_tol = sigma_max * 1e-14;
-    let mut deficient_cols = Vec::new();
+    ws.deficient.clear();
     for (new_j, &old_j) in order.iter().enumerate() {
         let sigma = sigmas[old_j];
         s.push(sigma);
         if sigma > rank_tol && sigma > 0.0 {
             let inv = 1.0 / sigma;
+            let col = &w[old_j * m..(old_j + 1) * m];
             for i in 0..m {
-                u.set(i, new_j, w[old_j][i] * inv);
+                u.set(i, new_j, col[i] * inv);
             }
         } else {
-            deficient_cols.push(new_j);
+            ws.deficient.push(new_j);
         }
         for i in 0..n {
-            v_sorted.set(i, new_j, v.at(i, old_j));
+            v_out.set(i, new_j, v.at(i, old_j));
         }
     }
     // Rank-deficient inputs leave null columns in U; PARAFAC2's Q_k update
     // needs a fully orthonormal U, so complete the basis deterministically.
-    if !deficient_cols.is_empty() {
-        complete_orthonormal_columns(&mut u, &deficient_cols);
+    if !ws.deficient.is_empty() {
+        complete_orthonormal_columns(u, &ws.deficient, &mut ws.cand);
     }
-
-    SvdFactors { u, s, v: v_sorted }
 }
 
-/// Borrows two distinct columns of the working store mutably.
-fn pair_mut(w: &mut [Vec<f64>], p: usize, q: usize) -> (&mut [f64], &mut [f64]) {
+/// Borrows two distinct columns of the flat working store mutably.
+fn pair_mut(w: &mut [f64], m: usize, p: usize, q: usize) -> (&mut [f64], &mut [f64]) {
     debug_assert!(p < q);
-    let (lo, hi) = w.split_at_mut(q);
-    (&mut lo[p], &mut hi[0])
+    let (lo, hi) = w.split_at_mut(q * m);
+    (&mut lo[p * m..(p + 1) * m], &mut hi[..m])
 }
 
 /// Fills the given columns of `u` with vectors orthonormal to all other
 /// columns, using modified Gram–Schmidt against deterministic seed vectors.
-fn complete_orthonormal_columns(u: &mut Mat, targets: &[usize]) {
+fn complete_orthonormal_columns(u: &mut Mat, targets: &[usize], cand: &mut Vec<f64>) {
     let m = u.rows();
     let n = u.cols();
     let mut next_seed = 0usize;
     for &col in targets {
         'seed: loop {
             // Try canonical basis vectors e_0, e_1, … as seeds.
-            let mut cand = vec![0.0; m];
+            cand.clear();
+            cand.resize(m, 0.0);
             if next_seed < m {
                 cand[next_seed] = 1.0;
             } else {
@@ -376,7 +484,7 @@ mod tests {
     fn singular_values_invariant_under_orthogonal_transform() {
         let mut rng = StdRng::seed_from_u64(27);
         let a = gaussian_mat(10, 6, &mut rng);
-        let q = crate::qr::qr(&gaussian_mat(10, 10, &mut rng)).q;
+        let q = crate::qr::qr(gaussian_mat(10, 10, &mut rng)).q;
         let qa = q.matmul(&a).unwrap();
         let s1 = svd_thin(&a).s;
         let s2 = svd_thin(&qa).s;
@@ -387,7 +495,7 @@ mod tests {
 
     #[test]
     fn empty_matrix() {
-        let f = svd_thin(&Mat::zeros(0, 0));
+        let f = svd_thin(Mat::zeros(0, 0));
         assert!(f.s.is_empty());
     }
 

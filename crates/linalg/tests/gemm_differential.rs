@@ -289,7 +289,7 @@ fn matmul_dispatch_consistent_with_direct_kernels() {
         gemm_naive_into(Trans::N, Trans::N, &a, &b, &mut reference);
         let abs_prod = {
             let mut e = Mat::zeros(0, 0);
-            gemm_naive_into(Trans::N, Trans::N, &a.map(f64::abs), &b.map(f64::abs), &mut e);
+            gemm_naive_into(Trans::N, Trans::N, a.map(f64::abs), b.map(f64::abs), &mut e);
             e
         };
         let via_mat = a.matmul(&b).unwrap();
@@ -297,9 +297,9 @@ fn matmul_dispatch_consistent_with_direct_kernels() {
 
         let tn = a.transpose().matmul_tn(&b).unwrap();
         assert_differential(&reference, &tn, &abs_prod, k, "matmul_tn dispatch");
-        let nt = a.matmul_nt(&b.transpose()).unwrap();
+        let nt = a.matmul_nt(b.transpose()).unwrap();
         assert_differential(&reference, &nt, &abs_prod, k, "matmul_nt dispatch");
-        let tt = a.transpose().matmul_tt(&b.transpose()).unwrap();
+        let tt = a.transpose().matmul_tt(b.transpose()).unwrap();
         assert_differential(&reference, &tt, &abs_prod, k, "matmul_tt dispatch");
     }
 }

@@ -38,7 +38,7 @@ proptest! {
     fn matmul_transpose_identity((a, b) in mul_pair()) {
         // (AB)ᵀ = Bᵀ Aᵀ
         let ab_t = a.matmul(&b).unwrap().transpose();
-        let bt_at = b.transpose().matmul(&a.transpose()).unwrap();
+        let bt_at = b.transpose().matmul(a.transpose()).unwrap();
         prop_assert!((&ab_t - &bt_at).fro_norm() < 1e-9 * (1.0 + ab_t.fro_norm()));
     }
 
@@ -103,7 +103,7 @@ proptest! {
         let bt = b.transpose();
         if a.rows() == bt.rows() {
             let h = a.hstack(&bt).unwrap();
-            prop_assert_eq!(h.block(0, a.rows(), 0, a.cols()), a.clone());
+            prop_assert_eq!(h.block(0, a.rows(), 0, a.cols()), a);
             prop_assert_eq!(h.block(0, a.rows(), a.cols(), h.cols()), bt);
         }
     }

@@ -22,7 +22,7 @@
 //! DPar2 calls this twice: once per slice (`X_k ≈ A_k B_k C_kᵀ`, stage 1)
 //! and once on the concatenated `M = ∥_k C_k B_k` (stage 2).
 
-use dpar2_linalg::{gaussian_mat, qr, svd::truncate, svd_thin, Mat, SvdFactors};
+use dpar2_linalg::{gaussian_mat, qr, svd::truncate, svd_thin, AsMatRef, Mat, SvdFactors};
 use dpar2_parallel::ThreadPool;
 use rand::Rng;
 
@@ -58,7 +58,7 @@ impl RsvdConfig {
 /// Returns factors with `U ∈ R^{I×r}`, `V ∈ R^{J×r}`, `r = min(rank, I, J)`.
 /// The sketch width is additionally capped at `min(I, J)` so tiny matrices
 /// degrade gracefully to an exact (thin) SVD.
-pub fn rsvd(a: &Mat, config: &RsvdConfig, rng: &mut impl Rng) -> SvdFactors {
+pub fn rsvd(a: impl AsMatRef, config: &RsvdConfig, rng: &mut impl Rng) -> SvdFactors {
     rsvd_pooled(a, config, rng, &ThreadPool::new(1))
 }
 
@@ -72,11 +72,12 @@ pub fn rsvd(a: &Mat, config: &RsvdConfig, rng: &mut impl Rng) -> SvdFactors {
 /// (the pooled GEMM fixes its reduction order), so `rsvd(a, c, rng)` and
 /// `rsvd_pooled(a, c, rng, pool)` agree exactly given equal RNG streams.
 pub fn rsvd_pooled(
-    a: &Mat,
+    a: impl AsMatRef,
     config: &RsvdConfig,
     rng: &mut impl Rng,
     pool: &ThreadPool,
 ) -> SvdFactors {
+    let a = a.as_mat_ref();
     let (i, j) = a.shape();
     let min_dim = i.min(j);
     if min_dim == 0 {
@@ -87,7 +88,7 @@ pub fn rsvd_pooled(
     if sketch >= min_dim {
         // The sketch would span the whole space — the exact thin SVD is
         // both cheaper and more accurate here.
-        return truncate(svd_thin(a), rank);
+        return truncate(&svd_thin(a), rank);
     }
 
     // 1. Gaussian test matrix Ω ∈ R^{J×sketch}.
@@ -105,14 +106,14 @@ pub fn rsvd_pooled(
     // 4. Project: B = Qᵀ A (sketch × J).
     let b = q.matmul_tn_pooled(a, pool).expect("rsvd: Qᵀ·A");
     // 5. Exact SVD of the small B, truncated to the target rank.
-    let small = truncate(svd_thin(&b), rank);
+    let small = truncate(&svd_thin(&b), rank);
     // 6. Lift the left factor back: U = Q Ũ.
     let u = q.matmul_pooled(&small.u, pool).expect("rsvd: Q·Ũ");
     SvdFactors { u, s: small.s, v: small.v }
 }
 
 /// Convenience wrapper with the standard configuration.
-pub fn rsvd_default(a: &Mat, rank: usize, rng: &mut impl Rng) -> SvdFactors {
+pub fn rsvd_default(a: impl AsMatRef, rank: usize, rng: &mut impl Rng) -> SvdFactors {
     rsvd(a, &RsvdConfig::new(rank), rng)
 }
 
@@ -185,10 +186,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let i = 100;
         let j = 80;
-        let u = qr(&gmat(i, j, &mut rng)).q;
-        let v = qr(&gmat(j, j, &mut rng)).q;
+        let u = qr(gmat(i, j, &mut rng)).q;
+        let v = qr(gmat(j, j, &mut rng)).q;
         let s: Vec<f64> = (0..j).map(|idx| 1.0 / (1.0 + idx as f64).sqrt()).collect();
-        let mut us = u.clone();
+        let mut us = u;
         for row in 0..i {
             let r = us.row_mut(row);
             for (c, &sv) in s.iter().enumerate() {
@@ -263,7 +264,7 @@ mod tests {
     #[test]
     fn empty_matrix() {
         let mut rng = StdRng::seed_from_u64(18);
-        let f = rsvd_default(&Mat::zeros(0, 5), 3, &mut rng);
+        let f = rsvd_default(Mat::zeros(0, 5), 3, &mut rng);
         assert!(f.s.is_empty());
     }
 }

@@ -38,6 +38,7 @@ use crate::registry::{ModelRegistry, ModelVersion};
 use dpar2_analysis::select_top_k;
 use dpar2_core::Parafac2Fit;
 use dpar2_linalg::mat::dot;
+use dpar2_linalg::MatRef;
 use dpar2_parallel::ThreadPool;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -98,9 +99,17 @@ impl ServedModel {
         Some(self.pair_similarity(i, j))
     }
 
+    /// Zero-copy view of entity `i`'s temporal factor `U_i`.
+    pub fn factor_view(&self, i: usize) -> MatRef<'_> {
+        self.fit.u[i].view()
+    }
+
     /// Similarity for comparable in-range entities (callers check both).
+    /// Runs on borrowed factor views of the snapshot — no factor is copied
+    /// anywhere on the query path.
     fn pair_similarity(&self, i: usize, j: usize) -> f64 {
-        let cross = dot(self.fit.u[i].data(), self.fit.u[j].data());
+        let (u_i, u_j) = (self.factor_view(i), self.factor_view(j));
+        let cross = dot(u_i.data(), u_j.data());
         let d_sq = (self.norms_sq[i] + self.norms_sq[j] - 2.0 * cross).max(0.0);
         (-self.meta.gamma * d_sq).exp()
     }
@@ -130,8 +139,10 @@ impl ServedModel {
 pub struct QueryResult {
     /// Model version the answer was computed against.
     pub version: u64,
-    /// `(entity, similarity)` pairs, descending.
-    pub neighbors: Vec<(usize, f64)>,
+    /// `(entity, similarity)` pairs, descending. Shared with the result
+    /// cache via `Arc`, so a cache hit hands out the ranking without
+    /// copying it (the clone-free snapshot path).
+    pub neighbors: Arc<Vec<(usize, f64)>>,
     /// True if the answer came from the result cache.
     pub cache_hit: bool,
 }
@@ -245,8 +256,8 @@ impl QueryEngine {
         if let Some(neighbors) = self.cache.get(&key) {
             return Ok(QueryResult { version: snapshot.version, neighbors, cache_hit: true });
         }
-        let neighbors = snapshot.model.top_k(target, k)?;
-        self.cache.insert(key, neighbors.clone());
+        let neighbors = Arc::new(snapshot.model.top_k(target, k)?);
+        self.cache.insert(key, Arc::clone(&neighbors));
         Ok(QueryResult { version: snapshot.version, neighbors, cache_hit: false })
     }
 }
@@ -264,7 +275,9 @@ struct CacheKey {
 
 #[derive(Debug)]
 struct CacheEntry {
-    neighbors: Vec<(usize, f64)>,
+    /// Shared with every answer served from this entry (`Arc`: a hit is a
+    /// reference-count bump, never a ranking copy).
+    neighbors: Arc<Vec<(usize, f64)>>,
     /// Last-touch tick for LRU eviction.
     stamp: u64,
 }
@@ -308,7 +321,7 @@ impl ShardedLru {
         &self.shards[Self::shard_index(key)]
     }
 
-    fn get(&self, key: &CacheKey) -> Option<Vec<(usize, f64)>> {
+    fn get(&self, key: &CacheKey) -> Option<Arc<Vec<(usize, f64)>>> {
         if self.shard_capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
@@ -320,7 +333,7 @@ impl ShardedLru {
             Some(entry) => {
                 entry.stamp = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(entry.neighbors.clone())
+                Some(Arc::clone(&entry.neighbors))
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -329,7 +342,7 @@ impl ShardedLru {
         }
     }
 
-    fn insert(&self, key: CacheKey, neighbors: Vec<(usize, f64)>) {
+    fn insert(&self, key: CacheKey, neighbors: Arc<Vec<(usize, f64)>>) {
         if self.shard_capacity == 0 {
             return;
         }
@@ -486,13 +499,13 @@ mod tests {
         reg.publish("m", random_model(12, 8, 3, 77, 0.03));
         let queries: Vec<(usize, usize)> = (0..12).map(|t| (t, 4)).collect();
         let reference = QueryEngine::new(reg.clone(), 1);
-        let expected: Vec<Vec<(usize, f64)>> =
+        let expected: Vec<Arc<Vec<(usize, f64)>>> =
             queries.iter().map(|&(t, k)| reference.top_k("m", t, k).unwrap().neighbors).collect();
         for threads in [1, 2, 4] {
             let engine = QueryEngine::new(reg.clone(), threads);
             let got = engine.top_k_batch("m", &queries);
             for (res, exp) in got.iter().zip(&expected) {
-                assert_eq!(res.as_ref().unwrap().neighbors, *exp, "{threads} threads");
+                assert_eq!(&res.as_ref().unwrap().neighbors, exp, "{threads} threads");
             }
         }
     }
@@ -517,10 +530,10 @@ mod tests {
         let same_shard: Vec<usize> =
             (0..200).filter(|&t| ShardedLru::shard_index(&key(t)) == shard0).take(3).collect();
         let &[a, b, c] = same_shard.as_slice() else { panic!("hash spread too perfect") };
-        cache.insert(key(a), vec![(a, 1.0)]);
-        cache.insert(key(b), vec![(b, 1.0)]);
+        cache.insert(key(a), Arc::new(vec![(a, 1.0)]));
+        cache.insert(key(b), Arc::new(vec![(b, 1.0)]));
         assert!(cache.get(&key(a)).is_some()); // refresh a: b is now oldest
-        cache.insert(key(c), vec![(c, 1.0)]);
+        cache.insert(key(c), Arc::new(vec![(c, 1.0)]));
         assert!(cache.get(&key(b)).is_none(), "b should have been evicted");
         assert!(cache.get(&key(a)).is_some());
         assert!(cache.get(&key(c)).is_some());

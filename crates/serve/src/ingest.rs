@@ -203,12 +203,12 @@ mod tests {
             registry.clone(),
         );
         let t = planted_parafac2(&[20, 20, 20, 20], 10, 2, 0.05, 3);
-        assert!(worker.append(t.slices()[..2].to_vec()));
+        assert!(worker.append(t.to_slices()[..2].to_vec()));
         worker.flush();
         assert_eq!(registry.version("live"), Some(1));
         assert_eq!(registry.get("live").unwrap().model.entities(), 2);
 
-        assert!(worker.append(t.slices()[2..].to_vec()));
+        assert!(worker.append(t.to_slices()[2..].to_vec()));
         worker.flush();
         assert_eq!(registry.version("live"), Some(2));
         assert_eq!(registry.get("live").unwrap().model.entities(), 4);
@@ -229,7 +229,7 @@ mod tests {
             registry.clone(),
         );
         let t = planted_parafac2(&[20, 20, 20], 10, 2, 0.3, 41);
-        assert!(worker.append(t.slices().to_vec()));
+        assert!(worker.append(t.to_slices()));
         worker.flush();
         let served = registry.get("budgeted").unwrap();
         let fit = served.model.fit();
@@ -251,7 +251,7 @@ mod tests {
         // Cancel before the batch: the refit breaks at its first iteration
         // boundary with a typed reason, and the publish still happens.
         worker.cancel();
-        assert!(worker.append(t.slices().to_vec()));
+        assert!(worker.append(t.to_slices()));
         worker.flush();
         let served = registry.get("cancelled").unwrap();
         let fit = served.model.fit();
@@ -270,7 +270,7 @@ mod tests {
             registry.clone(),
         );
         let t = planted_parafac2(&[16, 16], 10, 2, 0.0, 4);
-        worker.append(t.slices().to_vec());
+        worker.append(t.to_slices());
         // Wrong column count: append fails, worker keeps running.
         worker.append(vec![Mat::zeros(12, 7)]);
         worker.flush();
@@ -279,7 +279,7 @@ mod tests {
         assert_eq!(errors.len(), 1);
         // The worker is still alive and can publish after the failure.
         let more = planted_parafac2(&[14, 18, 16], 10, 2, 0.0, 4);
-        worker.append(vec![more.slices()[2].clone()]);
+        worker.append(vec![more.slice(2).to_mat()]);
         worker.flush();
         assert_eq!(registry.version("live"), Some(2));
         worker.shutdown();
@@ -303,7 +303,7 @@ mod tests {
         assert_eq!(worker.errors().len(), 1);
         // The worker is still alive and serves the next good batch.
         let t = planted_parafac2(&[16, 16], 10, 2, 0.0, 6);
-        assert!(worker.append(t.slices().to_vec()));
+        assert!(worker.append(t.to_slices()));
         worker.flush();
         assert_eq!(registry.version("live"), Some(1));
         // An empty batch *after* data: still a no-op — no refit, no
@@ -319,10 +319,10 @@ mod tests {
         let registry = Arc::new(ModelRegistry::new());
         let t = planted_parafac2(&[14, 14, 14], 10, 2, 0.0, 7);
         let mut stream = StreamingDpar2::new(config());
-        stream.append(t.slices()[..2].to_vec()).unwrap();
+        stream.append(t.to_slices()[..2].to_vec()).unwrap();
         let meta = ModelMeta::new("labeled").with_entity_labels(vec!["A".into(), "B".into()]);
         let worker = IngestWorker::spawn(stream, meta, registry.clone());
-        worker.append(vec![t.slices()[2].clone()]);
+        worker.append(vec![t.slice(2).to_mat()]);
         worker.flush();
         let published = registry.get("labeled").unwrap();
         assert_eq!(published.model.entities(), 3);
@@ -347,7 +347,7 @@ mod tests {
                 ModelMeta::new("drop-test"),
                 registry.clone(),
             );
-            worker.append(t.slices().to_vec());
+            worker.append(t.to_slices());
             // No flush: Drop must still drain and join without deadlock.
         }
         assert_eq!(registry.version("drop-test"), Some(1));

@@ -14,9 +14,9 @@ use proptest::strategy::Just;
 #[allow(clippy::type_complexity)]
 fn assemble(
     (r, j, labeled): (usize, usize, bool),
-    rows: Vec<usize>,
-    udata: Vec<f64>,
-    sdata: Vec<f64>,
+    rows: &[usize],
+    udata: &[f64],
+    sdata: &[f64],
     vdata: Vec<f64>,
     hdata: Vec<f64>,
     trace: Vec<f64>,
@@ -24,7 +24,7 @@ fn assemble(
     let k = rows.len();
     let mut u = Vec::with_capacity(k);
     let mut off = 0;
-    for &rk in &rows {
+    for &rk in rows {
         u.push(Mat::from_vec(rk, r, udata[off..off + rk * r].to_vec()));
         off += rk * r;
     }
@@ -72,7 +72,7 @@ fn saved_model_strategy() -> impl Strategy<Value = SavedModel> {
             )
         })
         .prop_map(|((dims, rows), udata, sdata, vdata, hdata, trace)| {
-            assemble(dims, rows, udata, sdata, vdata, hdata, trace)
+            assemble(dims, &rows, &udata, &sdata, vdata, hdata, trace)
         })
 }
 
@@ -104,9 +104,9 @@ proptest! {
 fn fixture() -> SavedModel {
     assemble(
         (2, 3, true),
-        vec![4, 2, 5],
-        (0..22).map(|i| i as f64 * 0.5 - 3.0).collect(),
-        (0..6).map(|i| i as f64).collect(),
+        &[4, 2, 5],
+        &(0..22).map(|i| i as f64 * 0.5 - 3.0).collect::<Vec<f64>>(),
+        &(0..6).map(|i| i as f64).collect::<Vec<f64>>(),
         (0..6).map(|i| -(i as f64)).collect(),
         vec![1.0, 0.5, 0.25, 2.0],
         vec![9.0, 3.0, 1.5],

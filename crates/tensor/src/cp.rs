@@ -15,10 +15,20 @@
 //!   Same result, far less memory traffic.
 
 use crate::dense3::Dense3;
-use crate::kron::khatri_rao;
+use crate::kron::khatri_rao_into;
 use dpar2_linalg::{pinv, Mat};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Reusable scratch for [`mttkrp_into`]: the materialized unfolding and
+/// Khatri-Rao operands. Holding one across ALS iterations makes the
+/// textbook MTTKRP allocation-free in steady state without changing a
+/// single arithmetic operation.
+#[derive(Debug, Default)]
+pub struct MttkrpScratch {
+    unfold: Mat,
+    kr: Mat,
+}
 
 /// Factor matrices of a rank-`R` CP decomposition `[[A, B, C]]` of a tensor
 /// `X ∈ R^{I×J×K}`: `A ∈ R^{I×R}`, `B ∈ R^{J×R}`, `C ∈ R^{K×R}`.
@@ -66,12 +76,42 @@ impl CpFactors {
 /// # Panics
 /// Panics if `mode ∉ {1,2,3}`.
 pub fn mttkrp(t: &Dense3, a: &Mat, b: &Mat, c: &Mat, mode: usize) -> Mat {
+    let mut out = Mat::zeros(0, 0);
+    mttkrp_into(t, a, b, c, mode, &mut out, &mut MttkrpScratch::default());
+    out
+}
+
+/// [`mttkrp`] into a pre-allocated output with reusable operand scratch —
+/// bit-identical to [`mttkrp`] (same unfolding, same Khatri-Rao product,
+/// same GEMM), but allocation-free once the scratch has warmed up.
+///
+/// # Panics
+/// Panics if `mode ∉ {1,2,3}`.
+pub fn mttkrp_into(
+    t: &Dense3,
+    a: &Mat,
+    b: &Mat,
+    c: &Mat,
+    mode: usize,
+    out: &mut Mat,
+    ws: &mut MttkrpScratch,
+) {
     match mode {
-        1 => t.unfold1().matmul(&khatri_rao(c, b)).expect("mttkrp mode 1"),
-        2 => t.unfold2().matmul(&khatri_rao(c, a)).expect("mttkrp mode 2"),
-        3 => t.unfold3().matmul(&khatri_rao(b, a)).expect("mttkrp mode 3"),
+        1 => {
+            t.unfold1_into(&mut ws.unfold);
+            khatri_rao_into(c, b, &mut ws.kr);
+        }
+        2 => {
+            t.unfold2_into(&mut ws.unfold);
+            khatri_rao_into(c, a, &mut ws.kr);
+        }
+        3 => {
+            t.unfold3_into(&mut ws.unfold);
+            khatri_rao_into(b, a, &mut ws.kr);
+        }
         _ => panic!("mttkrp: mode must be 1, 2, or 3 (got {mode})"),
     }
+    ws.unfold.matmul_into(&ws.kr, out);
 }
 
 /// Slice-wise MTTKRP that never materializes the unfolding or the
@@ -151,18 +191,28 @@ pub fn mttkrp_slicewise(t: &Dense3, a: &Mat, b: &Mat, c: &Mat, mode: usize) -> M
 pub fn normalize_columns(m: &Mat) -> (Mat, Vec<f64>) {
     let mut out = m.clone();
     let mut norms = Vec::with_capacity(m.cols());
+    normalize_columns_mut(&mut out, &mut norms);
+    (out, norms)
+}
+
+/// In-place form of [`normalize_columns`]: normalizes `m`'s columns
+/// directly and writes the norms into the reusable `norms` buffer —
+/// bit-identical to [`normalize_columns`] (each column's norm is read
+/// before that column is scaled), with zero allocations once `norms` has
+/// capacity.
+pub fn normalize_columns_mut(m: &mut Mat, norms: &mut Vec<f64>) {
+    norms.clear();
     for c in 0..m.cols() {
         let n: f64 = (0..m.rows()).map(|i| m.at(i, c) * m.at(i, c)).sum::<f64>().sqrt();
         norms.push(n);
         if n > 0.0 {
             let inv = 1.0 / n;
             for i in 0..m.rows() {
-                let v = out.at(i, c) * inv;
-                out.set(i, c, v);
+                let v = m.at(i, c) * inv;
+                m.set(i, c, v);
             }
         }
     }
-    (out, norms)
 }
 
 /// One ALS pass over the three factors (the paper's lines 11–13 of
@@ -176,15 +226,15 @@ pub fn normalize_columns(m: &Mat) -> (Mat, Vec<f64>) {
 pub fn cp_als_iteration(t: &Dense3, f: &mut CpFactors) {
     let g1 = mttkrp_slicewise(t, &f.a, &f.b, &f.c, 1);
     let gram1 = f.c.gram().hadamard(&f.b.gram()).expect("cp gram 1");
-    f.a = g1.matmul(&pinv(&gram1)).expect("cp update A");
+    f.a = g1.matmul(pinv(&gram1)).expect("cp update A");
 
     let g2 = mttkrp_slicewise(t, &f.a, &f.b, &f.c, 2);
     let gram2 = f.c.gram().hadamard(&f.a.gram()).expect("cp gram 2");
-    f.b = g2.matmul(&pinv(&gram2)).expect("cp update B");
+    f.b = g2.matmul(pinv(&gram2)).expect("cp update B");
 
     let g3 = mttkrp_slicewise(t, &f.a, &f.b, &f.c, 3);
     let gram3 = f.b.gram().hadamard(&f.a.gram()).expect("cp gram 3");
-    f.c = g3.matmul(&pinv(&gram3)).expect("cp update C");
+    f.c = g3.matmul(pinv(&gram3)).expect("cp update C");
 }
 
 /// Full CP-ALS with random initialization — primarily a test oracle for the
@@ -215,6 +265,7 @@ pub fn cp_als(t: &Dense3, rank: usize, iterations: usize, seed: u64) -> (CpFacto
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kron::khatri_rao;
     use dpar2_linalg::random::gaussian_mat;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -269,13 +320,13 @@ mod tests {
         let f = random_factors(4, 5, 3, 2, 84);
         let t = f.reconstruct();
         let lhs = t.unfold1();
-        let rhs = f.a.matmul_nt(&khatri_rao(&f.c, &f.b)).unwrap();
+        let rhs = f.a.matmul_nt(khatri_rao(&f.c, &f.b)).unwrap();
         assert!((&lhs - &rhs).fro_norm() < 1e-10 * (1.0 + lhs.fro_norm()));
         let lhs2 = t.unfold2();
-        let rhs2 = f.b.matmul_nt(&khatri_rao(&f.c, &f.a)).unwrap();
+        let rhs2 = f.b.matmul_nt(khatri_rao(&f.c, &f.a)).unwrap();
         assert!((&lhs2 - &rhs2).fro_norm() < 1e-10 * (1.0 + lhs2.fro_norm()));
         let lhs3 = t.unfold3();
-        let rhs3 = f.c.matmul_nt(&khatri_rao(&f.b, &f.a)).unwrap();
+        let rhs3 = f.c.matmul_nt(khatri_rao(&f.b, &f.a)).unwrap();
         assert!((&lhs3 - &rhs3).fro_norm() < 1e-10 * (1.0 + lhs3.fro_norm()));
     }
 

@@ -73,6 +73,16 @@ impl Dense3 {
         &self.slices[k]
     }
 
+    /// Mutable frontal slice `X(:, :, k)` — lets solvers overwrite the
+    /// slices of a persistent `Y` tensor in place instead of rebuilding it
+    /// every ALS iteration.
+    ///
+    /// The caller must preserve the shared slice shape; shape invariants
+    /// are re-checked by the unfoldings (debug assertions via `Mat`).
+    pub fn slice_mut(&mut self, k: usize) -> &mut Mat {
+        &mut self.slices[k]
+    }
+
     /// All frontal slices.
     pub fn slices(&self) -> &[Mat] {
         &self.slices
@@ -90,21 +100,34 @@ impl Dense3 {
 
     /// Mode-1 matricization `X_(1) ∈ R^{I×JK}` (column `j + kJ`).
     pub fn unfold1(&self) -> Mat {
+        let mut out = Mat::zeros(0, 0);
+        self.unfold1_into(&mut out);
+        out
+    }
+
+    /// [`Dense3::unfold1`] into a pre-allocated buffer (resized if needed).
+    pub fn unfold1_into(&self, out: &mut Mat) {
         let k_dim = self.dim_k();
-        let mut out = Mat::zeros(self.i, self.j * k_dim);
+        out.resize_zeroed(self.i, self.j * k_dim);
         for (k, slice) in self.slices.iter().enumerate() {
             for i in 0..self.i {
                 let dst = &mut out.row_mut(i)[k * self.j..(k + 1) * self.j];
                 dst.copy_from_slice(slice.row(i));
             }
         }
-        out
     }
 
     /// Mode-2 matricization `X_(2) ∈ R^{J×IK}` (column `i + kI`).
     pub fn unfold2(&self) -> Mat {
+        let mut out = Mat::zeros(0, 0);
+        self.unfold2_into(&mut out);
+        out
+    }
+
+    /// [`Dense3::unfold2`] into a pre-allocated buffer (resized if needed).
+    pub fn unfold2_into(&self, out: &mut Mat) {
         let k_dim = self.dim_k();
-        let mut out = Mat::zeros(self.j, self.i * k_dim);
+        out.resize_zeroed(self.j, self.i * k_dim);
         for (k, slice) in self.slices.iter().enumerate() {
             for i in 0..self.i {
                 for j in 0..self.j {
@@ -112,13 +135,19 @@ impl Dense3 {
                 }
             }
         }
-        out
     }
 
     /// Mode-3 matricization `X_(3) ∈ R^{K×IJ}` (column `i + jI`).
     pub fn unfold3(&self) -> Mat {
+        let mut out = Mat::zeros(0, 0);
+        self.unfold3_into(&mut out);
+        out
+    }
+
+    /// [`Dense3::unfold3`] into a pre-allocated buffer (resized if needed).
+    pub fn unfold3_into(&self, out: &mut Mat) {
         let k_dim = self.dim_k();
-        let mut out = Mat::zeros(k_dim, self.i * self.j);
+        out.resize_zeroed(k_dim, self.i * self.j);
         for (k, slice) in self.slices.iter().enumerate() {
             let row = out.row_mut(k);
             for j in 0..self.j {
@@ -127,7 +156,6 @@ impl Dense3 {
                 }
             }
         }
-        out
     }
 
     /// Mode-`n` matricization for `n ∈ {1, 2, 3}`.
@@ -139,6 +167,19 @@ impl Dense3 {
             1 => self.unfold1(),
             2 => self.unfold2(),
             3 => self.unfold3(),
+            _ => panic!("unfold: mode must be 1, 2, or 3 (got {n})"),
+        }
+    }
+
+    /// Mode-`n` matricization into a pre-allocated buffer.
+    ///
+    /// # Panics
+    /// Panics for `n ∉ {1, 2, 3}`.
+    pub fn unfold_into(&self, n: usize, out: &mut Mat) {
+        match n {
+            1 => self.unfold1_into(out),
+            2 => self.unfold2_into(out),
+            3 => self.unfold3_into(out),
             _ => panic!("unfold: mode must be 1, 2, or 3 (got {n})"),
         }
     }

@@ -49,6 +49,17 @@ pub fn kron_vec(a: &[f64], b: &[f64]) -> Vec<f64> {
 /// # Panics
 /// Panics if the column counts differ.
 pub fn khatri_rao(a: &Mat, b: &Mat) -> Mat {
+    let mut out = Mat::zeros(0, 0);
+    khatri_rao_into(a, b, &mut out);
+    out
+}
+
+/// [`khatri_rao`] into a pre-allocated buffer (resized if needed) — the
+/// allocation-free form the scratch-based MTTKRP kernels use.
+///
+/// # Panics
+/// Panics if the column counts differ.
+pub fn khatri_rao_into(a: &Mat, b: &Mat, out: &mut Mat) {
     assert_eq!(
         a.cols(),
         b.cols(),
@@ -58,7 +69,7 @@ pub fn khatri_rao(a: &Mat, b: &Mat) -> Mat {
     );
     let r = a.cols();
     let (m, p) = (a.rows(), b.rows());
-    let mut out = Mat::zeros(m * p, r);
+    out.resize_zeroed(m * p, r);
     for ia in 0..m {
         let arow = a.row(ia);
         for ib in 0..p {
@@ -69,7 +80,6 @@ pub fn khatri_rao(a: &Mat, b: &Mat) -> Mat {
             }
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -111,7 +121,7 @@ mod tests {
         let b = gaussian_mat(2, 5, &mut rng);
         let c = gaussian_mat(4, 2, &mut rng);
         let d = gaussian_mat(5, 3, &mut rng);
-        let lhs = kron(&a, &b).matmul(&kron(&c, &d)).unwrap();
+        let lhs = kron(&a, &b).matmul(kron(&c, &d)).unwrap();
         let rhs = kron(&a.matmul(&c).unwrap(), &b.matmul(&d).unwrap());
         assert!((&lhs - &rhs).fro_norm() < 1e-10 * (1.0 + lhs.fro_norm()));
     }

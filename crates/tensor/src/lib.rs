@@ -29,7 +29,10 @@ pub mod dense3;
 pub mod irregular;
 pub mod kron;
 
-pub use cp::{cp_als, mttkrp, mttkrp_slicewise, normalize_columns, CpFactors};
+pub use cp::{
+    cp_als, mttkrp, mttkrp_into, mttkrp_slicewise, normalize_columns, normalize_columns_mut,
+    CpFactors, MttkrpScratch,
+};
 pub use dense3::Dense3;
 pub use irregular::IrregularTensor;
-pub use kron::{khatri_rao, kron};
+pub use kron::{khatri_rao, khatri_rao_into, kron};

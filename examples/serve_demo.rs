@@ -81,7 +81,7 @@ fn main() {
     let v1 = registry.get("stocks").expect("published");
     let answer = engine.top_k("stocks", 0, 5).expect("query failed");
     println!("top-5 similar to {} (version {}):", v1.model.label(0).unwrap(), answer.version);
-    for &(i, s) in &answer.neighbors {
+    for &(i, s) in answer.neighbors.iter() {
         println!("  {}  sim {s:.4}", v1.model.label(i).unwrap());
     }
 
@@ -89,12 +89,12 @@ fn main() {
     //    StreamingDpar2 and publishes version 2 while the engine keeps
     //    serving.
     let mut stream = StreamingDpar2::new(config);
-    stream.append(tensor.slices().to_vec()).expect("seed stream");
+    stream.append(tensor.to_slices()).expect("seed stream");
     let worker =
         IngestWorker::spawn(stream, ModelMeta::new("stocks").with_gamma(0.05), registry.clone());
     let newcomers = planted_parafac2(&[40; 4], 24, 5, 0.08, 99);
     let t1 = Instant::now();
-    worker.append(newcomers.slices().to_vec());
+    worker.append(newcomers.to_slices());
     worker.flush();
     println!(
         "\ningest: appended 4 entities, published version {} ({} entities) in {:.0}ms",

@@ -19,7 +19,7 @@ fn main() {
     // A shared-structure universe of 24 slices, arriving in 4 batches.
     let row_dims: Vec<usize> = (0..24).map(|i| 60 + (i * 13) % 80).collect();
     let full = planted_parafac2(&row_dims, 32, 6, 0.1, 99);
-    let slices = full.slices().to_vec();
+    let slices = full.to_slices();
 
     let config = FitOptions::new(6).with_seed(5).with_tolerance(1e-5);
     let mut stream = StreamingDpar2::new(config);

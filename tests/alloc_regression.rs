@@ -1,0 +1,141 @@
+//! Allocation-regression suite: proves the zero-copy view refactor's core
+//! claim — after a one-iteration warmup, a steady-state single-threaded ALS
+//! iteration of DPar2 and RD-ALS performs **zero heap allocations** (every
+//! temporary comes from the `Workspace` arena via `*_into` kernels), and
+//! the remaining baselines stay under a generous allocation ceiling.
+//!
+//! Method: a counting `#[global_allocator]` increments a **thread-local**
+//! counter on every `alloc`/`realloc` (thread-local so concurrently running
+//! tests in this binary cannot pollute each other's counts; at one solver
+//! thread, all fit work runs on the calling thread). A `FitObserver`
+//! snapshots the counter at every iteration boundary into a pre-reserved
+//! buffer; the deltas between consecutive snapshots are the per-iteration
+//! allocation counts.
+
+// The counting allocator is the one place this workspace's `deny(unsafe_code)`
+// is relaxed outside the SIMD kernel: `GlobalAlloc` is an unsafe trait.
+#![allow(unsafe_code)]
+
+use dpar2_repro::baselines::{NaiveCompressedAls, Parafac2Als, RdAls, SpartanDense};
+use dpar2_repro::core::{Dpar2, FitOptions, IterationEvent, Parafac2Solver, StopReason};
+use dpar2_repro::data::planted_parafac2;
+use dpar2_repro::tensor::IrregularTensor;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::ops::ControlFlow;
+
+thread_local! {
+    /// Allocations observed on this thread since program start.
+    static TL_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// System allocator wrapper that counts `alloc`/`realloc` calls per thread.
+/// (`Cell<u64>` has no destructor, so the TLS access is safe even during
+/// thread teardown.)
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = TL_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = TL_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocs_now() -> u64 {
+    TL_ALLOCS.with(Cell::get)
+}
+
+fn fixture() -> IrregularTensor {
+    planted_parafac2(&[25, 40, 18, 32], 14, 3, 0.3, 9001)
+}
+
+fn options() -> FitOptions<'static> {
+    // tolerance 0 + modest budget: several full-work iterations, one thread
+    // (multi-threaded fits allocate inside the fan-out by design).
+    FitOptions::new(3).with_seed(9002).with_threads(1).with_tolerance(0.0).with_max_iterations(6)
+}
+
+/// Runs one observed fit and returns the allocation count between each pair
+/// of consecutive iteration boundaries (`deltas[i]` covers iteration `i+2`,
+/// i.e. everything *after* the warmup iteration's boundary).
+fn steady_state_deltas(solver: &dyn Parafac2Solver, tensor: &IrregularTensor) -> Vec<u64> {
+    let mut snapshots: Vec<u64> = Vec::with_capacity(64);
+    let mut observer = |_e: &IterationEvent| {
+        snapshots.push(allocs_now());
+        ControlFlow::<StopReason>::Continue(())
+    };
+    let fit = solver.fit_observed(tensor, &options(), &mut observer).expect("fit failed");
+    assert!(
+        fit.iterations >= 3,
+        "{}: need ≥3 iterations to observe steady state, got {}",
+        solver.name(),
+        fit.iterations
+    );
+    snapshots.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+/// Tentpole pin: DPar2's steady-state iterations are allocation-free.
+#[test]
+fn dpar2_steady_state_iterations_allocate_nothing() {
+    let t = fixture();
+    let deltas = steady_state_deltas(&Dpar2, &t);
+    assert!(
+        deltas.iter().all(|&d| d == 0),
+        "DPar2 allocated in steady state: per-iteration counts after warmup = {deltas:?}"
+    );
+}
+
+/// Tentpole pin: RD-ALS's steady-state iterations are allocation-free too
+/// (its Q-updates run tall QR-preconditioned SVDs — all on scratch).
+#[test]
+fn rd_als_steady_state_iterations_allocate_nothing() {
+    let t = fixture();
+    let deltas = steady_state_deltas(&RdAls, &t);
+    assert!(
+        deltas.iter().all(|&d| d == 0),
+        "RD-ALS allocated in steady state: per-iteration counts after warmup = {deltas:?}"
+    );
+}
+
+/// The remaining baselines keep their textbook allocating formulations, but
+/// pin a generous ceiling so an accidental per-entry allocation regression
+/// (e.g. a clone inside an inner loop) still fails loudly.
+#[test]
+fn other_baselines_stay_under_allocation_ceiling() {
+    const CEILING: u64 = 50_000;
+    let t = fixture();
+    let solvers: [&dyn Parafac2Solver; 3] = [&Parafac2Als, &SpartanDense, &NaiveCompressedAls];
+    for solver in solvers {
+        let deltas = steady_state_deltas(solver, &t);
+        let worst = deltas.iter().copied().max().unwrap_or(0);
+        assert!(
+            worst < CEILING,
+            "{}: {worst} allocations in one steady-state iteration (ceiling {CEILING}); \
+             deltas = {deltas:?}",
+            solver.name()
+        );
+    }
+}
+
+/// Guard for the measurement itself: the thread-local counter observes this
+/// thread's allocations (so the zero assertions above are meaningful).
+#[test]
+fn counter_observes_this_threads_allocations() {
+    let before = allocs_now();
+    let v: Vec<u64> = Vec::with_capacity(32);
+    let after = allocs_now();
+    assert!(after > before, "counting allocator not engaged");
+    drop(v);
+}

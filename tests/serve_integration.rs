@@ -43,7 +43,7 @@ fn save_load_serve_concurrently_with_midflight_publish() {
 
     // Ingest worker seeded with the same slices the model was fitted on.
     let mut stream = StreamingDpar2::new(config);
-    stream.append(tensor.slices().to_vec()).expect("seed stream");
+    stream.append(tensor.to_slices()).expect("seed stream");
     let worker = IngestWorker::spawn(stream, meta, registry.clone());
 
     // Four query threads loop until they have observed version 2 (and have
@@ -60,7 +60,7 @@ fn save_load_serve_concurrently_with_midflight_publish() {
                     let target = (iters * 5 + t) % n;
                     let res = engine.top_k("live", target, k).expect("query");
                     let saw_new = res.version >= 2;
-                    out.push((res.version, target, res.neighbors));
+                    out.push((res.version, target, (*res.neighbors).clone()));
                     iters += 1;
                     if (saw_new && iters >= 64) || iters > 200_000 {
                         break;
@@ -70,7 +70,7 @@ fn save_load_serve_concurrently_with_midflight_publish() {
             }));
         }
         let extra = planted_parafac2(&[30; 3], 14, 3, 0.05, 4321);
-        worker.append(extra.slices().to_vec());
+        worker.append(extra.to_slices());
         worker.flush();
         handles.into_iter().flat_map(|h| h.join().expect("query thread panicked")).collect()
     });
