@@ -1,0 +1,21 @@
+//! Sub-linear Eq. 10 top-k: a cluster-pruned index over factor embeddings.
+//!
+//! The serving path's exact answer to "k most similar entities" is an O(n)
+//! scan; at the ROADMAP's 10⁶–10⁷-entity scale that scan is the latency
+//! wall. Because Eq. 10 similarity factorizes through the R-dimensional
+//! factor rows (R ≪ n), the scan can be made sub-linear with an IVF-style
+//! two-level structure:
+//!
+//! * [`kmeans`] — a seeded, deterministic k-means partitioner built on the
+//!   pooled GEMM kernels (blocked assignment, no n×p materialization);
+//! * [`pruned`] — [`EmbeddingIndex`], which prunes whole partitions via
+//!   triangle-inequality and norm-gap bounds and exposes an
+//!   `nprobe` exactness-vs-speed knob where `nprobe = num_partitions`
+//!   degenerates **bitwise** to the exact scan (the contract the serve
+//!   crate's differential tests pin).
+
+pub mod kmeans;
+pub mod pruned;
+
+pub use kmeans::{partition_points, Partitioning};
+pub use pruned::{EmbeddingIndex, IndexOptions, SearchScratch};

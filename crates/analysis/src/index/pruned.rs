@@ -1,0 +1,533 @@
+//! Cluster-pruned top-k search over embedding rows with an exactness knob.
+//!
+//! [`EmbeddingIndex`] answers "k most Eq. 10-similar rows to this query"
+//! sub-linearly: rows live in k-means partitions ([`kmeans`](super::kmeans)),
+//! each summarized by a centroid, a radius, and min/max row norms. At query
+//! time partitions are visited in ascending order of a *lower bound* on the
+//! distance from the query to any of their members; once the top-k heap is
+//! full and a partition's bound already loses to the current k-th result,
+//! that partition — and, because bounds are visited in ascending order,
+//! every later one — is skipped without touching a single row.
+//!
+//! # Exactness contract
+//!
+//! `nprobe ≥ num_partitions` degenerates to the exact scan **bitwise**, not
+//! just approximately. Three properties make that provable:
+//!
+//! 1. **Identical arithmetic per candidate.** A candidate's similarity is
+//!    `exp(−γ · squared_distance(query, row))` where
+//!    [`squared_distance`] is the same fused kernel (same element order)
+//!    the exact serving path uses, and `row` is a verbatim copy of the
+//!    entity's factor buffer. Same inputs, same instruction sequence ⇒
+//!    same bits.
+//! 2. **Identical total order.** The running top-k heap orders candidates
+//!    by `(similarity desc, id asc)` using `f64::total_cmp` — precisely the
+//!    comparator of [`select_top_k`](crate::knn::select_top_k). The ranking
+//!    is applied to *similarities*, never to distances: `exp` rounds and
+//!    underflows (γ·d ≳ 745 ⇒ sim = 0.0 exactly), so distinct distances can
+//!    collapse to equal similarities, and ranking by distance would break
+//!    the id tie-break the exact path applies after that collapse.
+//! 3. **No pruning unless it is sound.** With `nprobe ≥ num_partitions`
+//!    pruning is disabled outright, so the candidate set is every row. A
+//!    full candidate set under a strict total order yields one unique
+//!    answer regardless of visit order.
+//!
+//! When pruning *is* active (`nprobe < num_partitions`), a partition is
+//! dropped only on **strict** inequality `bound_similarity < kth_similarity`
+//! — an equal bound could still hide a candidate that ties the k-th result
+//! and wins the id tie-break.
+//!
+//! Bounds are made robust to floating-point rounding by a relative safety
+//! margin (`BOUND_MARGIN`): radii are inflated and lower bounds deflated by
+//! ~1e-9 relative, dwarfing the ~1e-16·dim accumulation error of the fused
+//! distance sums while costing a negligible amount of pruning.
+
+use super::kmeans::{partition_points, Partitioning};
+use crate::similarity::squared_distance;
+use dpar2_linalg::{Mat, MatRef};
+use dpar2_parallel::ThreadPool;
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Relative safety margin applied to pruning bounds (see module docs).
+const BOUND_MARGIN: f64 = 1e-9;
+
+/// Build-time options for [`EmbeddingIndex`].
+#[derive(Debug, Clone, Copy)]
+pub struct IndexOptions {
+    /// Number of k-means partitions; `None` ⇒ `⌈√n⌉` (balances the
+    /// O(p·dim) centroid pass against the O(n/p · nprobe · dim) row scans).
+    pub partitions: Option<usize>,
+    /// Lloyd iteration cap for the partitioner (assignment converges far
+    /// earlier on clustered data; this bounds the worst case).
+    pub max_iterations: usize,
+    /// Default partitions probed per query; `None` ⇒ `max(1, p / 10)`.
+    /// Any query can override it, and `nprobe ≥ partitions` is the exact
+    /// path.
+    pub nprobe: Option<usize>,
+    /// Partitioner seed — two builds from the same rows and seed are
+    /// identical.
+    pub seed: u64,
+}
+
+impl Default for IndexOptions {
+    fn default() -> Self {
+        Self { partitions: None, max_iterations: 8, nprobe: None, seed: 0x1DE2 }
+    }
+}
+
+/// Per-partition summary driving the pruning bounds.
+#[derive(Debug, Clone)]
+struct PartitionInfo {
+    /// Slot range `start..end` into the permuted row storage.
+    start: usize,
+    end: usize,
+    /// Max distance from the centroid to a member (inflated by
+    /// `BOUND_MARGIN`).
+    radius: f64,
+    /// Min / max member Euclidean norm — a second, independent lower bound
+    /// `d(q, x) ≥ | ‖q‖ − ‖x‖ |` that often beats the triangle bound for
+    /// scale-separated data.
+    min_norm: f64,
+    max_norm: f64,
+}
+
+/// Reusable query scratch: after the first call at a given `(p, k)` no
+/// further heap or sort allocations occur (see
+/// [`EmbeddingIndex::top_k_similar_into`]).
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    /// `(lower_bound_dist_sq, partition)` — sorted ascending per query.
+    order: Vec<(f64, usize)>,
+    /// Running top-k, max element = current worst (see [`HeapEntry`]).
+    heap: BinaryHeap<HeapEntry>,
+}
+
+/// Heap entry ordered so the binary max-heap surfaces the *worst-ranked*
+/// candidate at the top: `a > b` ⇔ `a` ranks after `b` under
+/// `(similarity desc, id asc)`.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    sim: f64,
+    id: usize,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.sim.total_cmp(&self.sim).then(self.id.cmp(&other.id))
+    }
+}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+
+thread_local! {
+    /// Per-thread scratch for the allocating convenience wrapper — the
+    /// query engine's worker threads each reuse their own buffers.
+    static TL_SCRATCH: RefCell<SearchScratch> = RefCell::new(SearchScratch::default());
+}
+
+/// Cluster-pruned Eq. 10 top-k index over `n` embedding rows of width
+/// `dim`. Immutable once built; see the module docs for the exactness
+/// contract.
+#[derive(Debug, Clone)]
+pub struct EmbeddingIndex {
+    dim: usize,
+    n: usize,
+    /// Row storage permuted partition-contiguously: slot `s` holds the row
+    /// of original id `ids[s]` at `data[s*dim .. (s+1)*dim]`, byte-for-byte
+    /// equal to the source row (property 1 of the exactness contract).
+    data: Vec<f64>,
+    /// Slot → original row id. Within each partition slots are in
+    /// ascending id order (cosmetic — the heap comparator alone fixes the
+    /// ranking).
+    ids: Vec<u32>,
+    parts: Vec<PartitionInfo>,
+    centroids: Mat,
+    default_nprobe: usize,
+}
+
+impl EmbeddingIndex {
+    /// Builds the index over the rows of `points` (`n × dim`).
+    /// Deterministic for every thread count of `pool`.
+    ///
+    /// # Panics
+    /// Panics if `n > u32::MAX`.
+    pub fn build(points: MatRef<'_>, options: &IndexOptions, pool: &ThreadPool) -> Self {
+        let (n, dim) = points.shape();
+        assert!(u32::try_from(n).is_ok(), "EmbeddingIndex: too many rows for u32 ids");
+        let p_request = options.partitions.unwrap_or_else(|| isqrt_ceil(n));
+        let Partitioning { assignments, centroids, .. } =
+            partition_points(points, p_request, options.max_iterations, options.seed, pool);
+        let p = centroids.rows();
+
+        // Counting sort of rows into partition-contiguous slots; scanning
+        // ids in ascending order keeps each partition's slots ascending.
+        let mut counts = vec![0usize; p + 1];
+        for &a in &assignments {
+            counts[a as usize + 1] += 1;
+        }
+        for c in 0..p {
+            counts[c + 1] += counts[c];
+        }
+        let starts = counts; // starts[c]..starts[c+1] is partition c
+        let mut cursor = starts.clone();
+        let mut data = vec![0.0f64; n * dim];
+        let mut ids = vec![0u32; n];
+        for i in 0..n {
+            let c = assignments[i] as usize;
+            let slot = cursor[c];
+            cursor[c] += 1;
+            data[slot * dim..(slot + 1) * dim].copy_from_slice(points.row(i));
+            #[allow(clippy::cast_possible_truncation)] // n ≤ u32::MAX asserted above
+            {
+                ids[slot] = i as u32;
+            }
+        }
+
+        let parts = (0..p)
+            .map(|c| {
+                let (start, end) = (starts[c], starts[c + 1]);
+                let centroid = centroids.row(c);
+                let mut radius_sq = 0.0f64;
+                let mut min_norm = f64::INFINITY;
+                let mut max_norm = 0.0f64;
+                for s in start..end {
+                    let row = &data[s * dim..(s + 1) * dim];
+                    radius_sq = radius_sq.max(squared_distance(row, centroid));
+                    let norm = row.iter().map(|&v| v * v).sum::<f64>().sqrt();
+                    min_norm = min_norm.min(norm);
+                    max_norm = max_norm.max(norm);
+                }
+                if start == end {
+                    min_norm = 0.0;
+                }
+                PartitionInfo {
+                    start,
+                    end,
+                    radius: radius_sq.sqrt() * (1.0 + BOUND_MARGIN),
+                    min_norm: min_norm * (1.0 - BOUND_MARGIN),
+                    max_norm: max_norm * (1.0 + BOUND_MARGIN),
+                }
+            })
+            .collect();
+
+        let default_nprobe = options.nprobe.unwrap_or_else(|| (p / 10).max(1)).clamp(1, p.max(1));
+        Self { dim, n, data, ids, parts, centroids, default_nprobe }
+    }
+
+    /// Number of indexed rows.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if no rows are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Embedding width the index was built over.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Partition count; probing this many partitions is bitwise-exact.
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The `nprobe` used when a query passes `None`.
+    pub fn default_nprobe(&self) -> usize {
+        self.default_nprobe
+    }
+
+    /// Convenience wrapper over [`top_k_similar_into`] using thread-local
+    /// scratch; allocates only the returned `Vec`.
+    ///
+    /// [`top_k_similar_into`]: EmbeddingIndex::top_k_similar_into
+    pub fn top_k_similar(
+        &self,
+        query: &[f64],
+        gamma: f64,
+        k: usize,
+        nprobe: usize,
+        exclude: Option<usize>,
+    ) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        TL_SCRATCH.with(|scratch| {
+            self.top_k_similar_into(
+                query,
+                gamma,
+                k,
+                nprobe,
+                exclude,
+                &mut scratch.borrow_mut(),
+                &mut out,
+            );
+        });
+        out
+    }
+
+    /// Writes into `out` the `k` rows most Eq. 10-similar to `query`
+    /// (`(id, similarity)`, similarity descending, ties by ascending id),
+    /// probing at most `nprobe` partitions. `exclude` drops one id from
+    /// consideration (the self-row for neighbor queries).
+    ///
+    /// Steady-state allocation-free: `scratch` and `out` only grow to
+    /// capacities bounded by `num_partitions` and `k`, after which repeat
+    /// calls allocate nothing (pinned by the root `alloc_regression`
+    /// suite).
+    ///
+    /// # Panics
+    /// Panics if `query.len() != self.dim()`.
+    // Every parameter is a distinct search knob or caller-owned buffer;
+    // bundling them into a struct would force per-call construction on the
+    // allocation-free path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn top_k_similar_into(
+        &self,
+        query: &[f64],
+        gamma: f64,
+        k: usize,
+        nprobe: usize,
+        exclude: Option<usize>,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<(usize, f64)>,
+    ) {
+        assert_eq!(query.len(), self.dim, "EmbeddingIndex: query width != index dim");
+        out.clear();
+        if k == 0 || self.n == 0 {
+            return;
+        }
+
+        let q_norm = query.iter().map(|&v| v * v).sum::<f64>().sqrt();
+        scratch.order.clear();
+        for (c, part) in self.parts.iter().enumerate() {
+            if part.start == part.end {
+                continue;
+            }
+            let d_centroid = squared_distance(query, self.centroids.row(c)).sqrt();
+            // Triangle bound and norm-gap bound; either alone is a valid
+            // lower bound on d(query, member), so take the larger.
+            let triangle = (d_centroid - part.radius).max(0.0);
+            let norm_gap = if q_norm < part.min_norm {
+                part.min_norm - q_norm
+            } else if q_norm > part.max_norm {
+                q_norm - part.max_norm
+            } else {
+                0.0
+            };
+            let lb = triangle.max(norm_gap) * (1.0 - BOUND_MARGIN);
+            scratch.order.push((lb * lb, c));
+        }
+        scratch.order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+        let probe = nprobe.max(1).min(scratch.order.len());
+        // Exactness knob: pruning only engages when the probe set is a
+        // strict subset of the (non-empty) partitions.
+        let prune = nprobe < self.parts.len();
+
+        scratch.heap.clear();
+        for &(lb_sq, c) in &scratch.order[..probe] {
+            if prune && scratch.heap.len() == k {
+                // Highest similarity any member of this (or any later —
+                // bounds ascend) partition can reach.
+                let bound_sim = (-gamma * lb_sq).exp();
+                let worst = scratch.heap.peek().expect("heap full").sim;
+                if bound_sim < worst {
+                    break;
+                }
+            }
+            let part = &self.parts[c];
+            for s in part.start..part.end {
+                let id = self.ids[s] as usize;
+                if Some(id) == exclude {
+                    continue;
+                }
+                let row = &self.data[s * self.dim..(s + 1) * self.dim];
+                let sim = (-gamma * squared_distance(query, row)).exp();
+                let entry = HeapEntry { sim, id };
+                if scratch.heap.len() < k {
+                    scratch.heap.push(entry);
+                } else if entry < *scratch.heap.peek().expect("heap full") {
+                    scratch.heap.pop();
+                    scratch.heap.push(entry);
+                }
+            }
+        }
+
+        out.extend(scratch.heap.drain().map(|e| (e.id, e.sim)));
+        // Ascending HeapEntry order == (similarity desc, id asc) — the
+        // exact comparator of `select_top_k`. `sort_unstable` keeps the
+        // call allocation-free (stable sort buffers).
+        out.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    }
+}
+
+/// `⌈√n⌉` without floating-point round-trip surprises at large `n`.
+fn isqrt_ceil(n: usize) -> usize {
+    if n <= 1 {
+        return n;
+    }
+    let mut r = (n as f64).sqrt() as usize;
+    while r * r < n {
+        r += 1;
+    }
+    while r > 1 && (r - 1) * (r - 1) >= n {
+        r -= 1;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::select_top_k;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> Mat {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mat::from_fn(n, dim, |_, _| rng.random::<f64>() * 4.0 - 2.0)
+    }
+
+    /// Reference: the exact serving computation (fused distance + Eq. 10 +
+    /// `select_top_k`).
+    fn exact_top_k(
+        points: &Mat,
+        query: &[f64],
+        gamma: f64,
+        k: usize,
+        exclude: Option<usize>,
+    ) -> Vec<(usize, f64)> {
+        let pairs: Vec<(usize, f64)> = (0..points.rows())
+            .filter(|&i| Some(i) != exclude)
+            .map(|i| (i, (-gamma * squared_distance(query, points.row(i))).exp()))
+            .collect();
+        select_top_k(pairs, k)
+    }
+
+    #[test]
+    fn full_probe_is_bitwise_exact() {
+        let points = random_points(200, 6, 11);
+        let pool = ThreadPool::new(2);
+        let opts = IndexOptions { partitions: Some(14), ..IndexOptions::default() };
+        let index = EmbeddingIndex::build(points.view(), &opts, &pool);
+        for target in [0usize, 7, 199] {
+            let expect = exact_top_k(&points, points.row(target), 0.05, 10, Some(target));
+            let got = index.top_k_similar(
+                points.row(target),
+                0.05,
+                10,
+                index.num_partitions(),
+                Some(target),
+            );
+            assert_eq!(got, expect, "target {target}");
+        }
+    }
+
+    #[test]
+    fn full_probe_exact_under_similarity_underflow_ties() {
+        // Huge gamma forces exp underflow to exactly 0.0 for most pairs —
+        // the ranking must still match the exact path's id tie-breaks.
+        let points = random_points(120, 4, 13);
+        let pool = ThreadPool::new(1);
+        let opts = IndexOptions { partitions: Some(9), ..IndexOptions::default() };
+        let index = EmbeddingIndex::build(points.view(), &opts, &pool);
+        let expect = exact_top_k(&points, points.row(3), 1e6, 20, Some(3));
+        let got = index.top_k_similar(points.row(3), 1e6, 20, index.num_partitions(), Some(3));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn pruned_probe_on_separated_clusters_is_exact_in_practice() {
+        // Blobs far apart: the true top-k lives entirely in the query's
+        // blob, so even nprobe = 1 recovers the exact answer.
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 400;
+        let points = Mat::from_fn(n, 5, |i, _| {
+            let blob = (i % 4) as f64 * 100.0;
+            blob + rng.random::<f64>()
+        });
+        let pool = ThreadPool::new(2);
+        let opts = IndexOptions { partitions: Some(4), ..IndexOptions::default() };
+        let index = EmbeddingIndex::build(points.view(), &opts, &pool);
+        for target in [0usize, 1, 2, 3] {
+            let expect = exact_top_k(&points, points.row(target), 0.01, 5, Some(target));
+            let got = index.top_k_similar(points.row(target), 0.01, 5, 1, Some(target));
+            assert_eq!(got, expect, "target {target}");
+        }
+    }
+
+    #[test]
+    fn recall_is_monotone_in_nprobe() {
+        let points = random_points(300, 8, 17);
+        let pool = ThreadPool::new(2);
+        let opts = IndexOptions { partitions: Some(17), ..IndexOptions::default() };
+        let index = EmbeddingIndex::build(points.view(), &opts, &pool);
+        let k = 10;
+        let exact = exact_top_k(&points, points.row(42), 0.02, k, Some(42));
+        let exact_ids: Vec<usize> = exact.iter().map(|&(i, _)| i).collect();
+        let mut prev = 0usize;
+        for nprobe in 1..=index.num_partitions() {
+            let got = index.top_k_similar(points.row(42), 0.02, k, nprobe, Some(42));
+            let hits = got.iter().filter(|&&(i, _)| exact_ids.contains(&i)).count();
+            assert!(hits >= prev, "recall dropped {prev} -> {hits} at nprobe {nprobe}");
+            prev = hits;
+        }
+        assert_eq!(prev, k, "full probe must reach recall 1.0");
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        let points = random_points(150, 5, 23);
+        let pool = ThreadPool::new(1);
+        let index = EmbeddingIndex::build(points.view(), &IndexOptions::default(), &pool);
+        let mut scratch = SearchScratch::default();
+        let mut out = Vec::new();
+        for target in 0..20 {
+            index.top_k_similar_into(
+                points.row(target),
+                0.05,
+                7,
+                3,
+                Some(target),
+                &mut scratch,
+                &mut out,
+            );
+            let fresh = index.top_k_similar(points.row(target), 0.05, 7, 3, Some(target));
+            assert_eq!(out, fresh, "target {target}");
+        }
+    }
+
+    #[test]
+    fn k_zero_and_empty_index() {
+        let points = random_points(10, 3, 29);
+        let pool = ThreadPool::new(1);
+        let index = EmbeddingIndex::build(points.view(), &IndexOptions::default(), &pool);
+        assert!(index.top_k_similar(points.row(0), 0.01, 0, 4, None).is_empty());
+        let empty = EmbeddingIndex::build(Mat::zeros(0, 3).view(), &IndexOptions::default(), &pool);
+        assert!(empty.is_empty());
+        assert!(empty.top_k_similar(&[0.0; 3], 0.01, 5, 1, None).is_empty());
+    }
+
+    #[test]
+    fn default_knobs() {
+        let points = random_points(100, 4, 31);
+        let pool = ThreadPool::new(1);
+        let index = EmbeddingIndex::build(points.view(), &IndexOptions::default(), &pool);
+        assert_eq!(index.num_partitions(), 10); // ⌈√100⌉
+        assert_eq!(index.default_nprobe(), 1); // max(1, 10/10)
+        assert_eq!(index.len(), 100);
+        assert_eq!(index.dim(), 4);
+    }
+}

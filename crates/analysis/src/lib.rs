@@ -14,13 +14,20 @@
 //! * [`rwr`] — Random Walk with Restart scores by power iteration
 //!   (Eq. 12, `r ← (1−c) Ãᵀ r + c q`) for the multi-hop ranking of
 //!   Table III(b).
+//! * [`index`] — sub-linear Eq. 10 top-k: a cluster-pruned
+//!   [`EmbeddingIndex`] over the factor embeddings with an `nprobe`
+//!   exactness-vs-speed knob (`nprobe = num_partitions` is bitwise-exact).
 
+pub mod index;
 pub mod knn;
 pub mod pcc;
 pub mod rwr;
 pub mod similarity;
 
+pub use index::{EmbeddingIndex, IndexOptions, SearchScratch};
 pub use knn::{select_top_k, top_k_neighbors};
 pub use pcc::{pcc_matrix, pearson};
 pub use rwr::{rwr_scores, RwrConfig};
-pub use similarity::{similarity_graph, similarity_graph_par, stock_similarity};
+pub use similarity::{
+    similarity_graph, similarity_graph_par, similarity_topk, squared_distance, stock_similarity,
+};

@@ -1,5 +1,6 @@
 //! Stock-pair similarity from temporal factors — Eq. 10 & 11 of the paper.
 
+use crate::knn::select_top_k;
 use dpar2_linalg::Mat;
 use dpar2_parallel::{greedy_partition, ThreadPool};
 
@@ -25,14 +26,68 @@ pub fn stock_similarity(u_i: &Mat, u_j: &Mat, gamma: f64) -> f64 {
 /// Panics if the shapes differ (see [`stock_similarity`]).
 fn dist_sq(u_i: &Mat, u_j: &Mat) -> f64 {
     assert_eq!(u_i.shape(), u_j.shape(), "stock_similarity: factors must share the time range");
-    u_i.data()
-        .iter()
-        .zip(u_j.data())
-        .map(|(&a, &b)| {
-            let d = a - b;
+    squared_distance(u_i.data(), u_j.data())
+}
+
+/// `‖a − b‖²` in one fused pass over two equal-length buffers.
+///
+/// This is **the** distance kernel of every Eq. 10 path — offline
+/// ([`stock_similarity`]), exact serving, and the pruned index — so all of
+/// them produce bit-identical similarities for the same inputs. Unlike the
+/// Gram expansion `‖a‖² + ‖b‖² − 2·a·b`, the fused form cannot go negative
+/// through catastrophic cancellation: each addend is a square, so the
+/// result is exactly `0.0` for bit-identical buffers and `> 0` otherwise.
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "squared_distance: buffer lengths differ");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x - y;
             d * d
         })
         .sum()
+}
+
+/// Streaming per-row top-k over Eq. 10 similarities: for every factor `i`,
+/// the `k` most similar other factors as `(index, similarity)` pairs,
+/// descending with ties broken by lower index — row `i` of the ranking that
+/// `similarity_graph` + [`top_k_neighbors`](crate::knn::top_k_neighbors)
+/// would produce, **without** materializing the O(n²) similarity matrix.
+///
+/// One row of `n − 1` candidate pairs is scored at a time and immediately
+/// reduced through [`select_top_k`]; the candidate buffer is reused across
+/// rows, so peak extra memory is O(n + n·k) instead of O(n²) (pinned by
+/// the `topk_index` bench's peak-allocation probe). Use this when only the
+/// rankings are needed; RWR-style consumers that genuinely need the dense
+/// matrix keep using [`similarity_graph`].
+///
+/// Factors whose shape differs from row `i`'s are skipped for that row
+/// (Eq. 10 is defined only on equal shapes, §IV-E2) — unlike
+/// [`similarity_graph`], which panics on mixed shapes.
+pub fn similarity_topk(factors: &[&Mat], gamma: f64, k: usize) -> Vec<Vec<(usize, f64)>> {
+    let n = factors.len();
+    let mut out: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+    let mut pairs: Vec<(usize, f64)> = Vec::with_capacity(n.saturating_sub(1));
+    for i in 0..n {
+        pairs.clear();
+        pairs.extend(
+            (0..n)
+                .filter(|&j| j != i && factors[j].shape() == factors[i].shape())
+                .map(|j| (j, stock_similarity(factors[i], factors[j], gamma))),
+        );
+        // `select_top_k` consumes and returns the buffer with capacity
+        // intact: keep the k survivors for the caller, hand the n-capacity
+        // allocation back for the next row.
+        let top = select_top_k(std::mem::take(&mut pairs), k);
+        out.push(top.as_slice().to_vec());
+        pairs = top;
+        pairs.clear();
+    }
+    out
 }
 
 /// Builds the symmetric similarity matrix over a set of stocks, and — per
@@ -184,6 +239,49 @@ mod tests {
         let (s, a) = similarity_graph_par(&[&u], 0.01, &pool);
         assert_eq!(s.at(0, 0), 1.0);
         assert_eq!(a.at(0, 0), 0.0);
+    }
+
+    #[test]
+    fn topk_matches_graph_plus_knn() {
+        use crate::knn::top_k_neighbors;
+        let mut rng = StdRng::seed_from_u64(9);
+        let us: Vec<Mat> = (0..12).map(|_| gaussian_mat(7, 3, &mut rng)).collect();
+        let refs: Vec<&Mat> = us.iter().collect();
+        let (s, _) = similarity_graph(&refs, 0.03);
+        let streamed = similarity_topk(&refs, 0.03, 4);
+        for i in 0..12 {
+            assert_eq!(streamed[i], top_k_neighbors(&s, i, 4), "row {i}");
+        }
+    }
+
+    #[test]
+    fn topk_skips_incomparable_shapes() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = gaussian_mat(6, 2, &mut rng);
+        let b = gaussian_mat(6, 2, &mut rng);
+        let odd = gaussian_mat(9, 2, &mut rng); // different time range
+        let streamed = similarity_topk(&[&a, &b, &odd], 0.01, 5);
+        assert_eq!(streamed[0].len(), 1);
+        assert_eq!(streamed[0][0].0, 1);
+        assert_eq!(streamed[2], vec![], "no comparable partner for the odd shape");
+    }
+
+    #[test]
+    fn topk_empty_and_k_zero() {
+        assert!(similarity_topk(&[], 0.01, 3).is_empty());
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = gaussian_mat(4, 2, &mut rng);
+        let b = gaussian_mat(4, 2, &mut rng);
+        let streamed = similarity_topk(&[&a, &b], 0.01, 0);
+        assert!(streamed.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn squared_distance_identical_buffers_is_exact_zero() {
+        // The fused form cannot cancel catastrophically; the Gram
+        // expansion this replaces could return tiny negative values here.
+        let xs: Vec<f64> = (0..64).map(|i| 1e8 + i as f64 * 1e-8).collect();
+        assert_eq!(squared_distance(&xs, &xs), 0.0);
     }
 
     #[test]

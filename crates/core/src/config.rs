@@ -49,6 +49,21 @@ pub struct FitOptions<'a> {
     /// weights — the streaming semantics); rank and column dimension must
     /// match or the fit returns [`crate::Dpar2Error::WarmStart`].
     pub warm_start: Option<&'a Parafac2Fit>,
+    /// Adaptive-rank escape hatch: when set to a fraction in `(0, 1]`,
+    /// [`crate::Dpar2`] probes the spectrum of the stacked tensor before
+    /// compression and **lowers** [`rank`](FitOptions::rank) to the
+    /// smallest value capturing that fraction of the spectral energy
+    /// (never raising it — `rank` stays the cap). Trades `R` for speed on
+    /// tensors whose energy concentrates in few components; see
+    /// `dpar2_rsvd::svd_truncated_energy`.
+    ///
+    /// Honored by `Dpar2::fit` / `fit_observed` only. The baselines and
+    /// `StreamingDpar2::refit` (whose rank is fixed by the compressed
+    /// state it extends) ignore it. A warm start fixes the rank too, so
+    /// combining it with `rank_energy` returns
+    /// [`crate::Dpar2Error::WarmStart`] if the adapted rank diverges from
+    /// the warm fit's.
+    pub rank_energy: Option<f64>,
 }
 
 impl FitOptions<'static> {
@@ -65,6 +80,7 @@ impl FitOptions<'static> {
             rsvd: RsvdConfig::new(rank),
             time_budget: None,
             warm_start: None,
+            rank_energy: None,
         }
     }
 }
@@ -117,6 +133,13 @@ impl<'a> FitOptions<'a> {
     pub fn with_warm_start(self, fit: &Parafac2Fit) -> FitOptions<'_> {
         FitOptions { warm_start: Some(fit), ..self }
     }
+
+    /// Enables adaptive rank selection at the given spectral-energy
+    /// fraction (see [`FitOptions::rank_energy`]).
+    pub fn with_rank_energy(mut self, threshold: f64) -> Self {
+        self.rank_energy = Some(threshold);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -154,5 +177,12 @@ mod tests {
         let o = FitOptions::new(5).with_rank(8);
         assert_eq!(o.rank, 8);
         assert_eq!(o.rsvd.rank, 8);
+    }
+
+    #[test]
+    fn rank_energy_defaults_off_and_chains() {
+        assert!(FitOptions::new(5).rank_energy.is_none());
+        let o = FitOptions::new(5).with_rank_energy(0.95);
+        assert_eq!(o.rank_energy, Some(0.95));
     }
 }

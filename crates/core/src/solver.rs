@@ -13,6 +13,7 @@ use dpar2_linalg::{Mat, SvdFactors, SvdScratch};
 use dpar2_parallel::ThreadPool;
 use dpar2_tensor::normalize_columns_mut;
 use dpar2_tensor::IrregularTensor;
+use rand::SeedableRng;
 use std::time::Instant;
 
 /// Initial factors for warm-started iterations (see
@@ -130,6 +131,7 @@ impl Dpar2 {
         observer: &mut dyn FitObserver,
     ) -> Result<Parafac2Fit> {
         let t0 = Instant::now();
+        let options = &self.resolve_rank_energy(tensor, options);
         let compressed = compress(tensor, options)?;
         let preprocess_secs = t0.elapsed().as_secs_f64();
         observer.on_phase(FitPhase::Preprocess, preprocess_secs);
@@ -137,6 +139,37 @@ impl Dpar2 {
         fit.timing.preprocess_secs = preprocess_secs;
         fit.timing.total_secs += preprocess_secs;
         Ok(fit)
+    }
+
+    /// Applies the [`FitOptions::rank_energy`] escape hatch: probes the
+    /// spectrum of the stacked tensor `[X_1; …; X_K]` (zero-copy view, one
+    /// rank-`R` randomized SVD) and lowers the target rank to the smallest
+    /// value capturing the requested spectral-energy fraction. The probe
+    /// runs at a *uniform* reduced rank applied before compression — both
+    /// compression stages and the ALS assume one rank `R` throughout
+    /// (`F_k ∈ R^{R×R}`, `Z = I_R`), so per-stage heterogeneous ranks are
+    /// not representable.
+    fn resolve_rank_energy<'a>(
+        &self,
+        tensor: &IrregularTensor,
+        options: &FitOptions<'a>,
+    ) -> FitOptions<'a> {
+        let Some(threshold) = options.rank_energy else {
+            return *options;
+        };
+        let pool = ThreadPool::new(options.threads.max(1));
+        // Fixed offset keeps the probe's RNG stream independent of the
+        // compression stages' (same idiom as their per-stage seeds).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(options.seed ^ 0xAD4A_9F1E_5EED_0C47);
+        let cfg = dpar2_rsvd::RsvdConfig { rank: options.rank, ..options.rsvd };
+        let probe = dpar2_rsvd::svd_truncated_energy_pooled(
+            tensor.stacked(),
+            &cfg,
+            threshold,
+            &mut rng,
+            &pool,
+        );
+        options.with_rank(probe.rank.clamp(1, options.rank.max(1)))
     }
 
     /// Runs the ALS iterations on an already-compressed tensor (lines 7–26).
@@ -511,6 +544,33 @@ mod tests {
         assert_eq!(fit.h.shape(), (2, 2));
         assert_eq!(fit.s.len(), 3);
         assert_eq!(fit.s[0].len(), 2);
+    }
+
+    #[test]
+    fn rank_energy_lowers_rank_to_planted_signal() {
+        // True rank 2, fit requested at rank 6 with an energy threshold:
+        // the probe should land on (about) the planted rank, never above
+        // the cap, and the fit still explains the data.
+        let t = planted_parafac2(&[30, 40, 25], 16, 2, 0.0, 440);
+        let opts = FitOptions::new(6).with_seed(441).with_rank_energy(0.999);
+        let fit = Dpar2.fit(&t, &opts).unwrap();
+        assert_eq!(fit.rank(), 2, "energy probe should find the planted rank");
+        assert!(fit.fitness(&t) > 0.98);
+        // A fully-demanding threshold keeps the requested rank.
+        let full = Dpar2.fit(&t, &FitOptions::new(6).with_seed(441).with_rank_energy(2.0)).unwrap();
+        assert_eq!(full.rank(), 6);
+    }
+
+    #[test]
+    fn rank_energy_none_is_bit_identical_to_default() {
+        let t = planted_parafac2(&[20, 25], 10, 3, 0.1, 442);
+        let base = Dpar2.fit(&t, &FitOptions::new(3).with_seed(443)).unwrap();
+        // threshold that keeps everything the cap allows ⇒ same rank ⇒ the
+        // same compression seeds ⇒ identical factors.
+        let adapted =
+            Dpar2.fit(&t, &FitOptions::new(3).with_seed(443).with_rank_energy(2.0)).unwrap();
+        assert_eq!(base.rank(), adapted.rank());
+        assert_eq!(base.v, adapted.v);
     }
 
     #[test]

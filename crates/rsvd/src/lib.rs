@@ -117,6 +117,78 @@ pub fn rsvd_default(a: impl AsMatRef, rank: usize, rng: &mut impl Rng) -> SvdFac
     rsvd(a, &RsvdConfig::new(rank), rng)
 }
 
+/// Result of [`svd_truncated_energy`]: the energy-truncated factors plus
+/// the bookkeeping needed to audit the cut.
+#[derive(Debug, Clone)]
+pub struct EnergyTruncation {
+    /// `A ≈ U Σ Vᵀ` truncated at [`rank`](EnergyTruncation::rank).
+    pub factors: SvdFactors,
+    /// Smallest rank whose cumulative spectral energy `Σ_{i≤r} σ_i²`
+    /// reaches `threshold · total_energy` (clamped to `1..=` the probed
+    /// spectrum length).
+    pub rank: usize,
+    /// `Σ_{i≤rank} σ_i²` of the probed spectrum.
+    pub captured_energy: f64,
+    /// `‖A‖²_F`, computed exactly from the data — the correct denominator
+    /// even when the probed spectrum misses tail energy (`max_rank` <
+    /// numerical rank).
+    pub total_energy: f64,
+}
+
+/// Energy-threshold truncated SVD (serial form of
+/// [`svd_truncated_energy_pooled`]).
+pub fn svd_truncated_energy(
+    a: impl AsMatRef,
+    config: &RsvdConfig,
+    threshold: f64,
+    rng: &mut impl Rng,
+) -> EnergyTruncation {
+    svd_truncated_energy_pooled(a, config, threshold, rng, &ThreadPool::new(1))
+}
+
+/// Adaptive-rank truncation: probes the spectrum with a rank-`config.rank`
+/// randomized SVD and keeps the smallest leading block capturing at least
+/// `threshold · ‖A‖²_F` of the spectral energy (the
+/// truncation-by-relative-error rule of SVD-compression pipelines, e.g.
+/// tensorly's `svd_compress_tensor_slices`).
+///
+/// `config.rank` acts as the **maximum** rank; the chosen rank is clamped
+/// to `1..=` the probed spectrum length, so `threshold ≤ 0` keeps one
+/// component and `threshold ≥ 1` keeps everything probed. The energy
+/// denominator is the exact `‖A‖²_F` — if even the full probe can't reach
+/// the threshold (the matrix has significant energy past `max_rank`), the
+/// full probed rank is kept, which is the best this budget can do.
+///
+/// Deterministic for a fixed RNG stream and bit-identical across pool
+/// sizes (inherits both properties from [`rsvd_pooled`]).
+pub fn svd_truncated_energy_pooled(
+    a: impl AsMatRef,
+    config: &RsvdConfig,
+    threshold: f64,
+    rng: &mut impl Rng,
+    pool: &ThreadPool,
+) -> EnergyTruncation {
+    let a = a.as_mat_ref();
+    let total_energy = a.fro_norm_sq();
+    let probe = rsvd_pooled(a, config, rng, pool);
+    if probe.s.is_empty() {
+        return EnergyTruncation { factors: probe, rank: 0, captured_energy: 0.0, total_energy };
+    }
+    let target = threshold * total_energy;
+    let mut rank = probe.s.len();
+    let mut cumulative = 0.0;
+    for (i, &sigma) in probe.s.iter().enumerate() {
+        cumulative += sigma * sigma;
+        if cumulative >= target {
+            rank = i + 1;
+            break;
+        }
+    }
+    let captured_energy: f64 = probe.s[..rank].iter().map(|&s| s * s).sum();
+    let factors = truncate(&probe, rank);
+    EnergyTruncation { factors, rank, captured_energy, total_energy }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,5 +338,108 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(18);
         let f = rsvd_default(Mat::zeros(0, 5), 3, &mut rng);
         assert!(f.s.is_empty());
+    }
+
+    /// Matrix with a planted spectrum `σ = [10, 8, 6, 4, 2, 1]` (exactly
+    /// rank 6): energy fractions are known in closed form.
+    fn planted_spectrum(seed: u64) -> (Mat, Vec<f64>) {
+        let sigmas = vec![10.0, 8.0, 6.0, 4.0, 2.0, 1.0];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = qr(gmat(40, 6, &mut rng)).q;
+        let v = qr(gmat(30, 6, &mut rng)).q;
+        let mut us = u;
+        for row in 0..40 {
+            let r = us.row_mut(row);
+            for (c, &sv) in sigmas.iter().enumerate() {
+                r[c] *= sv;
+            }
+        }
+        (us.matmul_nt(&v).unwrap(), sigmas)
+    }
+
+    #[test]
+    fn energy_truncation_matches_exact_spectrum_accounting() {
+        let (a, sigmas) = planted_spectrum(40);
+        let total: f64 = sigmas.iter().map(|s| s * s).sum();
+        // Cross-check the energy bookkeeping against the exact spectrum
+        // (svd_thin of the same matrix) at several thresholds. Expected
+        // cumulative fractions: 0.452, 0.742, 0.905, 0.977, 0.995, 1.0.
+        let exact = svd_thin(&a);
+        for (threshold, want_rank) in
+            [(0.10, 1usize), (0.452, 1), (0.50, 2), (0.80, 3), (0.95, 4), (0.99, 5), (0.999, 6)]
+        {
+            let mut rng = StdRng::seed_from_u64(41);
+            let e = svd_truncated_energy(&a, &RsvdConfig::new(6), threshold, &mut rng);
+            assert_eq!(e.rank, want_rank, "threshold {threshold}");
+            assert_eq!(e.factors.s.len(), want_rank);
+            assert!((e.total_energy - total).abs() < 1e-6 * total, "‖A‖²_F mismatch");
+            let exact_captured: f64 = exact.s[..want_rank].iter().map(|s| s * s).sum();
+            assert!(
+                (e.captured_energy - exact_captured).abs() < 1e-6 * total,
+                "captured energy {} vs exact spectrum {exact_captured} at threshold {threshold}",
+                e.captured_energy
+            );
+            assert!(e.captured_energy >= threshold * total * (1.0 - 1e-9));
+        }
+    }
+
+    #[test]
+    fn energy_truncation_threshold_extremes() {
+        let (a, _) = planted_spectrum(42);
+        let low =
+            svd_truncated_energy(&a, &RsvdConfig::new(6), 0.0, &mut StdRng::seed_from_u64(43));
+        assert_eq!(low.rank, 1, "threshold 0 keeps exactly one component");
+        let neg =
+            svd_truncated_energy(&a, &RsvdConfig::new(6), -3.0, &mut StdRng::seed_from_u64(43));
+        assert_eq!(neg.rank, 1);
+        // threshold > 1 can never be met: keep the whole probed spectrum.
+        let all =
+            svd_truncated_energy(&a, &RsvdConfig::new(6), 1.5, &mut StdRng::seed_from_u64(43));
+        assert_eq!(all.rank, 6);
+    }
+
+    #[test]
+    fn energy_truncation_max_rank_caps_the_probe() {
+        // max_rank 3 < numerical rank 6: even threshold 1.0 keeps only 3,
+        // and the exact-‖A‖²_F denominator keeps captured < total honest.
+        let (a, sigmas) = planted_spectrum(44);
+        let total: f64 = sigmas.iter().map(|s| s * s).sum();
+        let e = svd_truncated_energy(&a, &RsvdConfig::new(3), 1.0, &mut StdRng::seed_from_u64(45));
+        assert_eq!(e.rank, 3);
+        assert!(e.captured_energy < e.total_energy);
+        let expect: f64 = sigmas[..3].iter().map(|s| s * s).sum();
+        assert!((e.captured_energy - expect).abs() < 1e-3 * total);
+    }
+
+    #[test]
+    fn energy_truncation_pooled_bitwise_matches_serial() {
+        let (a, _) = planted_spectrum(46);
+        let serial =
+            svd_truncated_energy(&a, &RsvdConfig::new(6), 0.9, &mut StdRng::seed_from_u64(47));
+        for threads in [2, 4] {
+            let pool = ThreadPool::new(threads);
+            let pooled = svd_truncated_energy_pooled(
+                &a,
+                &RsvdConfig::new(6),
+                0.9,
+                &mut StdRng::seed_from_u64(47),
+                &pool,
+            );
+            assert_eq!(serial.rank, pooled.rank);
+            assert_eq!(serial.factors.s, pooled.factors.s, "{threads} threads");
+            assert_eq!(serial.factors.u, pooled.factors.u, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn energy_truncation_empty_matrix() {
+        let e = svd_truncated_energy(
+            Mat::zeros(0, 4),
+            &RsvdConfig::new(3),
+            0.9,
+            &mut StdRng::seed_from_u64(48),
+        );
+        assert_eq!(e.rank, 0);
+        assert_eq!(e.total_energy, 0.0);
     }
 }

@@ -9,11 +9,20 @@
 //!
 //! Serving-oriented machinery on top of that formula:
 //!
-//! * **Per-entity norm cache** ([`ServedModel`]): `‖U_k‖²_F` is precomputed
-//!   once per published model, so a pair's squared distance costs one inner
-//!   product via the Gram expansion
-//!   `‖U_i − U_j‖² = ‖U_i‖² + ‖U_j‖² − 2·tr(U_iᵀU_j)` instead of
-//!   materializing `U_i − U_j`.
+//! * **Fused pairwise distance** ([`ServedModel`]): a pair's squared
+//!   distance is [`dpar2_analysis::squared_distance`] — one fused pass
+//!   over the two factor buffers, never materializing `U_i − U_j` and
+//!   never negative. (An earlier revision used the Gram expansion
+//!   `‖U_i‖² + ‖U_j‖² − 2·tr(U_iᵀU_j)` with a `.max(0.0)` clamp; for
+//!   large-norm factors the expansion cancels catastrophically, so
+//!   near-identical entities could round to distance 0 — similarity
+//!   exactly 1 — and become indistinguishable from true duplicates.)
+//! * **Indexed top-k** ([`QueryMode`]): by default queries route through
+//!   the version's pruned factor-embedding index
+//!   ([`crate::index::ModelIndexSet`]) when one is installed, falling
+//!   back to the exact scan until the background build lands.
+//!   [`QueryMode::Exact`] forces the scan; `nprobe ≥` the partition count
+//!   makes the indexed path bitwise-identical to it.
 //! * **Partial selection**: ranking uses [`dpar2_analysis::select_top_k`]
 //!   — `O(n + k log k)` with a NaN-safe total order, since `k ≪ n` in
 //!   serving workloads.
@@ -22,11 +31,12 @@
 //!   one registry snapshot, so every answer in the batch comes from the
 //!   same model version.
 //! * **Sharded LRU result cache**: completed rankings are cached keyed by
-//!   `(model, version, target, k)`. The version in the key makes
-//!   invalidation automatic — a publish simply starts missing into the new
-//!   version while stale entries age out. Shards (each a small
-//!   `Mutex<HashMap>`) keep concurrent query threads from serializing on
-//!   one lock.
+//!   `(model, version, target, k, answer path)`. The version in the key
+//!   makes invalidation automatic — a publish simply starts missing into
+//!   the new version while stale entries age out — and the path tag keeps
+//!   exact and approximate answers from ever aliasing. Shards (each a
+//!   small `Mutex<HashMap>`) keep concurrent query threads from
+//!   serializing on one lock.
 //!
 //! As in §IV-E2 of the paper, `U_i − U_j` is only defined for entities
 //! with the same temporal range, so a query ranks exactly the candidates
@@ -35,9 +45,8 @@
 use crate::error::{Result, ServeError};
 use crate::model::{ModelMeta, SavedModel};
 use crate::registry::{ModelRegistry, ModelVersion};
-use dpar2_analysis::select_top_k;
+use dpar2_analysis::{select_top_k, squared_distance};
 use dpar2_core::Parafac2Fit;
-use dpar2_linalg::mat::dot;
 use dpar2_linalg::MatRef;
 use dpar2_parallel::ThreadPool;
 use std::collections::hash_map::DefaultHasher;
@@ -46,21 +55,17 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// A fitted model prepared for serving: factors plus the precomputed
-/// per-entity caches queries need.
+/// A fitted model prepared for serving.
 #[derive(Debug, Clone)]
 pub struct ServedModel {
     meta: ModelMeta,
     fit: Parafac2Fit,
-    /// `‖U_k‖²_F` per entity — the norm half of the Gram expansion.
-    norms_sq: Vec<f64>,
 }
 
 impl ServedModel {
-    /// Prepares a fit for serving, precomputing the per-entity norm cache.
+    /// Prepares a fit for serving.
     pub fn from_parts(meta: ModelMeta, fit: Parafac2Fit) -> Self {
-        let norms_sq = fit.u.iter().map(|u| u.fro_norm_sq()).collect();
-        ServedModel { meta, fit, norms_sq }
+        ServedModel { meta, fit }
     }
 
     /// Prepares a loaded [`SavedModel`] for serving.
@@ -88,9 +93,11 @@ impl ServedModel {
         self.meta.entity_labels.get(i).map(String::as_str)
     }
 
-    /// Eq. 10 similarity between entities `i` and `j` through the norm
-    /// cache. `None` if either index is out of range or the two factor
-    /// shapes differ (not comparable, §IV-E2).
+    /// Eq. 10 similarity between entities `i` and `j`. `None` if either
+    /// index is out of range or the two factor shapes differ (not
+    /// comparable, §IV-E2). Bit-identical factors give exactly `1.0`, and
+    /// any differing pair gives strictly less — the fused distance cannot
+    /// collapse distinct factors the way the clamped Gram expansion could.
     pub fn similarity(&self, i: usize, j: usize) -> Option<f64> {
         let (u_i, u_j) = (self.fit.u.get(i)?, self.fit.u.get(j)?);
         if u_i.shape() != u_j.shape() {
@@ -106,11 +113,12 @@ impl ServedModel {
 
     /// Similarity for comparable in-range entities (callers check both).
     /// Runs on borrowed factor views of the snapshot — no factor is copied
-    /// anywhere on the query path.
+    /// anywhere on the query path. Uses the fused
+    /// [`squared_distance`] — the same arithmetic, in the same element
+    /// order, as the pruned index, which is what lets the indexed path
+    /// reproduce this one bitwise at full probe depth.
     fn pair_similarity(&self, i: usize, j: usize) -> f64 {
-        let (u_i, u_j) = (self.factor_view(i), self.factor_view(j));
-        let cross = dot(u_i.data(), u_j.data());
-        let d_sq = (self.norms_sq[i] + self.norms_sq[j] - 2.0 * cross).max(0.0);
+        let d_sq = squared_distance(self.fit.u[i].data(), self.fit.u[j].data());
         (-self.meta.gamma * d_sq).exp()
     }
 
@@ -134,6 +142,31 @@ impl ServedModel {
     }
 }
 
+/// How a query computes its ranking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryMode {
+    /// Full scan over every comparable entity — the reference answer.
+    Exact,
+    /// Route through the version's pruned index
+    /// ([`crate::index::ModelIndexSet`]) when installed, probing `nprobe`
+    /// partitions of the target's shape group (`None` ⇒ the index's
+    /// default). Falls back to [`QueryMode::Exact`] — silently, never an
+    /// error or a partial answer — while the background build is still in
+    /// flight. `nprobe ≥` the group's partition count degenerates to the
+    /// exact answer bitwise.
+    Indexed {
+        /// Partitions to probe; `None` uses the index default.
+        nprobe: Option<usize>,
+    },
+}
+
+impl Default for QueryMode {
+    /// Indexed at the default probe depth — the serving default.
+    fn default() -> Self {
+        QueryMode::Indexed { nprobe: None }
+    }
+}
+
 /// One answered query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryResult {
@@ -145,6 +178,9 @@ pub struct QueryResult {
     pub neighbors: Arc<Vec<(usize, f64)>>,
     /// True if the answer came from the result cache.
     pub cache_hit: bool,
+    /// True if the ranking came through the pruned index; false means the
+    /// exact scan answered (requested, or the index wasn't built yet).
+    pub indexed: bool,
 }
 
 /// Cache hit/miss counters (see [`QueryEngine::cache_stats`]).
@@ -166,6 +202,7 @@ pub struct QueryEngine {
     registry: Arc<ModelRegistry>,
     pool: ThreadPool,
     cache: ShardedLru,
+    mode: QueryMode,
 }
 
 impl QueryEngine {
@@ -195,7 +232,21 @@ impl QueryEngine {
             registry,
             pool: ThreadPool::new(threads),
             cache: ShardedLru::new(shard_capacity),
+            mode: QueryMode::default(),
         }
+    }
+
+    /// Sets the engine's default [`QueryMode`] (used by
+    /// [`top_k`](QueryEngine::top_k) /
+    /// [`top_k_batch`](QueryEngine::top_k_batch)).
+    pub fn with_query_mode(mut self, mode: QueryMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The engine's default [`QueryMode`].
+    pub fn query_mode(&self) -> QueryMode {
+        self.mode
     }
 
     /// The shared registry this engine serves from.
@@ -203,23 +254,50 @@ impl QueryEngine {
         &self.registry
     }
 
-    /// Answers one top-k query against the current version of `model`.
+    /// Answers one top-k query against the current version of `model`,
+    /// using the engine's default [`QueryMode`].
     ///
     /// # Errors
     /// [`ServeError::ModelNotFound`] for an unknown name;
     /// [`ServeError::EntityOutOfRange`] for a bad target index.
     pub fn top_k(&self, model: &str, target: usize, k: usize) -> Result<QueryResult> {
+        self.top_k_with_mode(model, target, k, self.mode)
+    }
+
+    /// [`top_k`](QueryEngine::top_k) with an explicit [`QueryMode`] for
+    /// this one query.
+    ///
+    /// # Errors
+    /// As [`top_k`](QueryEngine::top_k).
+    pub fn top_k_with_mode(
+        &self,
+        model: &str,
+        target: usize,
+        k: usize,
+        mode: QueryMode,
+    ) -> Result<QueryResult> {
         let snapshot = self.snapshot(model)?;
-        self.query_snapshot(&snapshot, target, k)
+        self.query_snapshot(&snapshot, target, k, mode)
     }
 
     /// Answers a batch of `(target, k)` queries, fanned out across the
-    /// thread pool. The whole batch runs against **one** registry snapshot,
-    /// so every answer carries the same version even if a publish lands
-    /// mid-batch.
+    /// thread pool using the engine's default [`QueryMode`]. The whole
+    /// batch runs against **one** registry snapshot, so every answer
+    /// carries the same version even if a publish lands mid-batch.
     ///
     /// Per-query failures (bad target index) are reported per element.
     pub fn top_k_batch(&self, model: &str, queries: &[(usize, usize)]) -> Vec<Result<QueryResult>> {
+        self.top_k_batch_with_mode(model, queries, self.mode)
+    }
+
+    /// [`top_k_batch`](QueryEngine::top_k_batch) with an explicit
+    /// [`QueryMode`] for the whole batch.
+    pub fn top_k_batch_with_mode(
+        &self,
+        model: &str,
+        queries: &[(usize, usize)],
+        mode: QueryMode,
+    ) -> Vec<Result<QueryResult>> {
         let snapshot = match self.snapshot(model) {
             Ok(s) => s,
             Err(_) => {
@@ -229,7 +307,7 @@ impl QueryEngine {
                     .collect()
             }
         };
-        self.pool.map(queries, |_, &(target, k)| self.query_snapshot(&snapshot, target, k))
+        self.pool.map(queries, |_, &(target, k)| self.query_snapshot(&snapshot, target, k, mode))
     }
 
     /// Result-cache hit/miss counters since construction.
@@ -251,19 +329,52 @@ impl QueryEngine {
         snapshot: &ModelVersion,
         target: usize,
         k: usize,
+        mode: QueryMode,
     ) -> Result<QueryResult> {
-        let key = CacheKey { name: snapshot.name.clone(), version: snapshot.version, target, k };
-        if let Some(neighbors) = self.cache.get(&key) {
-            return Ok(QueryResult { version: snapshot.version, neighbors, cache_hit: true });
+        // Resolve the answer path *before* the cache lookup: an Indexed
+        // request on a version whose index hasn't been installed yet is
+        // answered by — and cached as — the exact scan, so approximate and
+        // exact rankings can never alias under one key.
+        let route = match mode {
+            QueryMode::Exact => None,
+            QueryMode::Indexed { nprobe } => snapshot.index().map(|set| (set, nprobe)),
+        };
+        let path = match route {
+            Some((_, nprobe)) => CachePath::Indexed(nprobe),
+            None => CachePath::Exact,
+        };
+        let key =
+            CacheKey { name: snapshot.name.clone(), version: snapshot.version, target, k, path };
+        if let Some((neighbors, indexed)) = self.cache.get(&key) {
+            return Ok(QueryResult {
+                version: snapshot.version,
+                neighbors,
+                cache_hit: true,
+                indexed,
+            });
         }
-        let neighbors = Arc::new(snapshot.model.top_k(target, k)?);
-        self.cache.insert(key, Arc::clone(&neighbors));
-        Ok(QueryResult { version: snapshot.version, neighbors, cache_hit: false })
+        let (neighbors, indexed) = match route {
+            Some((set, nprobe)) => (Arc::new(set.top_k(&snapshot.model, target, k, nprobe)?), true),
+            None => (Arc::new(snapshot.model.top_k(target, k)?), false),
+        };
+        self.cache.insert(key, (Arc::clone(&neighbors), indexed));
+        Ok(QueryResult { version: snapshot.version, neighbors, cache_hit: false, indexed })
     }
 }
 
 /// Number of independent cache shards.
 pub const SHARD_COUNT: usize = 8;
+
+/// The *resolved* answer path a cached ranking was computed through —
+/// exact scan, or the index at a requested probe depth. Indexed requests
+/// that fell back (no index installed yet) resolve to `Exact`: the cached
+/// answer *is* the exact one, and may keep serving after the index lands
+/// until the entry ages out — quality never degrades, only improves late.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CachePath {
+    Exact,
+    Indexed(Option<usize>),
+}
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct CacheKey {
@@ -271,13 +382,20 @@ struct CacheKey {
     version: u64,
     target: usize,
     k: usize,
+    path: CachePath,
 }
+
+/// A cached ranking plus whether it came through the index — the pair a
+/// hit hands back and an insert stores.
+type CachedAnswer = (Arc<Vec<(usize, f64)>>, bool);
 
 #[derive(Debug)]
 struct CacheEntry {
     /// Shared with every answer served from this entry (`Arc`: a hit is a
     /// reference-count bump, never a ranking copy).
     neighbors: Arc<Vec<(usize, f64)>>,
+    /// Whether the ranking came through the index (reported back on hits).
+    indexed: bool,
     /// Last-touch tick for LRU eviction.
     stamp: u64,
 }
@@ -321,7 +439,7 @@ impl ShardedLru {
         &self.shards[Self::shard_index(key)]
     }
 
-    fn get(&self, key: &CacheKey) -> Option<Arc<Vec<(usize, f64)>>> {
+    fn get(&self, key: &CacheKey) -> Option<CachedAnswer> {
         if self.shard_capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
@@ -333,7 +451,7 @@ impl ShardedLru {
             Some(entry) => {
                 entry.stamp = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(&entry.neighbors))
+                Some((Arc::clone(&entry.neighbors), entry.indexed))
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -342,7 +460,7 @@ impl ShardedLru {
         }
     }
 
-    fn insert(&self, key: CacheKey, neighbors: Arc<Vec<(usize, f64)>>) {
+    fn insert(&self, key: CacheKey, (neighbors, indexed): CachedAnswer) {
         if self.shard_capacity == 0 {
             return;
         }
@@ -356,7 +474,7 @@ impl ShardedLru {
                 shard.map.remove(&oldest);
             }
         }
-        shard.map.insert(key, CacheEntry { neighbors, stamp: tick });
+        shard.map.insert(key, CacheEntry { neighbors, indexed, stamp: tick });
     }
 
     fn clear(&self) {
@@ -524,16 +642,22 @@ mod tests {
     #[test]
     fn lru_evicts_oldest_within_shard() {
         let cache = ShardedLru::new(2);
-        let key = |t: usize| CacheKey { name: "m".into(), version: 1, target: t, k: 1 };
+        let key = |t: usize| CacheKey {
+            name: "m".into(),
+            version: 1,
+            target: t,
+            k: 1,
+            path: CachePath::Exact,
+        };
         // Find three keys landing in the same shard.
         let shard0 = ShardedLru::shard_index(&key(0));
         let same_shard: Vec<usize> =
             (0..200).filter(|&t| ShardedLru::shard_index(&key(t)) == shard0).take(3).collect();
         let &[a, b, c] = same_shard.as_slice() else { panic!("hash spread too perfect") };
-        cache.insert(key(a), Arc::new(vec![(a, 1.0)]));
-        cache.insert(key(b), Arc::new(vec![(b, 1.0)]));
+        cache.insert(key(a), (Arc::new(vec![(a, 1.0)]), false));
+        cache.insert(key(b), (Arc::new(vec![(b, 1.0)]), false));
         assert!(cache.get(&key(a)).is_some()); // refresh a: b is now oldest
-        cache.insert(key(c), Arc::new(vec![(c, 1.0)]));
+        cache.insert(key(c), (Arc::new(vec![(c, 1.0)]), false));
         assert!(cache.get(&key(b)).is_none(), "b should have been evicted");
         assert!(cache.get(&key(a)).is_some());
         assert!(cache.get(&key(c)).is_some());
@@ -546,5 +670,125 @@ mod tests {
         let engine = QueryEngine::with_cache_capacity(reg, 1, 0);
         assert!(!engine.top_k("m", 0, 2).unwrap().cache_hit);
         assert!(!engine.top_k("m", 0, 2).unwrap().cache_hit);
+    }
+
+    /// Regression for the clamped Gram-expansion distance: with
+    /// large-norm factors (entries ≈ 1e8, so `‖U‖² ≈ 5e17` and one ulp of
+    /// the norm is ≈ 64) the expansion's cancellation error dwarfed any
+    /// real sub-unit distance, and the `.max(0.0)` clamp then rounded
+    /// near-duplicates to distance 0 — similarity exactly 1, identical to
+    /// a true duplicate. The fused path keeps both properties exact.
+    #[test]
+    fn bit_identical_entities_have_similarity_exactly_one() {
+        let base = Mat::from_fn(16, 3, |i, j| 1e8 + (i * 3 + j) as f64 * 1e-8);
+        let mut near = base.clone();
+        near.data_mut()[0] += 1e-4;
+        let fit = Parafac2Fit {
+            s: vec![vec![1.0; 3]; 3],
+            v: Mat::eye(3),
+            h: Mat::eye(3),
+            u: vec![base.clone(), base, near],
+            iterations: 0,
+            criterion_trace: vec![],
+            stop_reason: StopReason::Converged,
+            timing: TimingBreakdown::default(),
+        };
+        let m = ServedModel::from_parts(ModelMeta::new("huge").with_gamma(0.01), fit);
+        // Bit-identical pair: every elementwise difference is exactly 0.0,
+        // so the fused sum is exactly 0.0 and exp(-0) is exactly 1.0.
+        assert_eq!(m.similarity(0, 1), Some(1.0));
+        // Near-duplicate: true d² = 1e-8, far below the Gram expansion's
+        // noise floor, but the fused distance resolves it — strictly < 1.
+        let near_sim = m.similarity(0, 2).unwrap();
+        assert!(near_sim < 1.0, "near-duplicate must be distinguishable, got {near_sim}");
+        assert!(near_sim > 0.0);
+    }
+
+    #[test]
+    fn indexed_mode_matches_exact_bitwise_at_full_probe() {
+        let reg = Arc::new(ModelRegistry::new());
+        let version = reg.publish_arc("m", random_model(80, 7, 3, 41, 0.05));
+        let pool = ThreadPool::new(2);
+        assert!(crate::index::build_and_install(
+            &version,
+            &dpar2_analysis::IndexOptions::default(),
+            &pool
+        ));
+        let engine = QueryEngine::with_cache_capacity(reg, 1, 0);
+        let full = version.index().unwrap().num_partitions_for(0);
+        for target in [0usize, 13, 79] {
+            let exact = engine.top_k_with_mode("m", target, 9, QueryMode::Exact).unwrap();
+            assert!(!exact.indexed);
+            let indexed = engine
+                .top_k_with_mode("m", target, 9, QueryMode::Indexed { nprobe: full })
+                .unwrap();
+            assert!(indexed.indexed);
+            assert_eq!(indexed.neighbors, exact.neighbors, "target {target}");
+        }
+    }
+
+    #[test]
+    fn indexed_mode_falls_back_to_exact_until_index_installed() {
+        let reg = Arc::new(ModelRegistry::new());
+        let version = reg.publish_arc("m", random_model(40, 6, 2, 42, 0.04));
+        let engine = QueryEngine::with_cache_capacity(Arc::clone(&reg), 1, 0);
+        assert_eq!(engine.query_mode(), QueryMode::default());
+        // No index yet: the default (Indexed) mode silently answers exact.
+        let before = engine.top_k("m", 5, 6).unwrap();
+        assert!(!before.indexed);
+        let reference = engine.top_k_with_mode("m", 5, 6, QueryMode::Exact).unwrap();
+        assert_eq!(before.neighbors, reference.neighbors);
+        // Install, then the same call routes through the index.
+        let pool = ThreadPool::new(1);
+        crate::index::build_and_install(&version, &dpar2_analysis::IndexOptions::default(), &pool);
+        let after = engine.top_k("m", 5, 6).unwrap();
+        assert!(after.indexed);
+    }
+
+    #[test]
+    fn cache_separates_exact_and_indexed_paths() {
+        let reg = Arc::new(ModelRegistry::new());
+        let version = reg.publish_arc("m", random_model(50, 6, 2, 43, 0.03));
+        let pool = ThreadPool::new(1);
+        crate::index::build_and_install(&version, &dpar2_analysis::IndexOptions::default(), &pool);
+        let engine = QueryEngine::new(reg, 1);
+        let exact = engine.top_k_with_mode("m", 2, 5, QueryMode::Exact).unwrap();
+        assert!(!exact.cache_hit && !exact.indexed);
+        // Different path, same (target, k): must miss, not alias.
+        let indexed =
+            engine.top_k_with_mode("m", 2, 5, QueryMode::Indexed { nprobe: None }).unwrap();
+        assert!(!indexed.cache_hit && indexed.indexed);
+        // Re-asking each path hits its own entry with the right flag.
+        let exact2 = engine.top_k_with_mode("m", 2, 5, QueryMode::Exact).unwrap();
+        assert!(exact2.cache_hit && !exact2.indexed);
+        let indexed2 =
+            engine.top_k_with_mode("m", 2, 5, QueryMode::Indexed { nprobe: None }).unwrap();
+        assert!(indexed2.cache_hit && indexed2.indexed);
+    }
+
+    #[test]
+    fn batch_respects_mode_and_engine_default_is_overridable() {
+        let reg = Arc::new(ModelRegistry::new());
+        let version = reg.publish_arc("m", random_model(30, 6, 2, 44, 0.03));
+        let pool = ThreadPool::new(1);
+        crate::index::build_and_install(&version, &dpar2_analysis::IndexOptions::default(), &pool);
+        let engine = QueryEngine::with_cache_capacity(reg, 2, 0).with_query_mode(QueryMode::Exact);
+        assert_eq!(engine.query_mode(), QueryMode::Exact);
+        assert!(!engine.top_k("m", 0, 4).unwrap().indexed);
+        let queries: Vec<(usize, usize)> = (0..6).map(|t| (t, 4)).collect();
+        for r in engine.top_k_batch("m", &queries) {
+            assert!(!r.unwrap().indexed);
+        }
+        let full = version.index().unwrap().num_partitions_for(0);
+        for (r, t) in engine
+            .top_k_batch_with_mode("m", &queries, QueryMode::Indexed { nprobe: full })
+            .into_iter()
+            .zip(0..)
+        {
+            let r = r.unwrap();
+            assert!(r.indexed);
+            let exact = engine.top_k_with_mode("m", t, 4, QueryMode::Exact).unwrap();
+            assert_eq!(r.neighbors, exact.neighbors, "target {t}");
+        }
     }
 }

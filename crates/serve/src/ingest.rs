@@ -25,9 +25,11 @@
 //!   ([`StopReason::Cancelled`](dpar2_core::StopReason)).
 
 use crate::engine::ServedModel;
+use crate::index::IndexBuilder;
 use crate::model::ModelMeta;
 use crate::registry::ModelRegistry;
 use crossbeam::channel::{self, Sender};
+use dpar2_analysis::IndexOptions;
 use dpar2_core::{CancelToken, StreamingDpar2};
 use dpar2_linalg::Mat;
 use std::sync::{Arc, Mutex};
@@ -63,6 +65,11 @@ pub struct IngestWorker {
     handle: Option<JoinHandle<()>>,
     errors: Arc<Mutex<Vec<String>>>,
     cancel: CancelToken,
+    /// Present for [`IngestWorker::spawn_indexed`] workers. `Drop` joins
+    /// the ingest thread first (releasing its clone of this `Arc`), so the
+    /// builder's own drain-and-join runs last, after every publish had its
+    /// chance to enqueue.
+    indexer: Option<Arc<IndexBuilder>>,
 }
 
 impl IngestWorker {
@@ -75,16 +82,40 @@ impl IngestWorker {
     /// If `meta` carries entity labels, newly appended entities get
     /// `entity-<i>` placeholder labels so the labels-per-slice invariant
     /// holds on every published version.
-    pub fn spawn(
+    pub fn spawn(stream: StreamingDpar2, meta: ModelMeta, registry: Arc<ModelRegistry>) -> Self {
+        Self::spawn_inner(stream, meta, registry, None)
+    }
+
+    /// [`spawn`](IngestWorker::spawn) plus background indexing: every
+    /// published version is handed to a dedicated [`IndexBuilder`] thread
+    /// (with its own `index_threads`-wide pool) that builds and installs
+    /// its pruned top-k index. Publishes never wait on a build — queries
+    /// against a version whose index is still in flight silently use the
+    /// exact scan — and when appends outrun builds, the builder coalesces
+    /// to the newest queued version per model name.
+    pub fn spawn_indexed(
+        stream: StreamingDpar2,
+        meta: ModelMeta,
+        registry: Arc<ModelRegistry>,
+        index_options: IndexOptions,
+        index_threads: usize,
+    ) -> Self {
+        let builder = Arc::new(IndexBuilder::spawn(index_options, index_threads));
+        Self::spawn_inner(stream, meta, registry, Some(builder))
+    }
+
+    fn spawn_inner(
         mut stream: StreamingDpar2,
         meta: ModelMeta,
         registry: Arc<ModelRegistry>,
+        indexer: Option<Arc<IndexBuilder>>,
     ) -> Self {
         let (tx, rx) = channel::unbounded::<Msg>();
         let errors = Arc::new(Mutex::new(Vec::new()));
         let errors_in_worker = errors.clone();
         let cancel = CancelToken::new();
         let mut cancel_in_worker = cancel.clone();
+        let indexer_in_worker = indexer.clone();
         let handle = std::thread::spawn(move || {
             for msg in rx {
                 match msg {
@@ -105,7 +136,16 @@ impl IngestWorker {
                                 let fit = stream.decompose_observed(&mut cancel_in_worker);
                                 let mut now = meta.clone();
                                 reconcile_labels(&mut now, fit.u.len());
-                                registry.publish(&meta.name, ServedModel::from_parts(now, fit));
+                                let version = registry
+                                    .publish_arc(&meta.name, ServedModel::from_parts(now, fit));
+                                // Indexing happens off this thread too: the
+                                // publish above already made the version
+                                // servable (exact scan), the enqueue just
+                                // upgrades it to indexed when the build
+                                // lands.
+                                if let Some(builder) = &indexer_in_worker {
+                                    builder.enqueue(version);
+                                }
                             }
                             Err(e) => {
                                 let mut log = errors_in_worker
@@ -124,7 +164,7 @@ impl IngestWorker {
                 }
             }
         });
-        IngestWorker { tx, handle: Some(handle), errors, cancel }
+        IngestWorker { tx, handle: Some(handle), errors, cancel, indexer }
     }
 
     /// Requests cooperative cancellation of the current and all subsequent
@@ -146,11 +186,26 @@ impl IngestWorker {
     }
 
     /// Blocks until every batch enqueued before this call has been
-    /// processed (published or recorded as an error).
+    /// processed (published or recorded as an error). Index builds keep
+    /// running in the background — use
+    /// [`flush_indexes`](IngestWorker::flush_indexes) to barrier on those
+    /// too.
     pub fn flush(&self) {
         let (ack_tx, ack_rx) = channel::unbounded::<()>();
         if self.tx.send(Msg::Flush(ack_tx)).is_ok() {
             let _ = ack_rx.recv();
+        }
+    }
+
+    /// [`flush`](IngestWorker::flush), then additionally blocks until the
+    /// index of every version published so far is installed (no-op beyond
+    /// the plain flush for workers spawned without indexing). Tests and
+    /// drain-before-snapshot callers use this; serving paths never need
+    /// it — queries fall back to the exact scan until a build lands.
+    pub fn flush_indexes(&self) {
+        self.flush();
+        if let Some(builder) = &self.indexer {
+            builder.flush();
         }
     }
 
@@ -334,6 +389,47 @@ mod tests {
             published.model.fit().clone(),
         );
         assert!(saved.to_bytes().is_ok());
+        worker.shutdown();
+    }
+
+    #[test]
+    fn spawn_indexed_installs_an_index_per_publish() {
+        let registry = Arc::new(ModelRegistry::new());
+        let worker = IngestWorker::spawn_indexed(
+            StreamingDpar2::new(config()),
+            ModelMeta::new("indexed"),
+            registry.clone(),
+            IndexOptions::default(),
+            1,
+        );
+        let t = planted_parafac2(&[16, 16, 16, 16], 10, 2, 0.05, 8);
+        worker.append(t.to_slices()[..2].to_vec());
+        worker.append(t.to_slices()[2..].to_vec());
+        worker.flush_indexes();
+        let served = registry.get("indexed").unwrap();
+        assert_eq!(served.version, 2);
+        let set = served.index().expect("current version indexed after flush_indexes");
+        assert_eq!(set.entities(), 4);
+        // Indexed answers agree with the exact scan at full probe depth.
+        let exact = served.model.top_k(0, 3).unwrap();
+        let indexed = set.top_k(&served.model, 0, 3, set.num_partitions_for(0)).unwrap();
+        assert_eq!(indexed, exact);
+        assert!(worker.errors().is_empty());
+        worker.shutdown();
+    }
+
+    #[test]
+    fn plain_spawn_never_indexes_and_flush_indexes_is_safe() {
+        let registry = Arc::new(ModelRegistry::new());
+        let worker = IngestWorker::spawn(
+            StreamingDpar2::new(config()),
+            ModelMeta::new("plain"),
+            registry.clone(),
+        );
+        let t = planted_parafac2(&[16, 16], 10, 2, 0.0, 9);
+        worker.append(t.to_slices());
+        worker.flush_indexes();
+        assert!(registry.get("plain").unwrap().index().is_none());
         worker.shutdown();
     }
 

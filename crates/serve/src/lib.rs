@@ -15,12 +15,19 @@
 //!   version swap: readers grab an `Arc` snapshot and never block on (or
 //!   observe a torn state from) a concurrent publish.
 //! * [`engine`] — top-k similar-entity queries (Eq. 10/11 path from
-//!   `dpar2_analysis`) with precomputed per-entity norm caches, batched
-//!   execution over the [`dpar2_parallel::ThreadPool`], and a sharded LRU
-//!   result cache keyed by model version.
+//!   `dpar2_analysis`) with fused pairwise distances, batched execution
+//!   over the [`dpar2_parallel::ThreadPool`], and a sharded LRU result
+//!   cache keyed by model version and answer path.
+//! * [`index`] — serving wrapper of `dpar2_analysis`'s pruned
+//!   factor-embedding index: one per-shape-group index per published
+//!   version, built off-thread by an [`IndexBuilder`] so publishes never
+//!   block. Queries route through it by default ([`QueryMode`]) and fall
+//!   back to the exact scan until the build lands; `nprobe` trades recall
+//!   for speed, with `nprobe = num_partitions` bitwise-exact.
 //! * [`ingest`] — a background worker thread that drains appended slice
 //!   batches through [`dpar2_core::StreamingDpar2`] and publishes each
-//!   refreshed fit as a new registry version while queries keep flowing.
+//!   refreshed fit as a new registry version while queries keep flowing
+//!   ([`IngestWorker::spawn_indexed`] also keeps each version indexed).
 //!
 //! ## Quickstart
 //!
@@ -53,12 +60,15 @@
 
 pub mod engine;
 pub mod error;
+pub mod index;
 pub mod ingest;
 pub mod model;
 pub mod registry;
 
-pub use engine::{CacheStats, QueryEngine, QueryResult, ServedModel};
+pub use dpar2_analysis::IndexOptions;
+pub use engine::{CacheStats, QueryEngine, QueryMode, QueryResult, ServedModel};
 pub use error::{Result, ServeError};
+pub use index::{build_and_install, IndexBuilder, ModelIndexSet};
 pub use ingest::IngestWorker;
 pub use model::{ModelMeta, SavedModel, FORMAT_VERSION, MAGIC};
 pub use registry::{ModelRegistry, ModelVersion};

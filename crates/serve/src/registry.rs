@@ -12,8 +12,9 @@
 //! the new one, never a mixture.
 
 use crate::engine::ServedModel;
+use crate::index::ModelIndexSet;
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// One published, immutable model version.
 #[derive(Debug)]
@@ -24,6 +25,28 @@ pub struct ModelVersion {
     pub version: u64,
     /// The query-ready model (factors + serving caches).
     pub model: ServedModel,
+    /// Pruned top-k index over this version's factors, installed at most
+    /// once — typically off-thread by an
+    /// [`IndexBuilder`](crate::index::IndexBuilder) after the publish.
+    /// Queries that find it unset simply use the exact scan, so a version
+    /// is fully servable from the instant it is published and never
+    /// exposes a partial index (`OnceLock`: readers see nothing or the
+    /// completed structure, atomically).
+    index: OnceLock<ModelIndexSet>,
+}
+
+impl ModelVersion {
+    /// The installed top-k index, if the builder has finished it.
+    pub fn index(&self) -> Option<&ModelIndexSet> {
+        self.index.get()
+    }
+
+    /// Installs the index for this version. Returns `false` (dropping
+    /// `set`) if an index was already installed — versions are immutable,
+    /// so the first complete build wins.
+    pub fn install_index(&self, set: ModelIndexSet) -> bool {
+        self.index.set(set).is_ok()
+    }
 }
 
 /// Thread-safe named store of [`ServedModel`] versions.
@@ -56,14 +79,25 @@ impl ModelRegistry {
     /// [`remove`](ModelRegistry::remove)). In-flight readers holding the
     /// previous `Arc` are unaffected.
     pub fn publish(&self, name: &str, model: ServedModel) -> u64 {
+        self.publish_arc(name, model).version
+    }
+
+    /// [`publish`](ModelRegistry::publish) returning the published
+    /// [`ModelVersion`] snapshot itself — the handle an
+    /// [`IndexBuilder`](crate::index::IndexBuilder) needs to install the
+    /// version's index once built.
+    pub fn publish_arc(&self, name: &str, model: ServedModel) -> Arc<ModelVersion> {
         let mut inner = self.inner.write().unwrap_or_else(std::sync::PoisonError::into_inner);
         let version = inner.last_version.get(name).map_or(1, |prev| prev + 1);
         inner.last_version.insert(name.to_string(), version);
-        inner.models.insert(
-            name.to_string(),
-            Arc::new(ModelVersion { name: name.to_string(), version, model }),
-        );
-        version
+        let published = Arc::new(ModelVersion {
+            name: name.to_string(),
+            version,
+            model,
+            index: OnceLock::new(),
+        });
+        inner.models.insert(name.to_string(), Arc::clone(&published));
+        published
     }
 
     /// Snapshot of the current version of `name` (brief read-lock; the

@@ -129,6 +129,60 @@ fn other_baselines_stay_under_allocation_ceiling() {
     }
 }
 
+/// Serving pin: a steady-state probe of the pruned top-k index allocates
+/// nothing. The first search grows the caller's scratch (partition order,
+/// candidate heap) and output vector to their high-water marks; every
+/// repeat search — across different targets, probe depths, and k — must
+/// reuse them outright. This is the property that keeps the indexed query
+/// path allocation-free per probe in `dpar2-serve`.
+#[test]
+fn index_search_steady_state_allocates_nothing() {
+    use dpar2_repro::analysis::{EmbeddingIndex, IndexOptions, SearchScratch};
+    use dpar2_repro::linalg::Mat;
+    use dpar2_repro::parallel::ThreadPool;
+
+    let n = 600usize;
+    let dim = 12usize;
+    let points = Mat::from_fn(n, dim, |i, j| ((i * 31 + j * 7) % 97) as f64 * 0.125);
+    let pool = ThreadPool::new(1);
+    let index = EmbeddingIndex::build(points.view(), &IndexOptions::default(), &pool);
+
+    let mut scratch = SearchScratch::default();
+    let mut out = Vec::new();
+    // Warmup at the *largest* probe depth and k used below, so every later
+    // call fits in the warmed capacities.
+    index.top_k_similar_into(
+        points.row(0),
+        0.01,
+        16,
+        index.num_partitions(),
+        Some(0),
+        &mut scratch,
+        &mut out,
+    );
+
+    let before = allocs_now();
+    for t in 1..64usize {
+        let probe = 1 + t % index.num_partitions();
+        index.top_k_similar_into(
+            points.row(t),
+            0.01,
+            1 + t % 16,
+            probe,
+            Some(t),
+            &mut scratch,
+            &mut out,
+        );
+    }
+    let after = allocs_now();
+    assert_eq!(
+        after - before,
+        0,
+        "pruned index search allocated in steady state ({} allocations over 63 probes)",
+        after - before
+    );
+}
+
 /// Guard for the measurement itself: the thread-local counter observes this
 /// thread's allocations (so the zero assertions above are meaningful).
 #[test]

