@@ -18,4 +18,4 @@ pub mod kmeans;
 pub mod pruned;
 
 pub use kmeans::{partition_points, Partitioning};
-pub use pruned::{EmbeddingIndex, IndexOptions, SearchScratch};
+pub use pruned::{EmbeddingIndex, IndexOptions, SearchScratch, SearchStats};

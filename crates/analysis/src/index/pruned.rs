@@ -93,6 +93,24 @@ struct PartitionInfo {
     max_norm: f64,
 }
 
+/// Work counters of one pruned search — how much of the index a query
+/// actually touched. All plain integers, so recording them is free on the
+/// allocation-free search path; serving layers aggregate them into pruning
+/// efficiency metrics (partitions probed vs. total, candidates scanned
+/// vs. indexed rows).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Partitions in the index (non-empty or not).
+    pub partitions_total: usize,
+    /// Partitions whose rows were actually scanned (≤ the requested
+    /// `nprobe`: the bound check can stop the probe walk early).
+    pub partitions_probed: usize,
+    /// Rows scored against the query (excluded row not counted).
+    pub candidates_scanned: usize,
+    /// Rows in the index — the exact scan's candidate count.
+    pub candidates_total: usize,
+}
+
 /// Reusable query scratch: after the first call at a given `(p, k)` no
 /// further heap or sort allocations occur (see
 /// [`EmbeddingIndex::top_k_similar_into`]).
@@ -102,6 +120,17 @@ pub struct SearchScratch {
     order: Vec<(f64, usize)>,
     /// Running top-k, max element = current worst (see [`HeapEntry`]).
     heap: BinaryHeap<HeapEntry>,
+    /// Work counters of the most recent search through this scratch.
+    stats: SearchStats,
+}
+
+impl SearchScratch {
+    /// Work counters of the most recent
+    /// [`top_k_similar_into`](EmbeddingIndex::top_k_similar_into) call
+    /// (zeroed counts before any search).
+    pub fn stats(&self) -> SearchStats {
+        self.stats
+    }
 }
 
 /// Heap entry ordered so the binary max-heap surfaces the *worst-ranked*
@@ -262,19 +291,26 @@ impl EmbeddingIndex {
         nprobe: usize,
         exclude: Option<usize>,
     ) -> Vec<(usize, f64)> {
+        self.top_k_similar_with_stats(query, gamma, k, nprobe, exclude).0
+    }
+
+    /// [`top_k_similar`](EmbeddingIndex::top_k_similar) additionally
+    /// returning the search's work counters ([`SearchStats`]).
+    pub fn top_k_similar_with_stats(
+        &self,
+        query: &[f64],
+        gamma: f64,
+        k: usize,
+        nprobe: usize,
+        exclude: Option<usize>,
+    ) -> (Vec<(usize, f64)>, SearchStats) {
         let mut out = Vec::new();
-        TL_SCRATCH.with(|scratch| {
-            self.top_k_similar_into(
-                query,
-                gamma,
-                k,
-                nprobe,
-                exclude,
-                &mut scratch.borrow_mut(),
-                &mut out,
-            );
+        let stats = TL_SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            self.top_k_similar_into(query, gamma, k, nprobe, exclude, &mut scratch, &mut out);
+            scratch.stats()
         });
-        out
+        (out, stats)
     }
 
     /// Writes into `out` the `k` rows most Eq. 10-similar to `query`
@@ -305,6 +341,12 @@ impl EmbeddingIndex {
     ) {
         assert_eq!(query.len(), self.dim, "EmbeddingIndex: query width != index dim");
         out.clear();
+        scratch.stats = SearchStats {
+            partitions_total: self.parts.len(),
+            partitions_probed: 0,
+            candidates_scanned: 0,
+            candidates_total: self.n,
+        };
         if k == 0 || self.n == 0 {
             return;
         }
@@ -348,11 +390,13 @@ impl EmbeddingIndex {
                 }
             }
             let part = &self.parts[c];
+            scratch.stats.partitions_probed += 1;
             for s in part.start..part.end {
                 let id = self.ids[s] as usize;
                 if Some(id) == exclude {
                     continue;
                 }
+                scratch.stats.candidates_scanned += 1;
                 let row = &self.data[s * self.dim..(s + 1) * self.dim];
                 let sim = (-gamma * squared_distance(query, row)).exp();
                 let entry = HeapEntry { sim, id };
@@ -518,6 +562,31 @@ mod tests {
         let empty = EmbeddingIndex::build(Mat::zeros(0, 3).view(), &IndexOptions::default(), &pool);
         assert!(empty.is_empty());
         assert!(empty.top_k_similar(&[0.0; 3], 0.01, 5, 1, None).is_empty());
+    }
+
+    #[test]
+    fn stats_reflect_probe_work() {
+        let points = random_points(200, 6, 37);
+        let pool = ThreadPool::new(1);
+        let opts = IndexOptions { partitions: Some(10), ..IndexOptions::default() };
+        let index = EmbeddingIndex::build(points.view(), &opts, &pool);
+        // Full probe: every partition visited, every row but the excluded
+        // one scored.
+        let (_, full) =
+            index.top_k_similar_with_stats(points.row(0), 0.05, 5, index.num_partitions(), Some(0));
+        assert_eq!(full.partitions_total, index.num_partitions());
+        assert_eq!(full.partitions_probed, index.num_partitions());
+        assert_eq!(full.candidates_total, 200);
+        assert_eq!(full.candidates_scanned, 199);
+        // nprobe = 1: exactly one partition scanned, strictly fewer rows.
+        let (_, one) = index.top_k_similar_with_stats(points.row(0), 0.05, 5, 1, Some(0));
+        assert_eq!(one.partitions_probed, 1);
+        assert!(one.candidates_scanned < full.candidates_scanned);
+        // The scratch-level accessor agrees with the wrapper's copy.
+        let mut scratch = SearchScratch::default();
+        let mut out = Vec::new();
+        index.top_k_similar_into(points.row(0), 0.05, 5, 1, Some(0), &mut scratch, &mut out);
+        assert_eq!(scratch.stats(), one);
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod pcc;
 pub mod rwr;
 pub mod similarity;
 
-pub use index::{EmbeddingIndex, IndexOptions, SearchScratch};
+pub use index::{EmbeddingIndex, IndexOptions, SearchScratch, SearchStats};
 pub use knn::{select_top_k, top_k_neighbors};
 pub use pcc::{pcc_matrix, pearson};
 pub use rwr::{rwr_scores, RwrConfig};

@@ -51,7 +51,7 @@ impl NaiveCompressedAls {
         let reconstructed =
             IrregularTensor::new((0..ct.k()).map(|k| ct.reconstruct_slice(k)).collect());
         let preprocess_secs = t0.elapsed().as_secs_f64();
-        observer.on_phase(FitPhase::Preprocess, preprocess_secs);
+        observer.on_phase(FitPhase::Compress, preprocess_secs);
 
         let mut fit = Parafac2Als.fit_observed(&reconstructed, options, observer)?;
         fit.timing.preprocess_secs = preprocess_secs;

@@ -139,7 +139,7 @@ impl RdAls {
         let mut v_full = Mat::default();
 
         let mut session = FitSession::new(options, observer);
-        session.phase(FitPhase::Preprocess, preprocess_secs);
+        session.phase(FitPhase::Compress, preprocess_secs);
         for _iter in 0..options.max_iterations {
             session.start_iteration();
             let ws = session.workspace();

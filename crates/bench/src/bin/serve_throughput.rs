@@ -1,25 +1,106 @@
-//! Serving throughput: queries/second against thread count, cold cache vs
-//! warm cache, through the `dpar2-serve` query engine.
+//! Serving latency and throughput through the instrumented query engine —
+//! the acceptance benchmark behind `BENCH_serve.json`.
 //!
-//! One model is fitted and published once; each thread-count row then runs
-//! `--reps` passes over a batch that queries every entity once. The cold
-//! column clears the result cache before every pass (every query computes);
-//! the warm column primes the cache once and then measures pure cache-hit
-//! serving.
+//! Everything this bench reports is read back out of a
+//! [`dpar2_obs::MetricsRegistry`] that the serve stack records into — the
+//! same telemetry a production deployment would scrape — rather than from
+//! ad-hoc stopwatches around the call sites:
+//!
+//! 1. **Per-path latency percentiles, open loop.** One indexed model is
+//!    published and queried under an *open-loop* arrival schedule
+//!    (arrivals tick at 0.7× the calibrated service rate, so queueing is
+//!    real but stable), in three phases that exercise each answer path:
+//!    computed-indexed (distinct targets, pruned index), cache-hit (the
+//!    same targets again), and computed-exact ([`QueryMode::Exact`] with
+//!    the cache bypassed by distinct `k`). The engine's per-path
+//!    histograms (`serve_query_latency_{indexed,cache_hit,exact}_ns`)
+//!    provide p50/p90/p99/max; the cache hit rate comes from the
+//!    `serve_query_cache_{hits,misses}_total` counters and the pruning
+//!    efficiency from the partitions/candidates counters.
+//! 2. **Ingest staleness.** A second, live model runs through an observed
+//!    [`IngestWorker`] with background indexing; every batch's
+//!    publish→index-ready window lands in `serve_ingest_staleness_ns`,
+//!    reported as percentiles.
+//! 3. **Throughput table.** The original closed-loop thread sweep (cold =
+//!    cache cleared per pass, warm = pure hits) — kept for continuity with
+//!    earlier revisions of this bench.
+//!
+//! The JSON artifact embeds the *entire* registry snapshot via
+//! [`dpar2_obs::export::to_json`] (round-tripped through
+//! [`dpar2_obs::export::from_json`] before writing, so the artifact is
+//! guaranteed parseable), plus a small derived summary.
 //!
 //! ```text
 //! cargo run -p dpar2-bench --release --bin serve_throughput -- --entities 64
 //! ```
 //!
 //! Flags: `--entities` (64), `--days` (96), `--features` (24), `--rank`
-//! (10), `--k` (10), `--reps` (4), `--max-threads` (8), `--seed` (0).
+//! (10), `--k` (10), `--queries` (200), `--reps` (4), `--max-threads` (8),
+//! `--ingest-batches` (4), `--seed` (0), `--out` (`BENCH_serve.json` at
+//! the repo root).
 
 use dpar2_bench::{fmt_secs, print_table, Args};
-use dpar2_core::{Dpar2, FitOptions};
+use dpar2_core::{Dpar2, FitOptions, StreamingDpar2};
 use dpar2_data::planted_parafac2;
-use dpar2_serve::{ModelMeta, ModelRegistry, QueryEngine, ServedModel};
+use dpar2_obs::{export, HistogramSnapshot, MetricsRegistry, Snapshot};
+use dpar2_parallel::ThreadPool;
+use dpar2_serve::{
+    build_and_install, IngestWorker, ModelMeta, ModelRegistry, QueryEngine, QueryMode,
+    ServeMetrics, ServedModel,
+};
+use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Runs `queries` executions of `serve` under an open-loop arrival
+/// schedule at 0.7× the calibrated service rate (arrivals are scheduled
+/// regardless of completions; if the server runs ahead it idles).
+fn open_loop(queries: usize, targets: &[usize], mut serve: impl FnMut(usize)) {
+    let calibrate = queries.clamp(1, 20);
+    let t0 = Instant::now();
+    for q in 0..calibrate {
+        serve(targets[q % targets.len()]);
+    }
+    let service = t0.elapsed().as_secs_f64() / calibrate as f64;
+    let interarrival = Duration::from_secs_f64((service / 0.7).max(1e-7));
+
+    let start = Instant::now();
+    for q in 0..queries {
+        let arrival = interarrival * q as u32;
+        while start.elapsed() < arrival {
+            std::hint::spin_loop();
+        }
+        serve(targets[q % targets.len()]);
+    }
+}
+
+fn print_hist(label: &str, h: &HistogramSnapshot) {
+    println!(
+        "   {label:>10}: n {:5}  p50 {:9.1}us  p90 {:9.1}us  p99 {:9.1}us  max {:9.1}us",
+        h.count,
+        h.p50() as f64 / 1e3,
+        h.p90() as f64 / 1e3,
+        h.p99() as f64 / 1e3,
+        h.max as f64 / 1e3,
+    );
+}
+
+fn json_hist(out: &mut String, label: &str, h: &HistogramSnapshot) {
+    let _ = write!(
+        out,
+        "\"{label}\": {{\"count\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \
+         \"max_ns\": {}}}",
+        h.count,
+        h.p50(),
+        h.p90(),
+        h.p99(),
+        h.max
+    );
+}
+
+fn hist(snap: &Snapshot, name: &str) -> HistogramSnapshot {
+    snap.histogram(name).cloned().unwrap_or_else(HistogramSnapshot::empty)
+}
 
 fn main() {
     let args = Args::parse();
@@ -28,57 +109,166 @@ fn main() {
     let features = args.get("features", 24usize);
     let rank = args.get("rank", 10usize).min(features).min(days);
     let k = args.get("k", 10usize);
+    let queries = args.get("queries", 200usize).max(1);
     let reps = args.get("reps", 4usize).max(1);
     let max_threads = args.get("max-threads", 8usize).max(1);
+    let ingest_batches = args.get("ingest-batches", 4usize).max(1);
     let seed = args.get("seed", 0u64);
+    let default_out = format!("{}/../../BENCH_serve.json", env!("CARGO_MANIFEST_DIR"));
+    let out_path = args.get_str("out", &default_out);
 
+    println!(
+        "== serve_throughput: {entities} entities x {days} days x {features} features, \
+         rank {rank}, top-{k} ==\n"
+    );
+
+    let obs = MetricsRegistry::new();
+    let metrics = ServeMetrics::register(&obs);
+
+    // One indexed model for the query phases.
     let tensor = planted_parafac2(&vec![days; entities], features, rank, 0.1, seed);
     let fit = Dpar2.fit(&tensor, &FitOptions::new(rank).with_seed(seed)).expect("fit failed");
     let registry = Arc::new(ModelRegistry::new());
-    registry
-        .publish("bench", ServedModel::from_parts(ModelMeta::new("bench").with_gamma(0.02), fit));
+    let version = registry.publish_arc(
+        "bench",
+        ServedModel::from_parts(ModelMeta::new("bench").with_gamma(0.02), fit),
+    );
+    let pool = ThreadPool::new(2);
+    build_and_install(&version, &dpar2_serve::IndexOptions::default(), &pool);
+    let engine = QueryEngine::new(registry.clone(), 1).with_metrics(&metrics);
 
-    // One query per entity; `reps` passes per measurement.
-    let batch: Vec<(usize, usize)> = (0..entities).map(|t| (t, k)).collect();
-    let total = entities * reps;
+    // Deterministic target cycle covering every entity.
+    let targets: Vec<usize> = (0..entities).collect();
+
+    // Phase 1 — computed indexed answers: distinct (target, k) pairs per
+    // pass would dodge the cache entirely, but the simplest guarantee is
+    // clearing the cache inside the serve closure's pass boundary; here
+    // every target repeats across the open-loop run, so clear per query.
+    println!("-- open-loop phases ({queries} queries each) --");
+    open_loop(queries, &targets, |t| {
+        engine.clear_cache();
+        engine.top_k_with_mode("bench", t, k, QueryMode::Indexed { nprobe: None }).unwrap();
+    });
+    // Phase 2 — cache hits: prime once, then every open-loop query hits.
+    for &t in &targets {
+        engine.top_k_with_mode("bench", t, k, QueryMode::Indexed { nprobe: None }).unwrap();
+    }
+    open_loop(queries, &targets, |t| {
+        engine.top_k_with_mode("bench", t, k, QueryMode::Indexed { nprobe: None }).unwrap();
+    });
+    // Phase 3 — computed exact answers.
+    open_loop(queries, &targets, |t| {
+        engine.clear_cache();
+        engine.top_k_with_mode("bench", t, k, QueryMode::Exact).unwrap();
+    });
+
+    // Ingest staleness: an observed worker with background indexing.
+    println!("-- ingest: {ingest_batches} batches through an observed indexed worker --");
+    let live =
+        planted_parafac2(&vec![days; ingest_batches.max(2) * 2], features, rank, 0.1, seed ^ 1);
+    let worker = IngestWorker::spawn_indexed_observed(
+        StreamingDpar2::new(FitOptions::new(rank).with_seed(seed).with_max_iterations(8)),
+        ModelMeta::new("live").with_gamma(0.02),
+        registry.clone(),
+        dpar2_serve::IndexOptions::default(),
+        1,
+        metrics.ingest,
+    );
+    let slices = live.to_slices();
+    for chunk in slices.chunks(2).take(ingest_batches) {
+        worker.append(chunk.to_vec());
+        // Serialize batches so the coalescing builder indexes every
+        // publish — each one then contributes a staleness sample.
+        worker.flush_indexes();
+    }
+    worker.shutdown();
+
+    let snap = obs.snapshot();
+    let indexed_h = hist(&snap, "serve_query_latency_indexed_ns");
+    let cache_h = hist(&snap, "serve_query_latency_cache_hit_ns");
+    let exact_h = hist(&snap, "serve_query_latency_exact_ns");
+    let staleness_h = hist(&snap, "serve_ingest_staleness_ns");
+    print_hist("indexed", &indexed_h);
+    print_hist("cache hit", &cache_h);
+    print_hist("exact", &exact_h);
+    print_hist("staleness", &staleness_h);
+
+    let hits = snap.counter("serve_query_cache_hits_total").unwrap_or(0);
+    let misses = snap.counter("serve_query_cache_misses_total").unwrap_or(0);
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    let scanned = snap.counter("serve_query_candidates_scanned_total").unwrap_or(0);
+    let total = snap.counter("serve_query_candidates_total").unwrap_or(0);
+    let pruned = 1.0 - scanned as f64 / total.max(1) as f64;
     println!(
-        "== serve_throughput: {entities} entities x {days} days x {features} features, \
-         rank {rank}, top-{k}, {reps} passes ==\n"
+        "   cache hit rate {hit_rate:.3} ({hits}/{})  index pruned {:.1}% of candidate work",
+        hits + misses,
+        pruned * 100.0
     );
 
+    // Throughput table (closed loop, kept from the original bench).
+    println!("\n-- closed-loop throughput sweep ({reps} passes per row) --");
+    let batch: Vec<(usize, usize)> = (0..entities).map(|t| (t, k)).collect();
+    let per_pass = entities * reps;
     let mut rows = Vec::new();
     let mut threads = 1;
     while threads <= max_threads {
-        let engine = QueryEngine::new(registry.clone(), threads);
-
+        let sweep_engine = QueryEngine::new(registry.clone(), threads);
         let t0 = Instant::now();
         for _ in 0..reps {
-            engine.clear_cache();
-            let out = engine.top_k_batch("bench", &batch);
+            sweep_engine.clear_cache();
+            let out = sweep_engine.top_k_batch("bench", &batch);
             assert!(out.iter().all(Result::is_ok), "cold query failed");
         }
         let cold = t0.elapsed().as_secs_f64();
-
-        engine.top_k_batch("bench", &batch); // prime
+        sweep_engine.top_k_batch("bench", &batch); // prime
         let t1 = Instant::now();
         for _ in 0..reps {
-            let out = engine.top_k_batch("bench", &batch);
+            let out = sweep_engine.top_k_batch("bench", &batch);
             assert!(out.iter().all(Result::is_ok), "warm query failed");
         }
         let warm = t1.elapsed().as_secs_f64();
-
-        let stats = engine.cache_stats();
         rows.push(vec![
             threads.to_string(),
             fmt_secs(cold),
-            format!("{:.0}", total as f64 / cold),
+            format!("{:.0}", per_pass as f64 / cold),
             fmt_secs(warm),
-            format!("{:.0}", total as f64 / warm),
-            format!("{}/{}", stats.hits, stats.misses),
+            format!("{:.0}", per_pass as f64 / warm),
         ]);
         threads *= 2;
     }
-    print_table(&["threads", "cold", "cold q/s", "warm", "warm q/s", "cache h/m"], &rows);
-    println!("\n(cold = cache cleared before every pass; warm = all hits after priming.");
-    println!(" Batched queries fan out over the dpar2-parallel pool per batch call.)");
+    print_table(&["threads", "cold", "cold q/s", "warm", "warm q/s"], &rows);
+
+    // Persist: derived summary + the full exporter snapshot, round-tripped
+    // first so a malformed artifact can never be written.
+    let metrics_json = export::to_json(&snap);
+    let reparsed = export::from_json(&metrics_json).expect("exporter JSON must parse");
+    assert_eq!(reparsed, snap, "exporter JSON must round-trip exactly");
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"serve_throughput\",\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"entities\": {entities}, \"days\": {days}, \"features\": {features}, \
+         \"rank\": {rank}, \"k\": {k}, \"queries\": {queries}, \
+         \"ingest_batches\": {ingest_batches}, \"seed\": {seed}}},"
+    );
+    json.push_str("  \"latency\": {");
+    json_hist(&mut json, "indexed", &indexed_h);
+    json.push_str(", ");
+    json_hist(&mut json, "cache_hit", &cache_h);
+    json.push_str(", ");
+    json_hist(&mut json, "exact", &exact_h);
+    json.push_str("},\n  \"ingest\": {");
+    json_hist(&mut json, "staleness", &staleness_h);
+    json.push_str("},\n");
+    let _ = writeln!(
+        json,
+        "  \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {hit_rate:.4}}},\n  \
+         \"pruning\": {{\"candidates_scanned\": {scanned}, \"candidates_total\": {total}, \
+         \"fraction_pruned\": {pruned:.4}}},"
+    );
+    let _ = writeln!(json, "  \"metrics\": {metrics_json}\n}}");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+    println!("\n   wrote {out_path}");
 }

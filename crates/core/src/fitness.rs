@@ -1,6 +1,6 @@
 //! The PARAFAC2 model container and the paper's fitness metric (§IV-A).
 
-use crate::session::StopReason;
+use crate::session::{FitPhase, PhaseSpans, StopReason};
 use dpar2_linalg::Mat;
 use dpar2_tensor::IrregularTensor;
 
@@ -21,6 +21,24 @@ pub struct TimingBreakdown {
 }
 
 impl TimingBreakdown {
+    /// Builds the breakdown as a view over a session's recorded
+    /// [`PhaseSpans`]: `preprocess_secs` is the [`FitPhase::Compress`]
+    /// span, `iterations_secs` the sum of the per-iteration wall-clocks.
+    /// `total_secs` stays an explicit wall-clock measurement (it also
+    /// covers setup that no span names).
+    pub fn from_spans(
+        phases: &PhaseSpans,
+        per_iteration_secs: Vec<f64>,
+        total_secs: f64,
+    ) -> TimingBreakdown {
+        TimingBreakdown {
+            preprocess_secs: phases.get(FitPhase::Compress),
+            iterations_secs: per_iteration_secs.iter().sum(),
+            per_iteration_secs,
+            total_secs,
+        }
+    }
+
     /// Mean seconds per iteration (0 if no iterations ran).
     pub fn mean_iteration_secs(&self) -> f64 {
         if self.per_iteration_secs.is_empty() {

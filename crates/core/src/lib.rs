@@ -72,6 +72,7 @@ pub mod convergence;
 pub mod error;
 pub mod fitness;
 pub mod lemmas;
+pub mod metrics;
 pub mod session;
 pub mod solver;
 pub mod streaming;
@@ -80,9 +81,10 @@ pub use compress::{compress, CompressedTensor};
 pub use config::FitOptions;
 pub use error::{Dpar2Error, Result};
 pub use fitness::{fitness, Parafac2Fit, TimingBreakdown};
+pub use metrics::{FitMetrics, MetricsObserver};
 pub use session::{
     CancelToken, FitObserver, FitPhase, FitSession, IterationEvent, NoopObserver, Parafac2Solver,
-    SessionOutcome, StopReason, Workspace,
+    PhaseSpans, SessionOutcome, StopReason, Workspace,
 };
 pub use solver::{Dpar2, WarmStart};
 pub use streaming::StreamingDpar2;

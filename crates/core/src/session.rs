@@ -112,15 +112,81 @@ pub enum StopReason {
     TimeBudget,
 }
 
-/// The phases a fit reports wall-clock for, mirroring the paper's timing
-/// breakdown (Fig. 9: preprocessing vs. iterations).
+/// The phases a fit reports wall-clock for, refining the paper's timing
+/// breakdown (Fig. 9: preprocessing vs. iterations) into the four spans a
+/// telemetry consumer wants separated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FitPhase {
-    /// Preprocessing: DPar2's two-stage compression, RD-ALS's concatenated
-    /// SVD, the naive ablation's compress-and-reconstruct.
-    Preprocess,
+    /// Compression/preprocessing: DPar2's two-stage compression, RD-ALS's
+    /// concatenated SVD, the naive ablation's compress-and-reconstruct.
+    Compress,
+    /// Setup between compression and the first iteration: factor
+    /// initialization (or warm-start validation), static precomputations,
+    /// data-norm evaluation.
+    Init,
     /// The ALS iteration loop (reported once, after the loop ends).
-    Iterations,
+    Iterate,
+    /// Post-loop factor recovery (`U_k = A_k Z_k P_kᵀ H` for DPar2).
+    Finalize,
+}
+
+impl FitPhase {
+    /// Number of phases (the length of [`FitPhase::ALL`]).
+    pub const COUNT: usize = 4;
+
+    /// All phases in execution order.
+    pub const ALL: [FitPhase; FitPhase::COUNT] =
+        [FitPhase::Compress, FitPhase::Init, FitPhase::Iterate, FitPhase::Finalize];
+
+    /// Dense index in `0..COUNT` (execution order).
+    pub fn index(self) -> usize {
+        match self {
+            FitPhase::Compress => 0,
+            FitPhase::Init => 1,
+            FitPhase::Iterate => 2,
+            FitPhase::Finalize => 3,
+        }
+    }
+
+    /// Lower-case phase name, used as a metric-name suffix.
+    pub fn name(self) -> &'static str {
+        match self {
+            FitPhase::Compress => "compress",
+            FitPhase::Init => "init",
+            FitPhase::Iterate => "iterate",
+            FitPhase::Finalize => "finalize",
+        }
+    }
+}
+
+/// Accumulated wall-clock per [`FitPhase`], recorded by a [`FitSession`]
+/// as phases complete. [`crate::TimingBreakdown`] is a view over these
+/// spans (see [`crate::TimingBreakdown::from_spans`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseSpans {
+    secs: [f64; FitPhase::COUNT],
+}
+
+impl PhaseSpans {
+    /// No recorded spans.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `secs` to `phase`'s accumulated time.
+    pub fn record(&mut self, phase: FitPhase, secs: f64) {
+        self.secs[phase.index()] += secs;
+    }
+
+    /// Accumulated seconds for `phase`.
+    pub fn get(&self, phase: FitPhase) -> f64 {
+        self.secs[phase.index()]
+    }
+
+    /// Total seconds across all phases.
+    pub fn total(&self) -> f64 {
+        self.secs.iter().sum()
+    }
 }
 
 /// Snapshot handed to [`FitObserver::on_iteration`] after each completed
@@ -288,6 +354,7 @@ pub struct FitSession<'o> {
     per_iteration_secs: Vec<f64>,
     stop: Option<StopReason>,
     workspace: Workspace,
+    spans: PhaseSpans,
 }
 
 /// What a completed [`FitSession`] hands back to the solver.
@@ -300,6 +367,11 @@ pub struct SessionOutcome {
     /// Why the loop ended ([`StopReason::MaxIterations`] when the budget —
     /// possibly zero — ran out without any other stop).
     pub stop_reason: StopReason,
+    /// Wall-clock recorded per phase (everything reported through
+    /// [`FitSession::phase`], plus the [`FitPhase::Iterate`] span stamped
+    /// by [`FitSession::finish`]). Solvers append post-loop spans (e.g.
+    /// [`FitPhase::Finalize`]) before building the timing view.
+    pub phases: PhaseSpans,
 }
 
 impl SessionOutcome {
@@ -332,6 +404,7 @@ impl<'o> FitSession<'o> {
             per_iteration_secs: Vec::with_capacity(reserve),
             stop: None,
             workspace: Workspace::new(),
+            spans: PhaseSpans::new(),
         }
     }
 
@@ -341,8 +414,10 @@ impl<'o> FitSession<'o> {
         &mut self.workspace
     }
 
-    /// Reports a completed timed phase to the observer.
+    /// Records a completed timed phase (accumulated into the session's
+    /// [`PhaseSpans`]) and reports it to the observer.
     pub fn phase(&mut self, phase: FitPhase, secs: f64) {
+        self.spans.record(phase, secs);
         self.observer.on_phase(phase, secs);
     }
 
@@ -392,15 +467,20 @@ impl<'o> FitSession<'o> {
         self.criterion_trace.len()
     }
 
-    /// Closes the session: reports the iteration phase to the observer and
-    /// returns the traces plus the typed stop reason.
+    /// Closes the session: stamps the [`FitPhase::Iterate`] span (wall
+    /// time since the session opened), reports it to the observer, and
+    /// returns the traces, recorded spans and the typed stop reason.
     pub fn finish(self) -> SessionOutcome {
-        let Self { observer, t_loop, criterion_trace, per_iteration_secs, stop, .. } = self;
-        observer.on_phase(FitPhase::Iterations, t_loop.elapsed().as_secs_f64());
+        let Self { observer, t_loop, criterion_trace, per_iteration_secs, stop, mut spans, .. } =
+            self;
+        let iterate_secs = t_loop.elapsed().as_secs_f64();
+        spans.record(FitPhase::Iterate, iterate_secs);
+        observer.on_phase(FitPhase::Iterate, iterate_secs);
         SessionOutcome {
             criterion_trace,
             per_iteration_secs,
             stop_reason: stop.unwrap_or(StopReason::MaxIterations),
+            phases: spans,
         }
     }
 }
@@ -526,8 +606,26 @@ mod tests {
         let mut log = PhaseLog(Vec::new());
         let opts = options();
         let mut session = FitSession::new(&opts, &mut log);
-        session.phase(FitPhase::Preprocess, 0.01);
-        session.finish();
-        assert_eq!(log.0, vec![FitPhase::Preprocess, FitPhase::Iterations]);
+        session.phase(FitPhase::Compress, 0.01);
+        session.phase(FitPhase::Init, 0.02);
+        let outcome = session.finish();
+        assert_eq!(log.0, vec![FitPhase::Compress, FitPhase::Init, FitPhase::Iterate]);
+        assert_eq!(outcome.phases.get(FitPhase::Compress), 0.01);
+        assert_eq!(outcome.phases.get(FitPhase::Init), 0.02);
+        assert!(outcome.phases.get(FitPhase::Iterate) >= 0.0);
+        assert_eq!(outcome.phases.get(FitPhase::Finalize), 0.0);
+    }
+
+    #[test]
+    fn phase_spans_accumulate_and_total() {
+        let mut spans = PhaseSpans::new();
+        spans.record(FitPhase::Compress, 1.0);
+        spans.record(FitPhase::Compress, 0.5);
+        spans.record(FitPhase::Finalize, 0.25);
+        assert_eq!(spans.get(FitPhase::Compress), 1.5);
+        assert_eq!(spans.total(), 1.75);
+        for (i, phase) in FitPhase::ALL.iter().enumerate() {
+            assert_eq!(phase.index(), i);
+        }
     }
 }

@@ -134,7 +134,7 @@ impl Dpar2 {
         let options = &self.resolve_rank_energy(tensor, options);
         let compressed = compress(tensor, options)?;
         let preprocess_secs = t0.elapsed().as_secs_f64();
-        observer.on_phase(FitPhase::Preprocess, preprocess_secs);
+        observer.on_phase(FitPhase::Compress, preprocess_secs);
         let mut fit = self.fit_compressed_observed(&compressed, options, observer)?;
         fit.timing.preprocess_secs = preprocess_secs;
         fit.timing.total_secs += preprocess_secs;
@@ -294,6 +294,9 @@ impl Dpar2 {
         let mut next_w = Mat::default();
 
         let mut session = FitSession::new(options, observer);
+        // Everything since `t_start` was initialization: warm-start
+        // conformance, static precomputations, the data norm.
+        session.phase(FitPhase::Init, t_start.elapsed().as_secs_f64());
         for _iter in 0..options.max_iterations {
             session.start_iteration();
             let ws = session.workspace();
@@ -375,14 +378,18 @@ impl Dpar2 {
                 break;
             }
         }
-        let outcome = session.finish();
+        let mut outcome = session.finish();
 
         // Lines 24–26: U_k = A_k Z_k P_kᵀ H.
+        let t_final = Instant::now();
         let u: Vec<Mat> = pool.map(&ct.a, |k, a_k| {
             let zph = zpt[k].matmul(&h).expect("ZPᵀ·H");
             a_k.matmul(&zph).expect("A_k·ZPᵀH")
         });
         let s: Vec<Vec<f64>> = (0..k_dim).map(|k| w.row(k).to_vec()).collect();
+        let finalize_secs = t_final.elapsed().as_secs_f64();
+        outcome.phases.record(FitPhase::Finalize, finalize_secs);
+        observer.on_phase(FitPhase::Finalize, finalize_secs);
 
         Ok(Parafac2Fit {
             u,
@@ -391,12 +398,11 @@ impl Dpar2 {
             h,
             iterations: outcome.iterations(),
             stop_reason: outcome.stop_reason,
-            timing: TimingBreakdown {
-                preprocess_secs: 0.0,
-                iterations_secs: outcome.iterations_secs(),
-                per_iteration_secs: outcome.per_iteration_secs,
-                total_secs: t_start.elapsed().as_secs_f64(),
-            },
+            timing: TimingBreakdown::from_spans(
+                &outcome.phases,
+                outcome.per_iteration_secs,
+                t_start.elapsed().as_secs_f64(),
+            ),
             criterion_trace: outcome.criterion_trace,
         })
     }

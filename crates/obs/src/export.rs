@@ -1,0 +1,415 @@
+//! Exporters: Prometheus-style text exposition and a JSON snapshot format
+//! that round-trips ([`to_json`] → [`from_json`] reproduces the snapshot
+//! exactly — every field is an integer, so there is no float drift).
+//!
+//! The JSON layout, consumed by the bench bins for `BENCH_*.json`:
+//!
+//! ```json
+//! {
+//!   "counters": {"queries_total": 42},
+//!   "gauges": {"queue_depth": 3},
+//!   "histograms": {
+//!     "latency_ns": {"count": 2, "sum": 9, "min": 4, "max": 5,
+//!                    "buckets": [[3, 2]]}
+//!   }
+//! }
+//! ```
+//!
+//! Histogram buckets are encoded sparsely as `[index, count]` pairs.
+
+use std::fmt::Write as _;
+
+use crate::histogram::{bucket_upper, HistogramSnapshot, BUCKETS};
+use crate::registry::Snapshot;
+
+// ---------------------------------------------------------------------------
+// Text exposition
+// ---------------------------------------------------------------------------
+
+/// Render a snapshot in Prometheus-style text exposition format.
+///
+/// Histograms emit cumulative `_bucket{le="…"}` lines (the `le` bound is
+/// the bucket's inclusive upper edge) followed by `_sum` and `_count`.
+pub fn to_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+    }
+    for (name, h) in &snap.histograms {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let top = h.buckets.iter().rposition(|&n| n > 0).map_or(0, |b| b + 1);
+        let mut cumulative = 0u64;
+        for (b, &n) in h.buckets.iter().enumerate().take(top) {
+            cumulative += n;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", bucket_upper(b));
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{name}_sum {}\n{name}_count {}", h.sum, h.count);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSON writer
+// ---------------------------------------------------------------------------
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_histogram(out: &mut String, h: &HistogramSnapshot) {
+    let _ = write!(
+        out,
+        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+        h.count, h.sum, h.min, h.max
+    );
+    let mut first = true;
+    for (b, &n) in h.buckets.iter().enumerate() {
+        if n > 0 {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            let _ = write!(out, "[{b}, {n}]");
+        }
+    }
+    out.push_str("]}");
+}
+
+/// Serialize a snapshot to the JSON format described in the module docs.
+pub fn to_json(snap: &Snapshot) -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+        push_json_string(&mut out, name);
+        let _ = write!(out, ": {v}");
+    }
+    out.push_str(if snap.counters.is_empty() {
+        "},\n  \"gauges\": {"
+    } else {
+        "\n  },\n  \"gauges\": {"
+    });
+    for (i, (name, v)) in snap.gauges.iter().enumerate() {
+        out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+        push_json_string(&mut out, name);
+        let _ = write!(out, ": {v}");
+    }
+    out.push_str(if snap.gauges.is_empty() {
+        "},\n  \"histograms\": {"
+    } else {
+        "\n  },\n  \"histograms\": {"
+    });
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+        push_json_string(&mut out, name);
+        out.push_str(": ");
+        push_histogram(&mut out, h);
+    }
+    out.push_str(if snap.histograms.is_empty() { "}\n}\n" } else { "\n  }\n}\n" });
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSON reader (minimal recursive descent — just enough for the format
+// above; the build environment has no serde)
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+type ParseResult<T> = Result<T, String>;
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn err<T>(&self, msg: &str) -> ParseResult<T> {
+        Err(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> ParseResult<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, c: u8) -> ParseResult<()> {
+        if self.peek()? == c {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected `{}`", c as char))
+        }
+    }
+
+    fn string(&mut self) -> ParseResult<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return self.err("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return self.err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32);
+                            match hex {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return self.err("bad \\u escape"),
+                            }
+                        }
+                        _ => return self.err("unsupported escape"),
+                    }
+                }
+                _ => {
+                    // Re-decode from the byte position to keep multi-byte
+                    // UTF-8 sequences intact.
+                    self.pos -= 1;
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8".to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn integer(&mut self) -> ParseResult<i128> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected integer");
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("invalid integer at byte {start}"))
+    }
+
+    fn u64(&mut self) -> ParseResult<u64> {
+        let v = self.integer()?;
+        u64::try_from(v).map_err(|_| format!("value {v} out of u64 range"))
+    }
+
+    fn i64(&mut self) -> ParseResult<i64> {
+        let v = self.integer()?;
+        i64::try_from(v).map_err(|_| format!("value {v} out of i64 range"))
+    }
+
+    /// Parse `{ "key": <item>, ... }`, calling `item` for each value.
+    fn object(
+        &mut self,
+        mut item: impl FnMut(&mut Self, String) -> ParseResult<()>,
+    ) -> ParseResult<()> {
+        self.expect(b'{')?;
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            item(self, key)?;
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return self.err("expected `,` or `}`"),
+            }
+        }
+    }
+
+    fn histogram(&mut self) -> ParseResult<HistogramSnapshot> {
+        let mut h = HistogramSnapshot::empty();
+        self.object(|p, key| {
+            match key.as_str() {
+                "count" => h.count = p.u64()?,
+                "sum" => h.sum = p.u64()?,
+                "min" => h.min = p.u64()?,
+                "max" => h.max = p.u64()?,
+                "buckets" => {
+                    p.expect(b'[')?;
+                    if p.peek()? == b']' {
+                        p.pos += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        p.expect(b'[')?;
+                        let idx = p.u64()? as usize;
+                        p.expect(b',')?;
+                        let n = p.u64()?;
+                        p.expect(b']')?;
+                        if idx >= BUCKETS {
+                            return Err(format!("bucket index {idx} out of range"));
+                        }
+                        h.buckets[idx] = n;
+                        match p.peek()? {
+                            b',' => p.pos += 1,
+                            b']' => {
+                                p.pos += 1;
+                                break;
+                            }
+                            _ => return p.err("expected `,` or `]`"),
+                        }
+                    }
+                }
+                other => return Err(format!("unknown histogram field `{other}`")),
+            }
+            Ok(())
+        })?;
+        Ok(h)
+    }
+}
+
+/// Parse a snapshot previously serialized with [`to_json`].
+pub fn from_json(s: &str) -> Result<Snapshot, String> {
+    let mut p = Parser::new(s);
+    let mut snap = Snapshot::default();
+    p.object(|p, section| {
+        match section.as_str() {
+            "counters" => p.object(|p, name| {
+                let v = p.u64()?;
+                snap.counters.push((name, v));
+                Ok(())
+            })?,
+            "gauges" => p.object(|p, name| {
+                let v = p.i64()?;
+                snap.gauges.push((name, v));
+                Ok(())
+            })?,
+            "histograms" => p.object(|p, name| {
+                let h = p.histogram()?;
+                snap.histograms.push((name, h));
+                Ok(())
+            })?,
+            other => return Err(format!("unknown section `{other}`")),
+        }
+        Ok(())
+    })?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing data");
+    }
+    snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
+    snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    fn sample() -> Snapshot {
+        let reg = MetricsRegistry::new();
+        reg.counter("queries_total").add(42);
+        reg.gauge("queue_depth").set(-3);
+        let h = reg.histogram("latency_ns");
+        for v in [1u64, 2, 1023, 1024, 0] {
+            h.record(v);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let snap = sample();
+        let back = from_json(&to_json(&snap)).expect("parse back");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = Snapshot::default();
+        assert_eq!(from_json(&to_json(&snap)).unwrap(), snap);
+    }
+
+    #[test]
+    fn odd_names_round_trip() {
+        let reg = MetricsRegistry::new();
+        reg.counter("weird \"name\"\\with\nescapes").inc();
+        let snap = reg.snapshot();
+        assert_eq!(from_json(&to_json(&snap)).unwrap(), snap);
+    }
+
+    #[test]
+    fn text_exposition_shape() {
+        let text = to_text(&sample());
+        assert!(text.contains("# TYPE queries_total counter"));
+        assert!(text.contains("queries_total 42"));
+        assert!(text.contains("queue_depth -3"));
+        assert!(text.contains("# TYPE latency_ns histogram"));
+        assert!(text.contains("latency_ns_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("latency_ns_count 5"));
+        // Cumulative buckets are monotone non-decreasing.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("latency_ns_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "non-monotone cumulative bucket: {line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_json("{\"bogus\": {}}").is_err());
+        assert!(from_json("{\"counters\": {\"x\": }}").is_err());
+        assert!(from_json("not json").is_err());
+    }
+}

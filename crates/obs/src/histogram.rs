@@ -1,0 +1,198 @@
+//! Fixed-bucket log₂-scale histogram.
+//!
+//! Values (typically latencies in nanoseconds) are binned by order of
+//! magnitude in base 2: bucket 0 holds the value `0`, bucket `b` for
+//! `1 ≤ b < 63` holds `[2^(b-1), 2^b)`, and the last bucket holds
+//! everything from `2^62` up. Exact `min`/`max`/`sum`/`count` ride along,
+//! so `max` (and the mean) are exact while quantiles are accurate to one
+//! bucket — i.e. within a factor of 2, which is the right resolution for
+//! latency percentiles.
+//!
+//! The atomic cell lives in [`crate::registry`]; this module owns the
+//! bucket geometry and the immutable [`HistogramSnapshot`] arithmetic
+//! (quantiles, merge) shared by the live handle and the exporters.
+
+/// Number of buckets in every histogram.
+pub const BUCKETS: usize = 64;
+
+/// Bucket index for a recorded value.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        // 64 - leading_zeros = floor(log2(v)) + 1, clamped into the last bucket.
+        ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Smallest value that lands in bucket `b` (inclusive).
+#[inline]
+pub fn bucket_lower(b: usize) -> u64 {
+    debug_assert!(b < BUCKETS);
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+/// Largest value that lands in bucket `b` (inclusive).
+#[inline]
+pub fn bucket_upper(b: usize) -> u64 {
+    debug_assert!(b < BUCKETS);
+    if b == 0 {
+        0
+    } else if b == BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// An immutable point-in-time copy of a histogram, with quantile readout
+/// and lossless merge. Produced by [`crate::Histogram::snapshot`] and by
+/// the JSON importer; all exporter arithmetic happens here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Sum of all recorded values (wrapping on overflow).
+    pub sum: u64,
+    /// Exact smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Exact largest recorded value (0 when empty).
+    pub max: u64,
+    /// Per-bucket observation counts; always `BUCKETS` long.
+    pub buckets: Vec<u64>,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with no observations.
+    pub fn empty() -> Self {
+        Self { count: 0, sum: 0, min: 0, max: 0, buckets: vec![0; BUCKETS] }
+    }
+
+    /// Mean of the recorded values (exact, from `sum/count`); 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q ∈ [0, 1]`.
+    ///
+    /// Returns the inclusive upper bound of the bucket containing the
+    /// rank-`⌈q·count⌉` observation, clamped to the exact `[min, max]`
+    /// range — so the true order-statistic is always within the returned
+    /// value's bucket, `quantile(1.0)` is the exact max, and a
+    /// single-valued histogram reads back that value exactly.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            cumulative = cumulative.saturating_add(n);
+            if cumulative >= rank {
+                return bucket_upper(b).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`Self::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (see [`Self::quantile`]).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (see [`Self::quantile`]).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge `other` into `self`. The empty snapshot is the identity and
+    /// the operation is associative and commutative, so per-thread or
+    /// per-shard histograms can be combined in any order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.count = self.count.wrapping_add(other.count);
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a = a.wrapping_add(*b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_geometry_is_exact_at_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        for b in 0..63usize {
+            let v = 1u64 << b;
+            assert_eq!(bucket_index(v), (b + 1).min(BUCKETS - 1), "2^{b}");
+            assert!(bucket_lower(bucket_index(v)) <= v);
+            assert!(v <= bucket_upper(bucket_index(v)));
+            if v > 1 {
+                // One below a power of two stays in the previous bucket.
+                assert_eq!(bucket_index(v - 1), bucket_index(v) - 1, "2^{b}-1");
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantile_of_single_value_is_exact() {
+        let mut s = HistogramSnapshot::empty();
+        s.count = 1;
+        s.sum = 1234;
+        s.min = 1234;
+        s.max = 1234;
+        s.buckets[bucket_index(1234)] = 1;
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 1234);
+        }
+    }
+
+    #[test]
+    fn empty_is_merge_identity() {
+        let mut s = HistogramSnapshot::empty();
+        let mut other = HistogramSnapshot::empty();
+        other.count = 2;
+        other.sum = 6;
+        other.min = 2;
+        other.max = 4;
+        other.buckets[bucket_index(2)] += 1;
+        other.buckets[bucket_index(4)] += 1;
+        s.merge(&other);
+        assert_eq!(s, other);
+        let before = s.clone();
+        s.merge(&HistogramSnapshot::empty());
+        assert_eq!(s, before);
+    }
+}

@@ -1,0 +1,45 @@
+//! Telemetry for the DPar2 reproduction: a global-free, handle-based
+//! metrics registry with lock-free counters, gauges and log₂-bucket latency
+//! histograms, RAII span timers, and text/JSON exporters.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Allocation-free record path.** Registering a metric allocates (it
+//!    interns the name and an `Arc`'d cell), but bumping a [`Counter`],
+//!    setting a [`Gauge`], recording into a [`Histogram`] or dropping a
+//!    [`SpanTimer`] never allocates. This lets the workspace's counting
+//!    allocator pins (`tests/alloc_regression.rs`) cover instrumented code.
+//! 2. **Lock-free record path.** Every cell is a plain atomic (or a fixed
+//!    array of them); writers never contend on a mutex. The registry's
+//!    mutex is touched only at registration and snapshot time.
+//! 3. **No globals.** A [`MetricsRegistry`] is an ordinary value; callers
+//!    thread handles (cheap `Arc` clones) to whatever needs them. Library
+//!    code takes `Option<&...>` hooks and stays zero-cost when unused.
+//!
+//! ```
+//! use dpar2_obs::MetricsRegistry;
+//!
+//! let reg = MetricsRegistry::new();
+//! let queries = reg.counter("queries_total");
+//! let latency = reg.histogram("query_latency_ns");
+//!
+//! queries.inc();
+//! {
+//!     let _span = latency.start_span(); // records elapsed ns on drop
+//! }
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("queries_total"), Some(1));
+//! assert_eq!(snap.histogram("query_latency_ns").unwrap().count, 1);
+//! // Round-trips through the JSON exporter.
+//! let back = dpar2_obs::export::from_json(&dpar2_obs::export::to_json(&snap)).unwrap();
+//! assert_eq!(back, snap);
+//! ```
+
+pub mod export;
+pub mod histogram;
+pub mod registry;
+pub mod span;
+
+pub use histogram::{HistogramSnapshot, BUCKETS};
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry, Snapshot};
+pub use span::SpanTimer;

@@ -1,0 +1,347 @@
+//! The metrics registry and its lock-free handles.
+//!
+//! A [`MetricsRegistry`] interns named metric cells; registration returns a
+//! cheap cloneable handle ([`Counter`], [`Gauge`], [`Histogram`]) that
+//! records through relaxed atomics — no locks, no allocation. Registering
+//! the same name twice returns a handle to the *same* cell, so independent
+//! components naming the same metric contribute to one total.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::histogram::{bucket_index, HistogramSnapshot, BUCKETS};
+use crate::span::SpanTimer;
+
+/// Monotonically increasing `u64` metric (events, totals).
+#[derive(Debug, Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    fn new() -> Self {
+        Self { cell: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed value (queue depths, last-seen markers).
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    fn new() -> Self {
+        Self { cell: Arc::new(AtomicI64::new(0)) }
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative via [`Gauge::sub`]).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.cell.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCell {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl HistogramCell {
+    fn new() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Log₂-bucket latency histogram handle (see [`crate::histogram`] for the
+/// bucket geometry). Recording is lock-free and allocation-free.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    cell: Arc<HistogramCell>,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Self { cell: Arc::new(HistogramCell::new()) }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let c = &self.cell;
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(value, Ordering::Relaxed);
+        c.min.fetch_min(value, Ordering::Relaxed);
+        c.max.fetch_max(value, Ordering::Relaxed);
+        c.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a duration as whole nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Start an RAII span: the elapsed wall time (ns) is recorded here
+    /// when the returned guard drops.
+    #[inline]
+    pub fn start_span(&self) -> SpanTimer<'_> {
+        SpanTimer::new(self)
+    }
+
+    /// Number of recorded values.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.cell.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy for quantile readout, merging and export.
+    ///
+    /// Each field is read with a relaxed load, so a snapshot taken while
+    /// writers are active is per-field accurate but not a single atomic
+    /// cut — take snapshots at quiescent points for exact reconciliation.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let c = &self.cell;
+        let count = c.count.load(Ordering::Relaxed);
+        let min = c.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: c.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max: c.max.load(Ordering::Relaxed),
+            buckets: c.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named collection of metric cells.
+///
+/// The registry itself is only touched at registration and snapshot time;
+/// the handles it returns record without ever taking its lock.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<Vec<(String, Metric)>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.metrics.lock().map(|m| m.len()).unwrap_or(0);
+        f.debug_struct("MetricsRegistry").field("metrics", &n).finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        if let Some((_, m)) = metrics.iter().find(|(n, _)| n == name) {
+            return match m {
+                Metric::Counter(c) => Metric::Counter(c.clone()),
+                Metric::Gauge(g) => Metric::Gauge(g.clone()),
+                Metric::Histogram(h) => Metric::Histogram(h.clone()),
+            };
+        }
+        let metric = make();
+        let handle = match &metric {
+            Metric::Counter(c) => Metric::Counter(c.clone()),
+            Metric::Gauge(g) => Metric::Gauge(g.clone()),
+            Metric::Histogram(h) => Metric::Histogram(h.clone()),
+        };
+        metrics.push((name.to_string(), metric));
+        handle
+    }
+
+    /// Register (or look up) a counter named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.register(name, || Metric::Counter(Counter::new())) {
+            Metric::Counter(c) => c,
+            other => panic!("metric `{name}` already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Register (or look up) a gauge named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.register(name, || Metric::Gauge(Gauge::new())) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric `{name}` already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Register (or look up) a histogram named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match self.register(name, || Metric::Histogram(Histogram::new())) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric `{name}` already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Copy every metric's current value, sorted by name. The result is a
+    /// plain value: exportable (see [`crate::export`]), mergeable, and
+    /// comparable for round-trip tests.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let mut snap = Snapshot::default();
+        for (name, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Metric::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Metric::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        snap
+    }
+}
+
+/// Point-in-time copy of a whole registry, sorted by metric name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// `(name, total)` per counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)` per histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Counter total by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_shares_one_cell() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(reg.snapshot().counter("x"), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        let _c = reg.counter("x");
+        let _g = reg.gauge("x");
+    }
+
+    #[test]
+    fn histogram_tracks_exact_extremes() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat");
+        for v in [7u64, 1000, 3] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!((s.count, s.min, s.max, s.sum), (3, 3, 1000, 1010));
+        assert_eq!(s.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn gauge_add_sub_set() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("depth");
+        g.add(5);
+        g.sub(2);
+        assert_eq!(g.get(), 3);
+        g.set(-1);
+        assert_eq!(reg.snapshot().gauge("depth"), Some(-1));
+    }
+}

@@ -1,0 +1,66 @@
+//! RAII span timing.
+
+use std::time::Instant;
+
+use crate::registry::Histogram;
+
+/// Records the wall time between its creation and its drop into a
+/// [`Histogram`], in nanoseconds. Create one with
+/// [`Histogram::start_span`]; the record happens in `Drop`, so early
+/// returns and `?` propagation are timed correctly. Nothing allocates.
+///
+/// ```
+/// use dpar2_obs::MetricsRegistry;
+///
+/// let reg = MetricsRegistry::new();
+/// let hist = reg.histogram("phase_ns");
+/// {
+///     let _span = hist.start_span();
+///     // ... timed work ...
+/// }
+/// assert_eq!(hist.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SpanTimer<'a> {
+    hist: &'a Histogram,
+    start: Instant,
+}
+
+impl<'a> SpanTimer<'a> {
+    pub(crate) fn new(hist: &'a Histogram) -> Self {
+        Self { hist, start: Instant::now() }
+    }
+
+    /// Elapsed time so far, without ending the span.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+
+    /// End the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        self.hist.record_duration(self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn span_records_on_drop() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("t");
+        {
+            let span = h.start_span();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            span.finish();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert!(s.min >= 1_000_000, "slept ≥ 1ms, recorded {} ns", s.min);
+    }
+}

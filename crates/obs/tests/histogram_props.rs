@@ -1,0 +1,108 @@
+//! Property tests for the log₂ histogram: exact bucket boundaries at
+//! powers of two, quantile readout within one bucket of a sorted-oracle
+//! quantile, and merge associativity with the empty snapshot as identity.
+
+use dpar2_obs::histogram::{bucket_index, bucket_lower, bucket_upper};
+use dpar2_obs::{HistogramSnapshot, MetricsRegistry, BUCKETS};
+use proptest::prelude::*;
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram("h");
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// The sorted-oracle quantile: the rank-`⌈q·n⌉` order statistic.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    /// Every power of two is the *lower* edge of its bucket, and the value
+    /// one below it falls in the previous bucket — boundaries are exact.
+    #[test]
+    fn bucket_boundaries_exact_at_powers_of_two(exp in 0u32..63) {
+        let v = 1u64 << exp;
+        let b = bucket_index(v);
+        prop_assert_eq!(bucket_lower(b), v);
+        prop_assert_eq!(bucket_index(v - 1), b - 1);
+        prop_assert!(bucket_upper(b - 1) == v - 1);
+    }
+
+    /// Recorded values always land inside their bucket's [lower, upper].
+    #[test]
+    fn bucket_contains_value(v in 0u64..u64::MAX) {
+        let b = bucket_index(v);
+        prop_assert!(b < BUCKETS);
+        prop_assert!(bucket_lower(b) <= v && v <= bucket_upper(b));
+    }
+
+    /// The histogram quantile lands in the same log₂ bucket as the exact
+    /// sorted-oracle quantile (and is clamped into [min, max]).
+    #[test]
+    fn quantile_within_one_bucket_of_oracle(
+        mut values in prop::collection::vec(0u64..1u64 << 40, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let snap = snapshot_of(&values);
+        values.sort_unstable();
+        let oracle = oracle_quantile(&values, q);
+        let approx = snap.quantile(q);
+        let ob = bucket_index(oracle);
+        prop_assert!(
+            bucket_lower(ob) <= approx && approx <= bucket_upper(ob),
+            "oracle {} (bucket {}), histogram read {}", oracle, ob, approx
+        );
+        prop_assert!(snap.min <= approx && approx <= snap.max);
+        // p100 is exact: the max is tracked outside the buckets.
+        prop_assert_eq!(snap.quantile(1.0), *values.last().unwrap());
+    }
+
+    /// merge is associative, commutative, and has the empty snapshot as
+    /// identity; merging equals recording the concatenation.
+    #[test]
+    fn merge_associative(
+        a in prop::collection::vec(0u64..u64::MAX, 0..50),
+        b in prop::collection::vec(0u64..u64::MAX, 0..50),
+        c in prop::collection::vec(0u64..u64::MAX, 0..50),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        // a ⊕ (b ⊕ c)
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right);
+
+        // Commutes: b ⊕ a == a ⊕ b.
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        // Identity on both sides.
+        let mut id = HistogramSnapshot::empty();
+        id.merge(&sa);
+        prop_assert_eq!(&id, &sa);
+        let mut sa2 = sa.clone();
+        sa2.merge(&HistogramSnapshot::empty());
+        prop_assert_eq!(&sa2, &sa);
+
+        // Equals the histogram of the concatenation.
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&left, &snapshot_of(&all));
+    }
+}

@@ -23,4 +23,4 @@ pub mod partition;
 pub mod pool;
 
 pub use partition::{greedy_partition, imbalance, round_robin_partition};
-pub use pool::ThreadPool;
+pub use pool::{PoolMetrics, ThreadPool};

@@ -12,6 +12,32 @@
 //! so callers are oblivious to the scheduling.
 
 use crossbeam::channel;
+use dpar2_obs::{Counter, MetricsRegistry};
+use std::time::Instant;
+
+/// Telemetry handles for a [`ThreadPool`]: how many work items it ran and
+/// how long its workers were busy, accumulated across every `run_*`/`map`
+/// call. Both are monotone counters, so rates and utilization fall out of
+/// snapshot deltas. Recording is lock-free and allocation-free.
+#[derive(Debug, Clone)]
+pub struct PoolMetrics {
+    /// Work items executed (one per item/chunk, across all calls).
+    pub tasks: Counter,
+    /// Cumulative worker busy time in nanoseconds (sums across workers, so
+    /// it can exceed wall clock on a multi-threaded pool).
+    pub busy_ns: Counter,
+}
+
+impl PoolMetrics {
+    /// Registers `{prefix}_tasks_total` and `{prefix}_busy_ns_total` in
+    /// `registry`.
+    pub fn register(registry: &MetricsRegistry, prefix: &str) -> PoolMetrics {
+        PoolMetrics {
+            tasks: registry.counter(&format!("{prefix}_tasks_total")),
+            busy_ns: registry.counter(&format!("{prefix}_busy_ns_total")),
+        }
+    }
+}
 
 /// A lightweight parallel executor with a fixed thread count.
 ///
@@ -19,9 +45,10 @@ use crossbeam::channel;
 /// granularity of PARAFAC2 work items (matrix factorizations), spawn
 /// overhead is negligible, and scoping lets closures borrow from the
 /// caller's stack without `'static` bounds.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ThreadPool {
     threads: usize,
+    metrics: Option<PoolMetrics>,
 }
 
 impl ThreadPool {
@@ -31,7 +58,15 @@ impl ThreadPool {
     /// Panics if `threads == 0`.
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0, "ThreadPool: need at least one thread");
-        ThreadPool { threads }
+        ThreadPool { threads, metrics: None }
+    }
+
+    /// Attaches telemetry: every subsequent call records its item count
+    /// and worker busy time into `metrics`. Without this the pool is
+    /// entirely uninstrumented (no clocks read on the work path).
+    pub fn with_metrics(mut self, metrics: PoolMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Number of worker threads.
@@ -58,14 +93,20 @@ impl ThreadPool {
         if n == 0 {
             return Vec::new();
         }
+        let metrics = self.metrics.as_ref();
+        if let Some(m) = metrics {
+            m.tasks.add(n as u64);
+        }
         // Single-threaded fast path: no spawning, no channel.
         if self.threads == 1 || partition.iter().filter(|b| !b.is_empty()).count() <= 1 {
+            let busy = metrics.map(|_| Instant::now());
             let mut indexed: Vec<(usize, R)> = Vec::with_capacity(n);
             for bucket in partition {
                 for &item in bucket {
                     indexed.push((item, f(item)));
                 }
             }
+            record_busy(metrics, busy);
             return into_ordered(indexed, n);
         }
 
@@ -75,9 +116,11 @@ impl ThreadPool {
                 let tx = tx.clone();
                 let f = &f;
                 scope.spawn(move |_| {
+                    let busy = metrics.map(|_| Instant::now());
                     for &item in bucket {
                         tx.send((item, f(item))).expect("result channel closed");
                     }
+                    record_busy(metrics, busy);
                 });
             }
             drop(tx);
@@ -111,10 +154,16 @@ impl ThreadPool {
         }
         assert!(chunk_len > 0, "for_each_chunk_mut: chunk_len must be positive");
         let n_chunks = data.len().div_ceil(chunk_len);
+        let metrics = self.metrics.as_ref();
+        if let Some(m) = metrics {
+            m.tasks.add(n_chunks as u64);
+        }
         if self.threads == 1 || n_chunks <= 1 {
+            let busy = metrics.map(|_| Instant::now());
             for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
                 f(i, chunk);
             }
+            record_busy(metrics, busy);
             return;
         }
         // Deal chunks round-robin into one bucket per thread. GEMM row
@@ -129,9 +178,11 @@ impl ThreadPool {
             for bucket in buckets {
                 let f = &f;
                 scope.spawn(move |_| {
+                    let busy = metrics.map(|_| Instant::now());
                     for (i, chunk) in bucket {
                         f(i, chunk);
                     }
+                    record_busy(metrics, busy);
                 });
             }
         })
@@ -153,8 +204,15 @@ impl ThreadPool {
         if n == 0 {
             return Vec::new();
         }
+        let metrics = self.metrics.as_ref();
+        if let Some(m) = metrics {
+            m.tasks.add(n as u64);
+        }
         if self.threads == 1 || n == 1 {
-            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            let busy = metrics.map(|_| Instant::now());
+            let out = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            record_busy(metrics, busy);
+            return out;
         }
         let chunk = n.div_ceil(self.threads);
         let (tx, rx) = channel::unbounded::<(usize, R)>();
@@ -164,15 +222,27 @@ impl ThreadPool {
                 let f = &f;
                 let base = c * chunk;
                 scope.spawn(move |_| {
+                    let busy = metrics.map(|_| Instant::now());
                     for (off, item) in chunk_items.iter().enumerate() {
                         tx.send((base + off, f(base + off, item))).expect("result channel closed");
                     }
+                    record_busy(metrics, busy);
                 });
             }
             drop(tx);
         })
         .expect("worker thread panicked");
         into_ordered(rx.into_iter().collect(), n)
+    }
+}
+
+/// Adds the elapsed time since `busy` (worker start) to the pool's
+/// busy-time counter. Both options are `Some` exactly when the pool has
+/// metrics attached.
+#[inline]
+fn record_busy(metrics: Option<&PoolMetrics>, busy: Option<Instant>) {
+    if let (Some(m), Some(t)) = (metrics, busy) {
+        m.busy_ns.add(t.elapsed().as_nanos().min(u64::MAX as u128) as u64);
     }
 }
 
@@ -308,5 +378,27 @@ mod tests {
         // Index 1 appears twice, index 0 missing.
         let partition = vec![vec![1], vec![1]];
         ThreadPool::new(2).run_partitioned(&partition, |k| k);
+    }
+
+    #[test]
+    fn metrics_count_tasks_and_busy_time() {
+        let registry = MetricsRegistry::new();
+        let metrics = PoolMetrics::register(&registry, "pool");
+        for threads in [1usize, 3] {
+            let pool = ThreadPool::new(threads).with_metrics(metrics.clone());
+            let before = metrics.tasks.get();
+            let items: Vec<u64> = (0..10).collect();
+            let _ = pool.map(&items, |_, &x| x + 1);
+            let mut data = vec![0u8; 9];
+            pool.for_each_chunk_mut(&mut data, 4, |_, c| c.fill(1)); // 3 chunks
+            let _ = pool.run_partitioned(&[vec![0, 1], vec![2]], |k| k);
+            assert_eq!(metrics.tasks.get() - before, 10 + 3 + 3, "threads={threads}");
+        }
+        assert!(metrics.busy_ns.get() > 0, "busy time accumulated");
+        // The same results come back instrumented or not.
+        let plain = ThreadPool::new(3).map(&[1u64, 2, 3], |i, &x| x * i as u64);
+        let metered =
+            ThreadPool::new(3).with_metrics(metrics).map(&[1u64, 2, 3], |i, &x| x * i as u64);
+        assert_eq!(plain, metered);
     }
 }

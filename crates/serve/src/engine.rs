@@ -43,6 +43,7 @@
 //! whose factor shape matches the target's.
 
 use crate::error::{Result, ServeError};
+use crate::metrics::{QueryMetrics, ServeMetrics};
 use crate::model::{ModelMeta, SavedModel};
 use crate::registry::{ModelRegistry, ModelVersion};
 use dpar2_analysis::{select_top_k, squared_distance};
@@ -54,6 +55,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// A fitted model prepared for serving.
 #[derive(Debug, Clone)]
@@ -129,6 +131,16 @@ impl ServedModel {
     /// # Errors
     /// [`ServeError::EntityOutOfRange`] if `target` is not in the model.
     pub fn top_k(&self, target: usize, k: usize) -> Result<Vec<(usize, f64)>> {
+        Ok(self.top_k_scanned(target, k)?.0)
+    }
+
+    /// [`top_k`](ServedModel::top_k) additionally returning how many
+    /// candidate entities the scan scored (the comparable-shape entities,
+    /// target excluded) — the exact path's work counter.
+    ///
+    /// # Errors
+    /// As [`top_k`](ServedModel::top_k).
+    pub fn top_k_scanned(&self, target: usize, k: usize) -> Result<(Vec<(usize, f64)>, usize)> {
         let n = self.entities();
         if target >= n {
             return Err(ServeError::EntityOutOfRange { entity: target, count: n });
@@ -138,7 +150,8 @@ impl ServedModel {
             .filter(|&i| i != target && self.fit.u[i].shape() == shape)
             .map(|i| (i, self.pair_similarity(target, i)))
             .collect();
-        Ok(select_top_k(pairs, k))
+        let scanned = pairs.len();
+        Ok((select_top_k(pairs, k), scanned))
     }
 }
 
@@ -167,6 +180,18 @@ impl Default for QueryMode {
     }
 }
 
+/// Which computation produced a ranking — the typed successor of the old
+/// `indexed: bool` flag on [`QueryResult`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnswerPath {
+    /// The pruned factor-embedding index answered
+    /// ([`crate::index::ModelIndexSet`]).
+    Indexed,
+    /// The exact scan answered — requested via [`QueryMode::Exact`], or
+    /// the silent fallback while the version's index build is in flight.
+    Exact,
+}
+
 /// One answered query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryResult {
@@ -178,9 +203,23 @@ pub struct QueryResult {
     pub neighbors: Arc<Vec<(usize, f64)>>,
     /// True if the answer came from the result cache.
     pub cache_hit: bool,
-    /// True if the ranking came through the pruned index; false means the
-    /// exact scan answered (requested, or the index wasn't built yet).
-    pub indexed: bool,
+    /// How the ranking was computed. For cache hits this is the path of
+    /// the *original* computation the entry stored.
+    pub path: AnswerPath,
+    /// End-to-end wall-clock of this query inside the engine (cache
+    /// lookup included).
+    pub elapsed: Duration,
+    /// Candidate entities scored to produce this answer: the probe work
+    /// for indexed answers, the comparable-shape candidate count for exact
+    /// answers, and `0` for cache hits (nothing was rescanned).
+    pub candidates_scanned: usize,
+}
+
+impl QueryResult {
+    /// True if the ranking came through the pruned index.
+    pub fn indexed(&self) -> bool {
+        self.path == AnswerPath::Indexed
+    }
 }
 
 /// Cache hit/miss counters (see [`QueryEngine::cache_stats`]).
@@ -203,6 +242,7 @@ pub struct QueryEngine {
     pool: ThreadPool,
     cache: ShardedLru,
     mode: QueryMode,
+    metrics: Option<QueryMetrics>,
 }
 
 impl QueryEngine {
@@ -233,6 +273,7 @@ impl QueryEngine {
             pool: ThreadPool::new(threads),
             cache: ShardedLru::new(shard_capacity),
             mode: QueryMode::default(),
+            metrics: None,
         }
     }
 
@@ -241,6 +282,18 @@ impl QueryEngine {
     /// [`top_k_batch`](QueryEngine::top_k_batch)).
     pub fn with_query_mode(mut self, mode: QueryMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Attaches a [`ServeMetrics`] bundle: every answered query records
+    /// its latency into the per-path histograms and its cache/pruning
+    /// counters, and the engine's thread pool reports task counts and busy
+    /// time through `metrics.pool`. The record path is lock-free and
+    /// allocation-free, so instrumented engines serve at the same
+    /// steady-state cost as plain ones.
+    pub fn with_metrics(mut self, metrics: &ServeMetrics) -> Self {
+        self.pool = self.pool.with_metrics(metrics.pool.clone());
+        self.metrics = Some(metrics.query.clone());
         self
     }
 
@@ -331,6 +384,7 @@ impl QueryEngine {
         k: usize,
         mode: QueryMode,
     ) -> Result<QueryResult> {
+        let t_start = Instant::now();
         // Resolve the answer path *before* the cache lookup: an Indexed
         // request on a version whose index hasn't been installed yet is
         // answered by — and cached as — the exact scan, so approximate and
@@ -339,26 +393,64 @@ impl QueryEngine {
             QueryMode::Exact => None,
             QueryMode::Indexed { nprobe } => snapshot.index().map(|set| (set, nprobe)),
         };
-        let path = match route {
+        let cache_path = match route {
             Some((_, nprobe)) => CachePath::Indexed(nprobe),
             None => CachePath::Exact,
         };
-        let key =
-            CacheKey { name: snapshot.name.clone(), version: snapshot.version, target, k, path };
-        if let Some((neighbors, indexed)) = self.cache.get(&key) {
+        let key = CacheKey {
+            name: snapshot.name.clone(),
+            version: snapshot.version,
+            target,
+            k,
+            path: cache_path,
+        };
+        if let Some((neighbors, path)) = self.cache.get(&key) {
+            let elapsed = t_start.elapsed();
+            if let Some(m) = &self.metrics {
+                m.queries_total.inc();
+                m.cache_hits.inc();
+                m.latency_cache_hit_ns.record_duration(elapsed);
+            }
             return Ok(QueryResult {
                 version: snapshot.version,
                 neighbors,
                 cache_hit: true,
-                indexed,
+                path,
+                elapsed,
+                candidates_scanned: 0,
             });
         }
-        let (neighbors, indexed) = match route {
-            Some((set, nprobe)) => (Arc::new(set.top_k(&snapshot.model, target, k, nprobe)?), true),
-            None => (Arc::new(snapshot.model.top_k(target, k)?), false),
+        let (neighbors, path, scanned) = match route {
+            Some((set, nprobe)) => {
+                let (hits, stats) = set.top_k_with_stats(&snapshot.model, target, k, nprobe)?;
+                if let Some(m) = &self.metrics {
+                    m.record_search(&stats);
+                }
+                (Arc::new(hits), AnswerPath::Indexed, stats.candidates_scanned)
+            }
+            None => {
+                let (hits, scanned) = snapshot.model.top_k_scanned(target, k)?;
+                (Arc::new(hits), AnswerPath::Exact, scanned)
+            }
         };
-        self.cache.insert(key, (Arc::clone(&neighbors), indexed));
-        Ok(QueryResult { version: snapshot.version, neighbors, cache_hit: false, indexed })
+        self.cache.insert(key, (Arc::clone(&neighbors), path));
+        let elapsed = t_start.elapsed();
+        if let Some(m) = &self.metrics {
+            m.queries_total.inc();
+            m.cache_misses.inc();
+            match path {
+                AnswerPath::Indexed => m.latency_indexed_ns.record_duration(elapsed),
+                AnswerPath::Exact => m.latency_exact_ns.record_duration(elapsed),
+            }
+        }
+        Ok(QueryResult {
+            version: snapshot.version,
+            neighbors,
+            cache_hit: false,
+            path,
+            elapsed,
+            candidates_scanned: scanned,
+        })
     }
 }
 
@@ -385,17 +477,17 @@ struct CacheKey {
     path: CachePath,
 }
 
-/// A cached ranking plus whether it came through the index — the pair a
+/// A cached ranking plus the [`AnswerPath`] that computed it — the pair a
 /// hit hands back and an insert stores.
-type CachedAnswer = (Arc<Vec<(usize, f64)>>, bool);
+type CachedAnswer = (Arc<Vec<(usize, f64)>>, AnswerPath);
 
 #[derive(Debug)]
 struct CacheEntry {
     /// Shared with every answer served from this entry (`Arc`: a hit is a
     /// reference-count bump, never a ranking copy).
     neighbors: Arc<Vec<(usize, f64)>>,
-    /// Whether the ranking came through the index (reported back on hits).
-    indexed: bool,
+    /// The path that computed the ranking (reported back on hits).
+    path: AnswerPath,
     /// Last-touch tick for LRU eviction.
     stamp: u64,
 }
@@ -451,7 +543,7 @@ impl ShardedLru {
             Some(entry) => {
                 entry.stamp = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some((Arc::clone(&entry.neighbors), entry.indexed))
+                Some((Arc::clone(&entry.neighbors), entry.path))
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -460,7 +552,7 @@ impl ShardedLru {
         }
     }
 
-    fn insert(&self, key: CacheKey, (neighbors, indexed): CachedAnswer) {
+    fn insert(&self, key: CacheKey, (neighbors, path): CachedAnswer) {
         if self.shard_capacity == 0 {
             return;
         }
@@ -474,7 +566,7 @@ impl ShardedLru {
                 shard.map.remove(&oldest);
             }
         }
-        shard.map.insert(key, CacheEntry { neighbors, indexed, stamp: tick });
+        shard.map.insert(key, CacheEntry { neighbors, path, stamp: tick });
     }
 
     fn clear(&self) {
@@ -654,10 +746,10 @@ mod tests {
         let same_shard: Vec<usize> =
             (0..200).filter(|&t| ShardedLru::shard_index(&key(t)) == shard0).take(3).collect();
         let &[a, b, c] = same_shard.as_slice() else { panic!("hash spread too perfect") };
-        cache.insert(key(a), (Arc::new(vec![(a, 1.0)]), false));
-        cache.insert(key(b), (Arc::new(vec![(b, 1.0)]), false));
+        cache.insert(key(a), (Arc::new(vec![(a, 1.0)]), AnswerPath::Exact));
+        cache.insert(key(b), (Arc::new(vec![(b, 1.0)]), AnswerPath::Exact));
         assert!(cache.get(&key(a)).is_some()); // refresh a: b is now oldest
-        cache.insert(key(c), (Arc::new(vec![(c, 1.0)]), false));
+        cache.insert(key(c), (Arc::new(vec![(c, 1.0)]), AnswerPath::Exact));
         assert!(cache.get(&key(b)).is_none(), "b should have been evicted");
         assert!(cache.get(&key(a)).is_some());
         assert!(cache.get(&key(c)).is_some());
@@ -718,11 +810,11 @@ mod tests {
         let full = version.index().unwrap().num_partitions_for(0);
         for target in [0usize, 13, 79] {
             let exact = engine.top_k_with_mode("m", target, 9, QueryMode::Exact).unwrap();
-            assert!(!exact.indexed);
+            assert!(!exact.indexed());
             let indexed = engine
                 .top_k_with_mode("m", target, 9, QueryMode::Indexed { nprobe: full })
                 .unwrap();
-            assert!(indexed.indexed);
+            assert!(indexed.indexed());
             assert_eq!(indexed.neighbors, exact.neighbors, "target {target}");
         }
     }
@@ -735,14 +827,14 @@ mod tests {
         assert_eq!(engine.query_mode(), QueryMode::default());
         // No index yet: the default (Indexed) mode silently answers exact.
         let before = engine.top_k("m", 5, 6).unwrap();
-        assert!(!before.indexed);
+        assert!(!before.indexed());
         let reference = engine.top_k_with_mode("m", 5, 6, QueryMode::Exact).unwrap();
         assert_eq!(before.neighbors, reference.neighbors);
         // Install, then the same call routes through the index.
         let pool = ThreadPool::new(1);
         crate::index::build_and_install(&version, &dpar2_analysis::IndexOptions::default(), &pool);
         let after = engine.top_k("m", 5, 6).unwrap();
-        assert!(after.indexed);
+        assert!(after.indexed());
     }
 
     #[test]
@@ -753,17 +845,83 @@ mod tests {
         crate::index::build_and_install(&version, &dpar2_analysis::IndexOptions::default(), &pool);
         let engine = QueryEngine::new(reg, 1);
         let exact = engine.top_k_with_mode("m", 2, 5, QueryMode::Exact).unwrap();
-        assert!(!exact.cache_hit && !exact.indexed);
+        assert!(!exact.cache_hit && !exact.indexed());
         // Different path, same (target, k): must miss, not alias.
         let indexed =
             engine.top_k_with_mode("m", 2, 5, QueryMode::Indexed { nprobe: None }).unwrap();
-        assert!(!indexed.cache_hit && indexed.indexed);
+        assert!(!indexed.cache_hit && indexed.indexed());
         // Re-asking each path hits its own entry with the right flag.
         let exact2 = engine.top_k_with_mode("m", 2, 5, QueryMode::Exact).unwrap();
-        assert!(exact2.cache_hit && !exact2.indexed);
+        assert!(exact2.cache_hit && !exact2.indexed());
         let indexed2 =
             engine.top_k_with_mode("m", 2, 5, QueryMode::Indexed { nprobe: None }).unwrap();
-        assert!(indexed2.cache_hit && indexed2.indexed);
+        assert!(indexed2.cache_hit && indexed2.indexed());
+    }
+
+    #[test]
+    fn metrics_reconcile_with_query_results() {
+        use dpar2_obs::MetricsRegistry;
+
+        let reg = Arc::new(ModelRegistry::new());
+        let version = reg.publish_arc("m", random_model(60, 6, 2, 45, 0.03));
+        let pool = ThreadPool::new(1);
+        crate::index::build_and_install(&version, &dpar2_analysis::IndexOptions::default(), &pool);
+        let obs = MetricsRegistry::new();
+        let metrics = ServeMetrics::register(&obs);
+        let engine = QueryEngine::new(reg, 1).with_metrics(&metrics);
+
+        // Miss (exact), miss (indexed), hit (indexed repeat).
+        let exact = engine.top_k_with_mode("m", 3, 5, QueryMode::Exact).unwrap();
+        let indexed =
+            engine.top_k_with_mode("m", 3, 5, QueryMode::Indexed { nprobe: None }).unwrap();
+        let hit = engine.top_k_with_mode("m", 3, 5, QueryMode::Indexed { nprobe: None }).unwrap();
+        assert!(!exact.cache_hit && exact.path == AnswerPath::Exact);
+        assert!(!indexed.cache_hit && indexed.path == AnswerPath::Indexed);
+        assert!(hit.cache_hit && hit.path == AnswerPath::Indexed);
+        assert_eq!(exact.candidates_scanned, 59, "exact scan scores every other entity");
+        assert!(indexed.candidates_scanned <= 59);
+        assert_eq!(hit.candidates_scanned, 0, "a cache hit rescans nothing");
+        assert!(exact.elapsed > Duration::ZERO);
+
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("serve_query_queries_total"), Some(3));
+        assert_eq!(snap.counter("serve_query_cache_hits_total"), Some(1));
+        assert_eq!(snap.counter("serve_query_cache_misses_total"), Some(2));
+        assert_eq!(snap.histogram("serve_query_latency_exact_ns").unwrap().count, 1);
+        assert_eq!(snap.histogram("serve_query_latency_indexed_ns").unwrap().count, 1);
+        assert_eq!(snap.histogram("serve_query_latency_cache_hit_ns").unwrap().count, 1);
+        // Pruning counters carry exactly the indexed miss's work.
+        assert_eq!(
+            snap.counter("serve_query_candidates_scanned_total"),
+            Some(indexed.candidates_scanned as u64)
+        );
+        assert_eq!(snap.counter("serve_query_candidates_total"), Some(60));
+        // Engine-internal CacheStats agree with the registry counters.
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn instrumented_engine_answers_match_plain_engine_bitwise() {
+        use dpar2_obs::MetricsRegistry;
+
+        let reg = Arc::new(ModelRegistry::new());
+        let version = reg.publish_arc("m", random_model(40, 5, 2, 46, 0.04));
+        let pool = ThreadPool::new(1);
+        crate::index::build_and_install(&version, &dpar2_analysis::IndexOptions::default(), &pool);
+        let plain = QueryEngine::new(Arc::clone(&reg), 2);
+        let obs = MetricsRegistry::new();
+        let metrics = ServeMetrics::register(&obs);
+        let metered = QueryEngine::new(reg, 2).with_metrics(&metrics);
+        let queries: Vec<(usize, usize)> = (0..40).map(|t| (t, 6)).collect();
+        for (a, b) in
+            plain.top_k_batch("m", &queries).iter().zip(metered.top_k_batch("m", &queries))
+        {
+            assert_eq!(a.as_ref().unwrap().neighbors, b.unwrap().neighbors);
+        }
+        // The engine pool reported the batch fan-out.
+        assert_eq!(obs.snapshot().counter("serve_pool_tasks_total"), Some(40));
     }
 
     #[test]
@@ -774,10 +932,10 @@ mod tests {
         crate::index::build_and_install(&version, &dpar2_analysis::IndexOptions::default(), &pool);
         let engine = QueryEngine::with_cache_capacity(reg, 2, 0).with_query_mode(QueryMode::Exact);
         assert_eq!(engine.query_mode(), QueryMode::Exact);
-        assert!(!engine.top_k("m", 0, 4).unwrap().indexed);
+        assert!(!engine.top_k("m", 0, 4).unwrap().indexed());
         let queries: Vec<(usize, usize)> = (0..6).map(|t| (t, 4)).collect();
         for r in engine.top_k_batch("m", &queries) {
-            assert!(!r.unwrap().indexed);
+            assert!(!r.unwrap().indexed());
         }
         let full = version.index().unwrap().num_partitions_for(0);
         for (r, t) in engine
@@ -786,7 +944,7 @@ mod tests {
             .zip(0..)
         {
             let r = r.unwrap();
-            assert!(r.indexed);
+            assert!(r.indexed());
             let exact = engine.top_k_with_mode("m", t, 4, QueryMode::Exact).unwrap();
             assert_eq!(r.neighbors, exact.neighbors, "target {t}");
         }

@@ -25,8 +25,9 @@ use crate::engine::ServedModel;
 use crate::error::{Result, ServeError};
 use crate::registry::ModelVersion;
 use crossbeam::channel::{self, Sender};
-use dpar2_analysis::{EmbeddingIndex, IndexOptions};
+use dpar2_analysis::{EmbeddingIndex, IndexOptions, SearchStats};
 use dpar2_linalg::MatRef;
+use dpar2_obs::Histogram;
 use dpar2_parallel::ThreadPool;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -122,6 +123,22 @@ impl ModelIndexSet {
         k: usize,
         nprobe: Option<usize>,
     ) -> Result<Vec<(usize, f64)>> {
+        Ok(self.top_k_with_stats(model, target, k, nprobe)?.0)
+    }
+
+    /// [`top_k`](ModelIndexSet::top_k) additionally returning the probe's
+    /// work counters ([`SearchStats`], scoped to the target's shape group)
+    /// — what the query engine folds into its pruning-efficiency metrics.
+    ///
+    /// # Errors
+    /// As [`top_k`](ModelIndexSet::top_k).
+    pub fn top_k_with_stats(
+        &self,
+        model: &ServedModel,
+        target: usize,
+        k: usize,
+        nprobe: Option<usize>,
+    ) -> Result<(Vec<(usize, f64)>, SearchStats)> {
         let n = model.entities();
         debug_assert_eq!(n, self.entities(), "index set used with a different model");
         if target >= n {
@@ -131,11 +148,19 @@ impl ModelIndexSet {
         let group = &self.groups[g as usize];
         let nprobe = nprobe.unwrap_or_else(|| group.index.default_nprobe());
         let query = model.fit().u[target].data();
-        let hits =
-            group.index.top_k_similar(query, model.meta().gamma, k, nprobe, Some(local as usize));
+        let (hits, stats) = group.index.top_k_similar_with_stats(
+            query,
+            model.meta().gamma,
+            k,
+            nprobe,
+            Some(local as usize),
+        );
         // Monotone local→entity mapping keeps the ranking's tie-break
         // order intact.
-        Ok(hits.into_iter().map(|(local, sim)| (group.entities[local] as usize, sim)).collect())
+        Ok((
+            hits.into_iter().map(|(local, sim)| (group.entities[local] as usize, sim)).collect(),
+            stats,
+        ))
     }
 }
 
@@ -172,6 +197,19 @@ pub struct IndexBuilder {
 impl IndexBuilder {
     /// Spawns the builder thread with its own `threads`-wide GEMM pool.
     pub fn spawn(options: IndexOptions, threads: usize) -> Self {
+        Self::spawn_inner(options, threads, None)
+    }
+
+    /// [`spawn`](IndexBuilder::spawn) that additionally records the
+    /// publish→index-ready staleness window of every version it installs
+    /// into `staleness_ns` (measured from
+    /// [`ModelVersion::published_at`] to the moment the index becomes
+    /// visible to queries).
+    pub fn spawn_observed(options: IndexOptions, threads: usize, staleness_ns: Histogram) -> Self {
+        Self::spawn_inner(options, threads, Some(staleness_ns))
+    }
+
+    fn spawn_inner(options: IndexOptions, threads: usize, staleness_ns: Option<Histogram>) -> Self {
         let (tx, rx) = channel::unbounded::<Job>();
         let handle = std::thread::spawn(move || {
             let pool = ThreadPool::new(threads.max(1));
@@ -194,7 +232,12 @@ impl IndexBuilder {
                     match job {
                         Job::Build(version) => {
                             if newest.get(&version.name) == Some(&i) {
-                                build_and_install(&version, &options, &pool);
+                                let installed = build_and_install(&version, &options, &pool);
+                                if installed {
+                                    if let Some(hist) = &staleness_ns {
+                                        hist.record_duration(version.published_at.elapsed());
+                                    }
+                                }
                             }
                         }
                         // A flush drained behind builds acks only after

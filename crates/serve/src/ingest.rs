@@ -26,6 +26,7 @@
 
 use crate::engine::ServedModel;
 use crate::index::IndexBuilder;
+use crate::metrics::IngestMetrics;
 use crate::model::ModelMeta;
 use crate::registry::ModelRegistry;
 use crossbeam::channel::{self, Sender};
@@ -34,12 +35,45 @@ use dpar2_core::{CancelToken, StreamingDpar2};
 use dpar2_linalg::Mat;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 enum Msg {
     Append(Vec<Mat>),
     /// Barrier: acknowledged once every earlier message is processed.
     Flush(Sender<()>),
     Shutdown,
+}
+
+/// Typed record of one ingest outcome, in arrival order — the test- and
+/// dashboard-visible trail that used to be only a `Vec<String>` of append
+/// errors (successful publishes and a dead worker left no trace at all).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestEvent {
+    /// A non-empty batch was appended, refit, and published.
+    Published {
+        /// 1-based ordinal of the non-empty batch that produced this.
+        batch: u64,
+        /// The registry version the refit published as.
+        version: u64,
+        /// Entity count of the published model.
+        entities: usize,
+    },
+    /// A batch whose append failed; the worker keeps running.
+    AppendFailed {
+        /// 1-based ordinal of the failing non-empty batch.
+        batch: u64,
+        /// The append error's message.
+        error: String,
+    },
+    /// [`IngestWorker::append`] found the worker thread gone (it panicked
+    /// — normal shutdown goes through `shutdown`/`Drop`), so the batch was
+    /// dropped without processing.
+    WorkerUnavailable,
+}
+
+/// Appends one event to the shared ingest log.
+fn record_event(events: &Mutex<Vec<IngestEvent>>, event: IngestEvent) {
+    events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(event);
 }
 
 /// Keeps the labels-per-slice invariant (`entity_labels` empty or exactly
@@ -63,7 +97,8 @@ fn reconcile_labels(meta: &mut ModelMeta, entities: usize) {
 pub struct IngestWorker {
     tx: Sender<Msg>,
     handle: Option<JoinHandle<()>>,
-    errors: Arc<Mutex<Vec<String>>>,
+    events: Arc<Mutex<Vec<IngestEvent>>>,
+    metrics: Option<IngestMetrics>,
     cancel: CancelToken,
     /// Present for [`IngestWorker::spawn_indexed`] workers. `Drop` joins
     /// the ingest thread first (releasing its clone of this `Arc`), so the
@@ -83,7 +118,20 @@ impl IngestWorker {
     /// `entity-<i>` placeholder labels so the labels-per-slice invariant
     /// holds on every published version.
     pub fn spawn(stream: StreamingDpar2, meta: ModelMeta, registry: Arc<ModelRegistry>) -> Self {
-        Self::spawn_inner(stream, meta, registry, None)
+        Self::spawn_inner(stream, meta, registry, None, None)
+    }
+
+    /// [`spawn`](IngestWorker::spawn) recording telemetry into `metrics`:
+    /// per-batch drain-to-publish latency, refit duration, queue depth,
+    /// and — closing the old silent-drop gap — an error counter plus
+    /// last-error-batch gauge for failed appends.
+    pub fn spawn_observed(
+        stream: StreamingDpar2,
+        meta: ModelMeta,
+        registry: Arc<ModelRegistry>,
+        metrics: IngestMetrics,
+    ) -> Self {
+        Self::spawn_inner(stream, meta, registry, None, Some(metrics))
     }
 
     /// [`spawn`](IngestWorker::spawn) plus background indexing: every
@@ -101,7 +149,28 @@ impl IngestWorker {
         index_threads: usize,
     ) -> Self {
         let builder = Arc::new(IndexBuilder::spawn(index_options, index_threads));
-        Self::spawn_inner(stream, meta, registry, Some(builder))
+        Self::spawn_inner(stream, meta, registry, Some(builder), None)
+    }
+
+    /// [`spawn_indexed`](IngestWorker::spawn_indexed) with telemetry: the
+    /// ingest instrumentation of
+    /// [`spawn_observed`](IngestWorker::spawn_observed), and the builder
+    /// additionally records each version's publish→index-ready staleness
+    /// window into `metrics.staleness_ns`.
+    pub fn spawn_indexed_observed(
+        stream: StreamingDpar2,
+        meta: ModelMeta,
+        registry: Arc<ModelRegistry>,
+        index_options: IndexOptions,
+        index_threads: usize,
+        metrics: IngestMetrics,
+    ) -> Self {
+        let builder = Arc::new(IndexBuilder::spawn_observed(
+            index_options,
+            index_threads,
+            metrics.staleness_ns.clone(),
+        ));
+        Self::spawn_inner(stream, meta, registry, Some(builder), Some(metrics))
     }
 
     fn spawn_inner(
@@ -109,22 +178,35 @@ impl IngestWorker {
         meta: ModelMeta,
         registry: Arc<ModelRegistry>,
         indexer: Option<Arc<IndexBuilder>>,
+        metrics: Option<IngestMetrics>,
     ) -> Self {
         let (tx, rx) = channel::unbounded::<Msg>();
-        let errors = Arc::new(Mutex::new(Vec::new()));
-        let errors_in_worker = errors.clone();
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let events_in_worker = events.clone();
+        let metrics_in_worker = metrics.clone();
         let cancel = CancelToken::new();
         let mut cancel_in_worker = cancel.clone();
         let indexer_in_worker = indexer.clone();
         let handle = std::thread::spawn(move || {
+            // 1-based ordinal of non-empty batches — the `batch` field of
+            // every event and the value of the last-error gauge.
+            let mut batch: u64 = 0;
             for msg in rx {
                 match msg {
                     Msg::Append(slices) => {
+                        if let Some(m) = &metrics_in_worker {
+                            m.queue_depth.sub(1);
+                        }
                         // An empty batch changes nothing: skip the refit
                         // and the version bump (a spurious publish would
                         // cold-start every cached result for the model).
                         if slices.is_empty() {
                             continue;
+                        }
+                        batch += 1;
+                        let t_batch = Instant::now();
+                        if let Some(m) = &metrics_in_worker {
+                            m.appends_total.inc();
                         }
                         match stream.append(slices) {
                             Ok(()) => {
@@ -133,11 +215,27 @@ impl IngestWorker {
                                 // boundary (the partial fit still
                                 // publishes), and the stream options'
                                 // time_budget bounds it regardless.
+                                let t_refit = Instant::now();
                                 let fit = stream.decompose_observed(&mut cancel_in_worker);
+                                if let Some(m) = &metrics_in_worker {
+                                    m.refit_ns.record_duration(t_refit.elapsed());
+                                }
+                                let entities = fit.u.len();
                                 let mut now = meta.clone();
-                                reconcile_labels(&mut now, fit.u.len());
+                                reconcile_labels(&mut now, entities);
                                 let version = registry
                                     .publish_arc(&meta.name, ServedModel::from_parts(now, fit));
+                                if let Some(m) = &metrics_in_worker {
+                                    m.append_ns.record_duration(t_batch.elapsed());
+                                }
+                                record_event(
+                                    &events_in_worker,
+                                    IngestEvent::Published {
+                                        batch,
+                                        version: version.version,
+                                        entities,
+                                    },
+                                );
                                 // Indexing happens off this thread too: the
                                 // publish above already made the version
                                 // servable (exact scan), the enqueue just
@@ -148,10 +246,15 @@ impl IngestWorker {
                                 }
                             }
                             Err(e) => {
-                                let mut log = errors_in_worker
-                                    .lock()
-                                    .unwrap_or_else(std::sync::PoisonError::into_inner);
-                                log.push(e.to_string());
+                                if let Some(m) = &metrics_in_worker {
+                                    m.errors.inc();
+                                    #[allow(clippy::cast_possible_wrap)] // batch ≪ i64::MAX
+                                    m.last_error_batch.set(batch as i64);
+                                }
+                                record_event(
+                                    &events_in_worker,
+                                    IngestEvent::AppendFailed { batch, error: e.to_string() },
+                                );
                             }
                         }
                     }
@@ -164,7 +267,7 @@ impl IngestWorker {
                 }
             }
         });
-        IngestWorker { tx, handle: Some(handle), errors, cancel, indexer }
+        IngestWorker { tx, handle: Some(handle), events, metrics, cancel, indexer }
     }
 
     /// Requests cooperative cancellation of the current and all subsequent
@@ -180,9 +283,22 @@ impl IngestWorker {
     /// will append, re-decompose, and publish a new model version.
     ///
     /// Returns `false` if the worker thread is gone (only after a panic —
-    /// normal shutdown goes through [`IngestWorker::shutdown`]/`Drop`).
+    /// normal shutdown goes through [`IngestWorker::shutdown`]/`Drop`);
+    /// the dropped batch is recorded as
+    /// [`IngestEvent::WorkerUnavailable`], so even this failure leaves a
+    /// trace in [`events`](IngestWorker::events).
     pub fn append(&self, slices: Vec<Mat>) -> bool {
-        self.tx.send(Msg::Append(slices)).is_ok()
+        if let Some(m) = &self.metrics {
+            m.queue_depth.add(1);
+        }
+        if self.tx.send(Msg::Append(slices)).is_ok() {
+            return true;
+        }
+        if let Some(m) = &self.metrics {
+            m.queue_depth.sub(1);
+        }
+        record_event(&self.events, IngestEvent::WorkerUnavailable);
+        false
     }
 
     /// Blocks until every batch enqueued before this call has been
@@ -209,10 +325,26 @@ impl IngestWorker {
         }
     }
 
-    /// Messages of batches that failed to append, in arrival order.
-    /// Successful batches leave no trace here.
+    /// Every [`IngestEvent`] so far, in arrival order — publishes, append
+    /// failures, and batches dropped because the worker was gone.
+    pub fn events(&self) -> Vec<IngestEvent> {
+        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+    }
+
+    /// Messages of batches that failed to append, in arrival order — the
+    /// [`IngestEvent::AppendFailed`] subset of
+    /// [`events`](IngestWorker::events). Successful batches leave no trace
+    /// here.
     pub fn errors(&self) -> Vec<String> {
-        self.errors.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .filter_map(|e| match e {
+                IngestEvent::AppendFailed { error, .. } => Some(error.clone()),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Drains pending work, then stops and joins the worker thread.
@@ -430,6 +562,98 @@ mod tests {
         worker.append(t.to_slices());
         worker.flush_indexes();
         assert!(registry.get("plain").unwrap().index().is_none());
+        worker.shutdown();
+    }
+
+    #[test]
+    fn events_trace_publishes_and_failures_in_order() {
+        let registry = Arc::new(ModelRegistry::new());
+        let worker =
+            IngestWorker::spawn(StreamingDpar2::new(config()), ModelMeta::new("traced"), registry);
+        let t = planted_parafac2(&[16, 16], 10, 2, 0.0, 12);
+        worker.append(t.to_slices());
+        worker.append(vec![Mat::zeros(12, 7)]); // wrong column count
+        worker.append(vec![]); // no-op: no event, no batch ordinal
+        let more = planted_parafac2(&[14, 18], 10, 2, 0.0, 12);
+        worker.append(vec![more.slice(1).to_mat()]);
+        worker.flush();
+        let events = worker.events();
+        assert_eq!(events.len(), 3);
+        assert!(
+            matches!(events[0], IngestEvent::Published { batch: 1, version: 1, entities: 2 }),
+            "got {:?}",
+            events[0]
+        );
+        assert!(
+            matches!(&events[1], IngestEvent::AppendFailed { batch: 2, .. }),
+            "got {:?}",
+            events[1]
+        );
+        assert!(
+            matches!(events[2], IngestEvent::Published { batch: 3, version: 2, entities: 3 }),
+            "got {:?}",
+            events[2]
+        );
+        // errors() is exactly the AppendFailed projection.
+        assert_eq!(worker.errors().len(), 1);
+        worker.shutdown();
+    }
+
+    #[test]
+    fn observed_worker_records_ingest_metrics() {
+        use dpar2_obs::MetricsRegistry;
+
+        let obs = MetricsRegistry::new();
+        let metrics = crate::metrics::IngestMetrics::register(&obs, "ing");
+        let registry = Arc::new(ModelRegistry::new());
+        let worker = IngestWorker::spawn_observed(
+            StreamingDpar2::new(config()),
+            ModelMeta::new("metered"),
+            registry,
+            metrics,
+        );
+        let t = planted_parafac2(&[16, 16], 10, 2, 0.0, 13);
+        worker.append(t.to_slices());
+        worker.append(vec![Mat::zeros(12, 7)]); // fails: wrong column count
+        worker.flush();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("ing_appends_total"), Some(2));
+        assert_eq!(snap.counter("ing_errors_total"), Some(1));
+        assert_eq!(snap.gauge("ing_last_error_batch"), Some(2));
+        assert_eq!(snap.gauge("ing_queue_depth"), Some(0), "drained queue reads zero");
+        let append = snap.histogram("ing_append_ns").unwrap();
+        assert_eq!(append.count, 1, "only the published batch records latency");
+        let refit = snap.histogram("ing_refit_ns").unwrap();
+        assert_eq!(refit.count, 1);
+        assert!(refit.max <= append.max, "refit is a sub-span of the batch");
+        worker.shutdown();
+    }
+
+    #[test]
+    fn observed_indexed_worker_records_staleness() {
+        use dpar2_obs::MetricsRegistry;
+
+        let obs = MetricsRegistry::new();
+        let metrics = crate::metrics::IngestMetrics::register(&obs, "ing");
+        let registry = Arc::new(ModelRegistry::new());
+        let worker = IngestWorker::spawn_indexed_observed(
+            StreamingDpar2::new(config()),
+            ModelMeta::new("stale"),
+            registry.clone(),
+            IndexOptions::default(),
+            1,
+            metrics,
+        );
+        let t = planted_parafac2(&[16, 16, 16, 16], 10, 2, 0.05, 14);
+        worker.append(t.to_slices()[..2].to_vec());
+        worker.append(t.to_slices()[2..].to_vec());
+        worker.flush_indexes();
+        assert!(registry.get("stale").unwrap().index().is_some());
+        let staleness = obs.snapshot().histogram("ing_staleness_ns").unwrap().clone();
+        // Both publishes were indexed (no coalescing pressure at this
+        // pace is not guaranteed, so at least the surviving newest one).
+        assert!(staleness.count >= 1, "publish→index-ready window must be recorded");
+        assert!(staleness.min > 0, "the window is a real elapsed duration");
         worker.shutdown();
     }
 

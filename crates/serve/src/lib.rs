@@ -62,13 +62,15 @@ pub mod engine;
 pub mod error;
 pub mod index;
 pub mod ingest;
+pub mod metrics;
 pub mod model;
 pub mod registry;
 
-pub use dpar2_analysis::IndexOptions;
-pub use engine::{CacheStats, QueryEngine, QueryMode, QueryResult, ServedModel};
+pub use dpar2_analysis::{IndexOptions, SearchStats};
+pub use engine::{AnswerPath, CacheStats, QueryEngine, QueryMode, QueryResult, ServedModel};
 pub use error::{Result, ServeError};
 pub use index::{build_and_install, IndexBuilder, ModelIndexSet};
-pub use ingest::IngestWorker;
+pub use ingest::{IngestEvent, IngestWorker};
+pub use metrics::{IngestMetrics, QueryMetrics, ServeMetrics};
 pub use model::{ModelMeta, SavedModel, FORMAT_VERSION, MAGIC};
 pub use registry::{ModelRegistry, ModelVersion};

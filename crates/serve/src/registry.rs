@@ -15,6 +15,7 @@ use crate::engine::ServedModel;
 use crate::index::ModelIndexSet;
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
 
 /// One published, immutable model version.
 #[derive(Debug)]
@@ -23,6 +24,10 @@ pub struct ModelVersion {
     pub name: String,
     /// Monotonically increasing per-name version, starting at 1.
     pub version: u64,
+    /// When this version entered the registry — the zero point of the
+    /// publish→index-ready staleness window the
+    /// [`IndexBuilder`](crate::index::IndexBuilder) reports.
+    pub published_at: Instant,
     /// The query-ready model (factors + serving caches).
     pub model: ServedModel,
     /// Pruned top-k index over this version's factors, installed at most
@@ -93,6 +98,7 @@ impl ModelRegistry {
         let published = Arc::new(ModelVersion {
             name: name.to_string(),
             version,
+            published_at: Instant::now(),
             model,
             index: OnceLock::new(),
         });

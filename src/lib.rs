@@ -15,6 +15,8 @@
 //! * [`baselines`] — PARAFAC2-ALS, RD-ALS, SPARTan-dense (Algorithm 2 & §V).
 //! * [`data`] — synthetic stand-ins for the paper's eight datasets.
 //! * [`analysis`] — feature correlations, stock similarity, k-NN, RWR (§IV-E).
+//! * [`obs`] — lock-free metrics registry (counters, gauges, log₂-bucket
+//!   latency histograms, RAII spans) plus Prometheus-text and JSON export.
 //! * [`serve`] — model persistence, versioned registry, concurrent query
 //!   engine, streaming ingest (the online half of the system).
 //!
@@ -26,6 +28,7 @@ pub use dpar2_baselines as baselines;
 pub use dpar2_core as core;
 pub use dpar2_data as data;
 pub use dpar2_linalg as linalg;
+pub use dpar2_obs as obs;
 pub use dpar2_parallel as parallel;
 pub use dpar2_rsvd as rsvd;
 pub use dpar2_serve as serve;

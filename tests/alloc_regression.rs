@@ -183,6 +183,95 @@ fn index_search_steady_state_allocates_nothing() {
     );
 }
 
+/// Telemetry pin: wrapping the fit in a `MetricsObserver` (counters,
+/// per-iteration and per-phase histograms recording into a
+/// `MetricsRegistry`) must not cost a single steady-state allocation — the
+/// obs record path is handle-based atomics only.
+#[test]
+fn instrumented_dpar2_steady_state_allocates_nothing() {
+    use dpar2_repro::core::{FitMetrics, MetricsObserver};
+    use dpar2_repro::obs::MetricsRegistry;
+
+    let t = fixture();
+    let registry = MetricsRegistry::new();
+    let metrics = FitMetrics::register(&registry, "fit");
+
+    let mut snapshots: Vec<u64> = Vec::with_capacity(64);
+    let mut inner = |_e: &IterationEvent| {
+        snapshots.push(allocs_now());
+        ControlFlow::<StopReason>::Continue(())
+    };
+    let mut observer = MetricsObserver::wrap(&metrics, &mut inner);
+    let fit = Dpar2.fit_observed(&t, &options(), &mut observer).expect("fit failed");
+    assert!(fit.iterations >= 3, "need ≥3 iterations, got {}", fit.iterations);
+    let deltas: Vec<u64> = snapshots.windows(2).map(|w| w[1] - w[0]).collect();
+    assert!(
+        deltas.iter().all(|&d| d == 0),
+        "instrumented DPar2 allocated in steady state: {deltas:?}"
+    );
+    // The telemetry really recorded the fit it watched.
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("fit_iterations_total"), Some(fit.iterations as u64));
+    assert_eq!(snap.counter("fit_fits_total"), Some(1));
+}
+
+/// Telemetry pin: a steady-state *instrumented* index probe — the pruned
+/// search plus folding its `SearchStats` into pruning counters and its
+/// latency into a log₂ histogram — allocates nothing, so the serve
+/// engine's metered query path costs what the plain one does.
+#[test]
+fn instrumented_index_search_steady_state_allocates_nothing() {
+    use dpar2_repro::analysis::{EmbeddingIndex, IndexOptions, SearchScratch};
+    use dpar2_repro::linalg::Mat;
+    use dpar2_repro::obs::MetricsRegistry;
+    use dpar2_repro::parallel::ThreadPool;
+
+    let n = 600usize;
+    let dim = 12usize;
+    let points = Mat::from_fn(n, dim, |i, j| ((i * 29 + j * 11) % 89) as f64 * 0.25);
+    let pool = ThreadPool::new(1);
+    let index = EmbeddingIndex::build(points.view(), &IndexOptions::default(), &pool);
+
+    let registry = MetricsRegistry::new();
+    let probed = registry.counter("probe_partitions_probed_total");
+    let scanned = registry.counter("probe_candidates_scanned_total");
+    let latency = registry.histogram("probe_latency_ns");
+
+    let mut scratch = SearchScratch::default();
+    let mut out = Vec::new();
+    index.top_k_similar_into(
+        points.row(0),
+        0.01,
+        16,
+        index.num_partitions(),
+        Some(0),
+        &mut scratch,
+        &mut out,
+    );
+
+    let before = allocs_now();
+    for t in 1..64usize {
+        let span = latency.start_span();
+        index.top_k_similar_into(
+            points.row(t),
+            0.01,
+            1 + t % 16,
+            1 + t % index.num_partitions(),
+            Some(t),
+            &mut scratch,
+            &mut out,
+        );
+        let stats = scratch.stats();
+        probed.add(stats.partitions_probed as u64);
+        scanned.add(stats.candidates_scanned as u64);
+        drop(span);
+    }
+    let after = allocs_now();
+    assert_eq!(after - before, 0, "instrumented index probe allocated in steady state");
+    assert_eq!(latency.count(), 63);
+    assert!(probed.get() >= 63);
+}
+
 /// Guard for the measurement itself: the thread-local counter observes this
 /// thread's allocations (so the zero assertions above are meaningful).
 #[test]

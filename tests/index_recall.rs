@@ -188,7 +188,7 @@ fn indexed_queries_fall_back_exact_during_build_then_match_bitwise() {
         let res = engine
             .top_k_with_mode("recall", t, 10, QueryMode::Indexed { nprobe: None })
             .expect("in-flight build must never surface as a query error");
-        assert!(!res.indexed, "no index installed yet");
+        assert!(!res.indexed(), "no index installed yet");
         assert_eq!(*res.neighbors, exact[t]);
     }
 
@@ -201,7 +201,7 @@ fn indexed_queries_fall_back_exact_during_build_then_match_bitwise() {
     for t in 0..points.rows() {
         let res =
             engine.top_k_with_mode("recall", t, 10, QueryMode::Indexed { nprobe: full }).unwrap();
-        assert!(res.indexed);
+        assert!(res.indexed());
         assert_eq!(*res.neighbors, exact[t], "target {t}");
     }
 }

@@ -1,0 +1,160 @@
+//! End-to-end telemetry acceptance: the same `dpar2-obs` registry watches
+//! a solver fit, a metered query engine, and an indexed ingest worker —
+//! and every number it reports must reconcile *exactly* with what the
+//! instrumented components themselves returned. Finishes by pushing the
+//! snapshot through both exporters: the Prometheus text must contain the
+//! expected series and the JSON must round-trip bit-exact.
+
+use dpar2_repro::core::{Dpar2, FitMetrics, FitOptions, FitPhase, MetricsObserver, StreamingDpar2};
+use dpar2_repro::data::planted_parafac2;
+use dpar2_repro::obs::{export, MetricsRegistry};
+use dpar2_repro::serve::{
+    build_and_install, AnswerPath, IndexOptions, IngestEvent, IngestWorker, ModelMeta,
+    ModelRegistry, QueryEngine, QueryMode, ServeMetrics, ServedModel,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A fit driven through a [`MetricsObserver`] must leave counters that
+/// agree with the returned [`Parafac2Fit`]: one completed fit, exactly
+/// `fit.iterations` iteration events, and one closed span per phase.
+#[test]
+fn fit_metrics_reconcile_with_fit_result() {
+    let tensor = planted_parafac2(&[20, 28, 16], 10, 3, 0.2, 42);
+    let registry = MetricsRegistry::new();
+    let metrics = FitMetrics::register(&registry, "fit");
+
+    let mut observer = MetricsObserver::new(&metrics);
+    let fit =
+        Dpar2.fit_observed(&tensor, &FitOptions::new(3).with_seed(7), &mut observer).expect("fit");
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("fit_fits_total"), Some(1));
+    assert_eq!(snap.counter("fit_iterations_total"), Some(fit.iterations as u64));
+    assert_eq!(snap.histogram("fit_iteration_ns").unwrap().count, fit.iterations as u64);
+    for phase in FitPhase::ALL {
+        let h = snap.histogram(&format!("fit_phase_{}_ns", phase.name())).unwrap();
+        assert_eq!(h.count, 1, "exactly one {} span per fit", phase.name());
+    }
+}
+
+/// The metered query engine's telemetry must reconcile with the
+/// [`QueryResult`]s it handed back — per-path latency counts, cache
+/// outcomes, and pruning work — and the snapshot must survive both
+/// exporters.
+#[test]
+fn serve_metrics_reconcile_and_snapshot_exports() {
+    let n = 12usize;
+    let k = 4usize;
+    let tensor = planted_parafac2(&vec![24; n], 12, 3, 0.05, 99);
+    let fit = Dpar2.fit(&tensor, &FitOptions::new(3).with_seed(8)).expect("fit");
+
+    let registry = MetricsRegistry::new();
+    let metrics = ServeMetrics::register(&registry);
+    let models = Arc::new(ModelRegistry::new());
+    models.publish("obs", ServedModel::from_parts(ModelMeta::new("obs").with_gamma(0.05), fit));
+    let version = models.get("obs").expect("published");
+    let pool = dpar2_repro::parallel::ThreadPool::new(1);
+    assert!(build_and_install(&version, &IndexOptions::default(), &pool));
+
+    let engine = QueryEngine::new(models, 1).with_metrics(&metrics);
+
+    // One exact answer, one computed indexed answer (full probe → bitwise
+    // equal to exact), then the same indexed query again → cache hit.
+    let exact = engine.top_k_with_mode("obs", 0, k, QueryMode::Exact).expect("exact");
+    let full_probe = QueryMode::Indexed { nprobe: Some(usize::MAX) };
+    let indexed = engine.top_k_with_mode("obs", 1, k, full_probe).expect("indexed");
+    let hit = engine.top_k_with_mode("obs", 1, k, full_probe).expect("cache hit");
+
+    assert_eq!(exact.path, AnswerPath::Exact);
+    assert_eq!(indexed.path, AnswerPath::Indexed);
+    assert!(hit.cache_hit);
+    assert_eq!(hit.neighbors, indexed.neighbors);
+    assert_eq!(exact.candidates_scanned, n - 1, "exact scan scores every other entity");
+    assert_eq!(hit.candidates_scanned, 0, "a cache hit recomputes nothing");
+    for res in [&exact, &indexed, &hit] {
+        assert!(res.elapsed > Duration::ZERO, "elapsed must be stamped");
+    }
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("serve_query_queries_total"), Some(3));
+    assert_eq!(snap.counter("serve_query_cache_hits_total"), Some(1));
+    assert_eq!(snap.counter("serve_query_cache_misses_total"), Some(2));
+    assert_eq!(snap.histogram("serve_query_latency_exact_ns").unwrap().count, 1);
+    assert_eq!(snap.histogram("serve_query_latency_indexed_ns").unwrap().count, 1);
+    assert_eq!(snap.histogram("serve_query_latency_cache_hit_ns").unwrap().count, 1);
+    assert_eq!(
+        snap.counter("serve_query_candidates_scanned_total"),
+        Some(indexed.candidates_scanned as u64),
+        "only the computed indexed answer contributes pruning work"
+    );
+    assert_eq!(snap.counter("serve_query_candidates_total"), Some(n as u64));
+    let stats = engine.cache_stats();
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.misses, 2);
+
+    // Exporters: the text exposition carries the series, the JSON
+    // round-trips bit-exact (all-integer encoding — no float loss).
+    let text = export::to_text(&snap);
+    assert!(text.contains("serve_query_queries_total 3"), "missing counter line:\n{text}");
+    assert!(text.contains("serve_query_latency_exact_ns_count 1"), "missing histogram:\n{text}");
+    assert!(text.contains("le=\"+Inf\""), "histogram must end with the +Inf bucket:\n{text}");
+    let back = export::from_json(&export::to_json(&snap)).expect("parse back");
+    assert_eq!(back, snap, "JSON export must round-trip exactly");
+}
+
+/// The observed indexed ingest worker: typed events in stream order,
+/// append/refit/staleness histograms populated, queue drained back to
+/// zero depth — all through the umbrella crate's re-exports.
+#[test]
+fn ingest_worker_events_and_staleness_reconcile() {
+    let tensor = planted_parafac2(&[20; 6], 10, 3, 0.05, 321);
+    let registry = MetricsRegistry::new();
+    let metrics = ServeMetrics::register(&registry);
+    let models = Arc::new(ModelRegistry::new());
+    let stream = StreamingDpar2::new(FitOptions::new(3).with_seed(9));
+    let worker = IngestWorker::spawn_indexed_observed(
+        stream,
+        ModelMeta::new("live").with_gamma(0.05),
+        models.clone(),
+        IndexOptions::default(),
+        1,
+        metrics.ingest,
+    );
+
+    // Two batches; flushing the index builder between them serializes the
+    // builds, so both published versions get a staleness sample.
+    worker.append(tensor.to_slices()[..3].to_vec());
+    worker.flush();
+    worker.flush_indexes();
+    worker.append(tensor.to_slices()[3..].to_vec());
+    worker.flush();
+    worker.flush_indexes();
+
+    assert_eq!(models.version("live"), Some(2));
+    let events = worker.events();
+    assert_eq!(events.len(), 2, "one event per non-empty batch: {events:?}");
+    for (i, event) in events.iter().enumerate() {
+        match event {
+            IngestEvent::Published { batch, version, entities } => {
+                assert_eq!(*batch, i as u64 + 1);
+                assert_eq!(*version, i as u64 + 1);
+                assert_eq!(*entities, 3 * (i + 1), "cumulative entity count");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+    assert!(worker.errors().is_empty());
+
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("serve_ingest_appends_total"), Some(2));
+    assert_eq!(snap.counter("serve_ingest_errors_total"), Some(0));
+    assert_eq!(snap.gauge("serve_ingest_queue_depth"), Some(0), "queue fully drained");
+    assert_eq!(snap.histogram("serve_ingest_append_ns").unwrap().count, 2);
+    assert_eq!(snap.histogram("serve_ingest_refit_ns").unwrap().count, 2);
+    let staleness = snap.histogram("serve_ingest_staleness_ns").unwrap();
+    assert_eq!(staleness.count, 2, "every published version got indexed");
+    assert!(staleness.min > 0, "publish→index-ready window cannot be zero");
+
+    worker.shutdown();
+}

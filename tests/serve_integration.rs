@@ -147,7 +147,7 @@ fn indexed_ingest_serves_exact_answers_through_inflight_builds() {
                     let target = (iters * 3 + t) % 4;
                     match engine.top_k_with_mode("hot", target, k, full_probe) {
                         Ok(res) => {
-                            indexed_seen += usize::from(res.indexed);
+                            indexed_seen += usize::from(res.indexed());
                             out.push((res.version, target, (*res.neighbors).clone()));
                         }
                         Err(dpar2_repro::serve::ServeError::ModelNotFound(_)) => {
