@@ -1,0 +1,270 @@
+//! Open-loop load generation against the wire front-end — the acceptance
+//! benchmark behind `BENCH_net.json`.
+//!
+//! Two phases, each against a real [`dpar2_net::NetServer`] over loopback
+//! TCP with persistent binary-protocol clients:
+//!
+//! 1. **Latency.** `--clients` threads each run an open-loop arrival
+//!    schedule (arrivals tick at 0.7× that client's calibrated service
+//!    rate, so queueing is real but stable) of top-k queries against an
+//!    observed server. Reported percentiles are the *server-side*
+//!    `net_latency_topk_ns` histogram — decode-to-encode, the figure a
+//!    production scrape would see — plus client-side round-trip
+//!    percentiles measured at the socket.
+//! 2. **Overload.** A deliberately starved server (one worker, one
+//!    pending-connection slot) is hammered by reconnecting clients; every
+//!    shed connection must be answered with a typed `Overloaded`. The
+//!    phase reports the rejection rate and cross-checks it against the
+//!    server's own `net_connections_rejected_total`.
+//!
+//! The JSON artifact embeds both registries' full snapshots via
+//! [`dpar2_obs::export::to_json`], each round-tripped through
+//! [`dpar2_obs::export::from_json`] before writing so a malformed
+//! artifact can never be persisted.
+//!
+//! ```text
+//! cargo run -p dpar2-bench --release --bin net_load -- --clients 4
+//! ```
+//!
+//! Flags: `--entities` (48), `--days` (64), `--features` (16), `--rank`
+//! (6), `--k` (10), `--queries` (300, per client), `--clients` (4),
+//! `--attempts` (200, overload connects per client), `--seed` (0),
+//! `--out` (`BENCH_net.json` at the repo root).
+
+use dpar2_bench::Args;
+use dpar2_core::{Dpar2, FitOptions};
+use dpar2_data::planted_parafac2;
+use dpar2_net::{ErrorCode, NetClient, NetServer, ServerConfig, WireMode};
+use dpar2_obs::{export, Histogram, HistogramSnapshot, MetricsRegistry, Snapshot};
+use dpar2_serve::{ModelMeta, ModelRegistry, QueryEngine, ServedModel};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Issues `queries` requests through `serve` under an open-loop arrival
+/// schedule at 0.7× the calibrated service rate (arrivals are scheduled
+/// regardless of completions; if the server runs ahead the client idles).
+fn open_loop(queries: usize, targets: &[usize], mut serve: impl FnMut(usize)) {
+    let calibrate = queries.clamp(1, 20);
+    let t0 = Instant::now();
+    for q in 0..calibrate {
+        serve(targets[q % targets.len()]);
+    }
+    let service = t0.elapsed().as_secs_f64() / calibrate as f64;
+    let interarrival = Duration::from_secs_f64((service / 0.7).max(1e-7));
+
+    let start = Instant::now();
+    for q in 0..queries {
+        let arrival = interarrival * q as u32;
+        while start.elapsed() < arrival {
+            std::hint::spin_loop();
+        }
+        serve(targets[q % targets.len()]);
+    }
+}
+
+fn print_hist(label: &str, h: &HistogramSnapshot) {
+    println!(
+        "   {label:>12}: n {:5}  p50 {:9.1}us  p90 {:9.1}us  p99 {:9.1}us  max {:9.1}us",
+        h.count,
+        h.p50() as f64 / 1e3,
+        h.p90() as f64 / 1e3,
+        h.p99() as f64 / 1e3,
+        h.max as f64 / 1e3,
+    );
+}
+
+fn json_hist(out: &mut String, label: &str, h: &HistogramSnapshot) {
+    let _ = write!(
+        out,
+        "\"{label}\": {{\"count\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \
+         \"max_ns\": {}}}",
+        h.count,
+        h.p50(),
+        h.p90(),
+        h.p99(),
+        h.max
+    );
+}
+
+fn hist(snap: &Snapshot, name: &str) -> HistogramSnapshot {
+    snap.histogram(name).cloned().unwrap_or_else(HistogramSnapshot::empty)
+}
+
+/// Round-trips a snapshot through the JSON exporter and returns the text —
+/// the artifact embeds only JSON that is proven to parse back bit-exactly.
+fn checked_json(snap: &Snapshot) -> String {
+    let json = export::to_json(snap);
+    let reparsed = export::from_json(&json).expect("exporter JSON must parse");
+    assert_eq!(&reparsed, snap, "exporter JSON must round-trip exactly");
+    json
+}
+
+fn main() {
+    let args = Args::parse();
+    let entities = args.get("entities", 48usize).max(2);
+    let days = args.get("days", 64usize);
+    let features = args.get("features", 16usize);
+    let rank = args.get("rank", 6usize).min(features).min(days);
+    let k = args.get("k", 10usize);
+    let queries = args.get("queries", 300usize).max(1);
+    let clients = args.get("clients", 4usize).max(1);
+    let attempts = args.get("attempts", 200usize).max(1);
+    let seed = args.get("seed", 0u64);
+    let default_out = format!("{}/../../BENCH_net.json", env!("CARGO_MANIFEST_DIR"));
+    let out_path = args.get_str("out", &default_out);
+
+    println!(
+        "== net_load: {entities} entities x {days} days x {features} features, rank {rank}, \
+         top-{k}, {clients} wire clients ==\n"
+    );
+
+    let tensor = planted_parafac2(&vec![days; entities], features, rank, 0.1, seed);
+    let fit = Dpar2.fit(&tensor, &FitOptions::new(rank).with_seed(seed)).expect("fit failed");
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .publish("bench", ServedModel::from_parts(ModelMeta::new("bench").with_gamma(0.02), fit));
+
+    // Phase 1 — open-loop latency against an observed server.
+    println!("-- open-loop latency: {clients} clients x {queries} queries --");
+    let obs = Arc::new(MetricsRegistry::new());
+    let engine = Arc::new(QueryEngine::new(Arc::clone(&registry), 2));
+    let server =
+        NetServer::start_observed(engine, "127.0.0.1:0", ServerConfig::default(), Arc::clone(&obs))
+            .expect("bind latency server");
+    let addr = server.local_addr();
+    // Client-side round-trip latency, recorded into the same registry so
+    // the artifact carries both sides of the wire.
+    let rtt: Histogram = obs.histogram("bench_client_rtt_ns");
+    let targets: Vec<usize> = (0..entities).collect();
+
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let targets = targets.clone();
+            let rtt = rtt.clone();
+            std::thread::spawn(move || {
+                let mut client = NetClient::connect(addr).expect("connect");
+                client.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+                open_loop(queries, &targets, |t| {
+                    let offset = (t + c) % targets.len();
+                    let t0 = Instant::now();
+                    let answer = client
+                        .top_k_with_mode("bench", offset as u32, k as u32, WireMode::Exact)
+                        .expect("transport")
+                        .expect("typed answer");
+                    rtt.record_duration(t0.elapsed());
+                    assert!(!answer.neighbors.is_empty(), "empty ranking");
+                });
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("latency client");
+    }
+    server.shutdown();
+
+    let snap = obs.snapshot();
+    let topk_h = hist(&snap, "net_latency_topk_ns");
+    let rtt_h = hist(&snap, "bench_client_rtt_ns");
+    let batch_h = hist(&snap, "net_batch_size");
+    print_hist("server topk", &topk_h);
+    print_hist("client rtt", &rtt_h);
+    println!(
+        "   {:>12}: mean batched queries per engine fan-out p50 {} (n {})",
+        "batching",
+        batch_h.p50(),
+        batch_h.count
+    );
+
+    // Phase 2 — overload: starved server, reconnecting clients.
+    println!("\n-- overload: 1 worker, 1 pending-connection slot, {clients} clients x {attempts} connects --");
+    let overload_obs = Arc::new(MetricsRegistry::new());
+    let engine = Arc::new(QueryEngine::new(Arc::clone(&registry), 2));
+    let config = ServerConfig { workers: 1, pending_connections: 1, ..ServerConfig::default() };
+    let server =
+        NetServer::start_observed(engine, "127.0.0.1:0", config, Arc::clone(&overload_obs))
+            .expect("bind overload server");
+    let addr = server.local_addr();
+
+    let hammers: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut served = 0u64;
+                let mut rejected = 0u64;
+                let mut dropped = 0u64;
+                for i in 0..attempts {
+                    let Ok(mut client) = NetClient::connect(addr) else {
+                        dropped += 1;
+                        continue;
+                    };
+                    client.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                    let target = ((c + i) % 4) as u32;
+                    match client.top_k_with_mode("bench", target, 5, WireMode::Exact) {
+                        Ok(Ok(_)) => served += 1,
+                        Ok(Err(e)) if e.code == ErrorCode::Overloaded => rejected += 1,
+                        Ok(Err(e)) => panic!("unexpected typed error under overload: {e}"),
+                        // The rejection frame can lose the race against the
+                        // connection teardown (RST discards it); count the
+                        // shed connection without a typed verdict.
+                        Err(_) => dropped += 1,
+                    }
+                }
+                (served, rejected, dropped)
+            })
+        })
+        .collect();
+    let (mut served, mut rejected, mut dropped) = (0u64, 0u64, 0u64);
+    for h in hammers {
+        let (s, r, d) = h.join().expect("overload client");
+        served += s;
+        rejected += r;
+        dropped += d;
+    }
+    server.shutdown();
+
+    let overload_snap = overload_obs.snapshot();
+    let server_rejected = overload_snap.counter("net_connections_rejected_total").unwrap_or(0);
+    let rejection_rate = (rejected + dropped) as f64 / (served + rejected + dropped).max(1) as f64;
+    println!(
+        "   served {served}  rejected {rejected}  dropped {dropped} (rejection rate \
+         {rejection_rate:.3}); server counted {server_rejected} shed connections"
+    );
+    assert!(
+        rejected + dropped > 0,
+        "overload phase produced no rejections — not actually overloaded"
+    );
+    assert!(
+        server_rejected >= rejected,
+        "server-side rejection counter ({server_rejected}) below client-observed ({rejected})"
+    );
+
+    // Persist: derived summary + both registries' full snapshots,
+    // round-tripped before writing.
+    let metrics_json = checked_json(&snap);
+    let overload_json = checked_json(&overload_snap);
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"net_load\",\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"entities\": {entities}, \"days\": {days}, \"features\": {features}, \
+         \"rank\": {rank}, \"k\": {k}, \"queries\": {queries}, \"clients\": {clients}, \
+         \"attempts\": {attempts}, \"seed\": {seed}}},"
+    );
+    json.push_str("  \"latency\": {");
+    json_hist(&mut json, "server_topk", &topk_h);
+    json.push_str(", ");
+    json_hist(&mut json, "client_rtt", &rtt_h);
+    json.push_str("},\n");
+    let _ = writeln!(
+        json,
+        "  \"overload\": {{\"served\": {served}, \"rejected\": {rejected}, \
+         \"dropped\": {dropped}, \"rejection_rate\": {rejection_rate:.4}, \
+         \"server_connections_rejected\": {server_rejected}}},"
+    );
+    let _ = writeln!(json, "  \"metrics\": {metrics_json},");
+    let _ = writeln!(json, "  \"overload_metrics\": {overload_json}\n}}");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_net.json");
+    println!("\n   wrote {out_path}");
+}

@@ -18,6 +18,11 @@ pub enum Dpar2Error {
     },
     /// A zero target rank was requested.
     ZeroRank,
+    /// A decomposition was requested before any data was ingested
+    /// (e.g. [`StreamingDpar2::decompose`](crate::StreamingDpar2) with no
+    /// appended slices). Long-lived serving workers treat this as a
+    /// recoverable caller-ordering error, never a panic.
+    Empty,
     /// A warm-start factor does not fit the tensor being decomposed
     /// (wrong rank, column dimension, or more slices than the data).
     WarmStart {
@@ -39,6 +44,7 @@ impl fmt::Display for Dpar2Error {
                 write!(f, "target rank {rank} exceeds min(I_k, J) = {limit} of slice {slice}")
             }
             Dpar2Error::ZeroRank => write!(f, "target rank must be positive"),
+            Dpar2Error::Empty => write!(f, "no slices ingested yet (nothing to decompose)"),
             Dpar2Error::WarmStart { factor, expected, got } => write!(
                 f,
                 "warm-start factor {factor} has shape {}x{}, expected {}x{}",
@@ -69,6 +75,7 @@ mod tests {
         let e = Dpar2Error::RankTooLarge { rank: 10, slice: 3, limit: 8 };
         assert_eq!(e.to_string(), "target rank 10 exceeds min(I_k, J) = 8 of slice 3");
         assert_eq!(Dpar2Error::ZeroRank.to_string(), "target rank must be positive");
+        assert_eq!(Dpar2Error::Empty.to_string(), "no slices ingested yet (nothing to decompose)");
         let w = Dpar2Error::WarmStart { factor: "V", expected: (12, 3), got: (10, 3) };
         assert_eq!(w.to_string(), "warm-start factor V has shape 10x3, expected 12x3");
     }

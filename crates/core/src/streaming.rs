@@ -42,6 +42,17 @@ use dpar2_tensor::IrregularTensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Derives a per-slice sketch seed from `(base, k)` with a splitmix64-style
+/// finalizer. A plain `base.wrapping_mul(k + 1)` collides badly: any even
+/// `base` sheds low-bit entropy and `base = 0` hands every slice the
+/// identical RNG stream, correlating the rsvd sketches across slices.
+fn stream_seed(base: u64, k: usize) -> u64 {
+    let mut z = base.wrapping_add((k as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Incremental PARAFAC2 over a growing collection of slices.
 #[derive(Debug, Clone)]
 pub struct StreamingDpar2 {
@@ -91,11 +102,15 @@ impl StreamingDpar2 {
             }));
         }
         let batch = IrregularTensor::new(slices);
-        self.appended_batches += 1;
         match self.ct.take() {
             None => {
                 // First batch: plain two-stage compression.
                 self.ct = Some(compress(&batch, &self.options)?);
+                // Count the batch only once it is ingested: a rejected
+                // batch must not shift the rsvd seed stream, or the same
+                // good batches would produce different factors depending on
+                // whether a bad batch was ever submitted.
+                self.appended_batches += 1;
                 Ok(())
             }
             Some(old) => {
@@ -105,6 +120,7 @@ impl StreamingDpar2 {
                 match result {
                     Ok(updated) => {
                         self.ct = Some(updated);
+                        self.appended_batches += 1;
                         Ok(())
                     }
                     Err(e) => {
@@ -134,12 +150,16 @@ impl StreamingDpar2 {
             }
         }
 
-        // Stage 1 on the new slices only.
-        let base_seed = self.options.seed.wrapping_add(0x5EED_0000 + self.appended_batches as u64);
+        // Stage 1 on the new slices only. `appended_batches` counts only
+        // *successful* appends, so the ordinal of the batch being ingested
+        // is one past it (this keeps clean-history seed streams identical
+        // to what they were when the counter was bumped up front).
+        let ordinal = self.appended_batches as u64 + 1;
+        let base_seed = self.options.seed.wrapping_add(0x5EED_0000 + ordinal);
         let rsvd_cfg = dpar2_rsvd::RsvdConfig { rank: r, ..self.options.rsvd };
         let mut stage1: Vec<(Mat, Vec<f64>, Mat)> = Vec::with_capacity(batch.k());
         for k in 0..batch.k() {
-            let mut rng = StdRng::seed_from_u64(base_seed.wrapping_mul(k as u64 + 1));
+            let mut rng = StdRng::seed_from_u64(stream_seed(base_seed, k));
             let f = rsvd(batch.slice(k), &rsvd_cfg, &mut rng);
             stage1.push((f.u, f.s, f.v));
         }
@@ -184,9 +204,11 @@ impl StreamingDpar2 {
     /// Decomposes the current collection, warm-starting from the previous
     /// call's factors, and caches the new factors for the next call.
     ///
-    /// # Panics
-    /// Panics if called before any slices were appended.
-    pub fn decompose(&mut self) -> Parafac2Fit {
+    /// # Errors
+    /// [`Dpar2Error::Empty`] if called before any slices were appended —
+    /// a misordered caller (e.g. a serving ingest worker asked to refit
+    /// before its first batch landed) gets a typed error, not a panic.
+    pub fn decompose(&mut self) -> Result<Parafac2Fit> {
         self.decompose_observed(&mut NoopObserver)
     }
 
@@ -196,10 +218,10 @@ impl StreamingDpar2 {
     /// serving ingest loop bound refit latency and shut down promptly
     /// (see `dpar2_serve::ingest`).
     ///
-    /// # Panics
-    /// Panics if called before any slices were appended.
-    pub fn decompose_observed(&mut self, observer: &mut dyn FitObserver) -> Parafac2Fit {
-        let ct = self.ct.as_ref().expect("StreamingDpar2::decompose: no slices appended yet");
+    /// # Errors
+    /// [`Dpar2Error::Empty`] if called before any slices were appended.
+    pub fn decompose_observed(&mut self, observer: &mut dyn FitObserver) -> Result<Parafac2Fit> {
+        let Some(ct) = self.ct.as_ref() else { return Err(Dpar2Error::Empty) };
         // Extend the cached W with unit rows for slices added since the
         // last decomposition; H and V carry over unchanged. A stale warm
         // start with more rows than the current slice count (impossible
@@ -225,7 +247,7 @@ impl StreamingDpar2 {
                 w
             },
         });
-        fit
+        Ok(fit)
     }
 }
 
@@ -286,9 +308,9 @@ mod tests {
         // Streaming run: two batches of three.
         let mut stream = StreamingDpar2::new(cfg);
         stream.append(all[..3].to_vec()).unwrap();
-        let _ = stream.decompose();
+        let _ = stream.decompose().unwrap();
         stream.append(all[3..].to_vec()).unwrap();
-        let stream_fit = stream.decompose();
+        let stream_fit = stream.decompose().unwrap();
 
         let fb = batch_fit.fitness(&tensor);
         let fs = stream_fit.fitness(&tensor);
@@ -323,9 +345,9 @@ mod tests {
         let cfg = FitOptions::new(3).with_seed(76).with_tolerance(1e-5);
         let mut stream = StreamingDpar2::new(cfg);
         stream.append(first.clone()).unwrap();
-        let _ = stream.decompose();
+        let _ = stream.decompose().unwrap();
         stream.append(second.clone()).unwrap();
-        let warm_fit = stream.decompose();
+        let warm_fit = stream.decompose().unwrap();
 
         // Cold baseline on the same 6 slices.
         let mut cold_slices = first;
@@ -389,15 +411,78 @@ mod tests {
         let mut stream = StreamingDpar2::new(cfg);
         let mut gen = Planted::new(12, 2, 86);
         stream.append(vec![gen.slice(20, 0.0), gen.slice(18, 0.0)]).unwrap();
-        let _ = stream.decompose();
+        let _ = stream.decompose().unwrap();
         let mut rng = StdRng::seed_from_u64(87);
         // Wrong column count: rejected, but the two ingested slices (and the
         // cached warm start) must survive for the next good batch.
         assert!(stream.append(vec![gaussian_mat(10, 9, &mut rng)]).is_err());
         assert_eq!(stream.k(), 2, "failed append lost ingested slices");
         stream.append(vec![gen.slice(16, 0.0)]).unwrap();
-        let fit = stream.decompose();
+        let fit = stream.decompose().unwrap();
         assert_eq!(fit.u.len(), 3);
+    }
+
+    #[test]
+    fn failed_append_does_not_shift_seed_stream() {
+        // A rejected batch must leave subsequent fits bit-identical to a
+        // history that never saw the bad batch: the seed stream depends on
+        // the number of *ingested* batches, not submission attempts.
+        let mut gen = Planted::new(12, 2, 90);
+        let good1 = vec![gen.slice(20, 0.02), gen.slice(18, 0.02)];
+        let good2 = vec![gen.slice(16, 0.02), gen.slice(22, 0.02)];
+        let cfg = FitOptions::new(2).with_seed(91).with_max_iterations(12);
+
+        let mut with_failure = StreamingDpar2::new(cfg);
+        with_failure.append(good1.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(92);
+        assert!(with_failure.append(vec![gaussian_mat(10, 9, &mut rng)]).is_err());
+        with_failure.append(good2.clone()).unwrap();
+        let fit_a = with_failure.decompose().unwrap();
+
+        let mut clean = StreamingDpar2::new(cfg);
+        clean.append(good1).unwrap();
+        clean.append(good2).unwrap();
+        let fit_b = clean.decompose().unwrap();
+
+        // Everything but the wall-clock timing must be bit-identical
+        // (timing is the one legitimately non-deterministic field).
+        assert_eq!(fit_a.u, fit_b.u, "rejected batch shifted the rsvd seed stream (U)");
+        assert_eq!(fit_a.s, fit_b.s, "rejected batch shifted the rsvd seed stream (S)");
+        assert_eq!(fit_a.v, fit_b.v, "rejected batch shifted the rsvd seed stream (V)");
+        assert_eq!(fit_a.h, fit_b.h, "rejected batch shifted the rsvd seed stream (H)");
+        assert_eq!(fit_a.iterations, fit_b.iterations);
+        assert_eq!(fit_a.criterion_trace, fit_b.criterion_trace);
+    }
+
+    #[test]
+    fn distinct_slices_get_distinct_seed_streams() {
+        use std::collections::HashSet;
+        // Adversarial bases: zero and even values used to collapse the old
+        // `base.wrapping_mul(k + 1)` derivation into colliding (or for
+        // base = 0, identical) streams.
+        for base in [0u64, 2, 4, 1 << 32, u64::MAX - 1, 0x5EED_0000] {
+            let mut seen = HashSet::new();
+            for k in 0..64 {
+                assert!(
+                    seen.insert(stream_seed(base, k)),
+                    "seed collision for base {base} at slice {k}"
+                );
+            }
+        }
+        // The derived RNG streams themselves must differ, not just the seeds.
+        let firsts: HashSet<u64> =
+            (0..16).map(|k| StdRng::seed_from_u64(stream_seed(0, k)).random::<u64>()).collect();
+        assert_eq!(firsts.len(), 16, "distinct slices drew identical first values");
+    }
+
+    #[test]
+    fn decompose_before_append_is_typed_error() {
+        let mut stream = StreamingDpar2::new(FitOptions::new(2).with_seed(93));
+        assert_eq!(stream.decompose().unwrap_err(), Dpar2Error::Empty);
+        // Still usable afterwards.
+        let mut gen = Planted::new(10, 2, 94);
+        stream.append(vec![gen.slice(15, 0.0)]).unwrap();
+        assert_eq!(stream.decompose().unwrap().u.len(), 1);
     }
 
     #[test]

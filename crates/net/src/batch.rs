@@ -1,0 +1,205 @@
+//! Request batching: concurrent in-flight queries from many connections
+//! coalesce into single [`QueryEngine::top_k_batch_with_mode`] fan-outs.
+//!
+//! Connection workers never touch the engine directly. Each top-k request
+//! becomes a [`Job`] pushed into a bounded queue ([`BatchQueue`]); one
+//! drain thread pops whatever is pending (up to `batch_max`), groups it by
+//! `(model, mode)` — a batch call answers one model under one mode against
+//! one registry snapshot — and fans each group out over the engine's
+//! thread pool. The submitting worker blocks on its private reply channel,
+//! so per-connection request/response ordering is preserved while the
+//! engine sees wide batches.
+//!
+//! Admission control lives at the queue boundary: a full queue is a typed
+//! [`SubmitError::Overloaded`] *now*, never unbounded queueing.
+
+use crate::metrics::NetMetrics;
+use crate::queue::{Bounded, PushError};
+use dpar2_serve::{QueryEngine, QueryMode, QueryResult, ServeError};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// One pending top-k query plus the channel its answer goes back on.
+#[derive(Debug)]
+pub(crate) struct Job {
+    pub(crate) model: String,
+    pub(crate) target: usize,
+    pub(crate) k: usize,
+    pub(crate) mode: QueryMode,
+    pub(crate) reply: mpsc::Sender<Result<QueryResult, ServeError>>,
+}
+
+/// Why a submit was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SubmitError {
+    /// The pending-request queue is at capacity.
+    Overloaded,
+    /// The server is draining for shutdown.
+    ShuttingDown,
+}
+
+/// The shared submit side of the batcher (workers hold an `Arc` of this).
+#[derive(Debug)]
+pub(crate) struct BatchQueue {
+    jobs: Bounded<Job>,
+}
+
+impl BatchQueue {
+    /// Admits a job or refuses with a typed error (the job, and with it the
+    /// reply sender, is dropped on refusal — the caller answers the client
+    /// directly).
+    pub(crate) fn submit(&self, job: Job) -> Result<(), SubmitError> {
+        match self.jobs.push(job) {
+            Ok(()) => Ok(()),
+            Err(PushError::Full(_)) => Err(SubmitError::Overloaded),
+            Err(PushError::Closed(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+}
+
+/// Owns the drain thread; dropping (or [`Batcher::shutdown`]) closes the
+/// queue, drains every admitted job, and joins.
+#[derive(Debug)]
+pub(crate) struct Batcher {
+    queue: Arc<BatchQueue>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Batcher {
+    /// Spawns the drain thread over `engine`.
+    pub(crate) fn spawn(
+        engine: Arc<QueryEngine>,
+        capacity: usize,
+        batch_max: usize,
+        metrics: Option<NetMetrics>,
+    ) -> Batcher {
+        let queue = Arc::new(BatchQueue { jobs: Bounded::new(capacity) });
+        let queue_in = Arc::clone(&queue);
+        let batch_max = batch_max.max(1);
+        let handle = std::thread::spawn(move || {
+            while let Some(first) = queue_in.jobs.pop() {
+                let mut batch = vec![first];
+                while batch.len() < batch_max {
+                    match queue_in.jobs.try_pop() {
+                        Some(job) => batch.push(job),
+                        None => break,
+                    }
+                }
+                if let Some(m) = &metrics {
+                    m.request_queue_depth.sub(batch.len() as i64);
+                    m.batch_size.record(batch.len() as u64);
+                }
+                // Group by (model, mode), preserving arrival order within
+                // each group; linear scan — batch_max is small.
+                let mut groups: Vec<(QueryMode, Vec<Job>)> = Vec::new();
+                for job in batch {
+                    match groups
+                        .iter_mut()
+                        .find(|(mode, jobs)| *mode == job.mode && jobs[0].model == job.model)
+                    {
+                        Some((_, jobs)) => jobs.push(job),
+                        None => groups.push((job.mode, vec![job])),
+                    }
+                }
+                for (mode, jobs) in groups {
+                    let queries: Vec<(usize, usize)> =
+                        jobs.iter().map(|j| (j.target, j.k)).collect();
+                    let answers = engine.top_k_batch_with_mode(&jobs[0].model, &queries, mode);
+                    for (job, answer) in jobs.into_iter().zip(answers) {
+                        // A receiver gone mid-flight (client hung up) is fine.
+                        let _ = job.reply.send(answer);
+                    }
+                }
+            }
+        });
+        Batcher { queue, handle: Some(handle) }
+    }
+
+    /// The submit handle connection workers share.
+    pub(crate) fn queue(&self) -> Arc<BatchQueue> {
+        Arc::clone(&self.queue)
+    }
+
+    /// Closes the queue (future submits get [`SubmitError::ShuttingDown`]),
+    /// drains every admitted job, and joins the drain thread.
+    pub(crate) fn shutdown(&mut self) {
+        self.queue.jobs.close();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::engine;
+
+    #[test]
+    fn batched_answers_match_direct_engine_calls() {
+        let engine = engine(12);
+        let mut batcher = Batcher::spawn(Arc::clone(&engine), 64, 8, None);
+        let queue = batcher.queue();
+        let mut receivers = Vec::new();
+        for target in 0..12usize {
+            let (tx, rx) = mpsc::channel();
+            queue
+                .submit(Job { model: "m".into(), target, k: 4, mode: QueryMode::Exact, reply: tx })
+                .unwrap();
+            receivers.push((target, rx));
+        }
+        for (target, rx) in receivers {
+            let got = rx.recv().unwrap().unwrap();
+            let want = engine.top_k_with_mode("m", target, 4, QueryMode::Exact).unwrap();
+            assert_eq!(got.neighbors, want.neighbors, "target {target}");
+        }
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn full_queue_is_typed_overload_and_close_is_shutdown() {
+        let engine = engine(4);
+        let mut batcher = Batcher::spawn(engine, 0, 8, None);
+        let queue = batcher.queue();
+        let (tx, _rx) = mpsc::channel();
+        let job = |tx: &mpsc::Sender<_>| Job {
+            model: "m".into(),
+            target: 0,
+            k: 1,
+            mode: QueryMode::Exact,
+            reply: tx.clone(),
+        };
+        assert_eq!(queue.submit(job(&tx)), Err(SubmitError::Overloaded));
+        batcher.shutdown();
+        assert_eq!(queue.submit(job(&tx)), Err(SubmitError::ShuttingDown));
+    }
+
+    #[test]
+    fn per_query_errors_flow_back() {
+        let engine = engine(4);
+        let batcher = Batcher::spawn(engine, 16, 8, None);
+        let queue = batcher.queue();
+        let (tx, rx) = mpsc::channel();
+        queue
+            .submit(Job { model: "m".into(), target: 99, k: 2, mode: QueryMode::Exact, reply: tx })
+            .unwrap();
+        assert!(matches!(rx.recv().unwrap(), Err(ServeError::EntityOutOfRange { entity: 99, .. })));
+        let (tx, rx) = mpsc::channel();
+        queue
+            .submit(Job {
+                model: "ghost".into(),
+                target: 0,
+                k: 2,
+                mode: QueryMode::Exact,
+                reply: tx,
+            })
+            .unwrap();
+        assert!(matches!(rx.recv().unwrap(), Err(ServeError::ModelNotFound(_))));
+    }
+}

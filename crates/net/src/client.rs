@@ -1,0 +1,151 @@
+//! A small blocking client for the binary protocol — used by the tests,
+//! the load generator, and the demo example, and convenient for any Rust
+//! caller that wants the wire answer without hand-rolling frames.
+
+use crate::protocol::{
+    decode_response, encode_request, Request, Response, TopKAnswer, WireError, WireMode,
+    DEFAULT_MAX_FRAME_BYTES,
+};
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connected binary-protocol client. One request in flight at a time;
+/// responses arrive in request order.
+#[derive(Debug)]
+pub struct NetClient {
+    stream: TcpStream,
+}
+
+impl NetClient {
+    /// Connects to a [`NetServer`](crate::NetServer).
+    ///
+    /// # Errors
+    /// Propagates the connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(NetClient { stream })
+    }
+
+    /// Bounds how long [`read_response`](NetClient::read_response) blocks.
+    ///
+    /// # Errors
+    /// Propagates the socket error.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Writes raw bytes to the server — the protocol-fuzz suite uses this
+    /// to send deliberately broken frames.
+    ///
+    /// # Errors
+    /// Propagates the write failure.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Half-closes the connection (no more writes), leaving the read side
+    /// open — how the fuzz suite simulates a client dying mid-frame while
+    /// still observing the server's typed reaction.
+    ///
+    /// # Errors
+    /// Propagates the socket error.
+    pub fn shutdown_write(&mut self) -> io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Write)
+    }
+
+    /// Sends `req` and waits for the server's response.
+    ///
+    /// # Errors
+    /// Socket failures, or [`io::ErrorKind::InvalidData`] if the response
+    /// frame does not decode.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        self.stream.write_all(&encode_request(req))?;
+        self.read_response()
+    }
+
+    /// Reads one response frame (without sending anything first).
+    ///
+    /// # Errors
+    /// Socket failures, [`io::ErrorKind::InvalidData`] for an undecodable
+    /// or absurdly long frame, [`io::ErrorKind::UnexpectedEof`] if the
+    /// server hung up.
+    pub fn read_response(&mut self) -> io::Result<Response> {
+        let mut header = [0u8; 4];
+        self.stream.read_exact(&mut header)?;
+        let len = u32::from_le_bytes(header) as usize;
+        // A response never legitimately exceeds the metrics exposition, so
+        // anything beyond a generous multiple of the frame cap is a
+        // desynchronized stream, not a frame worth allocating for.
+        if len > 64 * DEFAULT_MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("implausible response frame length {len}"),
+            ));
+        }
+        let mut payload = vec![0u8; len];
+        self.stream.read_exact(&mut payload)?;
+        decode_response(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Liveness probe; `Ok(true)` on a pong.
+    ///
+    /// # Errors
+    /// As [`request`](NetClient::request).
+    pub fn ping(&mut self) -> io::Result<bool> {
+        Ok(matches!(self.request(&Request::Ping)?, Response::Pong))
+    }
+
+    /// Top-k query under the server's default mode. The outer result is
+    /// transport failure; the inner one is the server's typed answer.
+    ///
+    /// # Errors
+    /// As [`request`](NetClient::request).
+    pub fn top_k(
+        &mut self,
+        model: &str,
+        target: u32,
+        k: u32,
+    ) -> io::Result<Result<TopKAnswer, WireError>> {
+        self.top_k_with_mode(model, target, k, WireMode::Default)
+    }
+
+    /// [`top_k`](NetClient::top_k) with an explicit mode.
+    ///
+    /// # Errors
+    /// As [`request`](NetClient::request).
+    pub fn top_k_with_mode(
+        &mut self,
+        model: &str,
+        target: u32,
+        k: u32,
+        mode: WireMode,
+    ) -> io::Result<Result<TopKAnswer, WireError>> {
+        let req = Request::TopK { model: model.to_string(), target, k, mode };
+        match self.request(&req)? {
+            Response::TopK(answer) => Ok(Ok(answer)),
+            Response::Error(e) => Ok(Err(e)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response to TopK: {other:?}"),
+            )),
+        }
+    }
+
+    /// Fetches the server's Prometheus text exposition.
+    ///
+    /// # Errors
+    /// As [`request`](NetClient::request).
+    pub fn metrics(&mut self) -> io::Result<Result<String, WireError>> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics(text) => Ok(Ok(text)),
+            Response::Error(e) => Ok(Err(e)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response to Metrics: {other:?}"),
+            )),
+        }
+    }
+}

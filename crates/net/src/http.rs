@@ -1,0 +1,213 @@
+//! Minimal HTTP/1.1 text mode: enough of the protocol that `curl` works.
+//!
+//! The binary listener doubles as a plain-text endpoint — a first frame
+//! whose 4 length bytes are all printable ASCII cannot be a sane binary
+//! header (it would decode to a ≥ 0.5 GiB frame), so the server reroutes
+//! such connections here. One request per connection, `Connection: close`;
+//! this is a debugging/scraping convenience, not a general HTTP server.
+//!
+//! Routes:
+//!
+//! | route | response |
+//! |---|---|
+//! | `GET /healthz` | `200 text/plain` — `ok` |
+//! | `GET /metrics` | `200 text/plain` — obs registry in Prometheus text format |
+//! | `GET /topk/<model>/<target>?k=10&mode=exact\|indexed\|default&nprobe=4` | `200 application/json` |
+//!
+//! Top-k responses carry each similarity twice: as a decimal (`sim`, via
+//! `{:?}`, which round-trips `f64`) and as raw IEEE-754 bits
+//! (`sim_bits`), so text-mode consumers can still verify bit-identity
+//! with the binary protocol.
+
+use crate::protocol::WireMode;
+use dpar2_serve::{AnswerPath, QueryResult};
+use std::fmt::Write as _;
+use std::io::{self, Read};
+use std::net::TcpStream;
+
+/// Hard cap on request-head bytes; anything longer is a 400.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Parsed request target.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Route {
+    Health,
+    Metrics,
+    TopK { model: String, target: usize, k: usize, mode: WireMode },
+    NotFound,
+    BadRequest(&'static str),
+    MethodNotAllowed,
+}
+
+/// Reads the rest of the request head (`prefix` holds bytes already
+/// consumed by binary-header sniffing) up to the blank line. `None` means
+/// the head never terminated within [`MAX_HEAD_BYTES`] or the peer hung up.
+pub(crate) fn read_head(stream: &mut TcpStream, prefix: &[u8]) -> io::Result<Option<Vec<u8>>> {
+    let mut head = prefix.to_vec();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD_BYTES {
+            return Ok(None);
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => return Ok(None),
+            Ok(_) => head.push(byte[0]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(head))
+}
+
+/// Parses the request line of `head` into a [`Route`].
+pub(crate) fn parse_route(head: &[u8]) -> Route {
+    let Ok(text) = std::str::from_utf8(head) else {
+        return Route::BadRequest("request head is not UTF-8");
+    };
+    let Some(line) = text.lines().next() else {
+        return Route::BadRequest("empty request");
+    };
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(target), Some(_version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Route::BadRequest("malformed request line");
+    };
+    if method != "GET" {
+        return Route::MethodNotAllowed;
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    match path {
+        "/healthz" => Route::Health,
+        "/metrics" => Route::Metrics,
+        _ => parse_topk(path, query),
+    }
+}
+
+fn parse_topk(path: &str, query: &str) -> Route {
+    let Some(rest) = path.strip_prefix("/topk/") else {
+        return Route::NotFound;
+    };
+    let Some((model, target)) = rest.split_once('/') else {
+        return Route::BadRequest("expected /topk/<model>/<target>");
+    };
+    if model.is_empty() {
+        return Route::BadRequest("empty model name");
+    }
+    let Ok(target) = target.parse::<usize>() else {
+        return Route::BadRequest("target must be a non-negative integer");
+    };
+    let mut k = 10usize;
+    let mut mode = WireMode::Default;
+    let mut nprobe: Option<u32> = None;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "k" => match value.parse::<usize>() {
+                Ok(v) => k = v,
+                Err(_) => return Route::BadRequest("k must be a non-negative integer"),
+            },
+            "mode" => match value {
+                "exact" => mode = WireMode::Exact,
+                "indexed" => mode = WireMode::Indexed,
+                "default" => mode = WireMode::Default,
+                _ => return Route::BadRequest("mode must be exact, indexed, or default"),
+            },
+            "nprobe" => match value.parse::<u32>() {
+                Ok(v) => nprobe = Some(v),
+                Err(_) => return Route::BadRequest("nprobe must be a non-negative integer"),
+            },
+            _ => return Route::BadRequest("unknown query parameter"),
+        }
+    }
+    if let Some(p) = nprobe {
+        if matches!(mode, WireMode::Exact) {
+            return Route::BadRequest("nprobe only applies to indexed mode");
+        }
+        mode = WireMode::IndexedProbe(p);
+    }
+    Route::TopK { model: model.to_string(), target, k, mode }
+}
+
+/// Renders one complete HTTP/1.1 response (the connection closes after).
+pub(crate) fn render_response(status: u16, content_type: &str, body: &str) -> Vec<u8> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Renders a top-k answer as JSON; similarities appear both as decimals
+/// (`{:?}` round-trips `f64`) and as raw bits for exact comparison.
+pub(crate) fn render_topk_json(result: &QueryResult) -> String {
+    let mut out = String::with_capacity(64 + result.neighbors.len() * 64);
+    let path = match result.path {
+        AnswerPath::Indexed => "indexed",
+        AnswerPath::Exact => "exact",
+    };
+    let _ = write!(
+        out,
+        "{{\"version\":{},\"path\":\"{path}\",\"cache_hit\":{},\"neighbors\":[",
+        result.version, result.cache_hit
+    );
+    for (i, &(entity, sim)) in result.neighbors.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"entity\":{entity},\"sim\":{sim:?},\"sim_bits\":\"0x{:016X}\"}}",
+            sim.to_bits()
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_parse() {
+        assert_eq!(parse_route(b"GET /healthz HTTP/1.1\r\n\r\n"), Route::Health);
+        assert_eq!(parse_route(b"GET /metrics HTTP/1.1\r\n\r\n"), Route::Metrics);
+        assert_eq!(
+            parse_route(b"GET /topk/demo/7?k=3&mode=exact HTTP/1.1\r\n\r\n"),
+            Route::TopK { model: "demo".into(), target: 7, k: 3, mode: WireMode::Exact }
+        );
+        assert_eq!(
+            parse_route(b"GET /topk/m/0?mode=indexed&nprobe=4 HTTP/1.1\r\n\r\n"),
+            Route::TopK { model: "m".into(), target: 0, k: 10, mode: WireMode::IndexedProbe(4) }
+        );
+        assert_eq!(parse_route(b"GET /nope HTTP/1.1\r\n\r\n"), Route::NotFound);
+        assert_eq!(parse_route(b"POST /healthz HTTP/1.1\r\n\r\n"), Route::MethodNotAllowed);
+        assert!(matches!(parse_route(b"GET /topk/m/x HTTP/1.1\r\n\r\n"), Route::BadRequest(_)));
+        assert!(matches!(
+            parse_route(b"GET /topk/m/0?mode=exact&nprobe=2 HTTP/1.1\r\n\r\n"),
+            Route::BadRequest(_)
+        ));
+        assert!(matches!(parse_route(b"garbage"), Route::BadRequest(_)));
+    }
+
+    #[test]
+    fn response_has_content_length_and_close() {
+        let bytes = render_response(200, "text/plain", "ok\n");
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nok\n"));
+    }
+}

@@ -1,0 +1,66 @@
+//! Wire-protocol serving front-end for the DPar2 query engine.
+//!
+//! [`NetServer`] puts a TCP listener in front of a
+//! [`QueryEngine`](dpar2_serve::QueryEngine): a blocking acceptor feeds a
+//! bounded connection queue, a fixed pool of worker threads speaks the
+//! protocol, and concurrent in-flight queries coalesce into
+//! `top_k_batch` fan-outs through a bounded request queue. Both queues
+//! refuse at capacity with a typed `Overloaded` response — backpressure
+//! is explicit and bounded, never an invisible line. Everything is
+//! hand-rolled on `std::net`; the crate adds no dependencies beyond the
+//! workspace.
+//!
+//! # Wire format
+//!
+//! Every frame is a `u32` little-endian payload length followed by that
+//! many payload bytes; integers are little-endian throughout and
+//! similarities travel as raw `f64::to_bits`, so a wire answer is
+//! **bit-identical** to the in-process ranking. See [`protocol`] for the
+//! full payload tables. Malformed, truncated, or oversized frames are
+//! answered with typed [`protocol::ErrorCode`]s — never a panic, and
+//! (except mid-frame EOF) never a dropped connection.
+//!
+//! The same listener doubles as a minimal HTTP/1.1 text endpoint: a first
+//! frame whose length bytes are all printable ASCII is parsed as an HTTP
+//! request line instead, so `curl http://host:port/healthz`,
+//! `/metrics`, and `/topk/<model>/<target>?k=5` work with no extra port.
+//!
+//! # Example
+//!
+//! ```
+//! use dpar2_net::{NetClient, NetServer, ServerConfig};
+//! use dpar2_serve::{ModelMeta, ModelRegistry, QueryEngine, ServedModel};
+//! use std::sync::Arc;
+//!
+//! // A tiny model straight from the solver.
+//! let tensor = dpar2_data::planted_parafac2(&[6, 7, 8, 6, 7, 8], 10, 2, 0.1, 11);
+//! let options = dpar2_core::FitOptions::new(2).with_seed(7).with_max_iterations(5);
+//! let fit = dpar2_core::Dpar2.fit(&tensor, &options).unwrap();
+//!
+//! let registry = Arc::new(ModelRegistry::new());
+//! registry.publish("demo", ServedModel::from_parts(ModelMeta::new("demo"), fit));
+//! let engine = Arc::new(QueryEngine::new(registry, 2));
+//!
+//! let server = NetServer::start(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let mut client = NetClient::connect(server.local_addr()).unwrap();
+//! assert!(client.ping().unwrap());
+//! let answer = client.top_k("demo", 0, 3).unwrap().unwrap();
+//! assert!(!answer.neighbors.is_empty());
+//! server.shutdown();
+//! ```
+
+pub mod client;
+mod http;
+pub mod metrics;
+pub mod protocol;
+mod queue;
+pub mod server;
+#[cfg(test)]
+mod testutil;
+
+mod batch;
+
+pub use client::NetClient;
+pub use metrics::NetMetrics;
+pub use protocol::{ErrorCode, Request, Response, TopKAnswer, WireError, WireMode};
+pub use server::{NetServer, ServerConfig};

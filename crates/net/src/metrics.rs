@@ -1,0 +1,86 @@
+//! Pre-registered `dpar2-obs` handles for the network front-end.
+
+use dpar2_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+
+/// Server telemetry, registered under `{prefix}_…`:
+///
+/// * `{prefix}_connections_accepted_total` / `…_rejected_total` —
+///   admission outcome per accepted socket (rejected = pending-connection
+///   queue full, answered with a typed `Overloaded` before closing).
+/// * `{prefix}_active_connections` — connections currently being served.
+/// * `{prefix}_conn_queue_depth` / `{prefix}_request_queue_depth` —
+///   accepted-but-unserved connections, and submitted-but-undrained
+///   queries (the two bounded admission queues).
+/// * `{prefix}_requests_total` / `…_rejected_total` — decoded requests,
+///   and the subset refused with `Overloaded`.
+/// * `{prefix}_protocol_errors_total` — frames answered with a typed
+///   protocol error (malformed/oversized/truncated/bad opcode).
+/// * `{prefix}_latency_topk_ns` / `…_ping_ns` / `…_metrics_ns` —
+///   per-endpoint server-side latency from decode to encoded response.
+/// * `{prefix}_batch_size` — queries coalesced per engine fan-out.
+#[derive(Debug, Clone)]
+pub struct NetMetrics {
+    /// Connections admitted to the pending queue.
+    pub connections_accepted: Counter,
+    /// Connections refused with a typed overload response.
+    pub connections_rejected: Counter,
+    /// Connections currently being served by a worker.
+    pub active_connections: Gauge,
+    /// Accepted connections not yet picked up by a worker.
+    pub conn_queue_depth: Gauge,
+    /// Submitted queries not yet drained into an engine batch.
+    pub request_queue_depth: Gauge,
+    /// Requests decoded and dispatched.
+    pub requests_total: Counter,
+    /// Requests refused with `Overloaded`.
+    pub requests_rejected: Counter,
+    /// Frames answered with a typed protocol error.
+    pub protocol_errors: Counter,
+    /// Server-side top-k latency (ns).
+    pub latency_topk_ns: Histogram,
+    /// Server-side ping latency (ns).
+    pub latency_ping_ns: Histogram,
+    /// Server-side metrics-endpoint latency (ns).
+    pub latency_metrics_ns: Histogram,
+    /// Queries per engine fan-out batch.
+    pub batch_size: Histogram,
+}
+
+impl NetMetrics {
+    /// Registers (or looks up) the bundle in `registry`.
+    pub fn register(registry: &MetricsRegistry, prefix: &str) -> NetMetrics {
+        NetMetrics {
+            connections_accepted: registry.counter(&format!("{prefix}_connections_accepted_total")),
+            connections_rejected: registry.counter(&format!("{prefix}_connections_rejected_total")),
+            active_connections: registry.gauge(&format!("{prefix}_active_connections")),
+            conn_queue_depth: registry.gauge(&format!("{prefix}_conn_queue_depth")),
+            request_queue_depth: registry.gauge(&format!("{prefix}_request_queue_depth")),
+            requests_total: registry.counter(&format!("{prefix}_requests_total")),
+            requests_rejected: registry.counter(&format!("{prefix}_requests_rejected_total")),
+            protocol_errors: registry.counter(&format!("{prefix}_protocol_errors_total")),
+            latency_topk_ns: registry.histogram(&format!("{prefix}_latency_topk_ns")),
+            latency_ping_ns: registry.histogram(&format!("{prefix}_latency_ping_ns")),
+            latency_metrics_ns: registry.histogram(&format!("{prefix}_latency_metrics_ns")),
+            batch_size: registry.histogram(&format!("{prefix}_batch_size")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent_per_registry() {
+        let registry = MetricsRegistry::new();
+        let a = NetMetrics::register(&registry, "net");
+        let b = NetMetrics::register(&registry, "net");
+        a.requests_total.inc();
+        b.requests_total.inc();
+        assert_eq!(a.requests_total.get(), 2, "same name must share one cell");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("net_requests_total"), Some(2));
+        assert_eq!(snap.gauge("net_active_connections"), Some(0));
+        assert_eq!(snap.histogram("net_latency_topk_ns").unwrap().count, 0);
+    }
+}

@@ -1,0 +1,565 @@
+//! The length-prefixed binary wire protocol: pure, I/O-free encoders and
+//! decoders shared by the server, the client, and the protocol fuzz suite.
+//!
+//! Every frame is a `u32` little-endian payload length followed by exactly
+//! that many payload bytes. Request payloads start with an opcode byte;
+//! response payloads start with a tag byte. All multi-byte integers are
+//! little-endian, and similarities travel as raw `f64::to_bits` so an
+//! answer crosses the wire **bit-identical** to the in-process
+//! [`QueryEngine`](dpar2_serve::QueryEngine) ranking.
+//!
+//! Decoding never panics: every malformed input maps onto a typed
+//! [`FrameError`], which the server echoes back as a
+//! [`Response::Error`] without dropping the connection.
+//!
+//! | request  | payload |
+//! |----------|---------|
+//! | `TopK`   | `0x01`, name len `u16`, name UTF-8, target `u32`, k `u32`, mode `u8` (+ nprobe `u32` iff mode 3) |
+//! | `Ping`   | `0x02` |
+//! | `Metrics`| `0x03` |
+//!
+//! | response | payload |
+//! |----------|---------|
+//! | `Error`  | `0x00`, code `u8`, msg len `u16`, msg UTF-8 |
+//! | `TopK`   | `0x01`, version `u64`, flags `u8` (bit0 indexed, bit1 cache hit), n `u32`, n × (entity `u32`, sim bits `u64`) |
+//! | `Pong`   | `0x02` |
+//! | `Metrics`| `0x03`, text len `u32`, Prometheus text UTF-8 |
+
+use std::fmt;
+
+/// Opcode byte of a [`Request::TopK`] payload.
+pub const OP_TOPK: u8 = 0x01;
+/// Opcode byte of a [`Request::Ping`] payload.
+pub const OP_PING: u8 = 0x02;
+/// Opcode byte of a [`Request::Metrics`] payload.
+pub const OP_METRICS: u8 = 0x03;
+
+/// Tag byte of a [`Response::Error`] payload.
+pub const TAG_ERROR: u8 = 0x00;
+/// Tag byte of a [`Response::TopK`] payload.
+pub const TAG_TOPK: u8 = 0x01;
+/// Tag byte of a [`Response::Pong`] payload.
+pub const TAG_PONG: u8 = 0x02;
+/// Tag byte of a [`Response::Metrics`] payload.
+pub const TAG_METRICS: u8 = 0x03;
+
+/// Default cap on a single frame's payload length; larger frames get a
+/// typed [`ErrorCode::Oversized`] rejection
+/// (see [`ServerConfig::max_frame_bytes`](crate::ServerConfig)).
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 64 * 1024;
+
+/// How a wire query wants its ranking computed, mirroring
+/// [`QueryMode`](dpar2_serve::QueryMode) plus a "server decides" default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireMode {
+    /// Use the engine's configured default mode.
+    Default,
+    /// Force the exact scan.
+    Exact,
+    /// Route through the index at its default probe depth.
+    Indexed,
+    /// Route through the index probing this many partitions.
+    IndexedProbe(u32),
+}
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Top-k similar-entity query against the current version of `model`.
+    TopK {
+        /// Registry name of the model.
+        model: String,
+        /// Target entity index.
+        target: u32,
+        /// Number of neighbors requested.
+        k: u32,
+        /// How to compute the ranking.
+        mode: WireMode,
+    },
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Request the Prometheus text exposition of the server's metrics
+    /// registry (observed servers only).
+    Metrics,
+}
+
+/// A top-k answer as it crosses the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKAnswer {
+    /// Model version the answer was computed against.
+    pub version: u64,
+    /// True if the pruned index produced the ranking.
+    pub indexed: bool,
+    /// True if the answer came from the engine's result cache.
+    pub cache_hit: bool,
+    /// `(entity, similarity)` pairs, descending. Similarities are encoded
+    /// as `f64::to_bits`, so they decode bit-identical to the engine's.
+    pub neighbors: Vec<(u32, f64)>,
+}
+
+/// A decoded server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A successful top-k answer.
+    TopK(TopKAnswer),
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Prometheus text exposition of the server's metrics registry.
+    Metrics(String),
+    /// A typed failure; the connection stays usable afterwards unless the
+    /// code says otherwise ([`ErrorCode::Truncated`],
+    /// [`ErrorCode::ShuttingDown`]).
+    Error(WireError),
+}
+
+/// Typed error codes a server can answer with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The pending queue was full; retry later.
+    Overloaded = 1,
+    /// The payload did not decode as any known request.
+    Malformed = 2,
+    /// The frame length exceeded the server's cap.
+    Oversized = 3,
+    /// The connection ended mid-frame; the server closes it after this.
+    Truncated = 4,
+    /// The payload's opcode byte is unknown.
+    BadOpcode = 5,
+    /// The named model is not in the registry.
+    ModelNotFound = 6,
+    /// The target entity index is outside the model.
+    EntityOutOfRange = 7,
+    /// The server is draining for shutdown.
+    ShuttingDown = 8,
+    /// Any other server-side failure.
+    Internal = 9,
+}
+
+impl ErrorCode {
+    /// Decodes a wire byte back into a code.
+    pub fn from_u8(b: u8) -> Option<ErrorCode> {
+        Some(match b {
+            1 => ErrorCode::Overloaded,
+            2 => ErrorCode::Malformed,
+            3 => ErrorCode::Oversized,
+            4 => ErrorCode::Truncated,
+            5 => ErrorCode::BadOpcode,
+            6 => ErrorCode::ModelNotFound,
+            7 => ErrorCode::EntityOutOfRange,
+            8 => ErrorCode::ShuttingDown,
+            9 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A typed error response: code plus a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What went wrong.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// Builds an error response.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> WireError {
+        WireError { code, message: message.into() }
+    }
+
+    /// Maps a serve-layer query error onto its wire code.
+    pub fn from_serve(e: &dpar2_serve::ServeError) -> WireError {
+        use dpar2_serve::ServeError;
+        let code = match e {
+            ServeError::ModelNotFound(_) => ErrorCode::ModelNotFound,
+            ServeError::EntityOutOfRange { .. } => ErrorCode::EntityOutOfRange,
+            _ => ErrorCode::Internal,
+        };
+        WireError::new(code, e.to_string())
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)
+    }
+}
+
+/// Why a payload failed to decode. The server answers each variant with a
+/// [`Response::Error`] of the matching [`ErrorCode`] — a malformed frame is
+/// a response, never a panic or a silently dropped connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The frame header declared a payload longer than the cap.
+    Oversized {
+        /// Declared payload length.
+        len: usize,
+        /// The server's cap.
+        max: usize,
+    },
+    /// The payload (or the 4-byte header itself) ended early.
+    Truncated {
+        /// Bytes the header (or field) promised.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The payload decoded to structurally invalid data.
+    Malformed(&'static str),
+    /// The request opcode byte is unknown.
+    BadOpcode(u8),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max} byte limit")
+            }
+            FrameError::Truncated { expected, got } => {
+                write!(f, "frame truncated: expected {expected} bytes, got {got}")
+            }
+            FrameError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            FrameError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<&FrameError> for WireError {
+    fn from(e: &FrameError) -> WireError {
+        let code = match e {
+            FrameError::Oversized { .. } => ErrorCode::Oversized,
+            FrameError::Truncated { .. } => ErrorCode::Truncated,
+            FrameError::Malformed(_) => ErrorCode::Malformed,
+            FrameError::BadOpcode(_) => ErrorCode::BadOpcode,
+        };
+        WireError::new(code, e.to_string())
+    }
+}
+
+/// Wraps a payload in a length-prefixed frame.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Encodes a request as a complete frame (header included).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut p = Vec::new();
+    match req {
+        Request::TopK { model, target, k, mode } => {
+            p.push(OP_TOPK);
+            p.extend_from_slice(&(model.len() as u16).to_le_bytes());
+            p.extend_from_slice(model.as_bytes());
+            p.extend_from_slice(&target.to_le_bytes());
+            p.extend_from_slice(&k.to_le_bytes());
+            match mode {
+                WireMode::Default => p.push(0),
+                WireMode::Exact => p.push(1),
+                WireMode::Indexed => p.push(2),
+                WireMode::IndexedProbe(nprobe) => {
+                    p.push(3);
+                    p.extend_from_slice(&nprobe.to_le_bytes());
+                }
+            }
+        }
+        Request::Ping => p.push(OP_PING),
+        Request::Metrics => p.push(OP_METRICS),
+    }
+    encode_frame(&p)
+}
+
+/// Encodes a response as a complete frame (header included).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut p = Vec::new();
+    match resp {
+        Response::TopK(a) => {
+            p.push(TAG_TOPK);
+            p.extend_from_slice(&a.version.to_le_bytes());
+            let flags = u8::from(a.indexed) | (u8::from(a.cache_hit) << 1);
+            p.push(flags);
+            p.extend_from_slice(&(a.neighbors.len() as u32).to_le_bytes());
+            for &(entity, sim) in &a.neighbors {
+                p.extend_from_slice(&entity.to_le_bytes());
+                p.extend_from_slice(&sim.to_bits().to_le_bytes());
+            }
+        }
+        Response::Pong => p.push(TAG_PONG),
+        Response::Metrics(text) => {
+            p.push(TAG_METRICS);
+            p.extend_from_slice(&(text.len() as u32).to_le_bytes());
+            p.extend_from_slice(text.as_bytes());
+        }
+        Response::Error(e) => {
+            p.push(TAG_ERROR);
+            p.push(e.code as u8);
+            let msg = e.message.as_bytes();
+            let take = msg.len().min(u16::MAX as usize);
+            p.extend_from_slice(&(take as u16).to_le_bytes());
+            p.extend_from_slice(&msg[..take]);
+        }
+    }
+    encode_frame(&p)
+}
+
+/// Little-endian cursor over a payload; every under-read is a typed
+/// [`FrameError`], never a slice panic.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self.pos.checked_add(n).ok_or(FrameError::Malformed("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(FrameError::Truncated { expected: end, got: self.buf.len() });
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Rejects trailing garbage — a valid prefix does not make a frame.
+    fn finish(self) -> Result<(), FrameError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(FrameError::Malformed("trailing bytes after request"))
+        }
+    }
+}
+
+/// Decodes a request payload (the bytes after the length header).
+///
+/// # Errors
+/// A typed [`FrameError`] for every malformed input — empty payloads,
+/// unknown opcodes or modes, bad UTF-8, short fields, trailing garbage.
+pub fn decode_request(payload: &[u8]) -> Result<Request, FrameError> {
+    let mut r = Reader::new(payload);
+    let req = match r.u8().map_err(|_| FrameError::Malformed("empty payload"))? {
+        OP_TOPK => {
+            let name_len = r.u16()? as usize;
+            let name = std::str::from_utf8(r.bytes(name_len)?)
+                .map_err(|_| FrameError::Malformed("model name is not UTF-8"))?
+                .to_string();
+            let target = r.u32()?;
+            let k = r.u32()?;
+            let mode = match r.u8()? {
+                0 => WireMode::Default,
+                1 => WireMode::Exact,
+                2 => WireMode::Indexed,
+                3 => WireMode::IndexedProbe(r.u32()?),
+                _ => return Err(FrameError::Malformed("unknown query mode")),
+            };
+            Request::TopK { model: name, target, k, mode }
+        }
+        OP_PING => Request::Ping,
+        OP_METRICS => Request::Metrics,
+        op => return Err(FrameError::BadOpcode(op)),
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+/// Decodes a response payload (the bytes after the length header).
+///
+/// # Errors
+/// A typed [`FrameError`] for every malformed input.
+pub fn decode_response(payload: &[u8]) -> Result<Response, FrameError> {
+    let mut r = Reader::new(payload);
+    let resp = match r.u8().map_err(|_| FrameError::Malformed("empty payload"))? {
+        TAG_TOPK => {
+            let version = r.u64()?;
+            let flags = r.u8()?;
+            if flags & !0b11 != 0 {
+                return Err(FrameError::Malformed("unknown answer flags"));
+            }
+            let n = r.u32()? as usize;
+            let mut neighbors = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                let entity = r.u32()?;
+                let sim = f64::from_bits(r.u64()?);
+                neighbors.push((entity, sim));
+            }
+            Response::TopK(TopKAnswer {
+                version,
+                indexed: flags & 0b01 != 0,
+                cache_hit: flags & 0b10 != 0,
+                neighbors,
+            })
+        }
+        TAG_PONG => Response::Pong,
+        TAG_METRICS => {
+            let len = r.u32()? as usize;
+            let text = std::str::from_utf8(r.bytes(len)?)
+                .map_err(|_| FrameError::Malformed("metrics text is not UTF-8"))?
+                .to_string();
+            Response::Metrics(text)
+        }
+        TAG_ERROR => {
+            let code =
+                ErrorCode::from_u8(r.u8()?).ok_or(FrameError::Malformed("unknown error code"))?;
+            let len = r.u16()? as usize;
+            let message = std::str::from_utf8(r.bytes(len)?)
+                .map_err(|_| FrameError::Malformed("error message is not UTF-8"))?
+                .to_string();
+            Response::Error(WireError { code, message })
+        }
+        _ => return Err(FrameError::Malformed("unknown response tag")),
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: &Request) {
+        let frame = encode_request(req);
+        let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, frame.len() - 4);
+        assert_eq!(&decode_request(&frame[4..]).unwrap(), req);
+    }
+
+    fn round_trip_response(resp: &Response) {
+        let frame = encode_response(resp);
+        let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, frame.len() - 4);
+        assert_eq!(&decode_response(&frame[4..]).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(&Request::Ping);
+        round_trip_request(&Request::Metrics);
+        for mode in
+            [WireMode::Default, WireMode::Exact, WireMode::Indexed, WireMode::IndexedProbe(7)]
+        {
+            round_trip_request(&Request::TopK {
+                model: "stocks-α".to_string(),
+                target: 42,
+                k: 10,
+                mode,
+            });
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(&Response::Pong);
+        round_trip_response(&Response::Metrics("# TYPE x counter\nx 1\n".to_string()));
+        round_trip_response(&Response::Error(WireError::new(ErrorCode::Overloaded, "queue full")));
+        round_trip_response(&Response::TopK(TopKAnswer {
+            version: 3,
+            indexed: true,
+            cache_hit: false,
+            neighbors: vec![(1, 0.99), (7, f64::from_bits(0x3FEF_FFFF_FFFF_FFFF)), (0, 0.0)],
+        }));
+    }
+
+    #[test]
+    fn similarity_bits_survive_exactly() {
+        // An awkward value whose decimal rendering loses bits.
+        let sim = f64::from_bits(0x3FE5_5555_5555_5555);
+        let resp = Response::TopK(TopKAnswer {
+            version: 1,
+            indexed: false,
+            cache_hit: true,
+            neighbors: vec![(9, sim)],
+        });
+        let frame = encode_response(&resp);
+        let Response::TopK(a) = decode_response(&frame[4..]).unwrap() else { panic!("tag") };
+        assert_eq!(a.neighbors[0].1.to_bits(), sim.to_bits());
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors() {
+        assert_eq!(decode_request(&[]), Err(FrameError::Malformed("empty payload")));
+        assert_eq!(decode_request(&[0xFF]), Err(FrameError::BadOpcode(0xFF)));
+        // Ping with trailing garbage.
+        assert!(matches!(decode_request(&[OP_PING, 0]), Err(FrameError::Malformed(_))));
+        // TopK cut off inside the name.
+        assert!(matches!(
+            decode_request(&[OP_TOPK, 10, 0, b'a']),
+            Err(FrameError::Truncated { .. })
+        ));
+        // Bad mode byte.
+        let mut p = vec![OP_TOPK, 1, 0, b'm'];
+        p.extend_from_slice(&1u32.to_le_bytes());
+        p.extend_from_slice(&2u32.to_le_bytes());
+        p.push(9);
+        assert_eq!(decode_request(&p), Err(FrameError::Malformed("unknown query mode")));
+        // Non-UTF-8 model name.
+        let mut p = vec![OP_TOPK, 2, 0, 0xFF, 0xFE];
+        p.extend_from_slice(&1u32.to_le_bytes());
+        p.extend_from_slice(&2u32.to_le_bytes());
+        p.push(0);
+        assert_eq!(decode_request(&p), Err(FrameError::Malformed("model name is not UTF-8")));
+    }
+
+    #[test]
+    fn error_codes_round_trip() {
+        for b in 0..=u8::MAX {
+            if let Some(code) = ErrorCode::from_u8(b) {
+                assert_eq!(code as u8, b);
+            }
+        }
+        assert!(ErrorCode::from_u8(0).is_none());
+        assert!(ErrorCode::from_u8(10).is_none());
+    }
+
+    #[test]
+    fn frame_error_maps_to_wire_code() {
+        let pairs = [
+            (FrameError::Oversized { len: 1, max: 0 }, ErrorCode::Oversized),
+            (FrameError::Truncated { expected: 4, got: 1 }, ErrorCode::Truncated),
+            (FrameError::Malformed("x"), ErrorCode::Malformed),
+            (FrameError::BadOpcode(0x7F), ErrorCode::BadOpcode),
+        ];
+        for (fe, code) in pairs {
+            assert_eq!(WireError::from(&fe).code, code);
+        }
+    }
+
+    #[test]
+    fn serve_errors_map_to_wire_codes() {
+        use dpar2_serve::ServeError;
+        assert_eq!(
+            WireError::from_serve(&ServeError::ModelNotFound("m".into())).code,
+            ErrorCode::ModelNotFound
+        );
+        assert_eq!(
+            WireError::from_serve(&ServeError::EntityOutOfRange { entity: 9, count: 3 }).code,
+            ErrorCode::EntityOutOfRange
+        );
+        assert_eq!(WireError::from_serve(&ServeError::BadMagic).code, ErrorCode::Internal);
+    }
+}

@@ -1,0 +1,731 @@
+//! The TCP server: a blocking acceptor, a fixed pool of connection
+//! workers, and a request batcher, glued together by two bounded
+//! admission queues.
+//!
+//! ```text
+//! acceptor ──► Bounded<TcpStream> ──► worker × N ──► Bounded<Job> ──► batcher ──► QueryEngine
+//!                  (pending_connections)                (pending_requests)
+//! ```
+//!
+//! Both queues refuse at capacity with a typed [`ErrorCode::Overloaded`]
+//! response — under overload a client learns it was shed within a bounded
+//! time instead of waiting in an invisible, ever-growing line. Shutdown is
+//! graceful: the acceptor stops, queued connections get a typed
+//! [`ErrorCode::ShuttingDown`], and requests already submitted to the
+//! batcher are answered before the server returns.
+//!
+//! Workers sniff the first four bytes of each connection: a valid binary
+//! frame of ≤ [`ServerConfig::max_frame_bytes`] always has a header byte
+//! below `0x20`, so four printable-ASCII bytes (`"GET "`, `"HEAD"`, …)
+//! reroute the connection to the HTTP text mode (the private `http`
+//! module; routes are listed in the [crate docs](crate)).
+
+use crate::batch::{Batcher, Job, SubmitError};
+use crate::http::{self, Route};
+use crate::metrics::NetMetrics;
+use crate::protocol::{
+    decode_request, encode_response, ErrorCode, Request, Response, TopKAnswer, WireError, WireMode,
+    DEFAULT_MAX_FRAME_BYTES,
+};
+use crate::queue::{Bounded, PushError};
+use dpar2_obs::{export, MetricsRegistry};
+use dpar2_serve::{QueryEngine, QueryMode, QueryResult};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a worker blocks in `read` before re-checking the shutdown
+/// flag, when the config leaves [`ServerConfig::poll_interval`] at its
+/// default.
+const DEFAULT_POLL_INTERVAL: Duration = Duration::from_millis(25);
+/// Write timeout on every served socket — a stalled reader cannot pin a
+/// worker forever.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
+/// How long the acceptor waits to sniff a rejected connection's first
+/// bytes before falling back to a binary rejection frame.
+const REJECT_PEEK_TIMEOUT: Duration = Duration::from_millis(100);
+/// Oversized frames up to this declared length are drained so the
+/// connection stays usable; beyond it the server answers and closes.
+const DRAIN_CAP: usize = 1024 * 1024;
+
+/// Tuning knobs for [`NetServer::start`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Connection-worker threads (each serves one connection at a time).
+    pub workers: usize,
+    /// Capacity of the accepted-connection queue; a full queue rejects new
+    /// connections with [`ErrorCode::Overloaded`].
+    pub pending_connections: usize,
+    /// Capacity of the pending-request queue feeding the batcher; a full
+    /// queue answers [`ErrorCode::Overloaded`] on that request only.
+    pub pending_requests: usize,
+    /// Most queries coalesced into one engine fan-out.
+    pub batch_max: usize,
+    /// Largest accepted frame payload; longer frames get
+    /// [`ErrorCode::Oversized`].
+    pub max_frame_bytes: usize,
+    /// How long a worker blocks in `read` before re-checking the shutdown
+    /// flag. Lower = faster shutdown, more wakeups.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            pending_connections: 64,
+            pending_requests: 256,
+            batch_max: 32,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            poll_interval: DEFAULT_POLL_INTERVAL,
+        }
+    }
+}
+
+/// Everything a connection worker needs, shared via `Arc`.
+#[derive(Debug)]
+struct Ctx {
+    queue: Arc<crate::batch::BatchQueue>,
+    default_mode: QueryMode,
+    obs: Option<Arc<MetricsRegistry>>,
+    metrics: Option<NetMetrics>,
+    shutdown: Arc<AtomicBool>,
+    max_frame_bytes: usize,
+    poll_interval: Duration,
+}
+
+/// A running wire-protocol front-end over a [`QueryEngine`]; see the
+/// [crate docs](crate) for the protocol and an end-to-end example.
+#[derive(Debug)]
+pub struct NetServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conns: Arc<Bounded<TcpStream>>,
+    batcher: Batcher,
+}
+
+impl NetServer {
+    /// Binds `addr` and starts serving `engine` (no metrics registry: the
+    /// `/metrics` routes answer 404 / `Internal`).
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn start(
+        engine: Arc<QueryEngine>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<NetServer> {
+        Self::launch(engine, addr, config, None)
+    }
+
+    /// [`start`](NetServer::start), plus server telemetry registered in
+    /// `obs` under the `net_` prefix and exposed on the `/metrics` HTTP
+    /// route and the binary `Metrics` request.
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn start_observed(
+        engine: Arc<QueryEngine>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        obs: Arc<MetricsRegistry>,
+    ) -> io::Result<NetServer> {
+        Self::launch(engine, addr, config, Some(obs))
+    }
+
+    fn launch(
+        engine: Arc<QueryEngine>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        obs: Option<Arc<MetricsRegistry>>,
+    ) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let metrics = obs.as_ref().map(|reg| NetMetrics::register(reg, "net"));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(Bounded::new(config.pending_connections.max(1)));
+        let default_mode = engine.query_mode();
+        let batcher =
+            Batcher::spawn(engine, config.pending_requests, config.batch_max, metrics.clone());
+        let ctx = Arc::new(Ctx {
+            queue: batcher.queue(),
+            default_mode,
+            obs,
+            metrics,
+            shutdown: Arc::clone(&shutdown),
+            max_frame_bytes: config.max_frame_bytes,
+            poll_interval: config.poll_interval,
+        });
+
+        let acceptor = {
+            let ctx = Arc::clone(&ctx);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || accept_loop(&listener, &conns, &ctx))
+        };
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let ctx = Arc::clone(&ctx);
+                let conns = Arc::clone(&conns);
+                std::thread::spawn(move || worker_loop(&conns, &ctx))
+            })
+            .collect();
+
+        Ok(NetServer { addr, shutdown, acceptor: Some(acceptor), workers, conns, batcher })
+    }
+
+    /// The bound address (useful after binding port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, answer queued connections with
+    /// [`ErrorCode::ShuttingDown`], finish requests already admitted to
+    /// the batcher, then return. Dropping the server does the same.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        let Some(acceptor) = self.acceptor.take() else { return };
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's `accept` with a throwaway connection; it
+        // sees the flag before touching the socket.
+        let _ = TcpStream::connect(self.addr);
+        let _ = acceptor.join();
+        // Workers drain already-accepted connections (each is answered
+        // with ShuttingDown by serve_connection once the flag is up), then
+        // see the closed queue and exit.
+        self.conns.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Last: the batcher, so requests in flight when the flag went up
+        // still got real answers.
+        self.batcher.shutdown();
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, conns: &Bounded<TcpStream>, ctx: &Ctx) {
+    for stream in listener.incoming() {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        match conns.push(stream) {
+            Ok(()) => {
+                if let Some(m) = &ctx.metrics {
+                    m.connections_accepted.inc();
+                    m.conn_queue_depth.add(1);
+                }
+            }
+            Err(PushError::Full(stream)) => {
+                if let Some(m) = &ctx.metrics {
+                    m.connections_rejected.inc();
+                }
+                reject_connection(stream, ErrorCode::Overloaded);
+            }
+            Err(PushError::Closed(stream)) => {
+                reject_connection(stream, ErrorCode::ShuttingDown);
+                break;
+            }
+        }
+    }
+}
+
+/// Answers a connection the server cannot serve, in whichever dialect the
+/// client appears to speak, then closes it.
+fn reject_connection(mut stream: TcpStream, code: ErrorCode) {
+    let _ = stream.set_read_timeout(Some(REJECT_PEEK_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let mut head = [0u8; 4];
+    let http = matches!(stream.peek(&mut head), Ok(4)) && looks_like_http(&head);
+    if http {
+        let body = match code {
+            ErrorCode::ShuttingDown => "shutting down\n",
+            _ => "overloaded\n",
+        };
+        let _ = stream.write_all(&http::render_response(503, "text/plain", body));
+    } else {
+        let message = match code {
+            ErrorCode::ShuttingDown => "server is shutting down",
+            _ => "connection queue is full; retry later",
+        };
+        let resp = Response::Error(WireError::new(code, message));
+        let _ = stream.write_all(&encode_response(&resp));
+    }
+}
+
+/// Four printable-ASCII bytes cannot be the header of an acceptable
+/// binary frame (it would declare a ≥ 0.5 GiB payload), so they mark an
+/// HTTP request line.
+fn looks_like_http(head: &[u8; 4]) -> bool {
+    head.iter().all(|&b| (0x20..0x7F).contains(&b))
+}
+
+fn worker_loop(conns: &Bounded<TcpStream>, ctx: &Ctx) {
+    while let Some(mut stream) = conns.pop() {
+        if let Some(m) = &ctx.metrics {
+            m.conn_queue_depth.sub(1);
+            m.active_connections.add(1);
+        }
+        serve_connection(&mut stream, ctx);
+        if let Some(m) = &ctx.metrics {
+            m.active_connections.sub(1);
+        }
+    }
+}
+
+/// What a blocking read of exactly `buf.len()` bytes amounted to.
+enum ReadOutcome {
+    /// The buffer is full.
+    Done,
+    /// EOF on a frame boundary — the client is done.
+    CleanEof,
+    /// EOF mid-frame.
+    DirtyEof,
+    /// The shutdown flag went up while waiting.
+    Shutdown,
+}
+
+/// Reads exactly `buf.len()` bytes, re-checking `shutdown` whenever the
+/// socket's read timeout elapses.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+) -> io::Result<ReadOutcome> {
+    let mut got = 0;
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Ok(if got == 0 { ReadOutcome::CleanEof } else { ReadOutcome::DirtyEof })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(ReadOutcome::Shutdown);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Done)
+}
+
+fn send(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    stream.write_all(&encode_response(resp))
+}
+
+fn serve_connection(stream: &mut TcpStream, ctx: &Ctx) {
+    if stream.set_read_timeout(Some(ctx.poll_interval)).is_err()
+        || stream.set_write_timeout(Some(WRITE_TIMEOUT)).is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut first = true;
+    loop {
+        let mut header = [0u8; 4];
+        match read_full(stream, &mut header, &ctx.shutdown) {
+            Ok(ReadOutcome::Done) => {}
+            Ok(ReadOutcome::CleanEof) => return,
+            Ok(ReadOutcome::DirtyEof) => {
+                let e = WireError::new(ErrorCode::Truncated, "connection ended mid-header");
+                let _ = send(stream, &Response::Error(e));
+                return;
+            }
+            Ok(ReadOutcome::Shutdown) => {
+                let e = WireError::new(ErrorCode::ShuttingDown, "server is shutting down");
+                let _ = send(stream, &Response::Error(e));
+                return;
+            }
+            Err(_) => return,
+        }
+        if first {
+            first = false;
+            if looks_like_http(&header) {
+                serve_http(stream, &header, ctx);
+                return;
+            }
+        }
+        let len = u32::from_le_bytes(header) as usize;
+        if len > ctx.max_frame_bytes {
+            if let Some(m) = &ctx.metrics {
+                m.protocol_errors.inc();
+            }
+            let e = WireError::new(
+                ErrorCode::Oversized,
+                format!("frame of {len} bytes exceeds the {} byte limit", ctx.max_frame_bytes),
+            );
+            if send(stream, &Response::Error(e)).is_err() {
+                return;
+            }
+            // Small overruns are drained so the connection stays usable;
+            // huge ones would stall a worker for one client's mistake.
+            if len > DRAIN_CAP || drain(stream, len, &ctx.shutdown).is_err() {
+                return;
+            }
+            continue;
+        }
+        let mut payload = vec![0u8; len];
+        match read_full(stream, &mut payload, &ctx.shutdown) {
+            Ok(ReadOutcome::Done) => {}
+            Ok(ReadOutcome::CleanEof | ReadOutcome::DirtyEof) => {
+                if let Some(m) = &ctx.metrics {
+                    m.protocol_errors.inc();
+                }
+                let e = WireError::new(ErrorCode::Truncated, "connection ended mid-payload");
+                let _ = send(stream, &Response::Error(e));
+                return;
+            }
+            Ok(ReadOutcome::Shutdown) => {
+                let e = WireError::new(ErrorCode::ShuttingDown, "server is shutting down");
+                let _ = send(stream, &Response::Error(e));
+                return;
+            }
+            Err(_) => return,
+        }
+        let resp = handle_payload(&payload, ctx);
+        if send(stream, &resp).is_err() {
+            return;
+        }
+    }
+}
+
+/// Discards `len` payload bytes of an oversized frame.
+fn drain(stream: &mut TcpStream, len: usize, shutdown: &AtomicBool) -> io::Result<()> {
+    let mut scratch = [0u8; 4096];
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = remaining.min(scratch.len());
+        match read_full(stream, &mut scratch[..take], shutdown)? {
+            ReadOutcome::Done => remaining -= take,
+            _ => return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "drain interrupted")),
+        }
+    }
+    Ok(())
+}
+
+/// Decodes and answers one binary request payload.
+fn handle_payload(payload: &[u8], ctx: &Ctx) -> Response {
+    let started = Instant::now();
+    let request = match decode_request(payload) {
+        Ok(request) => request,
+        Err(e) => {
+            if let Some(m) = &ctx.metrics {
+                m.protocol_errors.inc();
+            }
+            return Response::Error(WireError::from(&e));
+        }
+    };
+    if let Some(m) = &ctx.metrics {
+        m.requests_total.inc();
+    }
+    match request {
+        Request::Ping => {
+            if let Some(m) = &ctx.metrics {
+                m.latency_ping_ns.record(elapsed_ns(started));
+            }
+            Response::Pong
+        }
+        Request::Metrics => {
+            let resp = match &ctx.obs {
+                Some(reg) => Response::Metrics(export::to_text(&reg.snapshot())),
+                None => Response::Error(WireError::new(
+                    ErrorCode::Internal,
+                    "no metrics registry attached (server started without observation)",
+                )),
+            };
+            if let Some(m) = &ctx.metrics {
+                m.latency_metrics_ns.record(elapsed_ns(started));
+            }
+            resp
+        }
+        Request::TopK { model, target, k, mode } => {
+            let resp = match submit_topk(ctx, model, target as usize, k as usize, mode) {
+                Ok(result) => Response::TopK(to_wire_answer(&result)),
+                Err(e) => Response::Error(e),
+            };
+            if let Some(m) = &ctx.metrics {
+                m.latency_topk_ns.record(elapsed_ns(started));
+            }
+            resp
+        }
+    }
+}
+
+fn elapsed_ns(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn resolve_mode(mode: WireMode, default: QueryMode) -> QueryMode {
+    match mode {
+        WireMode::Default => default,
+        WireMode::Exact => QueryMode::Exact,
+        WireMode::Indexed => QueryMode::Indexed { nprobe: None },
+        WireMode::IndexedProbe(p) => QueryMode::Indexed { nprobe: Some(p as usize) },
+    }
+}
+
+/// Submits one top-k query to the batcher and waits for its answer.
+fn submit_topk(
+    ctx: &Ctx,
+    model: String,
+    target: usize,
+    k: usize,
+    mode: WireMode,
+) -> Result<QueryResult, WireError> {
+    let (reply, rx) = mpsc::channel();
+    let job = Job { model, target, k, mode: resolve_mode(mode, ctx.default_mode), reply };
+    match ctx.queue.submit(job) {
+        Ok(()) => {
+            if let Some(m) = &ctx.metrics {
+                m.request_queue_depth.add(1);
+            }
+        }
+        Err(SubmitError::Overloaded) => {
+            if let Some(m) = &ctx.metrics {
+                m.requests_rejected.inc();
+            }
+            return Err(WireError::new(
+                ErrorCode::Overloaded,
+                "request queue is full; retry later",
+            ));
+        }
+        Err(SubmitError::ShuttingDown) => {
+            return Err(WireError::new(ErrorCode::ShuttingDown, "server is shutting down"));
+        }
+    }
+    match rx.recv() {
+        Ok(Ok(result)) => Ok(result),
+        Ok(Err(e)) => Err(WireError::from_serve(&e)),
+        // The batcher never drops an admitted job's sender while alive;
+        // this arm only fires if its thread died.
+        Err(_) => Err(WireError::new(ErrorCode::Internal, "batcher dropped the reply")),
+    }
+}
+
+fn to_wire_answer(result: &QueryResult) -> TopKAnswer {
+    TopKAnswer {
+        version: result.version,
+        indexed: matches!(result.path, dpar2_serve::AnswerPath::Indexed),
+        cache_hit: result.cache_hit,
+        neighbors: result
+            .neighbors
+            .iter()
+            .map(|&(entity, sim)| (u32::try_from(entity).unwrap_or(u32::MAX), sim))
+            .collect(),
+    }
+}
+
+/// Serves exactly one HTTP request on a sniffed connection, then closes.
+fn serve_http(stream: &mut TcpStream, already_read: &[u8], ctx: &Ctx) {
+    let head = match http::read_head(stream, already_read) {
+        Ok(Some(head)) => head,
+        Ok(None) | Err(_) => return,
+    };
+    let bytes = match http::parse_route(&head) {
+        Route::Health => http::render_response(200, "text/plain", "ok\n"),
+        Route::Metrics => match &ctx.obs {
+            Some(reg) => {
+                http::render_response(200, "text/plain", &export::to_text(&reg.snapshot()))
+            }
+            None => http::render_response(404, "text/plain", "no metrics registry attached\n"),
+        },
+        Route::TopK { model, target, k, mode } => {
+            if let Some(m) = &ctx.metrics {
+                m.requests_total.inc();
+            }
+            let started = Instant::now();
+            let resp = match submit_topk(ctx, model, target, k, mode) {
+                Ok(result) => {
+                    http::render_response(200, "application/json", &http::render_topk_json(&result))
+                }
+                Err(e) => {
+                    let status = match e.code {
+                        ErrorCode::Overloaded | ErrorCode::ShuttingDown => 503,
+                        ErrorCode::ModelNotFound => 404,
+                        ErrorCode::EntityOutOfRange => 400,
+                        _ => 500,
+                    };
+                    http::render_response(status, "text/plain", &format!("{e}\n"))
+                }
+            };
+            if let Some(m) = &ctx.metrics {
+                m.latency_topk_ns.record(elapsed_ns(started));
+            }
+            resp
+        }
+        Route::NotFound => http::render_response(404, "text/plain", "not found\n"),
+        Route::BadRequest(why) => http::render_response(400, "text/plain", &format!("{why}\n")),
+        Route::MethodNotAllowed => {
+            http::render_response(405, "text/plain", "only GET is supported\n")
+        }
+    };
+    let _ = stream.write_all(&bytes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::NetClient;
+    use crate::testutil::engine;
+    use std::time::Duration;
+
+    fn small_config() -> ServerConfig {
+        ServerConfig { poll_interval: Duration::from_millis(5), ..ServerConfig::default() }
+    }
+
+    #[test]
+    fn ping_topk_and_typed_query_errors_over_the_wire() {
+        let engine = engine(10);
+        let server = NetServer::start(Arc::clone(&engine), "127.0.0.1:0", small_config()).unwrap();
+        let mut client = NetClient::connect(server.local_addr()).unwrap();
+        assert!(client.ping().unwrap());
+
+        let answer = client.top_k_with_mode("m", 3, 4, WireMode::Exact).unwrap().unwrap();
+        let direct = engine.top_k_with_mode("m", 3, 4, QueryMode::Exact).unwrap();
+        assert_eq!(answer.version, direct.version);
+        let direct_wire: Vec<(u32, u64)> =
+            direct.neighbors.iter().map(|&(e, s)| (e as u32, s.to_bits())).collect();
+        let got_wire: Vec<(u32, u64)> =
+            answer.neighbors.iter().map(|&(e, s)| (e, s.to_bits())).collect();
+        assert_eq!(got_wire, direct_wire, "wire answer must be bit-identical");
+
+        let err = client.top_k_with_mode("ghost", 0, 2, WireMode::Default).unwrap().unwrap_err();
+        assert_eq!(err.code, ErrorCode::ModelNotFound);
+        let err = client.top_k_with_mode("m", 999, 2, WireMode::Default).unwrap().unwrap_err();
+        assert_eq!(err.code, ErrorCode::EntityOutOfRange);
+        // The connection survived both errors.
+        assert!(client.ping().unwrap());
+        server.shutdown();
+    }
+
+    #[test]
+    fn full_connection_queue_rejects_with_typed_overload() {
+        let engine = engine(6);
+        let config = ServerConfig { workers: 1, pending_connections: 1, ..small_config() };
+        let server = NetServer::start(Arc::clone(&engine), "127.0.0.1:0", config).unwrap();
+        let addr = server.local_addr();
+
+        // c1 occupies the single worker; c2 fills the single queue slot.
+        let mut c1 = NetClient::connect(addr).unwrap();
+        assert!(c1.ping().unwrap());
+        let _c2 = NetClient::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+
+        // c3 must be shed with a typed Overloaded within bounded time.
+        let mut c3 = NetClient::connect(addr).unwrap();
+        c3.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let resp = c3.read_response().unwrap();
+        let Response::Error(e) = resp else { panic!("expected rejection, got {resp:?}") };
+        assert_eq!(e.code, ErrorCode::Overloaded);
+
+        // The connection pinned on the worker still answers, bit-identical.
+        let answer = c1.top_k_with_mode("m", 1, 3, WireMode::Exact).unwrap().unwrap();
+        let direct = engine.top_k_with_mode("m", 1, 3, QueryMode::Exact).unwrap();
+        for (&(ge, gs), &(de, ds)) in answer.neighbors.iter().zip(direct.neighbors.iter()) {
+            assert_eq!((ge as usize, gs.to_bits()), (de, ds.to_bits()));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn full_request_queue_rejects_topk_but_keeps_pings_working() {
+        let engine = engine(6);
+        let config = ServerConfig { pending_requests: 0, ..small_config() };
+        let server = NetServer::start(engine, "127.0.0.1:0", config).unwrap();
+        let mut client = NetClient::connect(server.local_addr()).unwrap();
+        let err = client.top_k("m", 0, 3).unwrap().unwrap_err();
+        assert_eq!(err.code, ErrorCode::Overloaded);
+        assert!(client.ping().unwrap(), "pings bypass the request queue");
+        server.shutdown();
+    }
+
+    #[test]
+    fn graceful_shutdown_answers_idle_connections_with_typed_error() {
+        let engine = engine(6);
+        let server = NetServer::start(engine, "127.0.0.1:0", small_config()).unwrap();
+        let mut idle = NetClient::connect(server.local_addr()).unwrap();
+        assert!(idle.ping().unwrap());
+        let handle = std::thread::spawn(move || {
+            idle.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            idle.read_response()
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        server.shutdown();
+        let resp = handle.join().unwrap().unwrap();
+        let Response::Error(e) = resp else { panic!("expected shutdown notice, got {resp:?}") };
+        assert_eq!(e.code, ErrorCode::ShuttingDown);
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_and_connection_stays_usable() {
+        let engine = engine(6);
+        let config = ServerConfig { max_frame_bytes: 64, ..small_config() };
+        let server = NetServer::start(engine, "127.0.0.1:0", config).unwrap();
+        let mut client = NetClient::connect(server.local_addr()).unwrap();
+        let mut frame = (1000u32).to_le_bytes().to_vec();
+        frame.extend(std::iter::repeat_n(0xAB, 1000));
+        client.send_raw(&frame).unwrap();
+        let Response::Error(e) = client.read_response().unwrap() else { panic!("expected error") };
+        assert_eq!(e.code, ErrorCode::Oversized);
+        assert!(client.ping().unwrap(), "connection must survive a drained oversize");
+        server.shutdown();
+    }
+
+    #[test]
+    fn http_routes_answer_over_the_same_listener() {
+        let obs = Arc::new(MetricsRegistry::new());
+        let engine = engine(8);
+        let server =
+            NetServer::start_observed(Arc::clone(&engine), "127.0.0.1:0", small_config(), obs)
+                .unwrap();
+        let addr = server.local_addr();
+
+        let health = http_get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+        assert!(health.ends_with("ok\n"), "{health}");
+
+        let metrics = http_get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200"), "{metrics}");
+        assert!(metrics.contains("net_connections_accepted_total"), "{metrics}");
+
+        let topk = http_get(addr, "/topk/m/2?k=3&mode=exact");
+        assert!(topk.starts_with("HTTP/1.1 200"), "{topk}");
+        let direct = engine.top_k_with_mode("m", 2, 3, QueryMode::Exact).unwrap();
+        for &(_, sim) in direct.neighbors.iter() {
+            let bits = format!("0x{:016X}", sim.to_bits());
+            assert!(topk.contains(&bits), "missing {bits} in {topk}");
+        }
+
+        let missing = http_get(addr, "/topk/ghost/0");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        let bad = http_get(addr, "/topk/m/not-a-number");
+        assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
+        server.shutdown();
+    }
+
+    fn http_get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+}

@@ -1,0 +1,35 @@
+//! Shared fixtures for the in-crate tests: a small random served model
+//! and an engine over it, mirroring the serve crate's test setup.
+
+use dpar2_core::{Parafac2Fit, StopReason, TimingBreakdown};
+use dpar2_linalg::random::gaussian_mat;
+use dpar2_linalg::Mat;
+use dpar2_serve::{ModelMeta, ModelRegistry, QueryEngine, ServedModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// A served model over `n` random temporal factors of equal shape.
+pub(crate) fn random_model(n: usize, seed: u64) -> ServedModel {
+    let r = 2;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let u: Vec<Mat> = (0..n).map(|_| gaussian_mat(8, r, &mut rng)).collect();
+    let fit = Parafac2Fit {
+        s: vec![vec![1.0; r]; n],
+        v: gaussian_mat(4, r, &mut rng),
+        h: gaussian_mat(r, r, &mut rng),
+        u,
+        iterations: 0,
+        criterion_trace: vec![],
+        stop_reason: StopReason::Converged,
+        timing: TimingBreakdown::default(),
+    };
+    ServedModel::from_parts(ModelMeta::new("m").with_gamma(0.05), fit)
+}
+
+/// An engine serving one `n`-entity model named `"m"`.
+pub(crate) fn engine(n: usize) -> Arc<QueryEngine> {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish("m", random_model(n, 5));
+    Arc::new(QueryEngine::new(registry, 2))
+}

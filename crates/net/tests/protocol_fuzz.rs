@@ -1,0 +1,156 @@
+//! Protocol robustness under fire: random garbage, truncated frames, and
+//! oversized frames must always come back as *typed* protocol errors —
+//! the decoders never panic, the server never silently drops a
+//! connection that can still be answered, and a connection that received
+//! an error (other than mid-frame truncation) keeps working.
+
+use dpar2_core::{Parafac2Fit, StopReason, TimingBreakdown};
+use dpar2_linalg::random::gaussian_mat;
+use dpar2_linalg::Mat;
+use dpar2_net::protocol::{decode_request, decode_response, encode_frame, encode_request};
+use dpar2_net::{ErrorCode, NetClient, NetServer, Request, Response, ServerConfig, WireMode};
+use dpar2_serve::{ModelMeta, ModelRegistry, QueryEngine, ServedModel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::SocketAddr;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// Frame cap the fuzz server runs with — small, so oversize is reachable.
+const FUZZ_MAX_FRAME: usize = 512;
+
+/// One shared server for every fuzz case (kept alive for the whole test
+/// process; the OS reclaims it at exit).
+fn server_addr() -> SocketAddr {
+    static SERVER: OnceLock<NetServer> = OnceLock::new();
+    SERVER
+        .get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(17);
+            let r = 2;
+            let u: Vec<Mat> = (0..8).map(|_| gaussian_mat(6, r, &mut rng)).collect();
+            let fit = Parafac2Fit {
+                s: vec![vec![1.0; r]; 8],
+                v: gaussian_mat(4, r, &mut rng),
+                h: gaussian_mat(r, r, &mut rng),
+                u,
+                iterations: 0,
+                criterion_trace: vec![],
+                stop_reason: StopReason::Converged,
+                timing: TimingBreakdown::default(),
+            };
+            let registry = Arc::new(ModelRegistry::new());
+            registry.publish("m", ServedModel::from_parts(ModelMeta::new("m"), fit));
+            let engine = Arc::new(QueryEngine::new(registry, 2));
+            let config = ServerConfig {
+                max_frame_bytes: FUZZ_MAX_FRAME,
+                poll_interval: Duration::from_millis(5),
+                ..ServerConfig::default()
+            };
+            NetServer::start(engine, "127.0.0.1:0", config).expect("bind fuzz server")
+        })
+        .local_addr()
+}
+
+fn connect() -> NetClient {
+    let mut client = NetClient::connect(server_addr()).expect("connect");
+    client.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    client
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The pure decoders accept arbitrary bytes without panicking: every
+    /// input is either a decoded value or a typed `FrameError`.
+    #[test]
+    fn decoders_never_panic_on_garbage(payload in prop::collection::vec(0u64..256, 0..128)) {
+        let bytes: Vec<u8> = payload.iter().map(|&b| b as u8).collect();
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+    }
+
+    /// Arbitrary well-formed requests survive an encode/decode round trip.
+    #[test]
+    fn requests_round_trip(
+        name in prop::collection::vec(0u64..128, 0..24),
+        target in 0u64..u64::from(u32::MAX),
+        k in 0u64..u64::from(u32::MAX),
+        mode_sel in 0u64..5,
+    ) {
+        let model: String =
+            name.iter().map(|&b| char::from(0x20 + (b as u8 % 0x5F))).collect();
+        let mode = match mode_sel {
+            0 => WireMode::Default,
+            1 => WireMode::Exact,
+            2 => WireMode::Indexed,
+            _ => WireMode::IndexedProbe(mode_sel as u32),
+        };
+        let req = Request::TopK {
+            model,
+            target: target as u32,
+            k: k as u32,
+            mode,
+        };
+        let frame = encode_request(&req);
+        prop_assert_eq!(decode_request(&frame[4..]).unwrap(), req);
+    }
+
+    /// A garbage payload in a well-formed frame gets *some* decodable
+    /// response (typed error, or a real answer if the bytes happened to
+    /// spell a valid request), and the connection stays usable.
+    #[test]
+    fn garbage_payloads_get_typed_responses_and_connection_survives(
+        payload in prop::collection::vec(0u64..256, 0..64),
+    ) {
+        let bytes: Vec<u8> = payload.iter().map(|&b| b as u8).collect();
+        let mut client = connect();
+        client.send_raw(&encode_frame(&bytes)).unwrap();
+        let resp = client.read_response().expect("a typed response, not a hangup");
+        if let Response::Error(e) = &resp {
+            prop_assert!(
+                !matches!(e.code, ErrorCode::Truncated | ErrorCode::ShuttingDown),
+                "well-formed frame misdiagnosed as {:?}",
+                e.code
+            );
+        }
+        prop_assert!(client.ping().unwrap(), "connection must survive garbage payloads");
+    }
+
+    /// A frame cut off mid-payload is answered with `Truncated` before the
+    /// server closes the connection.
+    #[test]
+    fn truncated_frames_get_typed_truncation(
+        declared in 1u64..256,
+        keep_fraction in 0u64..100,
+    ) {
+        let declared = declared as usize;
+        let sent = declared * (keep_fraction as usize) / 100;
+        let mut client = connect();
+        let mut frame = (declared as u32).to_le_bytes().to_vec();
+        frame.extend(std::iter::repeat_n(0x55u8, sent.min(declared.saturating_sub(1))));
+        client.send_raw(&frame).unwrap();
+        client.shutdown_write().unwrap();
+        let resp = client.read_response().expect("typed truncation notice");
+        let Response::Error(e) = resp else {
+            return Err(format!("expected an error response, got {resp:?}"));
+        };
+        prop_assert_eq!(e.code, ErrorCode::Truncated);
+    }
+
+    /// A frame longer than the server's cap is answered with `Oversized`,
+    /// and (for drainable sizes) the connection stays usable.
+    #[test]
+    fn oversized_frames_get_typed_rejection(extra in 1u64..4096) {
+        let len = FUZZ_MAX_FRAME + extra as usize;
+        let mut client = connect();
+        let mut frame = (len as u32).to_le_bytes().to_vec();
+        frame.extend(std::iter::repeat_n(0xAAu8, len));
+        client.send_raw(&frame).unwrap();
+        let Response::Error(e) = client.read_response().unwrap() else {
+            return Err("expected an error response".to_string());
+        };
+        prop_assert_eq!(e.code, ErrorCode::Oversized);
+        prop_assert!(client.ping().unwrap(), "connection must survive a drained oversize");
+    }
+}

@@ -216,7 +216,30 @@ impl IngestWorker {
                                 // publishes), and the stream options'
                                 // time_budget bounds it regardless.
                                 let t_refit = Instant::now();
-                                let fit = stream.decompose_observed(&mut cancel_in_worker);
+                                let fit = match stream.decompose_observed(&mut cancel_in_worker) {
+                                    Ok(fit) => fit,
+                                    Err(e) => {
+                                        // Unreachable after a successful
+                                        // non-empty append, but a refit
+                                        // error must never kill the worker:
+                                        // record it like a failed batch and
+                                        // keep serving.
+                                        if let Some(m) = &metrics_in_worker {
+                                            m.errors.inc();
+                                            #[allow(clippy::cast_possible_wrap)]
+                                            // batch ≪ i64::MAX
+                                            m.last_error_batch.set(batch as i64);
+                                        }
+                                        record_event(
+                                            &events_in_worker,
+                                            IngestEvent::AppendFailed {
+                                                batch,
+                                                error: e.to_string(),
+                                            },
+                                        );
+                                        continue;
+                                    }
+                                };
                                 if let Some(m) = &metrics_in_worker {
                                     m.refit_ns.record_duration(t_refit.elapsed());
                                 }

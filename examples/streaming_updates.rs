@@ -33,7 +33,7 @@ fn main() {
         ingested += batch.len();
 
         let t1 = Instant::now();
-        let fit = stream.decompose();
+        let fit = stream.decompose().expect("decompose failed");
         let decompose_ms = t1.elapsed().as_secs_f64() * 1e3;
 
         let so_far = IrregularTensor::new(slices[..ingested].to_vec());
@@ -52,7 +52,7 @@ fn main() {
     let batch_fit = Dpar2.fit(&full, &config).expect("batch fit failed");
     let mut stream2 = StreamingDpar2::new(config);
     stream2.append(slices).expect("append failed");
-    let stream_fit = stream2.decompose();
+    let stream_fit = stream2.decompose().expect("decompose failed");
     println!(
         "\nfinal fitness: batch {:.4} vs streaming-compressed {:.4}",
         batch_fit.fitness(&full),

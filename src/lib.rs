@@ -19,6 +19,9 @@
 //!   latency histograms, RAII spans) plus Prometheus-text and JSON export.
 //! * [`serve`] — model persistence, versioned registry, concurrent query
 //!   engine, streaming ingest (the online half of the system).
+//! * [`net`] — wire-protocol TCP front-end over the query engine:
+//!   length-prefixed binary protocol + curl-able HTTP text mode, bounded
+//!   admission queues, request batching, graceful shutdown.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the full system
 //! inventory.
@@ -28,6 +31,7 @@ pub use dpar2_baselines as baselines;
 pub use dpar2_core as core;
 pub use dpar2_data as data;
 pub use dpar2_linalg as linalg;
+pub use dpar2_net as net;
 pub use dpar2_obs as obs;
 pub use dpar2_parallel as parallel;
 pub use dpar2_rsvd as rsvd;

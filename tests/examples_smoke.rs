@@ -67,3 +67,10 @@ fn serve_demo_runs() {
     // concurrent queries, and a live ingest publish.
     run_example("serve_demo");
 }
+
+#[test]
+fn net_demo_runs() {
+    // Exercises the wire front-end: binary protocol, typed protocol
+    // errors, HTTP text mode, and graceful shutdown over real sockets.
+    run_example("net_demo");
+}

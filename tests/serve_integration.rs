@@ -189,7 +189,7 @@ fn indexed_ingest_serves_exact_answers_through_inflight_builds() {
         let lo = batch * 4;
         let hi = (lo + 4).min(n);
         replay.append(tensor.to_slices()[lo..hi].to_vec()).expect("replay append");
-        let fit = replay.decompose();
+        let fit = replay.decompose().expect("replay decompose");
         let model = ServedModel::from_parts(ModelMeta::new("hot").with_gamma(0.05), fit);
         ground_truth.push((0..n).map(|t| model.top_k(t, k).unwrap_or_default()).collect());
     }
