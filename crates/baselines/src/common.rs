@@ -6,10 +6,11 @@
 
 use dpar2_core::error::{Dpar2Error, Result};
 use dpar2_core::{FitOptions, Parafac2Fit, Workspace};
+use dpar2_linalg::sparse::sparse_gram_into;
 use dpar2_linalg::svd::{svd_truncated, svd_truncated_into};
 use dpar2_linalg::{Mat, SvdFactors, SvdScratch};
 use dpar2_parallel::{greedy_partition, ThreadPool};
-use dpar2_tensor::IrregularTensor;
+use dpar2_tensor::{IrregularTensor, SparseIrregularTensor};
 
 /// Initial `Q_k` for every slice: the identity embedding (first `R`
 /// columns of `I_{I_k}`), a valid orthonormal basis. The first ALS
@@ -17,19 +18,31 @@ use dpar2_tensor::IrregularTensor;
 /// still produces a well-formed model with full factor shapes, keeping
 /// every solver uniform under the `Parafac2Solver` contract.
 pub fn identity_qs(tensor: &IrregularTensor, rank: usize) -> Vec<Mat> {
-    (0..tensor.k())
-        .map(|k| Mat::from_fn(tensor.i(k), rank, |i, j| if i == j { 1.0 } else { 0.0 }))
+    identity_qs_dims(tensor.dims(), rank)
+}
+
+/// [`identity_qs`] from raw slice row counts — shared by the sparse
+/// solver, whose tensor type carries the same `dims()` view.
+pub fn identity_qs_dims(row_dims: &[usize], rank: usize) -> Vec<Mat> {
+    row_dims
+        .iter()
+        .map(|&ik| Mat::from_fn(ik, rank, |i, j| if i == j { 1.0 } else { 0.0 }))
         .collect()
 }
 
 /// Validates that `R ≤ min(I_k, J)` for every slice (same contract as the
 /// DPar2 compression stage).
 pub fn validate_rank(tensor: &IrregularTensor, rank: usize) -> Result<()> {
+    validate_rank_dims(tensor.dims(), tensor.j(), rank)
+}
+
+/// [`validate_rank`] from raw dimensions — shared by the sparse solver.
+pub fn validate_rank_dims(row_dims: &[usize], j: usize, rank: usize) -> Result<()> {
     if rank == 0 {
         return Err(Dpar2Error::ZeroRank);
     }
-    for k in 0..tensor.k() {
-        let limit = tensor.i(k).min(tensor.j());
+    for (k, &ik) in row_dims.iter().enumerate() {
+        let limit = ik.min(j);
         if rank > limit {
             return Err(Dpar2Error::RankTooLarge { rank, slice: k, limit });
         }
@@ -48,6 +61,21 @@ pub fn init_v(tensor: &IrregularTensor, rank: usize) -> Mat {
     let mut gram_sum = Mat::zeros(j, j);
     for k in 0..tensor.k() {
         gram_sum += &tensor.slice(k).gram();
+    }
+    svd_truncated(&gram_sum, rank).u
+}
+
+/// [`init_v`] over CSR slices: the Gram sum accumulates via the sparse
+/// Gram kernel (ascending `k`, like the dense loop), so for tensors whose
+/// dense Grams stay on the naive dispatch path the result is bitwise
+/// identical to [`init_v`] on the densified tensor.
+pub fn init_v_sparse(tensor: &SparseIrregularTensor, rank: usize) -> Mat {
+    let j = tensor.j();
+    let mut gram_sum = Mat::zeros(j, j);
+    let mut g = Mat::zeros(j, j);
+    for k in 0..tensor.k() {
+        sparse_gram_into(tensor.slice(k), &mut g);
+        gram_sum += &g;
     }
     svd_truncated(&gram_sum, rank).u
 }
@@ -189,10 +217,26 @@ fn slice_error_sq(
 /// [`Dpar2Error::WarmStart`] when the warm factors do not match the
 /// tensor's rank/shape.
 pub fn init_factors(tensor: &IrregularTensor, options: &FitOptions<'_>) -> Result<(Mat, Mat, Mat)> {
+    init_factors_from(tensor.j(), tensor.k(), options, || init_v(tensor, options.rank))
+}
+
+/// [`init_factors`] decoupled from the tensor type: the caller supplies
+/// the `(J, K)` shape and a closure producing the cold-start `V` (only
+/// invoked when no warm start is present). This is how the sparse solver
+/// shares the warm-start validation verbatim with the dense baselines.
+///
+/// # Errors
+/// [`Dpar2Error::WarmStart`] when the warm factors do not match the
+/// tensor's rank/shape.
+pub fn init_factors_from(
+    j: usize,
+    k: usize,
+    options: &FitOptions<'_>,
+    cold_v: impl FnOnce() -> Mat,
+) -> Result<(Mat, Mat, Mat)> {
     let r = options.rank;
-    let k = tensor.k();
     match options.warm_start {
-        None => Ok((Mat::eye(r), init_v(tensor, r), Mat::ones(k, r))),
+        None => Ok((Mat::eye(r), cold_v(), Mat::ones(k, r))),
         Some(fit) => {
             let w = warm_weights(fit, k, r)?;
             if fit.h.shape() != (r, r) {
@@ -202,10 +246,10 @@ pub fn init_factors(tensor: &IrregularTensor, options: &FitOptions<'_>) -> Resul
                     got: fit.h.shape(),
                 });
             }
-            if fit.v.shape() != (tensor.j(), r) {
+            if fit.v.shape() != (j, r) {
                 return Err(Dpar2Error::WarmStart {
                     factor: "V",
-                    expected: (tensor.j(), r),
+                    expected: (j, r),
                     got: fit.v.shape(),
                 });
             }

@@ -20,7 +20,10 @@
 //!   advantage without sparsity — Fig. 9 of the paper).
 //!
 //! Plus the §III-C ablation [`NaiveCompressedAls`] (compress, reconstruct,
-//! iterate at full cost).
+//! iterate at full cost), and [`SpartanSparse`] — SPARTan on *actually
+//! sparse* CSR tensors (its native workload), with per-iteration cost and
+//! memory proportional to `nnz` and fits that are bit-identical for every
+//! thread count.
 //!
 //! Every solver — including `dpar2_core::Dpar2` — implements
 //! [`Parafac2Solver`], takes the same [`FitOptions`], and produces the
@@ -33,11 +36,13 @@ pub mod naive_compressed;
 pub mod parafac2_als;
 pub mod rd_als;
 pub mod spartan;
+pub mod spartan_sparse;
 
 pub use naive_compressed::NaiveCompressedAls;
 pub use parafac2_als::Parafac2Als;
 pub use rd_als::RdAls;
 pub use spartan::SpartanDense;
+pub use spartan_sparse::SpartanSparse;
 
 use dpar2_core::{Dpar2, FitObserver, FitOptions, Parafac2Fit, Parafac2Solver, Result};
 use dpar2_tensor::IrregularTensor;
@@ -56,6 +61,8 @@ pub enum Method {
     Parafac2Als,
     /// SPARTan adapted to dense slices (Perros et al. 2017).
     Spartan,
+    /// SPARTan on CSR slices — its native sparse workload.
+    SpartanSparse,
     /// Compress-reconstruct-iterate ablation (§III-C).
     NaiveCompressed,
 }
@@ -67,12 +74,14 @@ impl Method {
     pub const ALL: [Method; 4] =
         [Method::Dpar2, Method::RdAls, Method::Parafac2Als, Method::Spartan];
 
-    /// Every registered solver, including the §III-C ablation.
-    pub const WITH_ABLATION: [Method; 5] = [
+    /// Every registered solver, including the sparse SPARTan variant and
+    /// the §III-C ablation.
+    pub const WITH_ABLATION: [Method; 6] = [
         Method::Dpar2,
         Method::RdAls,
         Method::Parafac2Als,
         Method::Spartan,
+        Method::SpartanSparse,
         Method::NaiveCompressed,
     ];
 
@@ -83,6 +92,7 @@ impl Method {
             Method::RdAls => "RD-ALS",
             Method::Parafac2Als => "PARAFAC2-ALS",
             Method::Spartan => "SPARTan",
+            Method::SpartanSparse => "SPARTan-sparse",
             Method::NaiveCompressed => "NaiveCompressed",
         }
     }
@@ -94,6 +104,7 @@ impl Method {
             Method::RdAls => Box::new(RdAls),
             Method::Parafac2Als => Box::new(Parafac2Als),
             Method::Spartan => Box::new(SpartanDense),
+            Method::SpartanSparse => Box::new(SpartanSparse),
             Method::NaiveCompressed => Box::new(NaiveCompressedAls),
         }
     }
@@ -117,7 +128,7 @@ impl fmt::Display for ParseMethodError {
         write!(
             f,
             "unknown method {:?} (expected one of: dpar2, rd-als, parafac2-als, spartan, \
-             naive-compressed)",
+             spartan-sparse, naive-compressed)",
             self.input
         )
     }
@@ -136,6 +147,9 @@ impl FromStr for Method {
             "rd-als" | "rdals" | "rd_als" => Ok(Method::RdAls),
             "parafac2-als" | "parafac2als" | "parafac2_als" | "als" => Ok(Method::Parafac2Als),
             "spartan" => Ok(Method::Spartan),
+            "spartan-sparse" | "spartansparse" | "spartan_sparse" | "sparse" => {
+                Ok(Method::SpartanSparse)
+            }
             "naive-compressed" | "naivecompressed" | "naive_compressed" | "naive" => {
                 Ok(Method::NaiveCompressed)
             }
@@ -189,6 +203,8 @@ mod tests {
         assert_eq!("rdals".parse::<Method>().unwrap(), Method::RdAls);
         assert_eq!("als".parse::<Method>().unwrap(), Method::Parafac2Als);
         assert_eq!("Spartan".parse::<Method>().unwrap(), Method::Spartan);
+        assert_eq!("sparse".parse::<Method>().unwrap(), Method::SpartanSparse);
+        assert_eq!("SPARTAN_SPARSE".parse::<Method>().unwrap(), Method::SpartanSparse);
         assert_eq!("naive".parse::<Method>().unwrap(), Method::NaiveCompressed);
         let err = "pca".parse::<Method>().unwrap_err();
         assert!(err.to_string().contains("pca"));

@@ -1,0 +1,227 @@
+//! Sparse vs densified PARAFAC2 fitting: time per iteration and peak
+//! memory across densities — the acceptance benchmark behind
+//! `BENCH_sparse.json`.
+//!
+//! For each density in `--densities`, a planted sparse PARAFAC2 model is
+//! observed through a Bernoulli mask into CSR slices, then fitted twice:
+//!
+//! 1. **SPARTan-sparse** on the CSR tensor directly (`fit_sparse`), cost
+//!    and memory proportional to `nnz`;
+//! 2. **SPARTan (dense)** on the densified tensor — the measured region
+//!    includes the densification itself, because materializing the dense
+//!    backing buffer *is* the cost the sparse subsystem exists to avoid.
+//!
+//! A byte-exact peak-tracking allocator (same carve-out as `topk_index`)
+//! measures each fit's peak live bytes; the acceptance criterion is a
+//! ≥10× dense/sparse peak ratio at the lowest density (10⁻³ by default).
+//! Input-shape gauges (`sparse_fit_input_nnz`, `sparse_fit_input_density_ppm`)
+//! and fit counters/histograms are recorded through a `MetricsObserver`,
+//! and the artifact embeds the registry snapshot only after round-tripping
+//! it through the JSON exporter.
+//!
+//! ```text
+//! cargo run -p dpar2-bench --release --bin sparse_fit
+//! cargo run -p dpar2-bench --release --bin sparse_fit -- --rows 400 --densities 0.1,0.01
+//! ```
+//!
+//! Flags: `--densities` (comma list, default `0.1,0.01,0.001`), `--slices`
+//! (6), `--rows` (base slice height, 1200), `--j` (128), `--rank` (4),
+//! `--iters` (8), `--seed` (0), `--out` (`BENCH_sparse.json` at the repo
+//! root). The default shape is sized so the dense tensor dominates the
+//! dense-side peak: the sparse-side peak is a fixed ~1 MiB of factor and
+//! SVD workspace, and the asymptotic ratio is ≈ (J + R)/R.
+
+// The peak-tracking allocator implements the unsafe `GlobalAlloc` trait —
+// the same carve-out from the workspace-wide `deny(unsafe_code)` as the
+// root `alloc_regression` suite's counting allocator.
+#![allow(unsafe_code)]
+
+use dpar2_baselines::{SpartanDense, SpartanSparse};
+use dpar2_bench::Args;
+use dpar2_core::{FitMetrics, FitOptions, MetricsObserver};
+use dpar2_data::planted_sparse;
+use dpar2_obs::{export, MetricsRegistry, Snapshot};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// System allocator wrapper tracking live bytes and their high-water mark.
+struct PeakAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+fn track_alloc(size: usize) {
+    let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        track_alloc(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+        track_alloc(new_size);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static PEAK_TRACKER: PeakAlloc = PeakAlloc;
+
+/// Peak live bytes observed while running `f`, measured from the live
+/// level at entry (so resident fixtures don't count).
+fn peak_during<T>(f: impl FnOnce() -> T) -> (T, usize) {
+    let base = LIVE.load(Ordering::Relaxed);
+    PEAK.store(base, Ordering::Relaxed);
+    let out = f();
+    (out, PEAK.load(Ordering::Relaxed).saturating_sub(base))
+}
+
+/// Round-trips a snapshot through the JSON exporter and returns the text —
+/// the artifact embeds only JSON that is proven to parse back bit-exactly.
+fn checked_json(snap: &Snapshot) -> String {
+    let json = export::to_json(snap);
+    let reparsed = export::from_json(&json).expect("exporter JSON must parse");
+    assert_eq!(&reparsed, snap, "exporter JSON must round-trip exactly");
+    json
+}
+
+fn mib(bytes: usize) -> f64 {
+    bytes as f64 / (1 << 20) as f64
+}
+
+fn main() {
+    let args = Args::parse();
+    let densities: Vec<f64> = args
+        .get_str("densities", "0.1,0.01,0.001")
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let slices = args.get("slices", 6usize).max(1);
+    let rows = args.get("rows", 1200usize).max(8);
+    let j = args.get("j", 128usize).max(2);
+    let rank = args.get("rank", 4usize).clamp(1, j);
+    let iters = args.get("iters", 8usize).max(1);
+    let seed = args.get("seed", 0u64);
+    let default_out = format!("{}/../../BENCH_sparse.json", env!("CARGO_MANIFEST_DIR"));
+    let out_path = args.get_str("out", &default_out);
+
+    // Irregular slice heights around the base, as in the paper's workloads.
+    let row_dims: Vec<usize> = (0..slices).map(|k| rows + (k * 37) % (rows / 8 + 1)).collect();
+    let total_rows: usize = row_dims.iter().sum();
+
+    let registry = MetricsRegistry::new();
+    let metrics = FitMetrics::register(&registry, "sparse_fit");
+
+    println!(
+        "== sparse_fit: {slices} slices x ~{rows} rows x {j} cols, rank {rank}, \
+         {iters} iterations, single thread =="
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"sparse_fit\",\n");
+    let _ = write!(
+        json,
+        "  \"config\": {{\"slices\": {slices}, \"rows\": {rows}, \"total_rows\": {total_rows}, \
+         \"j\": {j}, \"rank\": {rank}, \"iters\": {iters}, \"seed\": {seed}}},\n  \"densities\": [\n"
+    );
+
+    let mut acceptance: Option<(f64, f64)> = None;
+    let min_density = densities.iter().copied().fold(f64::INFINITY, f64::min);
+    for (di, &density) in densities.iter().enumerate() {
+        let tensor =
+            planted_sparse(&row_dims, j, rank, density, 0.05, seed.wrapping_add(di as u64));
+        let nnz = tensor.nnz();
+        metrics.record_input_shape(nnz as u64, tensor.num_cells() as u64);
+        println!("\n-- density {density} ({nnz} nonzeros of {} cells) --", tensor.num_cells());
+
+        // threads = 1: the comparison is serial-vs-serial (thread
+        // invariance of the sparse solver is pinned by the test suite).
+        let opts = FitOptions::new(rank)
+            .with_seed(seed ^ 0x5EED)
+            .with_max_iterations(iters)
+            .with_tolerance(0.0)
+            .with_threads(1);
+
+        let mut observer = MetricsObserver::new(&metrics);
+        let (sparse_fit, sparse_peak) = peak_during(|| {
+            SpartanSparse
+                .fit_sparse_observed(&tensor, &opts, &mut observer)
+                .expect("sparse fit failed")
+        });
+        let sparse_iter_s = sparse_fit.timing.iterations_secs / sparse_fit.iterations.max(1) as f64;
+
+        // Dense baseline: densification included in the measured region.
+        let (dense_fit, dense_peak) = peak_during(|| {
+            let dense = tensor.to_dense();
+            SpartanDense.fit(&dense, &opts).expect("dense fit failed")
+        });
+        let dense_iter_s = dense_fit.timing.iterations_secs / dense_fit.iterations.max(1) as f64;
+
+        let peak_ratio = dense_peak as f64 / sparse_peak.max(1) as f64;
+        let iter_speedup = dense_iter_s / sparse_iter_s.max(1e-12);
+        println!(
+            "   sparse: {:9.3} ms/iter  peak {:8.2} MiB   final criterion {:.3e}",
+            sparse_iter_s * 1e3,
+            mib(sparse_peak),
+            sparse_fit.criterion_trace.last().copied().unwrap_or(f64::NAN)
+        );
+        println!(
+            "   dense:  {:9.3} ms/iter  peak {:8.2} MiB   final criterion {:.3e}",
+            dense_iter_s * 1e3,
+            mib(dense_peak),
+            dense_fit.criterion_trace.last().copied().unwrap_or(f64::NAN)
+        );
+        println!("   dense/sparse: peak {peak_ratio:.1}x, time-per-iteration {iter_speedup:.2}x");
+
+        json.push_str("    {");
+        let _ = write!(
+            json,
+            "\"density\": {density}, \"nnz\": {nnz}, \
+             \"sparse\": {{\"iter_seconds\": {sparse_iter_s:.6}, \"peak_bytes\": {sparse_peak}, \
+             \"iterations\": {}}}, \
+             \"dense\": {{\"iter_seconds\": {dense_iter_s:.6}, \"peak_bytes\": {dense_peak}, \
+             \"iterations\": {}}}, \
+             \"peak_ratio\": {peak_ratio:.2}, \"iter_speedup\": {iter_speedup:.3}}}",
+            sparse_fit.iterations, dense_fit.iterations
+        );
+        json.push_str(if di + 1 < densities.len() { ",\n" } else { "\n" });
+
+        if density == min_density {
+            acceptance = Some((density, peak_ratio));
+        }
+    }
+    json.push_str("  ],\n");
+
+    if let Some((density, ratio)) = acceptance {
+        let _ = writeln!(
+            json,
+            "  \"acceptance\": {{\"density\": {density}, \"peak_ratio\": {ratio:.2}}},"
+        );
+        println!("\n   acceptance @ density {density}: dense/sparse peak ratio {ratio:.1}x");
+        if density <= 2e-3 {
+            assert!(
+                ratio >= 10.0,
+                "O(nnz) memory acceptance failed: dense/sparse peak ratio {ratio:.1}x < 10x \
+                 at density {density}"
+            );
+        }
+    }
+
+    // Telemetry snapshot (fit counters, iteration histograms, input-shape
+    // gauges), embedded only after the exporter round-trip check.
+    let snap = registry.snapshot();
+    let _ = write!(json, "  \"metrics\": {}\n}}\n", checked_json(&snap));
+
+    std::fs::write(&out_path, &json).expect("write BENCH_sparse.json");
+    println!("   wrote {out_path}");
+}

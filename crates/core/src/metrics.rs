@@ -10,7 +10,7 @@
 
 use std::ops::ControlFlow;
 
-use dpar2_obs::{Counter, Histogram, MetricsRegistry};
+use dpar2_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 
 use crate::session::{FitObserver, FitPhase, IterationEvent, StopReason};
 
@@ -33,6 +33,9 @@ fn secs_to_ns(secs: f64) -> u64 {
 /// * `{prefix}_iteration_ns` — per-iteration wall-clock histogram.
 /// * `{prefix}_phase_{compress,init,iterate,finalize}_ns` — per-phase
 ///   span histograms.
+/// * `{prefix}_input_nnz` / `{prefix}_input_density_ppm` — gauges
+///   describing the most recent fit's input tensor (see
+///   [`FitMetrics::record_input_shape`]).
 #[derive(Debug, Clone)]
 pub struct FitMetrics {
     /// Completed fits.
@@ -43,6 +46,12 @@ pub struct FitMetrics {
     pub iteration_ns: Histogram,
     /// Per-phase span wall-clock (ns), indexed by [`FitPhase::index`].
     pub phase_ns: [Histogram; FitPhase::COUNT],
+    /// Stored nonzeros of the most recent fit's input tensor (total cells
+    /// for dense fits).
+    pub nnz: Gauge,
+    /// Density of the most recent fit's input, in parts per million
+    /// (1_000_000 for dense fits).
+    pub density_ppm: Gauge,
 }
 
 impl FitMetrics {
@@ -54,7 +63,23 @@ impl FitMetrics {
             iteration_ns: registry.histogram(&format!("{prefix}_iteration_ns")),
             phase_ns: FitPhase::ALL
                 .map(|p| registry.histogram(&format!("{prefix}_phase_{}_ns", p.name()))),
+            nnz: registry.gauge(&format!("{prefix}_input_nnz")),
+            density_ppm: registry.gauge(&format!("{prefix}_input_density_ppm")),
         }
+    }
+
+    /// Stamps the input-shape gauges for a fit over a tensor with `nnz`
+    /// stored entries out of `num_cells` addressable cells.
+    ///
+    /// Dense fits pass `nnz == num_cells` (density 1_000_000 ppm); sparse
+    /// fits pass the CSR nonzero count. An empty tensor (`num_cells == 0`)
+    /// records density 0. Values saturate at `i64::MAX`.
+    pub fn record_input_shape(&self, nnz: u64, num_cells: u64) {
+        let clamp = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+        self.nnz.set(clamp(nnz));
+        let ppm =
+            if num_cells == 0 { 0 } else { ((nnz as f64 / num_cells as f64) * 1e6).round() as i64 };
+        self.density_ppm.set(ppm);
     }
 }
 
@@ -158,6 +183,28 @@ mod tests {
         assert_eq!(obs.on_iteration(&event), ControlFlow::Break(StopReason::Cancelled));
         // The metric still recorded the iteration that was cancelled.
         assert_eq!(metrics.iterations.get(), 1);
+    }
+
+    #[test]
+    fn input_shape_gauges_record_nnz_and_density() {
+        let registry = MetricsRegistry::new();
+        let metrics = FitMetrics::register(&registry, "fit");
+        metrics.record_input_shape(250, 1_000_000);
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("fit_input_nnz"), Some(250));
+        assert_eq!(snap.gauge("fit_input_density_ppm"), Some(250));
+
+        // Dense fits report full density; empty tensors report zero.
+        metrics.record_input_shape(42, 42);
+        assert_eq!(registry.snapshot().gauge("fit_input_density_ppm"), Some(1_000_000));
+        metrics.record_input_shape(0, 0);
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("fit_input_nnz"), Some(0));
+        assert_eq!(snap.gauge("fit_input_density_ppm"), Some(0));
+
+        // Counts beyond i64 saturate instead of wrapping.
+        metrics.record_input_shape(u64::MAX, u64::MAX);
+        assert_eq!(registry.snapshot().gauge("fit_input_nnz"), Some(i64::MAX));
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //!
 //! [`planted`] additionally provides exact-PARAFAC2 tensors (ground truth
 //! for correctness tests) and the `tenrand` uniform tensors used by the
-//! paper's scalability experiments (§IV-C).
+//! paper's scalability experiments (§IV-C). [`sparse`] extends the planted
+//! family to the SPARTan-parity sparse workload: the same exact PARAFAC2
+//! model observed through a Bernoulli(density) mask, built in O(nnz)
+//! memory as CSR slices.
 //!
 //! [`mod@registry`] ties everything together: one [`registry::DatasetSpec`] per
 //! Table II row, with paper dimensions, scaled-down defaults, and a
@@ -27,10 +30,12 @@ pub mod features;
 pub mod indicators;
 pub mod planted;
 pub mod registry;
+pub mod sparse;
 pub mod spectrogram;
 pub mod stock;
 pub mod traffic;
 
 pub use planted::{planted_parafac2, tenrand_irregular};
 pub use registry::{registry, DatasetKind, DatasetSpec};
+pub use sparse::planted_sparse;
 pub use stock::{StockDataset, StockMarketConfig};

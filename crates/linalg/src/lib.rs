@@ -25,6 +25,10 @@
 //! * [`solve`] — LU and triangular solves (used by tests and baselines).
 //! * [`random`] — seeded Gaussian/uniform matrix generation (Box–Muller), the
 //!   `Ω` test matrices of randomized SVD.
+//! * [`sparse`] — CSR slices ([`SparseSlice`], [`CooBuilder`]) and the
+//!   sparse kernel family (SpMM, transposed SpMM, Gram, mode-3 MTTKRP,
+//!   norms over nonzeros), each bitwise identical to densifying and
+//!   running the corresponding naive dense loop.
 //!
 //! Everything is deterministic given a seed and needs no external BLAS.
 //! The crate is safe Rust except for one narrowly-scoped exception in
@@ -57,6 +61,7 @@ pub mod pinv;
 pub mod qr;
 pub mod random;
 pub mod solve;
+pub mod sparse;
 pub mod svd;
 pub mod view;
 
@@ -65,6 +70,7 @@ pub use mat::Mat;
 pub use pinv::{pinv, pinv_into};
 pub use qr::{qr, QrFactors};
 pub use random::{gaussian_mat, uniform_mat};
+pub use sparse::{CooBuilder, SparseSlice};
 pub use svd::{svd_thin, svd_truncated, SvdFactors, SvdScratch};
 pub use view::{AsMatRef, MatMut, MatRef};
 

@@ -8,6 +8,8 @@
 //!   and mode-`n` matricization in the Kolda–Bader convention.
 //! * [`IrregularTensor`] — the paper's `{X_k}_{k=1..K}`: a collection of
 //!   dense slices `X_k ∈ R^{I_k×J}` sharing the column dimension `J`.
+//! * [`SparseIrregularTensor`] — the same collection with CSR slices
+//!   ([`SparseSlice`]), for SPARTan-parity workloads that are >99% zeros.
 //! * [`mod@kron`] ([`kron()`](kron::kron), [`khatri_rao`]) — the ⊗ and ⊙ products of Table I.
 //! * [`cp`] — CP-ALS building blocks (MTTKRP, factor updates) used by the
 //!   inner loop of PARAFAC2-ALS (Algorithm 2, lines 11–16).
@@ -28,11 +30,14 @@ pub mod cp;
 pub mod dense3;
 pub mod irregular;
 pub mod kron;
+pub mod sparse;
 
 pub use cp::{
     cp_als, mttkrp, mttkrp_into, mttkrp_slicewise, normalize_columns, normalize_columns_mut,
     CpFactors, MttkrpScratch,
 };
 pub use dense3::Dense3;
+pub use dpar2_linalg::sparse::{CooBuilder, SparseSlice};
 pub use irregular::IrregularTensor;
 pub use kron::{khatri_rao, khatri_rao_into, kron};
+pub use sparse::SparseIrregularTensor;

@@ -7,13 +7,18 @@
 //! This crate re-exports every sub-crate of the workspace so that examples,
 //! integration tests, and downstream users can depend on a single package:
 //!
-//! * [`linalg`] — dense linear algebra (gemm, QR, SVD, eig, pinv).
-//! * [`tensor`] — regular/irregular tensors, matricization, ⊗/⊙/∗ products.
+//! * [`linalg`] — dense linear algebra (gemm, QR, SVD, eig, pinv) plus CSR
+//!   sparse kernels (`sparse::SparseSlice`, SpMM/Gram/MTTKRP) that are
+//!   bit-identical to their densified naive counterparts.
+//! * [`tensor`] — regular/irregular tensors (dense and CSR-sparse),
+//!   matricization, ⊗/⊙/∗ products.
 //! * [`rsvd`] — randomized SVD (Algorithm 1).
 //! * [`parallel`] — thread pool + greedy slice partitioning (Algorithm 4).
 //! * [`core`] — the DPar2 solver (Algorithm 3).
-//! * [`baselines`] — PARAFAC2-ALS, RD-ALS, SPARTan-dense (Algorithm 2 & §V).
-//! * [`data`] — synthetic stand-ins for the paper's eight datasets.
+//! * [`baselines`] — PARAFAC2-ALS, RD-ALS, SPARTan-dense, and the O(nnz)
+//!   SPARTan-sparse solver (Algorithm 2 & §V).
+//! * [`data`] — synthetic stand-ins for the paper's eight datasets, plus
+//!   Bernoulli-observed planted sparse models.
 //! * [`analysis`] — feature correlations, stock similarity, k-NN, RWR (§IV-E).
 //! * [`obs`] — lock-free metrics registry (counters, gauges, log₂-bucket
 //!   latency histograms, RAII spans) plus Prometheus-text and JSON export.

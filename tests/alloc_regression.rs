@@ -16,9 +16,9 @@
 // is relaxed outside the SIMD kernel: `GlobalAlloc` is an unsafe trait.
 #![allow(unsafe_code)]
 
-use dpar2_repro::baselines::{NaiveCompressedAls, Parafac2Als, RdAls, SpartanDense};
+use dpar2_repro::baselines::{NaiveCompressedAls, Parafac2Als, RdAls, SpartanDense, SpartanSparse};
 use dpar2_repro::core::{Dpar2, FitOptions, IterationEvent, Parafac2Solver, StopReason};
-use dpar2_repro::data::planted_parafac2;
+use dpar2_repro::data::{planted_parafac2, planted_sparse};
 use dpar2_repro::tensor::IrregularTensor;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -127,6 +127,32 @@ fn other_baselines_stay_under_allocation_ceiling() {
             solver.name()
         );
     }
+}
+
+/// Sparse-subsystem pin: `SpartanSparse` steady-state ALS iterations over
+/// CSR slices are allocation-free, like DPar2's and RD-ALS's — the
+/// sparse kernels write into the `Workspace` arena and per-slice scratch
+/// sized during the warmup iteration. The J = 7, R = 3 configuration
+/// keeps every dense product on the naive (non-packing) path.
+#[test]
+fn spartan_sparse_steady_state_iterations_allocate_nothing() {
+    let t = planted_sparse(&[30, 45, 22, 38], 7, 3, 0.3, 0.1, 9003);
+    let mut snapshots: Vec<u64> = Vec::with_capacity(64);
+    let mut observer = |_e: &IterationEvent| {
+        snapshots.push(allocs_now());
+        ControlFlow::<StopReason>::Continue(())
+    };
+    let fit = SpartanSparse.fit_sparse_observed(&t, &options(), &mut observer).expect("fit failed");
+    assert!(
+        fit.iterations >= 3,
+        "need ≥3 iterations to observe steady state, got {}",
+        fit.iterations
+    );
+    let deltas: Vec<u64> = snapshots.windows(2).map(|w| w[1] - w[0]).collect();
+    assert!(
+        deltas.iter().all(|&d| d == 0),
+        "SPARTan-sparse allocated in steady state: per-iteration counts after warmup = {deltas:?}"
+    );
 }
 
 /// Serving pin: a steady-state probe of the pruned top-k index allocates
