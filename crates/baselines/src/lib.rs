@@ -45,7 +45,7 @@ pub use spartan::SpartanDense;
 pub use spartan_sparse::SpartanSparse;
 
 use dpar2_core::{Dpar2, FitObserver, FitOptions, Parafac2Fit, Parafac2Solver, Result};
-use dpar2_tensor::IrregularTensor;
+use dpar2_tensor::{IrregularTensor, SparseIrregularTensor};
 use std::fmt;
 use std::str::FromStr;
 
@@ -159,7 +159,14 @@ impl FromStr for Method {
 }
 
 /// Runs the chosen method on `tensor` with the shared fit options — a thin
-/// veneer over `method.solver().fit(...)`.
+/// veneer over `method.solver().fit(...)`, plus the sparse auto-dispatch
+/// described on [`FitOptions::sparse_threshold`]: when the threshold is
+/// set, the method is [`Method::Dpar2`], and the tensor's nonzero density
+/// is strictly below the threshold, the input is sparsified (one CSR
+/// conversion) and routed through [`Dpar2::fit_sparse`], making the whole
+/// compression stage O(nnz). The decision lands on the observer's
+/// `on_input_shape` hook (and through it on the fit metrics'
+/// `sparse_dispatch` gauge).
 ///
 /// # Errors
 /// Propagates rank-validation and warm-start errors (identical across
@@ -169,7 +176,7 @@ pub fn fit_with(
     tensor: &IrregularTensor,
     options: &FitOptions<'_>,
 ) -> Result<Parafac2Fit> {
-    method.solver().fit(tensor, options)
+    fit_with_observer(method, tensor, options, &mut dpar2_core::NoopObserver)
 }
 
 /// [`fit_with`] with a [`FitObserver`] session.
@@ -182,6 +189,16 @@ pub fn fit_with_observer(
     options: &FitOptions<'_>,
     observer: &mut dyn FitObserver,
 ) -> Result<Parafac2Fit> {
+    if method == Method::Dpar2 {
+        if let Some(threshold) = options.sparse_threshold {
+            let cells = tensor.num_entries();
+            let density = if cells == 0 { 1.0 } else { tensor.nnz() as f64 / cells as f64 };
+            if density < threshold {
+                let sparse = SparseIrregularTensor::from_dense(tensor);
+                return Dpar2.fit_sparse_observed(&sparse, options, observer);
+            }
+        }
+    }
     method.solver().fit_observed(tensor, options, observer)
 }
 
@@ -215,5 +232,86 @@ mod tests {
         for m in Method::WITH_ABLATION {
             assert_eq!(m.solver().name(), m.name());
         }
+    }
+
+    /// Captures the `on_input_shape` hook so the dispatch decision is
+    /// observable without a metrics registry.
+    struct CaptureDispatch {
+        nnz: u64,
+        num_cells: u64,
+        sparse_path: Option<bool>,
+    }
+
+    impl FitObserver for CaptureDispatch {
+        fn on_iteration(
+            &mut self,
+            _: &dpar2_core::IterationEvent,
+        ) -> std::ops::ControlFlow<dpar2_core::StopReason> {
+            std::ops::ControlFlow::Continue(())
+        }
+
+        fn on_input_shape(&mut self, nnz: u64, num_cells: u64, sparse_path: bool) {
+            self.nnz = nnz;
+            self.num_cells = num_cells;
+            self.sparse_path = Some(sparse_path);
+        }
+    }
+
+    #[test]
+    fn sparse_threshold_auto_dispatches_dpar2() {
+        use dpar2_core::RsvdConfig;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+
+        // ~4 nonzeros per 16-wide row → density ~0.25.
+        let mut rng = StdRng::seed_from_u64(104);
+        let slices: Vec<dpar2_linalg::Mat> = [40usize, 32, 36]
+            .iter()
+            .map(|&ik| {
+                let mut m = dpar2_linalg::Mat::zeros(ik, 16);
+                for i in 0..ik {
+                    for _ in 0..4 {
+                        let j = (rng.random::<u64>() % 16) as usize;
+                        m.set(i, j, rng.random::<f64>() - 0.5);
+                    }
+                }
+                m
+            })
+            .collect();
+        let tensor = IrregularTensor::new(slices);
+        // rank 3 + oversample 2 keeps the sketch on the naive dispatch
+        // path, so the sparse route must be bitwise the dense one.
+        let opts = FitOptions::new(3)
+            .with_seed(105)
+            .with_rsvd(RsvdConfig { rank: 3, oversample: 2, power_iterations: 1 })
+            .with_max_iterations(6)
+            .with_tolerance(0.0);
+
+        // Below threshold: routed through the sparse path.
+        let mut cap = CaptureDispatch { nnz: 0, num_cells: 0, sparse_path: None };
+        let auto =
+            fit_with_observer(Method::Dpar2, &tensor, &opts.with_sparse_threshold(0.5), &mut cap)
+                .unwrap();
+        assert_eq!(cap.sparse_path, Some(true), "low-density input must dispatch sparse");
+        assert_eq!(cap.nnz, tensor.nnz() as u64);
+        assert_eq!(cap.num_cells, tensor.num_entries() as u64);
+
+        let dense = fit_with(Method::Dpar2, &tensor, &opts).unwrap();
+        assert_eq!(auto.u, dense.u, "auto-dispatched sparse fit diverged from dense (U)");
+        assert_eq!(auto.s, dense.s, "auto-dispatched sparse fit diverged from dense (S)");
+        assert_eq!(auto.v, dense.v, "auto-dispatched sparse fit diverged from dense (V)");
+        assert_eq!(auto.criterion_trace, dense.criterion_trace);
+
+        // Density at/above threshold (or threshold unset): dense path.
+        let mut cap = CaptureDispatch { nnz: 0, num_cells: 0, sparse_path: None };
+        fit_with_observer(Method::Dpar2, &tensor, &opts.with_sparse_threshold(1e-6), &mut cap)
+            .unwrap();
+        assert_eq!(cap.sparse_path, Some(false), "dense-ish input must stay dense");
+        assert_eq!(cap.nnz, cap.num_cells, "dense entry point reports full cells as nnz");
+
+        // Non-DPar2 methods ignore the threshold.
+        let mut cap = CaptureDispatch { nnz: 0, num_cells: 0, sparse_path: None };
+        fit_with_observer(Method::Parafac2Als, &tensor, &opts.with_sparse_threshold(0.5), &mut cap)
+            .unwrap();
+        assert_ne!(cap.sparse_path, Some(true), "baselines must not be rerouted");
     }
 }

@@ -83,6 +83,7 @@ impl SpartanSparse {
         observer: &mut dyn FitObserver,
     ) -> Result<Parafac2Fit> {
         let t0 = Instant::now();
+        observer.on_input_shape(tensor.nnz() as u64, tensor.num_cells() as u64, true);
         let r = options.rank;
         validate_rank_dims(tensor.dims(), tensor.j(), r)?;
         let k_dim = tensor.k();

@@ -3,21 +3,31 @@
 //! `BENCH_sparse.json`.
 //!
 //! For each density in `--densities`, a planted sparse PARAFAC2 model is
-//! observed through a Bernoulli mask into CSR slices, then fitted twice:
+//! observed through a Bernoulli mask into CSR slices, then fitted three
+//! ways:
 //!
-//! 1. **SPARTan-sparse** on the CSR tensor directly (`fit_sparse`), cost
-//!    and memory proportional to `nnz`;
-//! 2. **SPARTan (dense)** on the densified tensor — the measured region
+//! 1. **DPar2-sparse** on the CSR tensor directly (`fit_sparse`): the
+//!    whole randomized compression stage runs at O(nnz) per pass, and the
+//!    compressed ALS iterations are density-independent;
+//! 2. **SPARTan-sparse** on the same CSR tensor (`fit_sparse`), per-ALS
+//!    iteration cost proportional to `nnz`;
+//! 3. **DPar2 (dense)** on the densified tensor — the measured region
 //!    includes the densification itself, because materializing the dense
 //!    backing buffer *is* the cost the sparse subsystem exists to avoid.
 //!
+//! The rsvd oversample is pinned to 1 (rank 4 → sketch 5, on the naive
+//! GEMM dispatch path), so runs 1 and 3 draw identical sketches and their
+//! final fit criteria are asserted **bitwise equal** — the peak-memory
+//! and timing gap is pure representation, not a different answer.
+//!
 //! A byte-exact peak-tracking allocator (same carve-out as `topk_index`)
 //! measures each fit's peak live bytes; the acceptance criterion is a
-//! ≥10× dense/sparse peak ratio at the lowest density (10⁻³ by default).
-//! Input-shape gauges (`sparse_fit_input_nnz`, `sparse_fit_input_density_ppm`)
-//! and fit counters/histograms are recorded through a `MetricsObserver`,
-//! and the artifact embeds the registry snapshot only after round-tripping
-//! it through the JSON exporter.
+//! ≥10× DPar2-dense/DPar2-sparse peak ratio at the lowest density (10⁻³
+//! by default). Input-shape gauges (`sparse_fit_input_nnz`,
+//! `sparse_fit_input_density_ppm`, `sparse_fit_sparse_dispatch`) and fit
+//! counters/histograms are recorded through a `MetricsObserver`, and the
+//! artifact embeds the registry snapshot only after round-tripping it
+//! through the JSON exporter.
 //!
 //! ```text
 //! cargo run -p dpar2-bench --release --bin sparse_fit
@@ -28,17 +38,17 @@
 //! (6), `--rows` (base slice height, 1200), `--j` (128), `--rank` (4),
 //! `--iters` (8), `--seed` (0), `--out` (`BENCH_sparse.json` at the repo
 //! root). The default shape is sized so the dense tensor dominates the
-//! dense-side peak: the sparse-side peak is a fixed ~1 MiB of factor and
-//! SVD workspace, and the asymptotic ratio is ≈ (J + R)/R.
+//! dense-side peak: both sparse-side peaks are small factor/SVD workspaces,
+//! and the asymptotic dense/sparse ratio is ≈ 1/density at low density.
 
 // The peak-tracking allocator implements the unsafe `GlobalAlloc` trait —
 // the same carve-out from the workspace-wide `deny(unsafe_code)` as the
 // root `alloc_regression` suite's counting allocator.
 #![allow(unsafe_code)]
 
-use dpar2_baselines::{SpartanDense, SpartanSparse};
+use dpar2_baselines::SpartanSparse;
 use dpar2_bench::Args;
-use dpar2_core::{FitMetrics, FitOptions, MetricsObserver};
+use dpar2_core::{Dpar2, FitMetrics, FitOptions, MetricsObserver, Parafac2Fit, RsvdConfig};
 use dpar2_data::planted_sparse;
 use dpar2_obs::{export, MetricsRegistry, Snapshot};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -99,6 +109,46 @@ fn mib(bytes: usize) -> f64 {
     bytes as f64 / (1 << 20) as f64
 }
 
+/// One measured run, reduced to what the report needs.
+struct RunStats {
+    iter_s: f64,
+    preprocess_s: f64,
+    peak: usize,
+    iterations: usize,
+    final_criterion: f64,
+}
+
+impl RunStats {
+    fn new(fit: &Parafac2Fit, peak: usize) -> RunStats {
+        RunStats {
+            iter_s: fit.timing.iterations_secs / fit.iterations.max(1) as f64,
+            preprocess_s: fit.timing.preprocess_secs,
+            peak,
+            iterations: fit.iterations,
+            final_criterion: fit.criterion_trace.last().copied().unwrap_or(f64::NAN),
+        }
+    }
+
+    fn print(&self, label: &str) {
+        println!(
+            "   {label:14} {:9.3} ms/iter  preprocess {:8.3} ms  peak {:8.2} MiB  \
+             final criterion {:.6e}",
+            self.iter_s * 1e3,
+            self.preprocess_s * 1e3,
+            mib(self.peak),
+            self.final_criterion
+        );
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"iter_seconds\": {:.6}, \"preprocess_seconds\": {:.6}, \"peak_bytes\": {}, \
+             \"iterations\": {}, \"final_criterion\": {:.12e}}}",
+            self.iter_s, self.preprocess_s, self.peak, self.iterations, self.final_criterion
+        )
+    }
+}
+
 fn main() {
     let args = Args::parse();
     let densities: Vec<f64> = args
@@ -141,58 +191,71 @@ fn main() {
         let tensor =
             planted_sparse(&row_dims, j, rank, density, 0.05, seed.wrapping_add(di as u64));
         let nnz = tensor.nnz();
-        metrics.record_input_shape(nnz as u64, tensor.num_cells() as u64);
         println!("\n-- density {density} ({nnz} nonzeros of {} cells) --", tensor.num_cells());
 
         // threads = 1: the comparison is serial-vs-serial (thread
-        // invariance of the sparse solver is pinned by the test suite).
+        // invariance of the sparse paths is pinned by the test suite).
+        // Oversample 1 → sketch = rank + 1 ≤ 5 stays on the naive GEMM
+        // dispatch path, the regime where DPar2-sparse is bitwise the
+        // dense run.
         let opts = FitOptions::new(rank)
             .with_seed(seed ^ 0x5EED)
+            .with_rsvd(RsvdConfig { rank, oversample: 1, power_iterations: 1 })
             .with_max_iterations(iters)
             .with_tolerance(0.0)
             .with_threads(1);
 
         let mut observer = MetricsObserver::new(&metrics);
-        let (sparse_fit, sparse_peak) = peak_during(|| {
-            SpartanSparse
+        let (dpar2_sparse_fit, dpar2_sparse_peak) = peak_during(|| {
+            Dpar2
                 .fit_sparse_observed(&tensor, &opts, &mut observer)
-                .expect("sparse fit failed")
+                .expect("DPar2 sparse fit failed")
         });
-        let sparse_iter_s = sparse_fit.timing.iterations_secs / sparse_fit.iterations.max(1) as f64;
+        let dpar2_sparse = RunStats::new(&dpar2_sparse_fit, dpar2_sparse_peak);
 
-        // Dense baseline: densification included in the measured region.
-        let (dense_fit, dense_peak) = peak_during(|| {
+        let (spartan_fit, spartan_peak) = peak_during(|| {
+            SpartanSparse.fit_sparse(&tensor, &opts).expect("SPARTan sparse fit failed")
+        });
+        let spartan_sparse = RunStats::new(&spartan_fit, spartan_peak);
+
+        // Dense DPar2: densification included in the measured region.
+        let (dpar2_dense_fit, dpar2_dense_peak) = peak_during(|| {
             let dense = tensor.to_dense();
-            SpartanDense.fit(&dense, &opts).expect("dense fit failed")
+            Dpar2.fit(&dense, &opts).expect("DPar2 dense fit failed")
         });
-        let dense_iter_s = dense_fit.timing.iterations_secs / dense_fit.iterations.max(1) as f64;
+        let dpar2_dense = RunStats::new(&dpar2_dense_fit, dpar2_dense_peak);
 
-        let peak_ratio = dense_peak as f64 / sparse_peak.max(1) as f64;
-        let iter_speedup = dense_iter_s / sparse_iter_s.max(1e-12);
-        println!(
-            "   sparse: {:9.3} ms/iter  peak {:8.2} MiB   final criterion {:.3e}",
-            sparse_iter_s * 1e3,
-            mib(sparse_peak),
-            sparse_fit.criterion_trace.last().copied().unwrap_or(f64::NAN)
+        // The sparse path must land on the *same answer*, bit for bit.
+        assert_eq!(
+            dpar2_sparse_fit.criterion_trace, dpar2_dense_fit.criterion_trace,
+            "DPar2 sparse and dense criterion traces diverged at density {density}"
         );
-        println!(
-            "   dense:  {:9.3} ms/iter  peak {:8.2} MiB   final criterion {:.3e}",
-            dense_iter_s * 1e3,
-            mib(dense_peak),
-            dense_fit.criterion_trace.last().copied().unwrap_or(f64::NAN)
+        assert_eq!(
+            dpar2_sparse.iterations, dpar2_dense.iterations,
+            "DPar2 sparse and dense iteration counts diverged at density {density}"
         );
-        println!("   dense/sparse: peak {peak_ratio:.1}x, time-per-iteration {iter_speedup:.2}x");
+
+        let peak_ratio = dpar2_dense.peak as f64 / dpar2_sparse.peak.max(1) as f64;
+        let spartan_peak_ratio = dpar2_dense.peak as f64 / spartan_sparse.peak.max(1) as f64;
+        let iter_speedup = dpar2_dense.iter_s / dpar2_sparse.iter_s.max(1e-12);
+        dpar2_sparse.print("DPar2-sparse:");
+        spartan_sparse.print("SPARTan-sparse:");
+        dpar2_dense.print("DPar2-dense:");
+        println!(
+            "   dense/sparse peak: DPar2 {peak_ratio:.1}x, SPARTan {spartan_peak_ratio:.1}x; \
+             DPar2 time-per-iteration {iter_speedup:.2}x (criteria bitwise equal)"
+        );
 
         json.push_str("    {");
         let _ = write!(
             json,
             "\"density\": {density}, \"nnz\": {nnz}, \
-             \"sparse\": {{\"iter_seconds\": {sparse_iter_s:.6}, \"peak_bytes\": {sparse_peak}, \
-             \"iterations\": {}}}, \
-             \"dense\": {{\"iter_seconds\": {dense_iter_s:.6}, \"peak_bytes\": {dense_peak}, \
-             \"iterations\": {}}}, \
-             \"peak_ratio\": {peak_ratio:.2}, \"iter_speedup\": {iter_speedup:.3}}}",
-            sparse_fit.iterations, dense_fit.iterations
+             \"dpar2_sparse\": {}, \"spartan_sparse\": {}, \"dpar2_dense\": {}, \
+             \"peak_ratio\": {peak_ratio:.2}, \"spartan_peak_ratio\": {spartan_peak_ratio:.2}, \
+             \"iter_speedup\": {iter_speedup:.3}, \"criteria_bitwise_equal\": true}}",
+            dpar2_sparse.json(),
+            spartan_sparse.json(),
+            dpar2_dense.json()
         );
         json.push_str(if di + 1 < densities.len() { ",\n" } else { "\n" });
 
@@ -205,20 +268,22 @@ fn main() {
     if let Some((density, ratio)) = acceptance {
         let _ = writeln!(
             json,
-            "  \"acceptance\": {{\"density\": {density}, \"peak_ratio\": {ratio:.2}}},"
+            "  \"acceptance\": {{\"density\": {density}, \"peak_ratio\": {ratio:.2}, \
+             \"solver\": \"dpar2\"}},"
         );
-        println!("\n   acceptance @ density {density}: dense/sparse peak ratio {ratio:.1}x");
+        println!("\n   acceptance @ density {density}: DPar2 dense/sparse peak ratio {ratio:.1}x");
         if density <= 2e-3 {
             assert!(
                 ratio >= 10.0,
-                "O(nnz) memory acceptance failed: dense/sparse peak ratio {ratio:.1}x < 10x \
-                 at density {density}"
+                "O(nnz) memory acceptance failed: DPar2 dense/sparse peak ratio {ratio:.1}x \
+                 < 10x at density {density}"
             );
         }
     }
 
     // Telemetry snapshot (fit counters, iteration histograms, input-shape
-    // gauges), embedded only after the exporter round-trip check.
+    // and dispatch gauges), embedded only after the exporter round-trip
+    // check.
     let snap = registry.snapshot();
     let _ = write!(json, "  \"metrics\": {}\n}}\n", checked_json(&snap));
 

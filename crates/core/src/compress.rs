@@ -23,8 +23,8 @@ use crate::config::FitOptions;
 use crate::error::{Dpar2Error, Result};
 use dpar2_linalg::Mat;
 use dpar2_parallel::{greedy_partition, ThreadPool};
-use dpar2_rsvd::{rsvd, rsvd_pooled};
-use dpar2_tensor::IrregularTensor;
+use dpar2_rsvd::{rsvd, rsvd_op, rsvd_pooled, RsvdConfig};
+use dpar2_tensor::{IrregularTensor, SparseIrregularTensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -116,19 +116,89 @@ pub fn compress(tensor: &IrregularTensor, options: &FitOptions<'_>) -> Result<Co
     let partition = greedy_partition(&tensor.row_dims(), pool.threads());
     // The compression rank always follows `options.rank`; only the
     // oversampling/power-iteration knobs of `options.rsvd` apply.
-    let rsvd_cfg = dpar2_rsvd::RsvdConfig { rank: r, ..options.rsvd };
+    let rsvd_cfg = RsvdConfig { rank: r, ..options.rsvd };
     let base_seed = options.seed;
     let stage1: Vec<(Mat, Vec<f64>, Mat)> = pool.run_partitioned(&partition, |k| {
         // Independent, slice-indexed stream: parallel schedule cannot
         // change the factorization.
-        let mut rng = StdRng::seed_from_u64(
-            base_seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(k as u64 + 1)),
-        );
+        let mut rng = StdRng::seed_from_u64(stage1_seed(base_seed, k));
         let f = rsvd(tensor.slice(k), &rsvd_cfg, &mut rng);
         (f.u, f.s, f.v)
     });
 
-    // ---- Stage 2: rSVD of M = ∥_k (C_k B_k) ∈ R^{J×KR} ----
+    Ok(stage2(stage1, r, tensor.j(), &rsvd_cfg, base_seed, &pool))
+}
+
+/// Runs the two-stage compression directly on a CSR tensor — no dense
+/// slice is ever materialized, so peak memory and per-pass cost are
+/// proportional to `nnz`, not `Σ_k I_k·J`.
+///
+/// Identical to [`compress`] in everything observable but the kernel
+/// family: the same validation, the same per-slice and stage-2 RNG
+/// streams, and stage-1 rSVDs running on the sparse [`dpar2_rsvd::ProductOp`]
+/// path, whose kernels accumulate in the dense naive loop order. When
+/// every sketch-width product stays on the dense naive dispatch path
+/// (`rank + oversample` below the blocked-GEMM tile width), the result is
+/// **bitwise identical** to `compress(&tensor.to_dense(), options)` —
+/// the property the sparse differential suite pins. Slices are
+/// greedy-partitioned over threads by nnz (the sparse rSVD cost driver)
+/// rather than by row count; the partition only affects scheduling, never
+/// values.
+///
+/// # Errors
+/// [`Dpar2Error::RankTooLarge`] if `R > min(I_k, J)` for any slice;
+/// [`Dpar2Error::ZeroRank`] if `R == 0`.
+pub fn compress_sparse(
+    tensor: &SparseIrregularTensor,
+    options: &FitOptions<'_>,
+) -> Result<CompressedTensor> {
+    let r = options.rank;
+    if r == 0 {
+        return Err(Dpar2Error::ZeroRank);
+    }
+    for k in 0..tensor.k() {
+        let limit = tensor.i(k).min(tensor.j());
+        if r > limit {
+            return Err(Dpar2Error::RankTooLarge { rank: r, slice: k, limit });
+        }
+    }
+
+    let pool = ThreadPool::new(options.threads.max(1));
+    let nnz_weights: Vec<usize> = (0..tensor.k()).map(|k| tensor.slice(k).nnz()).collect();
+    let partition = greedy_partition(&nnz_weights, pool.threads());
+    let rsvd_cfg = RsvdConfig { rank: r, ..options.rsvd };
+    let base_seed = options.seed;
+    let stage1: Vec<(Mat, Vec<f64>, Mat)> = pool.run_partitioned(&partition, |k| {
+        // The identical slice-indexed stream as the dense path: same seed,
+        // same Gaussian draws, only the product kernels differ.
+        let mut rng = StdRng::seed_from_u64(stage1_seed(base_seed, k));
+        let f = rsvd_op(tensor.slice(k), &rsvd_cfg, &mut rng);
+        (f.u, f.s, f.v)
+    });
+
+    Ok(stage2(stage1, r, tensor.j(), &rsvd_cfg, base_seed, &pool))
+}
+
+/// Per-slice stage-1 RNG seed — one fixed formula shared by the dense and
+/// sparse compression paths (and mirrored by the rank-probe/streaming
+/// derivations), so the two paths consume identical Gaussian streams.
+#[inline]
+fn stage1_seed(base_seed: u64, k: usize) -> u64 {
+    base_seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(k as u64 + 1))
+}
+
+/// Stage 2 — rSVD of `M = ∥_k (C_k B_k) ∈ R^{J×KR}` — shared verbatim by
+/// [`compress`] and [`compress_sparse`]: stage 1 already reduced every
+/// slice to small dense factors, so from here on the pipeline is dense and
+/// identical regardless of the input representation.
+fn stage2(
+    stage1: Vec<(Mat, Vec<f64>, Mat)>,
+    r: usize,
+    j: usize,
+    rsvd_cfg: &RsvdConfig,
+    base_seed: u64,
+    pool: &ThreadPool,
+) -> CompressedTensor {
     // C_k B_k is C_k with column c scaled by B_k's c-th singular value.
     let cb: Vec<Mat> = stage1
         .iter()
@@ -149,20 +219,20 @@ pub fn compress(tensor: &IrregularTensor, options: &FitOptions<'_>) -> Result<Co
     // parallelism to exploit, so its GEMM chains fan out over the pool
     // instead (pooled GEMM is bit-identical for every thread count, which
     // keeps the whole compression schedule-independent).
-    let f2 = rsvd_pooled(&m, &rsvd_cfg, &mut rng2, &pool);
+    let f2 = rsvd_pooled(&m, rsvd_cfg, &mut rng2, pool);
 
     // F ∈ R^{KR×R} comes back as f2.v; carve out the K vertical R×R blocks.
     let f_blocks: Vec<Mat> =
-        (0..tensor.k()).map(|k| f2.v.block(k * r, (k + 1) * r, 0, r)).collect();
+        (0..stage1.len()).map(|k| f2.v.block(k * r, (k + 1) * r, 0, r)).collect();
 
-    Ok(CompressedTensor {
+    CompressedTensor {
         a: stage1.into_iter().map(|(a, _, _)| a).collect(),
         d: f2.u,
         e: f2.s,
         f_blocks,
         rank: r,
-        j: tensor.j(),
-    })
+        j,
+    }
 }
 
 #[cfg(test)]

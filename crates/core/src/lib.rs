@@ -77,7 +77,7 @@ pub mod session;
 pub mod solver;
 pub mod streaming;
 
-pub use compress::{compress, CompressedTensor};
+pub use compress::{compress, compress_sparse, CompressedTensor};
 pub use config::FitOptions;
 pub use error::{Dpar2Error, Result};
 pub use fitness::{fitness, Parafac2Fit, TimingBreakdown};
@@ -88,3 +88,7 @@ pub use session::{
 };
 pub use solver::{Dpar2, WarmStart};
 pub use streaming::StreamingDpar2;
+
+// `FitOptions::rsvd` is part of this crate's public surface; re-export its
+// type so downstream crates can configure it without a direct rsvd dep.
+pub use dpar2_rsvd::RsvdConfig;

@@ -36,6 +36,9 @@ fn secs_to_ns(secs: f64) -> u64 {
 /// * `{prefix}_input_nnz` / `{prefix}_input_density_ppm` — gauges
 ///   describing the most recent fit's input tensor (see
 ///   [`FitMetrics::record_input_shape`]).
+/// * `{prefix}_sparse_dispatch` — 1 when the most recent fit took a
+///   sparse solver path (including the auto-dispatch in
+///   `baselines::fit_with`), 0 for a dense fit.
 #[derive(Debug, Clone)]
 pub struct FitMetrics {
     /// Completed fits.
@@ -52,6 +55,8 @@ pub struct FitMetrics {
     /// Density of the most recent fit's input, in parts per million
     /// (1_000_000 for dense fits).
     pub density_ppm: Gauge,
+    /// 1 when the most recent fit ran a sparse path, 0 when dense.
+    pub sparse_dispatch: Gauge,
 }
 
 impl FitMetrics {
@@ -65,6 +70,7 @@ impl FitMetrics {
                 .map(|p| registry.histogram(&format!("{prefix}_phase_{}_ns", p.name()))),
             nnz: registry.gauge(&format!("{prefix}_input_nnz")),
             density_ppm: registry.gauge(&format!("{prefix}_input_density_ppm")),
+            sparse_dispatch: registry.gauge(&format!("{prefix}_sparse_dispatch")),
         }
     }
 
@@ -132,6 +138,14 @@ impl FitObserver for MetricsObserver<'_> {
         }
         if let Some(inner) = self.inner.as_deref_mut() {
             inner.on_phase(phase, secs);
+        }
+    }
+
+    fn on_input_shape(&mut self, nnz: u64, num_cells: u64, sparse_path: bool) {
+        self.metrics.record_input_shape(nnz, num_cells);
+        self.metrics.sparse_dispatch.set(i64::from(sparse_path));
+        if let Some(inner) = self.inner.as_deref_mut() {
+            inner.on_input_shape(nnz, num_cells, sparse_path);
         }
     }
 }
@@ -205,6 +219,20 @@ mod tests {
         // Counts beyond i64 saturate instead of wrapping.
         metrics.record_input_shape(u64::MAX, u64::MAX);
         assert_eq!(registry.snapshot().gauge("fit_input_nnz"), Some(i64::MAX));
+    }
+
+    #[test]
+    fn input_shape_hook_records_dispatch_decision() {
+        let registry = MetricsRegistry::new();
+        let metrics = FitMetrics::register(&registry, "fit");
+        let mut obs = MetricsObserver::new(&metrics);
+        obs.on_input_shape(17, 1_000, true);
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("fit_input_nnz"), Some(17));
+        assert_eq!(snap.gauge("fit_input_density_ppm"), Some(17_000));
+        assert_eq!(snap.gauge("fit_sparse_dispatch"), Some(1));
+        obs.on_input_shape(1_000, 1_000, false);
+        assert_eq!(registry.snapshot().gauge("fit_sparse_dispatch"), Some(0));
     }
 
     #[test]

@@ -234,6 +234,16 @@ pub trait FitObserver {
     fn on_phase(&mut self, phase: FitPhase, secs: f64) {
         let _ = (phase, secs);
     }
+
+    /// Called once at fit entry by every sparse-capable solver, describing
+    /// the input tensor: `nnz` stored entries out of `num_cells`
+    /// addressable cells (`nnz == num_cells` for dense fits), and whether
+    /// the solver took its sparse path (`sparse_path`) — the dispatch
+    /// decision `baselines::fit_with` records through the fit metrics.
+    /// Default: ignore.
+    fn on_input_shape(&mut self, nnz: u64, num_cells: u64, sparse_path: bool) {
+        let _ = (nnz, num_cells, sparse_path);
+    }
 }
 
 impl<F> FitObserver for F

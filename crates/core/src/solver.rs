@@ -1,6 +1,6 @@
 //! The DPar2 solver — Algorithm 3 of the paper.
 
-use crate::compress::{compress, CompressedTensor};
+use crate::compress::{compress, compress_sparse, CompressedTensor};
 use crate::config::FitOptions;
 use crate::convergence::compressed_criterion_ws;
 use crate::error::{Dpar2Error, Result};
@@ -12,7 +12,7 @@ use dpar2_linalg::svd::svd_thin_into;
 use dpar2_linalg::{Mat, SvdFactors, SvdScratch};
 use dpar2_parallel::ThreadPool;
 use dpar2_tensor::normalize_columns_mut;
-use dpar2_tensor::IrregularTensor;
+use dpar2_tensor::{IrregularTensor, SparseIrregularTensor};
 use rand::SeedableRng;
 use std::time::Instant;
 
@@ -131,8 +131,52 @@ impl Dpar2 {
         observer: &mut dyn FitObserver,
     ) -> Result<Parafac2Fit> {
         let t0 = Instant::now();
+        let cells = tensor.num_entries() as u64;
+        observer.on_input_shape(cells, cells, false);
         let options = &self.resolve_rank_energy(tensor, options);
         let compressed = compress(tensor, options)?;
+        let preprocess_secs = t0.elapsed().as_secs_f64();
+        observer.on_phase(FitPhase::Compress, preprocess_secs);
+        let mut fit = self.fit_compressed_observed(&compressed, options, observer)?;
+        fit.timing.preprocess_secs = preprocess_secs;
+        fit.timing.total_secs += preprocess_secs;
+        Ok(fit)
+    }
+
+    /// Decomposes a CSR sparse irregular tensor without ever materializing
+    /// dense slices: stage-1 compression runs the randomized SVD directly
+    /// on each [`dpar2_linalg::SparseSlice`] at O(nnz·(R+s)) per pass
+    /// (see [`crate::compress_sparse`]), and stages 2+ reuse the dense
+    /// pipeline unchanged on the already-compressed `R`-dimensional
+    /// factors. With the sketch width on the naive-dispatch path the
+    /// result is bitwise identical to [`Dpar2::fit`] on
+    /// [`SparseIrregularTensor::to_dense`].
+    ///
+    /// # Errors
+    /// Same surface as [`Dpar2::fit`]: [`crate::Dpar2Error`] from the
+    /// compression stage (invalid rank) and warm-start validation.
+    pub fn fit_sparse(
+        &self,
+        tensor: &SparseIrregularTensor,
+        options: &FitOptions<'_>,
+    ) -> Result<Parafac2Fit> {
+        self.fit_sparse_observed(tensor, options, &mut NoopObserver)
+    }
+
+    /// [`Dpar2::fit_sparse`] with a [`FitObserver`] session.
+    ///
+    /// # Errors
+    /// See [`Dpar2::fit_sparse`].
+    pub fn fit_sparse_observed(
+        &self,
+        tensor: &SparseIrregularTensor,
+        options: &FitOptions<'_>,
+        observer: &mut dyn FitObserver,
+    ) -> Result<Parafac2Fit> {
+        let t0 = Instant::now();
+        observer.on_input_shape(tensor.nnz() as u64, tensor.num_cells() as u64, true);
+        let options = &self.resolve_rank_energy_sparse(tensor, options);
+        let compressed = compress_sparse(tensor, options)?;
         let preprocess_secs = t0.elapsed().as_secs_f64();
         observer.on_phase(FitPhase::Compress, preprocess_secs);
         let mut fit = self.fit_compressed_observed(&compressed, options, observer)?;
@@ -169,6 +213,28 @@ impl Dpar2 {
             &mut rng,
             &pool,
         );
+        options.with_rank(probe.rank.clamp(1, options.rank.max(1)))
+    }
+
+    /// Sparse counterpart of [`Dpar2::resolve_rank_energy`]: probes the
+    /// stacked spectrum through a [`dpar2_rsvd::SparseVStack`] operator
+    /// (O(nnz) per pass, nothing densified) with the same probe seed
+    /// offset, so dense and sparse probes of the same data draw identical
+    /// sketches.
+    fn resolve_rank_energy_sparse<'a>(
+        &self,
+        tensor: &SparseIrregularTensor,
+        options: &FitOptions<'a>,
+    ) -> FitOptions<'a> {
+        let Some(threshold) = options.rank_energy else {
+            return *options;
+        };
+        let pool = ThreadPool::new(options.threads.max(1));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(options.seed ^ 0xAD4A_9F1E_5EED_0C47);
+        let cfg = dpar2_rsvd::RsvdConfig { rank: options.rank, ..options.rsvd };
+        let stack = dpar2_rsvd::SparseVStack::new(tensor.slices());
+        let probe =
+            dpar2_rsvd::svd_truncated_energy_op_pooled(&stack, &cfg, threshold, &mut rng, &pool);
         options.with_rank(probe.rank.clamp(1, options.rank.max(1)))
     }
 

@@ -30,15 +30,15 @@
 //!    (`H`, `V`, and `W` extended with unit rows for the newcomers), which
 //!    empirically cuts the iterations to re-converge.
 
-use crate::compress::{compress, CompressedTensor};
+use crate::compress::{compress, compress_sparse, CompressedTensor};
 use crate::config::FitOptions;
 use crate::error::{Dpar2Error, Result};
 use crate::fitness::Parafac2Fit;
 use crate::session::{FitObserver, NoopObserver};
 use crate::solver::{Dpar2, WarmStart};
-use dpar2_linalg::Mat;
-use dpar2_rsvd::rsvd;
-use dpar2_tensor::IrregularTensor;
+use dpar2_linalg::{Mat, SparseSlice};
+use dpar2_rsvd::{rsvd, rsvd_op, RsvdConfig};
+use dpar2_tensor::{IrregularTensor, SparseIrregularTensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -132,6 +132,54 @@ impl StreamingDpar2 {
         }
     }
 
+    /// [`StreamingDpar2::append`] for CSR slices: stage 1 runs the O(nnz)
+    /// sparse randomized SVD on each new slice without densifying, and the
+    /// incremental stage-2 update is shared with the dense path. The seed
+    /// derivation is identical — interleaving dense and sparse appends of
+    /// the same data (with the sketch on the naive-dispatch path) produces
+    /// bit-identical compressed state, and `appended_batches` advances the
+    /// same way.
+    ///
+    /// # Errors
+    /// Same contract as [`StreamingDpar2::append`]: a rejected batch
+    /// ([`Dpar2Error::RankTooLarge`], [`Dpar2Error::Linalg`]) leaves the
+    /// ingested state untouched and does not shift the seed stream.
+    pub fn append_sparse(&mut self, slices: Vec<SparseSlice>) -> Result<()> {
+        if slices.is_empty() {
+            return Ok(());
+        }
+        let j = self.ct.as_ref().map_or(slices[0].cols(), |ct| ct.j);
+        if let Some(bad) = slices.iter().find(|s| s.cols() != j) {
+            return Err(Dpar2Error::Linalg(dpar2_linalg::LinalgError::DimensionMismatch {
+                op: "streaming append",
+                left: (j, self.options.rank),
+                right: (bad.cols(), self.options.rank),
+            }));
+        }
+        let batch = SparseIrregularTensor::new(slices);
+        match self.ct.take() {
+            None => {
+                self.ct = Some(compress_sparse(&batch, &self.options)?);
+                self.appended_batches += 1;
+                Ok(())
+            }
+            Some(old) => {
+                let result = self.extend_sparse(&old, &batch);
+                match result {
+                    Ok(updated) => {
+                        self.ct = Some(updated);
+                        self.appended_batches += 1;
+                        Ok(())
+                    }
+                    Err(e) => {
+                        self.ct = Some(old);
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
     /// Incremental stage-2 update with a batch of freshly compressed
     /// slices.
     fn extend(&self, old: &CompressedTensor, batch: &IrregularTensor) -> Result<CompressedTensor> {
@@ -150,20 +198,72 @@ impl StreamingDpar2 {
             }
         }
 
-        // Stage 1 on the new slices only. `appended_batches` counts only
-        // *successful* appends, so the ordinal of the batch being ingested
-        // is one past it (this keeps clean-history seed streams identical
-        // to what they were when the counter was bumped up front).
-        let ordinal = self.appended_batches as u64 + 1;
-        let base_seed = self.options.seed.wrapping_add(0x5EED_0000 + ordinal);
-        let rsvd_cfg = dpar2_rsvd::RsvdConfig { rank: r, ..self.options.rsvd };
+        let (base_seed, rsvd_cfg) = self.batch_stage1_params(r);
         let mut stage1: Vec<(Mat, Vec<f64>, Mat)> = Vec::with_capacity(batch.k());
         for k in 0..batch.k() {
             let mut rng = StdRng::seed_from_u64(stream_seed(base_seed, k));
             let f = rsvd(batch.slice(k), &rsvd_cfg, &mut rng);
             stage1.push((f.u, f.s, f.v));
         }
+        Ok(Self::extend_stage2(old, stage1, r, base_seed, &rsvd_cfg))
+    }
 
+    /// [`StreamingDpar2::extend`] for a CSR batch: stage 1 runs the O(nnz)
+    /// sparse randomized SVD per new slice; the stage-2 basis update is the
+    /// shared dense code (its operands are already `R`-compressed). Seeds
+    /// match the dense path exactly, slice for slice.
+    fn extend_sparse(
+        &self,
+        old: &CompressedTensor,
+        batch: &SparseIrregularTensor,
+    ) -> Result<CompressedTensor> {
+        let r = self.options.rank;
+        if batch.j() != old.j {
+            return Err(Dpar2Error::Linalg(dpar2_linalg::LinalgError::DimensionMismatch {
+                op: "streaming append",
+                left: (old.j, r),
+                right: (batch.j(), r),
+            }));
+        }
+        for k in 0..batch.k() {
+            let limit = batch.i(k).min(batch.j());
+            if r > limit {
+                return Err(Dpar2Error::RankTooLarge { rank: r, slice: old.k() + k, limit });
+            }
+        }
+
+        let (base_seed, rsvd_cfg) = self.batch_stage1_params(r);
+        let mut stage1: Vec<(Mat, Vec<f64>, Mat)> = Vec::with_capacity(batch.k());
+        for k in 0..batch.k() {
+            let mut rng = StdRng::seed_from_u64(stream_seed(base_seed, k));
+            let f = rsvd_op(batch.slice(k), &rsvd_cfg, &mut rng);
+            stage1.push((f.u, f.s, f.v));
+        }
+        Ok(Self::extend_stage2(old, stage1, r, base_seed, &rsvd_cfg))
+    }
+
+    /// Seed base and rsvd configuration for the batch currently being
+    /// ingested. `appended_batches` counts only *successful* appends, so
+    /// the ordinal of the batch being ingested is one past it (this keeps
+    /// clean-history seed streams identical to what they were when the
+    /// counter was bumped up front).
+    fn batch_stage1_params(&self, r: usize) -> (u64, RsvdConfig) {
+        let ordinal = self.appended_batches as u64 + 1;
+        let base_seed = self.options.seed.wrapping_add(0x5EED_0000 + ordinal);
+        (base_seed, RsvdConfig { rank: r, ..self.options.rsvd })
+    }
+
+    /// Shared incremental stage-2 basis update (the module-docs algebra),
+    /// identical for dense- and sparse-ingested batches: by this point the
+    /// batch only exists as its stage-1 factors.
+    fn extend_stage2(
+        old: &CompressedTensor,
+        stage1: Vec<(Mat, Vec<f64>, Mat)>,
+        r: usize,
+        base_seed: u64,
+        rsvd_cfg: &RsvdConfig,
+    ) -> CompressedTensor {
+        let batch_k = stage1.len();
         // G = [D·E ∥ C_1B_1 ∥ … ∥ C_newB_new] ∈ R^{J×(R + K_new R)}.
         let mut de = old.d.clone();
         for i in 0..de.rows() {
@@ -185,20 +285,20 @@ impl StreamingDpar2 {
         }
         let g = Mat::hstack_all(&blocks.iter().collect::<Vec<_>>());
         let mut rng2 = StdRng::seed_from_u64(base_seed ^ 0x0B5E55ED);
-        let f2 = rsvd(&g, &rsvd_cfg, &mut rng2);
+        let f2 = rsvd(&g, rsvd_cfg, &mut rng2);
 
         // Rewrite old F-blocks against the new basis: F'(k) = F(k)·G'_top.
         let g_top = f2.v.block(0, r, 0, r);
         let mut f_blocks: Vec<Mat> =
             old.f_blocks.iter().map(|fk| fk.matmul(&g_top).expect("F(k)·G'_top")).collect();
         // New blocks come straight from G' below the top rows.
-        for j in 0..batch.k() {
+        for j in 0..batch_k {
             f_blocks.push(f2.v.block(r + j * r, r + (j + 1) * r, 0, r));
         }
 
         let mut a = old.a.clone();
         a.extend(stage1.into_iter().map(|(u, _, _)| u));
-        Ok(CompressedTensor { a, d: f2.u, e: f2.s, f_blocks, rank: r, j: old.j })
+        CompressedTensor { a, d: f2.u, e: f2.s, f_blocks, rank: r, j: old.j }
     }
 
     /// Decomposes the current collection, warm-starting from the previous
@@ -490,6 +590,96 @@ mod tests {
         let cfg = FitOptions::new(2).with_seed(81);
         let mut stream = StreamingDpar2::new(cfg);
         stream.append(vec![]).unwrap();
+        assert_eq!(stream.k(), 0);
+        assert!(stream.compressed().is_none());
+    }
+
+    /// Random CSR slices for the sparse-append suite (~30% fill keeps the
+    /// rsvd well-conditioned at rank 3 while exercising real sparsity).
+    fn sparse_batch(seed: u64, dims: &[usize], j: usize) -> Vec<SparseSlice> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        dims.iter()
+            .map(|&ik| {
+                let mut b = dpar2_linalg::CooBuilder::new(ik, j);
+                for i in 0..ik {
+                    for _ in 0..j / 3 {
+                        let col = (rng.random::<u64>() % j as u64) as usize;
+                        b.push(i, col, rng.random::<f64>() - 0.5);
+                    }
+                }
+                b.build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sparse_append_bitwise_matches_dense_append() {
+        // rank 3 + oversample 2 → sketch 5, below the blocked-GEMM tile
+        // height: every sparse product stays on the naive dispatch path,
+        // so the sparse and dense ingest histories must agree *bitwise* —
+        // including interleaving (dense batch, then sparse batch).
+        let cfg = FitOptions::new(3)
+            .with_seed(95)
+            .with_rsvd(dpar2_rsvd::RsvdConfig { rank: 3, oversample: 2, power_iterations: 1 })
+            .with_max_iterations(8)
+            .with_tolerance(0.0);
+        let b1 = sparse_batch(96, &[28, 35], 20);
+        let b2 = sparse_batch(97, &[30, 26, 22], 20);
+
+        let mut sparse = StreamingDpar2::new(cfg);
+        sparse.append_sparse(b1.clone()).unwrap();
+        sparse.append_sparse(b2.clone()).unwrap();
+        let fit_s = sparse.decompose().unwrap();
+
+        let mut dense = StreamingDpar2::new(cfg);
+        dense.append(b1.iter().map(SparseSlice::to_dense).collect()).unwrap();
+        dense.append(b2.iter().map(SparseSlice::to_dense).collect()).unwrap();
+        let fit_d = dense.decompose().unwrap();
+
+        assert_eq!(fit_s.u, fit_d.u, "sparse append diverged from dense (U)");
+        assert_eq!(fit_s.s, fit_d.s, "sparse append diverged from dense (S)");
+        assert_eq!(fit_s.v, fit_d.v, "sparse append diverged from dense (V)");
+        assert_eq!(fit_s.h, fit_d.h, "sparse append diverged from dense (H)");
+        assert_eq!(fit_s.criterion_trace, fit_d.criterion_trace);
+
+        let mut mixed = StreamingDpar2::new(cfg);
+        mixed.append(b1.iter().map(SparseSlice::to_dense).collect()).unwrap();
+        mixed.append_sparse(b2).unwrap();
+        let fit_m = mixed.decompose().unwrap();
+        assert_eq!(fit_m.u, fit_d.u, "interleaved dense/sparse ingest diverged");
+        assert_eq!(fit_m.criterion_trace, fit_d.criterion_trace);
+    }
+
+    #[test]
+    fn failed_sparse_append_preserves_state_and_seed_stream() {
+        let cfg = FitOptions::new(2).with_seed(98).with_max_iterations(10);
+        let good1 = sparse_batch(99, &[24, 20], 12);
+        let good2 = sparse_batch(100, &[18, 26], 12);
+
+        let mut with_failure = StreamingDpar2::new(cfg);
+        with_failure.append_sparse(good1.clone()).unwrap();
+        // Wrong column count: typed error, state untouched.
+        let err = with_failure.append_sparse(sparse_batch(101, &[10], 9)).unwrap_err();
+        assert!(matches!(err, Dpar2Error::Linalg(_)));
+        assert_eq!(with_failure.k(), 2, "failed sparse append lost ingested slices");
+        // Undersized slice for the rank: same contract through extend.
+        let err = with_failure.append_sparse(sparse_batch(102, &[1], 12)).unwrap_err();
+        assert!(matches!(err, Dpar2Error::RankTooLarge { .. }));
+        with_failure.append_sparse(good2.clone()).unwrap();
+        let fit_a = with_failure.decompose().unwrap();
+
+        let mut clean = StreamingDpar2::new(cfg);
+        clean.append_sparse(good1).unwrap();
+        clean.append_sparse(good2).unwrap();
+        let fit_b = clean.decompose().unwrap();
+        assert_eq!(fit_a.u, fit_b.u, "rejected sparse batch shifted the seed stream");
+        assert_eq!(fit_a.criterion_trace, fit_b.criterion_trace);
+    }
+
+    #[test]
+    fn empty_sparse_append_is_noop() {
+        let mut stream = StreamingDpar2::new(FitOptions::new(2).with_seed(103));
+        stream.append_sparse(vec![]).unwrap();
         assert_eq!(stream.k(), 0);
         assert!(stream.compressed().is_none());
     }

@@ -68,7 +68,7 @@ pub mod view;
 pub use error::{LinalgError, Result};
 pub use mat::Mat;
 pub use pinv::{pinv, pinv_into};
-pub use qr::{qr, QrFactors};
+pub use qr::{qr, qr_into, QrFactors, QrScratch};
 pub use random::{gaussian_mat, uniform_mat};
 pub use sparse::{CooBuilder, SparseSlice};
 pub use svd::{svd_thin, svd_truncated, SvdFactors, SvdScratch};

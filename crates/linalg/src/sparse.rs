@@ -8,12 +8,15 @@
 //!   strictly-ascending column `indices`, and `values`.
 //! * [`CooBuilder`] — coordinate-format ingestion with duplicate
 //!   coalescing, the loader-facing construction path.
-//! * Kernels — [`spmm`] (`A·B`), [`spmm_t`] (`Aᵀ·B`), [`spmm_tn`]
+//! * Kernels — [`spmm`] (`A·B`), [`spmm_t`] (`Aᵀ·B`), [`spmm_nt`]
+//!   (`A·Bᵀ`, the `A·Ωᵀ`-shaped sketching product), [`spmm_tn`]
 //!   (`Qᵀ·A`, the `Y_k = Q_kᵀX_k` product of SPARTan's inner step),
 //!   [`sparse_gram`] (`AᵀA`), [`mttkrp_mode3_into`] (the per-slice CP
 //!   mode-3 row `Σ_{(i,j)} x_{ij} (u_i ∗ v_j)`), and
 //!   [`SparseSlice::fro_norm_sq`] — all touching nonzeros only, with
-//!   `_pooled` variants over a [`ThreadPool`].
+//!   `_pooled` variants over a [`ThreadPool`]. Together with the dense
+//!   [`crate::Mat`] products they are exactly the pass set the randomized
+//!   compression of DPar2 needs to run at O(nnz) per sketch pass.
 //!
 //! ## Ordering discipline (the bit-identity contract)
 //!
@@ -374,6 +377,40 @@ pub fn spmm_t(a: &SparseSlice, b: impl AsMatRef) -> Mat {
     c
 }
 
+/// `C = A·Bᵀ` for CSR `A` (`m×k`) and dense `B` (`n×k`), into `c` (`m×n`).
+///
+/// The `A·Ωᵀ`-shaped product of sketching pipelines that store the test
+/// matrix row-major per direction. Per output row `i`, nonzeros `(p, v)`
+/// ascending, `c[i][jj] += v * b[jj][p]` over all output columns — exactly
+/// the dense naive `matmul_nt` `i-p-j` loop with structural-zero terms
+/// skipped; bitwise equal to `a.to_dense().matmul_nt(b)` on the naive
+/// path (finite `b`).
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn spmm_nt_into(a: &SparseSlice, b: impl AsMatRef, c: &mut Mat) {
+    let b = b.as_mat_ref();
+    let n = b.shape().0;
+    assert_eq!(b.shape().1, a.cols(), "spmm_nt: inner dimension mismatch");
+    c.resize_zeroed(a.rows(), n);
+    for i in 0..a.rows() {
+        let (cols, vals) = a.row(i);
+        let crow = c.row_mut(i);
+        for (&p, &v) in cols.iter().zip(vals) {
+            for (jj, cv) in crow.iter_mut().enumerate() {
+                *cv += v * b.at(jj, p);
+            }
+        }
+    }
+}
+
+/// Allocating wrapper over [`spmm_nt_into`].
+pub fn spmm_nt(a: &SparseSlice, b: impl AsMatRef) -> Mat {
+    let mut c = Mat::zeros(0, 0);
+    spmm_nt_into(a, b, &mut c);
+    c
+}
+
 /// `C = Qᵀ·A` for dense `Q` (`m×r`) and CSR `A` (`m×n`), into `c` (`r×n`).
 ///
 /// This is the `Y_k = Q_kᵀ X_k` product of SPARTan's inner step. Rows `i`
@@ -543,6 +580,74 @@ pub fn spmm_tn_pooled_into(q: impl AsMatRef, a: &SparseSlice, c: &mut Mat, pool:
     });
 }
 
+/// Pooled [`spmm_t_into`]: the `k×n` output is split into fixed
+/// [`SPMM_CHUNK_ROWS`] row blocks; every worker scans the full nonzero
+/// stream (rows `i` ascending, nonzeros ascending) but scatters only into
+/// its own block of output rows, preserving the serial per-cell
+/// accumulation order. Bitwise identical to the serial kernel for every
+/// pool size. (Like [`spmm_tn_pooled_into`], this parallelizes the flops
+/// of one product, not the CSR scan — slice-level fan-out remains the
+/// solvers' primary axis.)
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn spmm_t_pooled_into(a: &SparseSlice, b: impl AsMatRef, c: &mut Mat, pool: &ThreadPool) {
+    let b = b.as_mat_ref();
+    let n = b.shape().1;
+    assert_eq!(b.shape().0, a.rows(), "spmm_t: row dimension mismatch");
+    c.resize_zeroed(a.cols(), n);
+    if pool.threads() == 1 || a.cols() <= SPMM_CHUNK_ROWS || n == 0 {
+        spmm_t_into(a, b, c);
+        return;
+    }
+    pool.for_each_chunk_mut(c.data_mut(), SPMM_CHUNK_ROWS * n, |chunk_idx, chunk| {
+        let row0 = chunk_idx * SPMM_CHUNK_ROWS;
+        let rows_here = chunk.len() / n;
+        for i in 0..a.rows() {
+            let (cols, vals) = a.row(i);
+            let brow = b.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                if j < row0 || j >= row0 + rows_here {
+                    continue;
+                }
+                let crow = &mut chunk[(j - row0) * n..(j - row0 + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += v * bv;
+                }
+            }
+        }
+    });
+}
+
+/// Pooled [`spmm_nt_into`]: output rows are split into fixed
+/// [`SPMM_CHUNK_ROWS`] blocks, each computed by one worker in the serial
+/// per-entry order. Bitwise identical to the serial kernel for every pool
+/// size.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn spmm_nt_pooled_into(a: &SparseSlice, b: impl AsMatRef, c: &mut Mat, pool: &ThreadPool) {
+    let b = b.as_mat_ref();
+    let n = b.shape().0;
+    assert_eq!(b.shape().1, a.cols(), "spmm_nt: inner dimension mismatch");
+    c.resize_zeroed(a.rows(), n);
+    if pool.threads() == 1 || a.rows() <= SPMM_CHUNK_ROWS || n == 0 {
+        spmm_nt_into(a, b, c);
+        return;
+    }
+    pool.for_each_chunk_mut(c.data_mut(), SPMM_CHUNK_ROWS * n, |chunk_idx, chunk| {
+        let row0 = chunk_idx * SPMM_CHUNK_ROWS;
+        for (di, crow) in chunk.chunks_exact_mut(n).enumerate() {
+            let (cols, vals) = a.row(row0 + di);
+            for (&p, &v) in cols.iter().zip(vals) {
+                for (jj, cv) in crow.iter_mut().enumerate() {
+                    *cv += v * b.at(jj, p);
+                }
+            }
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -626,6 +731,49 @@ mod tests {
         let mut c = Mat::zeros(0, 0);
         spmm_tn_pooled_into(&b, &s, &mut c, &pool);
         assert_eq!(c, qta);
+    }
+
+    #[test]
+    fn spmm_nt_matches_dense() {
+        let d = dense_fixture();
+        let s = SparseSlice::from_dense(&d);
+        let b = Mat::from_vec(2, 4, vec![1.0, -2.0, 0.5, 3.0, -0.25, 1.5, 2.0, -1.0]);
+        let dense = d.matmul_nt(&b).expect("shapes agree");
+        assert_eq!(spmm_nt(&s, &b), dense);
+        let pool = ThreadPool::new(3);
+        let mut c = Mat::zeros(0, 0);
+        spmm_nt_pooled_into(&s, &b, &mut c, &pool);
+        assert_eq!(c, dense);
+    }
+
+    /// The pooled scatter/gather kernels must agree with their serial
+    /// forms bitwise even when the output spans several row chunks.
+    #[test]
+    fn pooled_t_and_nt_bitwise_match_serial_across_chunks() {
+        // 300 columns so Aᵀ·B's output (cols × n) spans >4 chunks; values
+        // and pattern vary per row so chunk mix-ups would show.
+        let rows = 130;
+        let cols = 300;
+        let mut coo = CooBuilder::new(rows, cols);
+        for i in 0..rows {
+            for t in 0..7 {
+                let j = (i * 31 + t * 43) % cols;
+                coo.push(i, j, (i as f64 - 3.0) * 0.25 + t as f64);
+            }
+        }
+        let a = coo.build();
+        let b_t = Mat::from_fn(rows, 3, |i, j| ((i * 7 + j * 5) % 11) as f64 - 4.0);
+        let b_nt = Mat::from_fn(9, cols, |i, j| ((i * 13 + j * 3) % 17) as f64 - 7.5);
+        let serial_t = spmm_t(&a, &b_t);
+        let serial_nt = spmm_nt(&a, &b_nt);
+        for threads in [2, 4] {
+            let pool = ThreadPool::new(threads);
+            let mut c = Mat::zeros(0, 0);
+            spmm_t_pooled_into(&a, &b_t, &mut c, &pool);
+            assert_eq!(c, serial_t, "spmm_t diverged at {threads} threads");
+            spmm_nt_pooled_into(&a, &b_nt, &mut c, &pool);
+            assert_eq!(c, serial_nt, "spmm_nt diverged at {threads} threads");
+        }
     }
 
     #[test]

@@ -21,8 +21,21 @@
 //!
 //! DPar2 calls this twice: once per slice (`X_k ≈ A_k B_k C_kᵀ`, stage 1)
 //! and once on the concatenated `M = ∥_k C_k B_k` (stage 2).
+//!
+//! The pipeline is generic over a [`ProductOp`] operator (see [`ops`]):
+//! dense [`dpar2_linalg::MatRef`] runs the pooled blocked-GEMM path
+//! (exactly the historical dense code), while a CSR
+//! [`dpar2_linalg::sparse::SparseSlice`] runs the `spmm` kernel family at
+//! O(nnz·(r+s)) per pass — the lever that makes DPar2's compression O(nnz)
+//! on sparse tensors.
 
-use dpar2_linalg::{gaussian_mat, qr, svd::truncate, svd_thin, AsMatRef, Mat, SvdFactors};
+pub mod ops;
+
+pub use ops::{ProductOp, SparseVStack};
+
+use dpar2_linalg::{
+    gaussian_mat, qr_into, svd::truncate, svd_thin, AsMatRef, Mat, QrScratch, SvdFactors,
+};
 use dpar2_parallel::ThreadPool;
 use rand::Rng;
 
@@ -77,8 +90,32 @@ pub fn rsvd_pooled(
     rng: &mut impl Rng,
     pool: &ThreadPool,
 ) -> SvdFactors {
-    let a = a.as_mat_ref();
-    let (i, j) = a.shape();
+    rsvd_op_pooled(&a.as_mat_ref(), config, rng, pool)
+}
+
+/// Serial form of [`rsvd_op_pooled`] — [`rsvd`] for any [`ProductOp`]
+/// (e.g. a CSR [`dpar2_linalg::sparse::SparseSlice`]).
+pub fn rsvd_op(op: &impl ProductOp, config: &RsvdConfig, rng: &mut impl Rng) -> SvdFactors {
+    rsvd_op_pooled(op, config, rng, &ThreadPool::new(1))
+}
+
+/// Randomized truncated SVD over an abstract [`ProductOp`] — the single
+/// pipeline implementation behind both the dense and the sparse entry
+/// points. Per pass the cost is one `mm`/`mm_t`/`proj` call on the
+/// operator (O(nnz·(r+s)) for CSR) plus small dense QR/SVD work on the
+/// sketch.
+///
+/// All QR factorizations share one [`QrScratch`] and one pair of `Q`/`R`
+/// buffers, so the power-iteration re-orthonormalizations stop allocating
+/// fresh scratch every pass (repeated compressions — streaming refits —
+/// no longer churn the allocator).
+pub fn rsvd_op_pooled(
+    op: &impl ProductOp,
+    config: &RsvdConfig,
+    rng: &mut impl Rng,
+    pool: &ThreadPool,
+) -> SvdFactors {
+    let (i, j) = op.shape();
     let min_dim = i.min(j);
     if min_dim == 0 {
         return SvdFactors { u: Mat::zeros(i, 0), s: vec![], v: Mat::zeros(j, 0) };
@@ -88,23 +125,29 @@ pub fn rsvd_pooled(
     if sketch >= min_dim {
         // The sketch would span the whole space — the exact thin SVD is
         // both cheaper and more accurate here.
-        return truncate(&svd_thin(a), rank);
+        return truncate(&op.svd_exact(), rank);
     }
 
     // 1. Gaussian test matrix Ω ∈ R^{J×sketch}.
     let omega = gaussian_mat(j, sketch, rng);
     // 2. Y = (A Aᵀ)^q A Ω, re-orthonormalized between powers for stability.
-    let mut y = a.matmul_pooled(&omega, pool).expect("rsvd: A·Ω");
+    let mut y = Mat::zeros(0, 0);
+    op.mm_into(&omega, &mut y, pool);
+    let mut ws = QrScratch::default();
+    let mut q = Mat::zeros(0, 0);
+    let mut r = Mat::zeros(0, 0);
+    let mut z = Mat::zeros(0, 0);
     for _ in 0..config.power_iterations {
-        let q_y = qr(&y).q;
-        let z = a.matmul_tn_pooled(&q_y, pool).expect("rsvd: Aᵀ·Q"); // J × sketch
-        let q_z = qr(&z).q;
-        y = a.matmul_pooled(&q_z, pool).expect("rsvd: A·Qz");
+        qr_into(&y, &mut q, &mut r, &mut ws);
+        op.mm_t_into(&q, &mut z, pool); // J × sketch
+        qr_into(&z, &mut q, &mut r, &mut ws);
+        op.mm_into(&q, &mut y, pool);
     }
     // 3. Orthonormal range basis (I × sketch).
-    let q = qr(&y).q;
+    qr_into(&y, &mut q, &mut r, &mut ws);
     // 4. Project: B = Qᵀ A (sketch × J).
-    let b = q.matmul_tn_pooled(a, pool).expect("rsvd: Qᵀ·A");
+    let mut b = Mat::zeros(0, 0);
+    op.proj_into(&q, &mut b, pool);
     // 5. Exact SVD of the small B, truncated to the target rank.
     let small = truncate(&svd_thin(&b), rank);
     // 6. Lift the left factor back: U = Q Ũ.
@@ -168,9 +211,22 @@ pub fn svd_truncated_energy_pooled(
     rng: &mut impl Rng,
     pool: &ThreadPool,
 ) -> EnergyTruncation {
-    let a = a.as_mat_ref();
-    let total_energy = a.fro_norm_sq();
-    let probe = rsvd_pooled(a, config, rng, pool);
+    svd_truncated_energy_op_pooled(&a.as_mat_ref(), config, threshold, rng, pool)
+}
+
+/// [`svd_truncated_energy_pooled`] over an abstract [`ProductOp`] — lets
+/// the adaptive-rank probe run on sparse operators (a CSR slice, or a
+/// [`SparseVStack`] standing in for the stacked tensor) at O(nnz) per
+/// pass, with the exact `‖A‖²_F` denominator from the operator itself.
+pub fn svd_truncated_energy_op_pooled(
+    op: &impl ProductOp,
+    config: &RsvdConfig,
+    threshold: f64,
+    rng: &mut impl Rng,
+    pool: &ThreadPool,
+) -> EnergyTruncation {
+    let total_energy = op.fro_norm_sq();
+    let probe = rsvd_op_pooled(op, config, rng, pool);
     if probe.s.is_empty() {
         return EnergyTruncation { factors: probe, rank: 0, captured_energy: 0.0, total_energy };
     }
@@ -192,6 +248,7 @@ pub fn svd_truncated_energy_pooled(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dpar2_linalg::qr;
     use dpar2_linalg::random::gaussian_mat as gmat;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

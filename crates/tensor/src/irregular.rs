@@ -132,6 +132,13 @@ impl IrregularTensor {
         self.data.len()
     }
 
+    /// Number of nonzero entries across all slices — the numerator of the
+    /// density check behind `FitOptions::sparse_threshold` auto-dispatch
+    /// in `dpar2-baselines`. Exact zeros only; `-0.0` counts as zero.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|&&x| x != 0.0).count()
+    }
+
     /// Slice `X_k` as a zero-copy view into the backing buffer.
     pub fn slice(&self, k: usize) -> MatRef<'_> {
         MatRef::from_slice(

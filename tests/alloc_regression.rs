@@ -155,6 +155,32 @@ fn spartan_sparse_steady_state_iterations_allocate_nothing() {
     );
 }
 
+/// Sparse-subsystem pin: DPar2 fit from a CSR tensor keeps the
+/// allocation-free steady state. The O(nnz) work all lives in the
+/// compression stage — stages 2+ are the same compressed ALS the dense
+/// pin covers — so this guards the `fit_sparse` surface against anyone
+/// threading a per-iteration allocation through its plumbing.
+#[test]
+fn dpar2_sparse_steady_state_iterations_allocate_nothing() {
+    let t = planted_sparse(&[30, 45, 22, 38], 7, 3, 0.3, 0.1, 9004);
+    let mut snapshots: Vec<u64> = Vec::with_capacity(64);
+    let mut observer = |_e: &IterationEvent| {
+        snapshots.push(allocs_now());
+        ControlFlow::<StopReason>::Continue(())
+    };
+    let fit = Dpar2.fit_sparse_observed(&t, &options(), &mut observer).expect("fit failed");
+    assert!(
+        fit.iterations >= 3,
+        "need ≥3 iterations to observe steady state, got {}",
+        fit.iterations
+    );
+    let deltas: Vec<u64> = snapshots.windows(2).map(|w| w[1] - w[0]).collect();
+    assert!(
+        deltas.iter().all(|&d| d == 0),
+        "sparse DPar2 allocated in steady state: per-iteration counts after warmup = {deltas:?}"
+    );
+}
+
 /// Serving pin: a steady-state probe of the pruned top-k index allocates
 /// nothing. The first search grows the caller's scratch (partition order,
 /// candidate heap) and output vector to their high-water marks; every
